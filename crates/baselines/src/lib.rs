@@ -1,0 +1,18 @@
+//! # rrre-baselines
+//!
+//! Every comparison method of the RRRE paper, re-implemented from its
+//! original publication on this workspace's substrates:
+//!
+//! * rating prediction (Table III): [`rating::Pmf`], [`rating::DeepConn`],
+//!   [`rating::Narre`], [`rating::Der`] (the RRRE⁻ ablation lives in
+//!   `rrre-core` as a variant of the full model);
+//! * reliability scoring (Table IV): [`reliability::Icwsm13`],
+//!   [`reliability::SpEagle`], [`reliability::Rev2`];
+//! * shared behavioural features and a from-scratch logistic regression.
+
+#![warn(missing_docs)]
+
+pub mod features;
+pub mod logistic;
+pub mod rating;
+pub mod reliability;

@@ -1,0 +1,138 @@
+//! Hand-rolled L2-regularised logistic regression (full-batch gradient
+//! descent) — the classifier behind the ICWSM13 baseline and SpEagle's
+//! supervised priors.
+
+/// Trained logistic-regression model.
+#[derive(Debug, Clone)]
+pub struct Logistic {
+    weights: Vec<f32>,
+    bias: f32,
+}
+
+/// Training configuration for [`Logistic::fit`].
+#[derive(Debug, Clone, Copy)]
+pub struct LogisticConfig {
+    /// Learning rate.
+    pub lr: f32,
+    /// Gradient-descent epochs.
+    pub epochs: usize,
+    /// L2 regularisation strength.
+    pub l2: f32,
+}
+
+impl Default for LogisticConfig {
+    fn default() -> Self {
+        Self { lr: 0.5, epochs: 300, l2: 1e-3 }
+    }
+}
+
+#[inline]
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+impl Logistic {
+    /// Fits on rows `x` with binary targets `y` (`true` = positive class).
+    ///
+    /// # Panics
+    /// Panics on empty input or inconsistent row lengths.
+    pub fn fit(x: &[impl AsRef<[f32]>], y: &[bool], cfg: LogisticConfig) -> Self {
+        assert!(!x.is_empty(), "Logistic::fit: empty training set");
+        assert_eq!(x.len(), y.len(), "Logistic::fit: {} rows vs {} labels", x.len(), y.len());
+        let d = x[0].as_ref().len();
+        let n = x.len() as f32;
+        let mut weights = vec![0.0f32; d];
+        let mut bias = 0.0f32;
+        let mut grad = vec![0.0f32; d];
+
+        for _ in 0..cfg.epochs {
+            grad.iter_mut().for_each(|g| *g = 0.0);
+            let mut grad_b = 0.0f32;
+            for (row, &label) in x.iter().zip(y) {
+                let row = row.as_ref();
+                assert_eq!(row.len(), d, "Logistic::fit: inconsistent feature length");
+                let z: f32 = bias + weights.iter().zip(row).map(|(&w, &f)| w * f).sum::<f32>();
+                let err = sigmoid(z) - if label { 1.0 } else { 0.0 };
+                for (g, &f) in grad.iter_mut().zip(row) {
+                    *g += err * f;
+                }
+                grad_b += err;
+            }
+            for (w, &g) in weights.iter_mut().zip(&grad) {
+                *w -= cfg.lr * (g / n + cfg.l2 * *w);
+            }
+            bias -= cfg.lr * grad_b / n;
+        }
+        Self { weights, bias }
+    }
+
+    /// Probability of the positive class for one row.
+    pub fn predict_proba(&self, row: &[f32]) -> f32 {
+        assert_eq!(row.len(), self.weights.len(), "Logistic::predict_proba: feature length mismatch");
+        sigmoid(self.bias + self.weights.iter().zip(row).map(|(&w, &f)| w * f).sum::<f32>())
+    }
+
+    /// Probabilities for many rows.
+    pub fn predict_many(&self, rows: &[impl AsRef<[f32]>]) -> Vec<f32> {
+        rows.iter().map(|r| self.predict_proba(r.as_ref())).collect()
+    }
+
+    /// Learned weights (for inspection).
+    pub fn weights(&self) -> &[f32] {
+        &self.weights
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    #[test]
+    fn separates_linearly_separable_data() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..200 {
+            let pos = rng.gen_bool(0.5);
+            let centre = if pos { 2.0 } else { -2.0 };
+            x.push(vec![centre + rng.gen_range(-0.5..0.5), rng.gen_range(-1.0..1.0)]);
+            y.push(pos);
+        }
+        let model = Logistic::fit(&x, &y, LogisticConfig::default());
+        let correct = x
+            .iter()
+            .zip(&y)
+            .filter(|(row, &label)| (model.predict_proba(row) > 0.5) == label)
+            .count();
+        assert!(correct >= 195, "accuracy {correct}/200");
+    }
+
+    #[test]
+    fn probability_is_calibrated_on_balanced_noise() {
+        // Pure-noise features: probability should hover near the base rate.
+        let mut rng = StdRng::seed_from_u64(2);
+        let x: Vec<Vec<f32>> = (0..300).map(|_| vec![rng.gen_range(-1.0..1.0)]).collect();
+        let y: Vec<bool> = (0..300).map(|i| i % 4 != 0).collect(); // 75% positive
+        let model = Logistic::fit(&x, &y, LogisticConfig::default());
+        let mean_p: f32 = x.iter().map(|r| model.predict_proba(r)).sum::<f32>() / 300.0;
+        assert!((mean_p - 0.75).abs() < 0.08, "mean probability {mean_p}");
+    }
+
+    #[test]
+    fn l2_shrinks_weights() {
+        let x = vec![vec![1.0f32], vec![-1.0]];
+        let y = vec![true, false];
+        let small = Logistic::fit(&x, &y, LogisticConfig { l2: 0.0, ..Default::default() });
+        let big = Logistic::fit(&x, &y, LogisticConfig { l2: 1.0, ..Default::default() });
+        assert!(big.weights()[0].abs() < small.weights()[0].abs());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_input_panics() {
+        let x: Vec<Vec<f32>> = Vec::new();
+        let y: Vec<bool> = Vec::new();
+        let _ = Logistic::fit(&x, &y, LogisticConfig::default());
+    }
+}

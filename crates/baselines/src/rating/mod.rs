@@ -1,0 +1,13 @@
+//! Rating-prediction baselines of the paper's Table III.
+
+mod deepconn;
+mod naive;
+mod der;
+mod narre;
+mod pmf;
+
+pub use deepconn::{DeepConn, DeepConnConfig};
+pub use naive::{MeanKind, MeanPredictor};
+pub use der::{Der, DerConfig};
+pub use narre::{Narre, NarreConfig};
+pub use pmf::{Pmf, PmfConfig};

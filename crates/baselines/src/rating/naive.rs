@@ -1,0 +1,126 @@
+//! Naive rating predictors — the floors every learned method must clear.
+//! Not part of the paper's Table III, but indispensable for sanity-checking
+//! the harness (a learned method below these floors is broken, whatever its
+//! architecture says).
+
+use rrre_data::Dataset;
+
+/// Predicts with global / per-user / per-item means, with additive
+/// shrinkage toward the global mean for thin entities.
+#[derive(Debug, Clone)]
+pub struct MeanPredictor {
+    global: f32,
+    user_offset: Vec<f32>,
+    item_offset: Vec<f32>,
+}
+
+/// Which signal the naive prediction combines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MeanKind {
+    /// The train-set mean rating for everyone.
+    Global,
+    /// Global mean + shrunk per-user offset.
+    User,
+    /// Global mean + shrunk per-item offset.
+    Item,
+    /// Global mean + both offsets.
+    UserItem,
+}
+
+impl MeanPredictor {
+    /// Fits the means on the listed train reviews with Laplace smoothing
+    /// `pseudo` (pseudo-observations of the global mean per entity).
+    ///
+    /// # Panics
+    /// Panics on an empty training set.
+    pub fn fit(ds: &Dataset, train: &[usize], pseudo: f32) -> Self {
+        assert!(!train.is_empty(), "MeanPredictor::fit: empty training set");
+        let global = train.iter().map(|&i| ds.reviews[i].rating).sum::<f32>() / train.len() as f32;
+        let mut user_sum = vec![0.0f32; ds.n_users];
+        let mut user_cnt = vec![0.0f32; ds.n_users];
+        let mut item_sum = vec![0.0f32; ds.n_items];
+        let mut item_cnt = vec![0.0f32; ds.n_items];
+        for &i in train {
+            let r = &ds.reviews[i];
+            user_sum[r.user.index()] += r.rating - global;
+            user_cnt[r.user.index()] += 1.0;
+            item_sum[r.item.index()] += r.rating - global;
+            item_cnt[r.item.index()] += 1.0;
+        }
+        let shrink = |sum: Vec<f32>, cnt: Vec<f32>| -> Vec<f32> {
+            sum.into_iter().zip(cnt).map(|(s, c)| s / (c + pseudo)).collect()
+        };
+        Self {
+            global,
+            user_offset: shrink(user_sum, user_cnt),
+            item_offset: shrink(item_sum, item_cnt),
+        }
+    }
+
+    /// The global train mean.
+    pub fn global_mean(&self) -> f32 {
+        self.global
+    }
+
+    /// Predicts a rating for a pair, clamped to the star range.
+    pub fn predict(&self, kind: MeanKind, user: rrre_data::UserId, item: rrre_data::ItemId) -> f32 {
+        let mut p = self.global;
+        if matches!(kind, MeanKind::User | MeanKind::UserItem) {
+            p += self.user_offset[user.index()];
+        }
+        if matches!(kind, MeanKind::Item | MeanKind::UserItem) {
+            p += self.item_offset[item.index()];
+        }
+        p.clamp(1.0, 5.0)
+    }
+
+    /// Predictions for the listed review indices.
+    pub fn predict_reviews(&self, ds: &Dataset, kind: MeanKind, indices: &[usize]) -> Vec<f32> {
+        indices
+            .iter()
+            .map(|&i| self.predict(kind, ds.reviews[i].user, ds.reviews[i].item))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use rrre_data::synth::{generate, SynthConfig};
+    use rrre_data::train_test_split;
+    use rrre_metrics::rmse;
+
+    #[test]
+    fn item_mean_beats_global_on_quality_driven_data() {
+        let ds = generate(&SynthConfig::yelp_chi().scaled(0.1));
+        let mut rng = StdRng::seed_from_u64(0);
+        let split = train_test_split(&ds, 0.3, &mut rng);
+        let model = MeanPredictor::fit(&ds, &split.train, 2.0);
+        let targets: Vec<f32> = split.test.iter().map(|&i| ds.reviews[i].rating).collect();
+        let global = rmse(&model.predict_reviews(&ds, MeanKind::Global, &split.test), &targets);
+        let item = rmse(&model.predict_reviews(&ds, MeanKind::Item, &split.test), &targets);
+        assert!(item < global, "item-mean {item} should beat global {global}");
+    }
+
+    #[test]
+    fn shrinkage_bounds_thin_entity_offsets() {
+        let ds = generate(&SynthConfig::cds().scaled(0.05));
+        let train: Vec<usize> = (0..ds.len()).collect();
+        let strong = MeanPredictor::fit(&ds, &train, 100.0);
+        // Heavy shrinkage pushes everything to the global mean.
+        for &off in strong.user_offset.iter().chain(&strong.item_offset) {
+            assert!(off.abs() < 0.2, "offset {off}");
+        }
+    }
+
+    #[test]
+    fn predictions_in_star_range() {
+        let ds = generate(&SynthConfig::musics().scaled(0.05));
+        let train: Vec<usize> = (0..ds.len()).collect();
+        let model = MeanPredictor::fit(&ds, &train, 0.0);
+        for p in model.predict_reviews(&ds, MeanKind::UserItem, &train) {
+            assert!((1.0..=5.0).contains(&p));
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! ICWSM13 baseline — Mukherjee et al., *What Yelp Fake Review Filter Might
+//! Be Doing* (ICWSM 2013): a supervised classifier over behavioural features
+//! of users and reviews. Faithful to the paper's finding that behavioural
+//! features (deviation, burstiness, extremity, review counts) carry most of
+//! the signal; the classifier here is logistic regression.
+
+use crate::features::{feature_matrix, FeatureContext, Standardizer};
+use crate::logistic::{Logistic, LogisticConfig};
+use rrre_data::{Dataset, EncodedCorpus};
+
+/// Trained ICWSM13 reliability model.
+#[derive(Debug)]
+pub struct Icwsm13 {
+    model: Logistic,
+    standardizer: Standardizer,
+    ctx: FeatureContext,
+}
+
+impl Icwsm13 {
+    /// Trains on the labelled training reviews (indices into `ds.reviews`).
+    pub fn fit(ds: &Dataset, corpus: &EncodedCorpus, train: &[usize]) -> Self {
+        let ctx = FeatureContext::build(ds);
+        let mut x = feature_matrix(ds, corpus, &ctx, train);
+        let standardizer = Standardizer::fit(&x);
+        standardizer.apply_all(&mut x);
+        let y: Vec<bool> = train.iter().map(|&i| ds.reviews[i].label.is_benign()).collect();
+        let model = Logistic::fit(&x, &y, LogisticConfig::default());
+        Self { model, standardizer, ctx }
+    }
+
+    /// Reliability scores (probability of being benign) for the listed
+    /// reviews.
+    pub fn score(&self, ds: &Dataset, corpus: &EncodedCorpus, indices: &[usize]) -> Vec<f32> {
+        let mut x = feature_matrix(ds, corpus, &self.ctx, indices);
+        self.standardizer.apply_all(&mut x);
+        self.model.predict_many(&x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use rrre_data::synth::{generate, SynthConfig};
+    use rrre_data::{train_test_split, CorpusConfig};
+    use rrre_metrics::auc;
+    use rrre_text::word2vec::Word2VecConfig;
+
+    #[test]
+    fn beats_chance_on_synthetic_yelp() {
+        let ds = generate(&SynthConfig::yelp_chi().scaled(0.1));
+        let corpus = EncodedCorpus::build(
+            &ds,
+            &CorpusConfig {
+                word2vec: Word2VecConfig { dim: 8, epochs: 1, ..Default::default() },
+                ..Default::default()
+            },
+        );
+        let mut rng = StdRng::seed_from_u64(0);
+        let split = train_test_split(&ds, 0.3, &mut rng);
+        let model = Icwsm13::fit(&ds, &corpus, &split.train);
+        let scores = model.score(&ds, &corpus, &split.test);
+        let labels: Vec<bool> = split.test.iter().map(|&i| ds.reviews[i].label.is_benign()).collect();
+        let a = auc(&scores, &labels);
+        assert!(a > 0.6, "AUC {a}");
+    }
+}

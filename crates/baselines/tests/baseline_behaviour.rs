@@ -1,0 +1,145 @@
+//! Cross-method behavioural tests of the baselines: algorithm-specific
+//! invariants on crafted data, where the expected behaviour is unambiguous.
+
+use rand::{rngs::StdRng, SeedableRng};
+use rrre_baselines::rating::{Pmf, PmfConfig};
+use rrre_baselines::reliability::{Rev2, Rev2Config, SpEagle, SpEagleConfig};
+use rrre_data::synth::{generate, SynthConfig};
+use rrre_data::{CorpusConfig, Dataset, EncodedCorpus, ItemId, Label, Review, UserId};
+use rrre_text::word2vec::Word2VecConfig;
+
+fn corpus_for(ds: &Dataset) -> EncodedCorpus {
+    EncodedCorpus::build(
+        ds,
+        &CorpusConfig {
+            max_len: 16,
+            word2vec: Word2VecConfig { dim: 8, epochs: 1, ..Default::default() },
+            ..Default::default()
+        },
+    )
+}
+
+/// Builds a two-block dataset: users 0..5 love items 0..3, users 5..10 love
+/// items 3..6 and vice versa — a planted structure PMF must recover.
+fn planted_blocks() -> Dataset {
+    let mut reviews = Vec::new();
+    let mut ts = 0i64;
+    for u in 0..10u32 {
+        for i in 0..6u32 {
+            let likes = (u < 5) == (i < 3);
+            // Leave one pair per user out for testing elsewhere.
+            if (u + i) % 7 == 0 {
+                continue;
+            }
+            reviews.push(Review {
+                user: UserId(u),
+                item: ItemId(i),
+                rating: if likes { 5.0 } else { 1.0 },
+                label: Label::Benign,
+                timestamp: ts,
+                text: format!("review {u} {i}"),
+            });
+            ts += 1;
+        }
+    }
+    Dataset::new("blocks", 10, 6, reviews)
+}
+
+#[test]
+fn pmf_recovers_planted_block_structure() {
+    let ds = planted_blocks();
+    let train: Vec<usize> = (0..ds.len()).collect();
+    let mut rng = StdRng::seed_from_u64(5);
+    let cfg = PmfConfig { epochs: 200, reg: 0.01, ..Default::default() };
+    let model = Pmf::fit(&ds, &train, cfg, &mut rng);
+    // Held-out pairs follow the block rule.
+    for u in 0..10u32 {
+        for i in 0..6u32 {
+            if (u + i) % 7 != 0 {
+                continue;
+            }
+            let pred = model.predict(UserId(u), ItemId(i));
+            let likes = (u < 5) == (i < 3);
+            if likes {
+                assert!(pred > 3.4, "user {u} item {i}: predicted {pred}, expected high");
+            } else {
+                assert!(pred < 2.6, "user {u} item {i}: predicted {pred}, expected low");
+            }
+        }
+    }
+}
+
+#[test]
+fn rev2_is_order_invariant() {
+    // Shuffling review order must not change the fixed point.
+    let ds = generate(&SynthConfig::yelp_chi().scaled(0.05));
+    let a = Rev2::run(&ds, Rev2Config::default());
+    let mut shuffled = ds.clone();
+    shuffled.reviews.reverse();
+    let b = Rev2::run(&shuffled, Rev2Config::default());
+    let n = ds.len();
+    for i in 0..n {
+        let score_a = a.score(&[i])[0];
+        let score_b = b.score(&[n - 1 - i])[0];
+        assert!((score_a - score_b).abs() < 1e-4, "review {i}: {score_a} vs {score_b}");
+    }
+}
+
+#[test]
+fn rev2_smoothing_pulls_singletons_to_prior() {
+    // A user with one agreeable review should sit near the fairness prior,
+    // not at an extreme.
+    let mut reviews = Vec::new();
+    for u in 0..6u32 {
+        reviews.push(Review {
+            user: UserId(u),
+            item: ItemId(0),
+            rating: 4.0,
+            label: Label::Benign,
+            timestamp: u as i64,
+            text: String::new(),
+        });
+    }
+    let ds = Dataset::new("singletons", 6, 1, reviews);
+    let model = Rev2::run(&ds, Rev2Config { gamma_fairness: 5.0, ..Default::default() });
+    for &f in model.fairness() {
+        assert!((0.4..=0.9).contains(&f), "fairness {f}");
+    }
+}
+
+#[test]
+fn speagle_scores_respond_to_supervision_direction() {
+    // Clamping a review fake must not *raise* its own score.
+    let ds = generate(&SynthConfig::yelp_chi().scaled(0.05));
+    let corpus = corpus_for(&ds);
+    let unsup = SpEagle::run(&ds, &corpus, &[], SpEagleConfig::default());
+    // Pick an actually fake review and supervise it.
+    let fake_idx = ds.reviews.iter().position(|r| r.label == Label::Fake).expect("a fake exists");
+    let sup = SpEagle::run(&ds, &corpus, &[fake_idx], SpEagleConfig::default());
+    let before = unsup.all_scores()[fake_idx];
+    let after = sup.all_scores()[fake_idx];
+    assert!(after <= before + 1e-6, "clamped-fake score rose: {before} -> {after}");
+    assert!(after < 0.1, "clamped review should score near zero, got {after}");
+}
+
+#[test]
+fn speagle_propagates_to_co_reviewers() {
+    // Two reviews by the same user: clamping one fake lowers the other's
+    // score relative to the unsupervised run.
+    let reviews = vec![
+        Review { user: UserId(0), item: ItemId(0), rating: 5.0, label: Label::Fake, timestamp: 0, text: "x".into() },
+        Review { user: UserId(0), item: ItemId(1), rating: 5.0, label: Label::Fake, timestamp: 1, text: "x".into() },
+        Review { user: UserId(1), item: ItemId(0), rating: 4.0, label: Label::Benign, timestamp: 2, text: "y".into() },
+        Review { user: UserId(1), item: ItemId(1), rating: 4.0, label: Label::Benign, timestamp: 3, text: "y".into() },
+    ];
+    let ds = Dataset::new("pair", 2, 2, reviews);
+    let corpus = corpus_for(&ds);
+    let unsup = SpEagle::run(&ds, &corpus, &[], SpEagleConfig::default());
+    let sup = SpEagle::run(&ds, &corpus, &[0], SpEagleConfig::default());
+    assert!(
+        sup.all_scores()[1] < unsup.all_scores()[1],
+        "sibling review should become more suspicious: {} vs {}",
+        sup.all_scores()[1],
+        unsup.all_scores()[1]
+    );
+}

@@ -1,0 +1,33 @@
+//! Ablation benches for the design choices of DESIGN.md §4: training cost
+//! of fraud-attention vs mean pooling, biased vs plain loss, and latest vs
+//! random sampling. `repro ablations` regenerates the quality comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rrre_bench::methods::rrre_config;
+use rrre_bench::{DatasetRun, Scale};
+use rrre_core::{Pooling, Rrre, RrreConfig, Sampling};
+use rrre_data::synth::SynthConfig;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_ablations(c: &mut Criterion) {
+    let run = DatasetRun::prepare(&SynthConfig::yelp_chi(), Scale::Smoke, 0);
+    let base = rrre_config(Scale::Smoke, 0);
+    let variants: [(&str, RrreConfig); 4] = [
+        ("attention_biased", base),
+        ("mean_pooling", RrreConfig { pooling: Pooling::Mean, ..base }),
+        ("plain_loss", base.minus()),
+        ("random_sampling", RrreConfig { sampling: Sampling::Random, ..base }),
+    ];
+    let mut group = c.benchmark_group("ablation_train_smoke");
+    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    for (name, cfg) in variants {
+        group.bench_function(name, |bench| {
+            bench.iter(|| black_box(Rrre::fit(&run.ds, &run.corpus, &run.split.train, cfg)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Fig. 2 bench: RRRE training cost as the review-embedding size `k` grows
+//! (the figure's hidden time dimension). `repro fig2` regenerates the
+//! quality curves.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rrre_bench::methods::rrre_config;
+use rrre_bench::{DatasetRun, Scale};
+use rrre_core::{Rrre, RrreConfig};
+use rrre_data::synth::SynthConfig;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_embedding_sizes(c: &mut Criterion) {
+    let run = DatasetRun::prepare(&SynthConfig::yelp_chi(), Scale::Smoke, 0);
+    let mut group = c.benchmark_group("fig2_rrre_train_by_k");
+    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    for k in [8usize, 32] {
+        let cfg = RrreConfig { k, ..rrre_config(Scale::Smoke, 0) };
+        group.bench_with_input(BenchmarkId::from_parameter(k), &cfg, |bench, cfg| {
+            bench.iter(|| black_box(Rrre::fit(&run.ds, &run.corpus, &run.split.train, *cfg)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_embedding_sizes);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Fig. 4 bench: RRRE training cost as the ItemNet input size `s_i` grows —
+//! the paper observes roughly linear time growth because item degrees are
+//! large. `repro fig4` regenerates the quality curves.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rrre_bench::methods::rrre_config;
+use rrre_bench::{DatasetRun, Scale};
+use rrre_core::{Rrre, RrreConfig};
+use rrre_data::synth::SynthConfig;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_item_input_sizes(c: &mut Criterion) {
+    let run = DatasetRun::prepare(&SynthConfig::yelp_chi(), Scale::Smoke, 0);
+    let mut group = c.benchmark_group("fig4_rrre_train_by_s_i");
+    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    for s_i in [4usize, 12, 24] {
+        let cfg = RrreConfig { s_i, ..rrre_config(Scale::Smoke, 0) };
+        group.bench_with_input(BenchmarkId::from_parameter(s_i), &cfg, |bench, cfg| {
+            bench.iter(|| black_box(Rrre::fit(&run.ds, &run.corpus, &run.split.train, *cfg)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_item_input_sizes);
+criterion_main!(benches);

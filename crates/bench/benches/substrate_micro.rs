@@ -1,0 +1,79 @@
+//! Micro-benchmarks of the substrate kernels every experiment is built on:
+//! dense matmul, BiLSTM review encoding, fraud-attention, the FM head,
+//! belief propagation and the REV2 fixed point.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::{rngs::StdRng, SeedableRng};
+use rrre_baselines::reliability::{Rev2, Rev2Config};
+use rrre_bench::{DatasetRun, Scale};
+use rrre_data::synth::SynthConfig;
+use rrre_graph::BpNetwork;
+use rrre_tensor::nn::{AttentionPool, BiLstm, FactorizationMachine};
+use rrre_tensor::{init, Params};
+use std::hint::black_box;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let a = init::normal(&mut rng, 64, 64, 0.0, 1.0);
+    let b = init::normal(&mut rng, 64, 64, 0.0, 1.0);
+    c.bench_function("tensor/matmul_64x64", |bench| {
+        bench.iter(|| black_box(a.matmul(black_box(&b))));
+    });
+}
+
+fn bench_bilstm_encode(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut params = Params::new();
+    let bilstm = BiLstm::new(&mut params, &mut rng, "b", 32, 32);
+    let seq = init::normal(&mut rng, 30, 32, 0.0, 1.0);
+    c.bench_function("encoder/bilstm_30tok_k64", |bench| {
+        bench.iter(|| black_box(bilstm.infer(&params, black_box(&seq))));
+    });
+}
+
+fn bench_attention(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut params = Params::new();
+    let attn = AttentionPool::new(&mut params, &mut rng, "a", 64, 32, 16);
+    let items = init::normal(&mut rng, 12, 64, 0.0, 1.0);
+    let ctx = init::normal(&mut rng, 1, 32, 0.0, 1.0);
+    c.bench_function("attention/pool_12x64", |bench| {
+        bench.iter(|| black_box(attn.infer(&params, black_box(&items), &ctx, None)));
+    });
+}
+
+fn bench_fm(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut params = Params::new();
+    let fm = FactorizationMachine::new(&mut params, &mut rng, "fm", 32, 8);
+    let x = init::normal(&mut rng, 1, 32, 0.0, 1.0);
+    c.bench_function("fm/infer_32d_8f", |bench| {
+        bench.iter(|| black_box(fm.infer(&params, black_box(&x))));
+    });
+}
+
+fn bench_bp(c: &mut Criterion) {
+    // A 200-node chain with attractive couplings.
+    let mut net = BpNetwork::new(200);
+    net.clamp(0, 1);
+    for i in 0..199 {
+        net.add_edge(i, i + 1, [[0.8, 0.2], [0.2, 0.8]]);
+    }
+    c.bench_function("graph/bp_200node_chain", |bench| {
+        bench.iter(|| black_box(net.run(20, 0.0, 1e-6)));
+    });
+}
+
+fn bench_rev2(c: &mut Criterion) {
+    let run = DatasetRun::prepare(&SynthConfig::yelp_chi(), Scale::Smoke, 0);
+    c.bench_function("graph/rev2_smoke_yelpchi", |bench| {
+        bench.iter(|| black_box(Rev2::run(&run.ds, Rev2Config::default())));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_matmul, bench_bilstm_encode, bench_attention, bench_fm, bench_bp, bench_rev2
+}
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Table III bench: trains each rating-prediction method on the smoke-scale
+//! YelpChi-shaped dataset. `repro table3 --scale small` regenerates the
+//! actual table; this bench tracks the training cost of every column.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rrre_bench::methods::{rating_predictions, RatingMethod};
+use rrre_bench::{DatasetRun, Scale};
+use rrre_data::synth::SynthConfig;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_rating_methods(c: &mut Criterion) {
+    let run = DatasetRun::prepare(&SynthConfig::yelp_chi(), Scale::Smoke, 0);
+    let mut group = c.benchmark_group("table3_rating_train_smoke");
+    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    for method in RatingMethod::ALL {
+        group.bench_function(method.name(), |bench| {
+            bench.iter(|| black_box(rating_predictions(&run, method, Scale::Smoke)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rating_methods);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Table IV bench: trains/runs each reliability-scoring method on the
+//! smoke-scale YelpChi-shaped dataset. `repro table4` regenerates the table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rrre_bench::methods::{reliability_scores, ReliabilityMethod};
+use rrre_bench::{DatasetRun, Scale};
+use rrre_data::synth::SynthConfig;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_reliability_methods(c: &mut Criterion) {
+    let run = DatasetRun::prepare(&SynthConfig::yelp_chi(), Scale::Smoke, 0);
+    let mut group = c.benchmark_group("table4_reliability_smoke");
+    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    for method in ReliabilityMethod::ALL {
+        group.bench_function(method.name(), |bench| {
+            bench.iter(|| black_box(reliability_scores(&run, method, Scale::Smoke)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reliability_methods);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Table V bench: NDCG@k computation over the reliability rankings on the
+//! YelpChi-shaped dataset (scores computed once; the metric itself is
+//! benchmarked across the paper's k grid). `repro table5` regenerates the
+//! table values.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rrre_bench::methods::{reliability_scores, ReliabilityMethod};
+use rrre_bench::ndcg::k_grid;
+use rrre_bench::{DatasetRun, Scale};
+use rrre_data::synth::SynthConfig;
+use rrre_metrics::ndcg_at_k;
+use std::hint::black_box;
+
+fn bench_ndcg_yelpchi(c: &mut Criterion) {
+    let run = DatasetRun::prepare(&SynthConfig::yelp_chi(), Scale::Smoke, 0);
+    let labels = run.test_labels();
+    let scores = reliability_scores(&run, ReliabilityMethod::Icwsm13, Scale::Smoke);
+    let ks = k_grid(Scale::Smoke, labels.len());
+    c.bench_function("table5_ndcg_grid_yelpchi", |bench| {
+        bench.iter(|| {
+            for &k in &ks {
+                black_box(ndcg_at_k(black_box(&scores), &labels, k));
+            }
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_ndcg_yelpchi
+}
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Table VI bench: the full NDCG pipeline (all four reliability methods +
+//! ranking metric) on the smoke-scale CDs-shaped dataset. `repro table6`
+//! regenerates the table values.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rrre_bench::ndcg::run_ndcg;
+use rrre_bench::Scale;
+use rrre_data::synth::SynthConfig;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_ndcg_cds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table6_ndcg_cds");
+    group.sample_size(10).measurement_time(Duration::from_secs(10));
+    group.bench_function("full_pipeline_smoke", |bench| {
+        bench.iter(|| black_box(run_ndcg(&SynthConfig::cds(), Scale::Smoke, 1)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ndcg_cds);
+criterion_main!(benches);

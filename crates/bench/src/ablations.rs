@@ -1,0 +1,142 @@
+//! Ablation studies for the design choices called out in DESIGN.md §4:
+//! biased loss, fraud-attention, joint-loss weight λ, encoder mode and the
+//! time-based sampling strategy.
+
+use crate::context::DatasetRun;
+use crate::methods::rrre_config;
+use crate::report::{fmt3, TextTable};
+use crate::scale::Scale;
+use rrre_core::{EncoderMode, Pooling, Rrre, RrreConfig, Sampling};
+use rrre_data::synth::SynthConfig;
+use rrre_metrics::{auc, brmse};
+
+/// Result of evaluating one configuration.
+#[derive(Debug, Clone)]
+pub struct AblationPoint {
+    /// Human-readable variant label.
+    pub label: String,
+    /// Test bRMSE.
+    pub brmse: f64,
+    /// Test reliability AUC.
+    pub auc: f64,
+}
+
+/// Trains `cfg` on the prepared run and evaluates both tasks.
+pub fn evaluate_variant(run: &DatasetRun, cfg: RrreConfig, label: impl Into<String>) -> AblationPoint {
+    let model = Rrre::fit(&run.ds, &run.corpus, &run.split.train, cfg);
+    let preds = model.predict_reviews(&run.ds, &run.corpus, &run.split.test);
+    let ratings: Vec<f32> = preds.iter().map(|p| p.rating).collect();
+    let rels: Vec<f32> = preds.iter().map(|p| p.reliability).collect();
+    AblationPoint {
+        label: label.into(),
+        brmse: brmse(&ratings, &run.test_ratings(), &run.test_reliability()),
+        auc: auc(&rels, &run.test_labels()),
+    }
+}
+
+fn render(title: &str, points: &[AblationPoint]) -> TextTable {
+    let mut table = TextTable::new(title, &["variant", "bRMSE", "AUC"]);
+    for p in points {
+        table.row(vec![p.label.clone(), fmt3(p.brmse), fmt3(p.auc)]);
+    }
+    table
+}
+
+/// Biased (Eq. 14) vs plain (Eq. 13) rating loss — RRRE vs RRRE⁻.
+pub fn ablation_biased_loss(scale: Scale) -> (Vec<AblationPoint>, TextTable) {
+    let run = DatasetRun::prepare(&SynthConfig::yelp_chi(), scale, 0);
+    let base = rrre_config(scale, 0);
+    let points = vec![
+        evaluate_variant(&run, base, "biased loss (RRRE, Eq. 14)"),
+        evaluate_variant(&run, base.minus(), "plain MSE (RRRE-, Eq. 13)"),
+    ];
+    (points.clone(), render("Ablation — biased rating loss", &points))
+}
+
+/// Fraud-attention vs mean pooling.
+pub fn ablation_attention(scale: Scale) -> (Vec<AblationPoint>, TextTable) {
+    let run = DatasetRun::prepare(&SynthConfig::yelp_chi(), scale, 0);
+    let base = rrre_config(scale, 0);
+    let points = vec![
+        evaluate_variant(&run, base, "fraud-attention (Eq. 5-7)"),
+        evaluate_variant(&run, RrreConfig { pooling: Pooling::Mean, ..base }, "mean pooling"),
+    ];
+    (points.clone(), render("Ablation — review pooling", &points))
+}
+
+/// λ sweep of the joint loss (Eq. 15).
+pub fn ablation_lambda(scale: Scale) -> (Vec<AblationPoint>, TextTable) {
+    let run = DatasetRun::prepare(&SynthConfig::yelp_chi(), scale, 0);
+    let base = rrre_config(scale, 0);
+    let points: Vec<AblationPoint> = [0.0f32, 0.25, 0.5, 0.75, 1.0]
+        .into_iter()
+        .map(|lambda| {
+            evaluate_variant(&run, RrreConfig { lambda, ..base }, format!("lambda={lambda:.2}"))
+        })
+        .collect();
+    (points.clone(), render("Ablation — joint-loss weight lambda", &points))
+}
+
+/// Time-based (latest) vs random input-review sampling.
+pub fn ablation_sampling(scale: Scale) -> (Vec<AblationPoint>, TextTable) {
+    let run = DatasetRun::prepare(&SynthConfig::yelp_chi(), scale, 0);
+    let base = rrre_config(scale, 0);
+    let points = vec![
+        evaluate_variant(&run, base, "time-based (latest m)"),
+        evaluate_variant(&run, RrreConfig { sampling: Sampling::Random, ..base }, "random m-subset"),
+    ];
+    (points.clone(), render("Ablation — input-review sampling", &points))
+}
+
+/// Semi-supervised label budget (paper §V future work): how gracefully both
+/// tasks degrade as reliability labels are withheld.
+pub fn ablation_semi_supervised(scale: Scale) -> (Vec<AblationPoint>, TextTable) {
+    let run = DatasetRun::prepare(&SynthConfig::yelp_chi(), scale, 0);
+    let base = rrre_config(scale, 0);
+    let points: Vec<AblationPoint> = [1.0f32, 0.5, 0.25, 0.1]
+        .into_iter()
+        .map(|labeled_fraction| {
+            evaluate_variant(
+                &run,
+                RrreConfig { labeled_fraction, ..base },
+                format!("{:.0}% labels", labeled_fraction * 100.0),
+            )
+        })
+        .collect();
+    (points.clone(), render("Ablation — semi-supervised label budget", &points))
+}
+
+/// Frozen vs end-to-end encoder (run at reduced size — the end-to-end path
+/// is orders of magnitude slower).
+pub fn ablation_encoder(scale: Scale) -> (Vec<AblationPoint>, TextTable) {
+    // Always shrink to smoke-size data: end-to-end backprop through the
+    // BiLSTM on bigger data would dominate the whole suite's runtime.
+    let run = DatasetRun::prepare(&SynthConfig::yelp_chi(), Scale::Smoke, 0);
+    let mut base = rrre_config(Scale::Smoke, 0);
+    base.epochs = base.epochs.min(3);
+    let _ = scale;
+    let points = vec![
+        evaluate_variant(&run, base, "frozen encoder"),
+        evaluate_variant(
+            &run,
+            RrreConfig { encoder: EncoderMode::EndToEnd, ..base },
+            "end-to-end encoder",
+        ),
+    ];
+    (points.clone(), render("Ablation — encoder mode (smoke-size data)", &points))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_shapes() {
+        let points = vec![
+            AblationPoint { label: "a".into(), brmse: 1.0, auc: 0.8 },
+            AblationPoint { label: "b".into(), brmse: 1.1, auc: 0.7 },
+        ];
+        let t = render("t", &points);
+        assert_eq!(t.len(), 2);
+    }
+}

@@ -1,0 +1,91 @@
+//! Per-dataset experiment context: generated data, encoded corpus and the
+//! paper's 70/30 split, built once per (preset, trial) and shared by every
+//! method under comparison.
+
+use crate::scale::Scale;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rrre_data::synth::{generate, SynthConfig};
+use rrre_data::{train_test_split, CorpusConfig, Dataset, EncodedCorpus, Split};
+use rrre_text::word2vec::Word2VecConfig;
+
+/// One prepared dataset trial.
+pub struct DatasetRun {
+    /// The generated dataset.
+    pub ds: Dataset,
+    /// The encoded corpus (vocab, word vectors, documents).
+    pub corpus: EncodedCorpus,
+    /// 70 % train / 30 % test split.
+    pub split: Split,
+    /// The trial index this run belongs to (seeds derive from it).
+    pub trial: u64,
+}
+
+impl DatasetRun {
+    /// Generates and prepares one trial of a preset at a scale.
+    ///
+    /// The trial index perturbs the generator, split and word2vec seeds so
+    /// repeated trials are independent draws, as in the paper's
+    /// mean-of-five protocol.
+    pub fn prepare(preset: &SynthConfig, scale: Scale, trial: u64) -> Self {
+        let cfg = preset
+            .clone()
+            .scaled(scale.dataset_factor())
+            .with_seed(preset.seed.wrapping_add(trial.wrapping_mul(0x9E37_79B9)));
+        let ds = generate(&cfg);
+        let corpus_cfg = CorpusConfig {
+            max_len: 30,
+            min_count: 2,
+            word2vec: Word2VecConfig {
+                dim: scale.word_dim(),
+                epochs: scale.word2vec_epochs(),
+                ..Default::default()
+            },
+            seed: 0x7E47 ^ trial,
+        };
+        let corpus = EncodedCorpus::build(&ds, &corpus_cfg);
+        let mut rng = StdRng::seed_from_u64(0x5917 ^ trial);
+        let split = train_test_split(&ds, 0.3, &mut rng);
+        Self { ds, corpus, split, trial }
+    }
+
+    /// Ground-truth ratings of the test reviews.
+    pub fn test_ratings(&self) -> Vec<f32> {
+        self.split.test.iter().map(|&i| self.ds.reviews[i].rating).collect()
+    }
+
+    /// Reliability ground truth (`1.0` benign / `0.0` fake) of the test
+    /// reviews.
+    pub fn test_reliability(&self) -> Vec<f32> {
+        self.split.test.iter().map(|&i| self.ds.reviews[i].label.as_f32()).collect()
+    }
+
+    /// Benign/fake boolean labels of the test reviews.
+    pub fn test_labels(&self) -> Vec<bool> {
+        self.split.test.iter().map(|&i| self.ds.reviews[i].label.is_benign()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prepares_consistent_context() {
+        let run = DatasetRun::prepare(&SynthConfig::yelp_chi(), Scale::Smoke, 0);
+        assert_eq!(run.corpus.docs.len(), run.ds.len());
+        assert_eq!(run.split.train.len() + run.split.test.len(), run.ds.len());
+        assert_eq!(run.test_ratings().len(), run.split.test.len());
+        assert_eq!(run.test_labels().len(), run.split.test.len());
+    }
+
+    #[test]
+    fn trials_differ() {
+        let a = DatasetRun::prepare(&SynthConfig::yelp_chi(), Scale::Smoke, 0);
+        let b = DatasetRun::prepare(&SynthConfig::yelp_chi(), Scale::Smoke, 1);
+        assert!(
+            a.ds.reviews.iter().zip(&b.ds.reviews).any(|(x, y)| x.text != y.text)
+                || a.ds.len() != b.ds.len()
+        );
+    }
+}

@@ -1,0 +1,22 @@
+//! # rrre-bench
+//!
+//! Experiment harness reproducing every table and figure of the RRRE paper
+//! on the synthetic datasets, plus the ablations of DESIGN.md §4. The
+//! `repro` binary drives it; Criterion benches exercise smoke-scale slices
+//! of each experiment and the substrate kernels.
+
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod case_study;
+pub mod context;
+pub mod figures;
+pub mod methods;
+pub mod ndcg;
+pub mod report;
+pub mod scale;
+pub mod significance;
+pub mod tables;
+
+pub use context::DatasetRun;
+pub use scale::Scale;

@@ -1,0 +1,206 @@
+//! Uniform method runners: train one method on a prepared [`DatasetRun`]
+//! and return its test-set predictions. This is the single place where the
+//! per-scale hyper-parameters of every compared method live.
+
+use crate::context::DatasetRun;
+use crate::scale::Scale;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rrre_baselines::rating::{DeepConn, DeepConnConfig, Der, DerConfig, Narre, NarreConfig, Pmf, PmfConfig};
+use rrre_baselines::reliability::{Icwsm13, Rev2, Rev2Config, SpEagle, SpEagleConfig};
+use rrre_core::{Rrre, RrreConfig};
+
+/// Rating-prediction methods of Table III.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RatingMethod {
+    /// The full RRRE model.
+    Rrre,
+    /// Probabilistic matrix factorisation.
+    Pmf,
+    /// DeepCoNN.
+    DeepConn,
+    /// NARRE.
+    Narre,
+    /// DER.
+    Der,
+    /// RRRE⁻ (plain-MSE ablation).
+    RrreMinus,
+}
+
+impl RatingMethod {
+    /// All methods in the paper's Table III column order.
+    pub const ALL: [RatingMethod; 6] = [
+        RatingMethod::Rrre,
+        RatingMethod::Pmf,
+        RatingMethod::DeepConn,
+        RatingMethod::Narre,
+        RatingMethod::Der,
+        RatingMethod::RrreMinus,
+    ];
+
+    /// Display name matching the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            RatingMethod::Rrre => "RRRE",
+            RatingMethod::Pmf => "PMF",
+            RatingMethod::DeepConn => "DeepCoNN",
+            RatingMethod::Narre => "NARRE",
+            RatingMethod::Der => "DER",
+            RatingMethod::RrreMinus => "RRRE-",
+        }
+    }
+}
+
+/// Reliability-scoring methods of Table IV.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReliabilityMethod {
+    /// Behavioural-feature classifier.
+    Icwsm13,
+    /// SpEagle+ belief propagation.
+    SpEaglePlus,
+    /// REV2 fixed-point iterations.
+    Rev2,
+    /// The full RRRE model's reliability head.
+    Rrre,
+}
+
+impl ReliabilityMethod {
+    /// All methods in the paper's Table IV row order.
+    pub const ALL: [ReliabilityMethod; 4] = [
+        ReliabilityMethod::Icwsm13,
+        ReliabilityMethod::SpEaglePlus,
+        ReliabilityMethod::Rev2,
+        ReliabilityMethod::Rrre,
+    ];
+
+    /// Display name matching the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            ReliabilityMethod::Icwsm13 => "ICWSM13",
+            ReliabilityMethod::SpEaglePlus => "SpEagle+",
+            ReliabilityMethod::Rev2 => "REV2",
+            ReliabilityMethod::Rrre => "RRRE",
+        }
+    }
+}
+
+/// RRRE configuration at a scale (the paper's chosen hyper-parameters,
+/// with budgets reduced at smaller scales).
+pub fn rrre_config(scale: Scale, trial: u64) -> RrreConfig {
+    let base = match scale {
+        Scale::Smoke => RrreConfig { epochs: 3, ..RrreConfig::tiny() },
+        Scale::Small => RrreConfig { epochs: 20, k: 32, id_dim: 16, attn_dim: 16, ..Default::default() },
+        Scale::Full => RrreConfig { epochs: scale.epochs(), ..Default::default() },
+    };
+    RrreConfig { seed: base.seed ^ trial, ..base }
+}
+
+fn deepconn_config(scale: Scale, trial: u64) -> DeepConnConfig {
+    let base = match scale {
+        Scale::Smoke => DeepConnConfig { epochs: 2, doc_tokens: 24, filters: 8, latent: 8, ..Default::default() },
+        Scale::Small => DeepConnConfig { epochs: 5, doc_tokens: 48, ..Default::default() },
+        Scale::Full => DeepConnConfig { epochs: 8, ..Default::default() },
+    };
+    DeepConnConfig { seed: base.seed ^ trial, ..base }
+}
+
+fn narre_config(scale: Scale, trial: u64) -> NarreConfig {
+    let base = match scale {
+        Scale::Smoke => NarreConfig { epochs: 3, s_u: 4, s_i: 6, id_dim: 8, attn_dim: 8, ..Default::default() },
+        Scale::Small => NarreConfig { epochs: 10, l2: 5e-3, ..Default::default() },
+        Scale::Full => NarreConfig { epochs: scale.epochs(), ..Default::default() },
+    };
+    NarreConfig { seed: base.seed ^ trial, ..base }
+}
+
+fn der_config(scale: Scale, trial: u64) -> DerConfig {
+    let base = match scale {
+        Scale::Smoke => DerConfig { epochs: 3, s_u: 4, s_i: 6, hidden: 8, ..Default::default() },
+        Scale::Small => DerConfig { epochs: 10, l2: 5e-3, ..Default::default() },
+        Scale::Full => DerConfig { epochs: scale.epochs(), ..Default::default() },
+    };
+    DerConfig { seed: base.seed ^ trial, ..base }
+}
+
+/// Trains a rating method and returns its predicted ratings on the test
+/// split.
+pub fn rating_predictions(run: &DatasetRun, method: RatingMethod, scale: Scale) -> Vec<f32> {
+    let DatasetRun { ds, corpus, split, trial } = run;
+    match method {
+        RatingMethod::Rrre => {
+            let model = Rrre::fit(ds, corpus, &split.train, rrre_config(scale, *trial));
+            model.predict_reviews(ds, corpus, &split.test).iter().map(|p| p.rating).collect()
+        }
+        RatingMethod::RrreMinus => {
+            let model = Rrre::fit(ds, corpus, &split.train, rrre_config(scale, *trial).minus());
+            model.predict_reviews(ds, corpus, &split.test).iter().map(|p| p.rating).collect()
+        }
+        RatingMethod::Pmf => {
+            let mut rng = StdRng::seed_from_u64(0x9F ^ trial);
+            let model = Pmf::fit(ds, &split.train, PmfConfig::default(), &mut rng);
+            model.predict_reviews(ds, &split.test)
+        }
+        RatingMethod::DeepConn => {
+            let model = DeepConn::fit(ds, corpus, &split.train, deepconn_config(scale, *trial));
+            model.predict_reviews(ds, corpus, &split.test)
+        }
+        RatingMethod::Narre => {
+            let model = Narre::fit(ds, corpus, &split.train, narre_config(scale, *trial));
+            model.predict_reviews(ds, &split.test)
+        }
+        RatingMethod::Der => {
+            let model = Der::fit(ds, corpus, &split.train, der_config(scale, *trial));
+            model.predict_reviews(ds, &split.test)
+        }
+    }
+}
+
+/// Trains/runs a reliability method and returns its scores on the test
+/// split (probability-like, higher = more likely benign).
+pub fn reliability_scores(run: &DatasetRun, method: ReliabilityMethod, scale: Scale) -> Vec<f32> {
+    let DatasetRun { ds, corpus, split, trial } = run;
+    match method {
+        ReliabilityMethod::Icwsm13 => {
+            let model = Icwsm13::fit(ds, corpus, &split.train);
+            model.score(ds, corpus, &split.test)
+        }
+        ReliabilityMethod::SpEaglePlus => {
+            let model = SpEagle::run(ds, corpus, &split.train, SpEagleConfig::default());
+            model.score(&split.test)
+        }
+        ReliabilityMethod::Rev2 => {
+            let model = Rev2::run(ds, Rev2Config::default());
+            model.score(&split.test)
+        }
+        ReliabilityMethod::Rrre => {
+            let model = Rrre::fit(ds, corpus, &split.train, rrre_config(scale, *trial));
+            model.predict_reviews(ds, corpus, &split.test).iter().map(|p| p.reliability).collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrre_data::synth::SynthConfig;
+
+    #[test]
+    fn every_rating_method_produces_test_predictions() {
+        let run = DatasetRun::prepare(&SynthConfig::yelp_chi(), Scale::Smoke, 0);
+        for method in RatingMethod::ALL {
+            let preds = rating_predictions(&run, method, Scale::Smoke);
+            assert_eq!(preds.len(), run.split.test.len(), "{}", method.name());
+            assert!(preds.iter().all(|p| (1.0..=5.0).contains(p)), "{}", method.name());
+        }
+    }
+
+    #[test]
+    fn every_reliability_method_produces_scores() {
+        let run = DatasetRun::prepare(&SynthConfig::cds(), Scale::Smoke, 0);
+        for method in ReliabilityMethod::ALL {
+            let scores = reliability_scores(&run, method, Scale::Smoke);
+            assert_eq!(scores.len(), run.split.test.len(), "{}", method.name());
+            assert!(scores.iter().all(|s| s.is_finite()), "{}", method.name());
+        }
+    }
+}

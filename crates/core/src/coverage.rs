@@ -1,0 +1,118 @@
+//! System-level recommendation diagnostics: catalog coverage, reliability
+//! uplift, and the fake-explanation exposure rate — the operational numbers
+//! a deployment of §III-B's pipeline would monitor.
+
+use crate::model::Rrre;
+use crate::recommend::{explain, recommend};
+use rrre_data::{Dataset, EncodedCorpus, UserId};
+use std::collections::HashSet;
+
+/// Aggregate diagnostics of the recommendation + explanation pipeline over
+/// a set of users.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineReport {
+    /// Users evaluated.
+    pub n_users: usize,
+    /// Fraction of the catalog that appears in at least one user's top-k.
+    pub catalog_coverage: f64,
+    /// Mean predicted reliability of the top-ranked recommendation.
+    pub mean_top_reliability: f64,
+    /// Fraction of surfaced (unfiltered) explanation reviews whose ground
+    /// truth is fake — the failure mode the paper's pipeline exists to
+    /// prevent; lower is better.
+    pub fake_explanation_rate: f64,
+    /// Fraction of *filtered* explanation candidates that were actually
+    /// fake (filter precision); higher is better, `None` if nothing was
+    /// filtered.
+    pub filter_precision: Option<f64>,
+}
+
+/// Runs the full §III-B pipeline for `users` and aggregates diagnostics.
+/// `k` is the candidate-set size for both recommendation and explanation.
+///
+/// # Panics
+/// Panics if `users` is empty or `k == 0`.
+pub fn pipeline_report(
+    model: &Rrre,
+    ds: &Dataset,
+    corpus: &EncodedCorpus,
+    users: &[UserId],
+    k: usize,
+) -> PipelineReport {
+    assert!(!users.is_empty(), "pipeline_report: no users");
+    assert!(k > 0, "pipeline_report: k must be positive");
+    let mut recommended_items: HashSet<u32> = HashSet::new();
+    let mut top_reliability_sum = 0.0f64;
+    let (mut shown, mut shown_fake) = (0usize, 0usize);
+    let (mut filtered, mut filtered_fake) = (0usize, 0usize);
+
+    for &user in users {
+        let recs = recommend(model, ds, corpus, user, k);
+        if let Some(top) = recs.first() {
+            top_reliability_sum += top.reliability as f64;
+            for e in explain(model, ds, corpus, top.item, k) {
+                let actually_fake = !ds.reviews[e.review_idx].label.is_benign();
+                if e.filtered {
+                    filtered += 1;
+                    if actually_fake {
+                        filtered_fake += 1;
+                    }
+                } else {
+                    shown += 1;
+                    if actually_fake {
+                        shown_fake += 1;
+                    }
+                }
+            }
+        }
+        for r in &recs {
+            recommended_items.insert(r.item.0);
+        }
+    }
+
+    PipelineReport {
+        n_users: users.len(),
+        catalog_coverage: recommended_items.len() as f64 / ds.n_items.max(1) as f64,
+        mean_top_reliability: top_reliability_sum / users.len() as f64,
+        fake_explanation_rate: if shown == 0 { 0.0 } else { shown_fake as f64 / shown as f64 },
+        filter_precision: if filtered == 0 {
+            None
+        } else {
+            Some(filtered_fake as f64 / filtered as f64)
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RrreConfig;
+    use rrre_data::synth::{generate, SynthConfig};
+    use rrre_data::CorpusConfig;
+    use rrre_text::word2vec::Word2VecConfig;
+
+    #[test]
+    fn report_fields_are_sane() {
+        let ds = generate(&SynthConfig::yelp_chi().scaled(0.05));
+        let corpus = EncodedCorpus::build(
+            &ds,
+            &CorpusConfig {
+                max_len: 12,
+                word2vec: Word2VecConfig { dim: 8, epochs: 1, ..Default::default() },
+                ..Default::default()
+            },
+        );
+        let train: Vec<usize> = (0..ds.len()).collect();
+        let model = Rrre::fit(&ds, &corpus, &train, RrreConfig { epochs: 3, ..RrreConfig::tiny() });
+        let users: Vec<UserId> = (0..10.min(ds.n_users)).map(|u| UserId(u as u32)).collect();
+        let report = pipeline_report(&model, &ds, &corpus, &users, 2);
+        assert_eq!(report.n_users, users.len());
+        assert!((0.0..=1.0).contains(&report.catalog_coverage));
+        assert!(report.catalog_coverage > 0.0);
+        assert!((0.0..=1.0).contains(&report.mean_top_reliability));
+        assert!((0.0..=1.0).contains(&report.fake_explanation_rate));
+        if let Some(p) = report.filter_precision {
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Convenience joint evaluation of a trained model on a review subset —
+//! the metrics bundle every experiment and example needs.
+
+use crate::model::Rrre;
+use rrre_data::{Dataset, EncodedCorpus};
+use rrre_metrics::{auc, average_precision, brmse, ndcg_at_k, rmse};
+
+/// Joint evaluation results on one set of reviews.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JointEvaluation {
+    /// Biased RMSE (Eq. 17) of the rating head over benign reviews.
+    pub brmse: f64,
+    /// Plain RMSE over all reviews (diagnostic companion).
+    pub rmse: f64,
+    /// ROC-AUC of the reliability head (benign vs fake).
+    pub auc: f64,
+    /// Average precision ranking benign reviews first.
+    pub ap_benign: f64,
+    /// NDCG@k of the reliability ranking at `k = min(100, n)`.
+    pub ndcg_100: f64,
+    /// Number of evaluated reviews.
+    pub n: usize,
+}
+
+/// Evaluates both heads of a trained model on the listed review indices.
+///
+/// # Panics
+/// Panics if `indices` is empty.
+pub fn evaluate(model: &Rrre, ds: &Dataset, corpus: &EncodedCorpus, indices: &[usize]) -> JointEvaluation {
+    assert!(!indices.is_empty(), "evaluate: empty review set");
+    let preds = model.predict_reviews(ds, corpus, indices);
+    let ratings: Vec<f32> = preds.iter().map(|p| p.rating).collect();
+    let reliabilities: Vec<f32> = preds.iter().map(|p| p.reliability).collect();
+    let targets: Vec<f32> = indices.iter().map(|&i| ds.reviews[i].rating).collect();
+    let weights: Vec<f32> = indices.iter().map(|&i| ds.reviews[i].label.as_f32()).collect();
+    let labels: Vec<bool> = indices.iter().map(|&i| ds.reviews[i].label.is_benign()).collect();
+    JointEvaluation {
+        brmse: brmse(&ratings, &targets, &weights),
+        rmse: rmse(&ratings, &targets),
+        auc: auc(&reliabilities, &labels),
+        ap_benign: average_precision(&reliabilities, &labels),
+        ndcg_100: ndcg_at_k(&reliabilities, &labels, 100.min(labels.len())),
+        n: indices.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RrreConfig;
+    use rand::{rngs::StdRng, SeedableRng};
+    use rrre_data::synth::{generate, SynthConfig};
+    use rrre_data::{train_test_split, CorpusConfig};
+    use rrre_text::word2vec::Word2VecConfig;
+
+    #[test]
+    fn evaluation_fields_are_consistent() {
+        let ds = generate(&SynthConfig::yelp_chi().scaled(0.05));
+        let corpus = EncodedCorpus::build(
+            &ds,
+            &CorpusConfig {
+                max_len: 12,
+                word2vec: Word2VecConfig { dim: 8, epochs: 1, ..Default::default() },
+                ..Default::default()
+            },
+        );
+        let mut rng = StdRng::seed_from_u64(3);
+        let split = train_test_split(&ds, 0.3, &mut rng);
+        let model = Rrre::fit(&ds, &corpus, &split.train, RrreConfig { epochs: 3, ..RrreConfig::tiny() });
+        let e = evaluate(&model, &ds, &corpus, &split.test);
+        assert_eq!(e.n, split.test.len());
+        assert!(e.brmse > 0.0 && e.brmse.is_finite());
+        // bRMSE restricts to benign reviews; it never exceeds plain RMSE by
+        // more than the fake-review contribution allows in either direction,
+        // but both must be in a sane star-scale band.
+        assert!((0.1..=4.0).contains(&e.rmse));
+        assert!((0.0..=1.0).contains(&e.auc));
+        assert!((0.0..=1.0).contains(&e.ap_benign));
+        assert!((0.0..=1.0 + 1e-9).contains(&e.ndcg_100));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_set_panics() {
+        let ds = generate(&SynthConfig::yelp_chi().scaled(0.03));
+        let corpus = EncodedCorpus::build(
+            &ds,
+            &CorpusConfig {
+                max_len: 8,
+                word2vec: Word2VecConfig { dim: 4, epochs: 1, ..Default::default() },
+                ..Default::default()
+            },
+        );
+        let train: Vec<usize> = (0..ds.len()).collect();
+        let model = Rrre::fit(&ds, &corpus, &train, RrreConfig { epochs: 1, ..RrreConfig::tiny() });
+        let _ = evaluate(&model, &ds, &corpus, &[]);
+    }
+}

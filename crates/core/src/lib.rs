@@ -1,0 +1,32 @@
+//! # rrre-core
+//!
+//! The paper's primary contribution: **Reliable Recommendation with
+//! Review-level Explanations** (RRRE, ICDE 2021) — a joint neural model that
+//! predicts a rating score and a reliability score for every user–item pair
+//! and uses both to produce recommendations with reliable review-level
+//! explanations.
+//!
+//! * [`ReviewEncoder`] — BiLSTM review content embedding (§III-C);
+//! * [`Tower`] — UserNet/ItemNet with fraud-attention (§III-D);
+//! * [`Rrre`] — the joint model, heads and training loop (§III-E);
+//! * [`recommend`] / [`explain`] — the recommendation-with-reliable-
+//!   explanation procedure (§III-B);
+//! * [`RrreConfig::minus`] — the RRRE⁻ ablation (plain MSE, Eq. 13).
+
+#![warn(missing_docs)]
+
+mod config;
+pub mod coverage;
+mod encoder;
+pub mod eval;
+mod model;
+mod recommend;
+mod tower;
+
+pub use config::{EncoderMode, LossVariant, Pooling, RrreConfig, Sampling};
+pub use encoder::ReviewEncoder;
+pub use coverage::{pipeline_report, PipelineReport};
+pub use eval::{evaluate, JointEvaluation};
+pub use model::{EpochStats, Prediction, Rrre};
+pub use recommend::{explain, recommend, Explanation, Recommendation, EXPLANATION_RELIABILITY_THRESHOLD};
+pub use tower::Tower;

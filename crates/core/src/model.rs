@@ -1,0 +1,638 @@
+//! The RRRE model (paper §III): parallel UserNet/ItemNet over BiLSTM review
+//! embeddings with fraud-attention, a softmax reliability head (Eq. 9–11)
+//! and an FM rating head (Eq. 12), trained jointly with
+//! `L = λ·loss₁ + (1−λ)·loss₂` (Eq. 15) where loss₂ is the reliability-
+//! biased MSE of Eq. (14) (or plain Eq. (13) for the RRRE⁻ ablation).
+
+use crate::config::{EncoderMode, LossVariant, RrreConfig, Sampling};
+use crate::encoder::ReviewEncoder;
+use crate::tower::Tower;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rrre_data::repr::ReviewVectors;
+use rrre_data::{Dataset, DatasetIndex, EncodedCorpus, ItemId, UserId};
+use rrre_tensor::nn::{Embedding, FactorizationMachine, Linear};
+use rrre_tensor::{optim::Adam, Params, Tape, Tensor, Var};
+
+/// Joint prediction for one user–item pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Prediction {
+    /// Predicted rating `r̂_ui`, clamped to the star range.
+    pub rating: f32,
+    /// Predicted reliability `l̂_ui ∈ [0, 1]` (probability the review is
+    /// benign).
+    pub reliability: f32,
+}
+
+/// Per-epoch training statistics delivered to the fit hook.
+#[derive(Debug, Clone, Copy)]
+pub struct EpochStats {
+    /// Zero-based epoch index.
+    pub epoch: usize,
+    /// Mean joint loss over the epoch.
+    pub loss: f32,
+    /// Mean reliability cross-entropy (loss₁).
+    pub loss1: f32,
+    /// Mean (biased) rating MSE (loss₂).
+    pub loss2: f32,
+}
+
+/// Trained RRRE model.
+pub struct Rrre {
+    cfg: RrreConfig,
+    params: Params,
+    encoder: ReviewEncoder,
+    user_emb: Embedding,
+    item_emb: Embedding,
+    user_tower: Tower,
+    item_tower: Tower,
+    rel_head: Linear,
+    w_h: Linear,
+    w_e: Linear,
+    fm: FactorizationMachine,
+    /// Frozen-mode cache of review embeddings (`n_reviews × k`).
+    cache: Option<ReviewVectors>,
+    index: DatasetIndex,
+    /// Train-set mean rating; the FM head predicts the residual around it,
+    /// which keeps early training on the star scale.
+    mean_rating: f32,
+    /// Item index of every review (for the per-review attention context).
+    input_items_of: Vec<usize>,
+    /// User index of every review.
+    input_users_of: Vec<usize>,
+}
+
+impl Rrre {
+    /// Trains RRRE on the listed review indices.
+    pub fn fit(ds: &Dataset, corpus: &EncodedCorpus, train: &[usize], cfg: RrreConfig) -> Self {
+        Self::fit_with_hook(ds, corpus, train, cfg, |_, _| {})
+    }
+
+    /// Trains with a per-epoch hook `(stats, &model)` — the instrumentation
+    /// behind the paper's Fig. 2–4 learning curves.
+    pub fn fit_with_hook(
+        ds: &Dataset,
+        corpus: &EncodedCorpus,
+        train: &[usize],
+        cfg: RrreConfig,
+        mut hook: impl FnMut(EpochStats, &Rrre),
+    ) -> Self {
+        cfg.validate();
+        assert!(!train.is_empty(), "Rrre::fit: empty training set");
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut params = Params::new();
+        let encoder = ReviewEncoder::new(&mut params, &mut rng, corpus.embed_dim(), cfg.k);
+        let user_emb = Embedding::new(&mut params, &mut rng, "rrre.user_emb", ds.n_users, cfg.id_dim);
+        let item_emb = Embedding::new(&mut params, &mut rng, "rrre.item_emb", ds.n_items, cfg.id_dim);
+        // Attention context per review slot: the target pair's user and item
+        // ID embeddings (Eq. 5's e^u, e^i) plus the ID embedding of the
+        // review's own counterpart entity ("the item that it written for"),
+        // giving the attention both the fraud context and the means to
+        // locate the target pair's own review among the inputs.
+        let ctx_dim = 3 * cfg.id_dim;
+        let user_tower = Tower::new(&mut params, &mut rng, "rrre.usernet", cfg.k, ctx_dim, cfg.attn_dim, cfg.id_dim);
+        let item_tower = Tower::new(&mut params, &mut rng, "rrre.itemnet", cfg.k, ctx_dim, cfg.attn_dim, cfg.id_dim);
+        let rel_head = Linear::new(&mut params, &mut rng, "rrre.rel_head", 2 * cfg.id_dim, 2);
+        let w_h = Linear::new(&mut params, &mut rng, "rrre.w_h", cfg.id_dim, cfg.id_dim);
+        let w_e = Linear::new(&mut params, &mut rng, "rrre.w_e", cfg.id_dim, cfg.id_dim);
+        let fm = FactorizationMachine::new(&mut params, &mut rng, "rrre.fm", 2 * cfg.id_dim, cfg.fm_factors);
+
+        let cache = match cfg.encoder {
+            EncoderMode::Frozen => Some(ReviewVectors::from_flat(cfg.k, encoder.encode_all(&params, corpus))),
+            EncoderMode::EndToEnd => None,
+        };
+
+        let mean_rating = train.iter().map(|&i| ds.reviews[i].rating).sum::<f32>() / train.len() as f32;
+        let mut model = Self {
+            cfg,
+            params,
+            encoder,
+            user_emb,
+            item_emb,
+            user_tower,
+            item_tower,
+            rel_head,
+            w_h,
+            w_e,
+            fm,
+            cache,
+            index: ds.index(),
+            mean_rating,
+            input_items_of: ds.reviews.iter().map(|r| r.item.index()).collect(),
+            input_users_of: ds.reviews.iter().map(|r| r.user.index()).collect(),
+        };
+
+        // Semi-supervised masking (paper §V): a deterministic subset of the
+        // training reviews keeps its reliability label.
+        let labeled: Vec<bool> = if cfg.labeled_fraction >= 1.0 {
+            vec![true; train.len()]
+        } else {
+            train.iter().map(|_| rng.gen::<f32>() < cfg.labeled_fraction).collect()
+        };
+
+        let mut opt = Adam::new(cfg.lr);
+        let mut order: Vec<usize> = (0..train.len()).collect();
+        for epoch in 0..cfg.epochs {
+            for i in (1..order.len()).rev() {
+                order.swap(i, rng.gen_range(0..=i));
+            }
+            let (mut sum_l, mut sum_l1, mut sum_l2) = (0.0f64, 0.0f64, 0.0f64);
+            for chunk in order.chunks(cfg.batch_size) {
+                model.params.zero_grads();
+                for &pos in chunk {
+                    let ri = train[pos];
+                    let has_label = labeled[pos];
+                    let r = &ds.reviews[ri];
+                    let mut tape = Tape::new();
+                    let (pred, logits) = model.forward_pair(&mut tape, corpus, r.user.index(), r.item.index());
+
+                    // loss1 only where the label is available.
+                    let loss1 = tape.softmax_cross_entropy(
+                        logits,
+                        &[r.label.class_index()],
+                        Some(&[if has_label { 1.0 } else { 0.0 }]),
+                    );
+                    // loss2 weight: the label when available; otherwise the
+                    // model's current reliability estimate (self-training).
+                    let weight = match (model.cfg.variant, has_label) {
+                        (LossVariant::Unbiased, _) => 1.0,
+                        (LossVariant::Biased, true) => r.label.as_f32(),
+                        (LossVariant::Biased, false) => {
+                            let z = tape.value(logits);
+                            softmax2(z.get(0, 0), z.get(0, 1))
+                        }
+                    };
+                    let loss2 = tape.weighted_mse(pred, &[r.rating], &[weight]);
+                    let l1_scaled = tape.scale(loss1, model.cfg.lambda);
+                    let l2_scaled = tape.scale(loss2, 1.0 - model.cfg.lambda);
+                    let joint = tape.add(l1_scaled, l2_scaled);
+                    let scaled = tape.scale(joint, 1.0 / chunk.len() as f32);
+                    tape.backward(scaled, &mut model.params);
+
+                    sum_l += tape.value(scaled).item() as f64 * chunk.len() as f64;
+                    sum_l1 += tape.value(loss1).item() as f64;
+                    sum_l2 += tape.value(loss2).item() as f64;
+                }
+                model.params.apply_l2_grad(model.cfg.gamma);
+                // Extra shrinkage on the per-entity embedding tables.
+                if model.cfg.gamma_emb > 0.0 {
+                    for id in [model.user_emb.table(), model.item_emb.table()] {
+                        let value = model.params.get(id).clone();
+                        model.params.grad_mut(id).axpy(2.0 * model.cfg.gamma_emb, &value);
+                    }
+                }
+                // Frozen means frozen: the cached review embeddings must
+                // stay consistent with the encoder weights, so no update
+                // (not even weight decay) may touch them.
+                if matches!(model.cfg.encoder, EncoderMode::Frozen) {
+                    for id in model.encoder.param_ids() {
+                        let (r_dim, c_dim) = model.params.grad(id).shape();
+                        *model.params.grad_mut(id) = Tensor::zeros(r_dim, c_dim);
+                    }
+                }
+                model.params.clip_grad_norm(5.0);
+                opt.step(&mut model.params);
+            }
+            let n = order.len().max(1) as f64;
+            hook(
+                EpochStats {
+                    epoch,
+                    loss: (sum_l / n) as f32,
+                    loss1: (sum_l1 / n) as f32,
+                    loss2: (sum_l2 / n) as f32,
+                },
+                &model,
+            );
+        }
+        model
+    }
+
+    /// The model's configuration.
+    pub fn config(&self) -> &RrreConfig {
+        &self.cfg
+    }
+
+    /// The trained parameter store (read access, e.g. for checkpoint size).
+    pub fn params(&self) -> &Params {
+        &self.params
+    }
+
+    /// Saves the trained weights as an `RRRP` checkpoint file.
+    pub fn save_weights(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        self.params.save(path)
+    }
+
+    /// Restores weights from a checkpoint written by [`Rrre::save_weights`]
+    /// for a model built with the *same configuration and dataset shape*
+    /// (parameter names and shapes must match), then refreshes the frozen
+    /// review-embedding cache.
+    ///
+    /// The intended flow is: construct via [`Rrre::fit`] with `epochs: 0`-
+    /// like cheap settings or a fresh training run, then `load_weights` to
+    /// replace the weights with the checkpointed ones.
+    pub fn load_weights(
+        &mut self,
+        path: impl AsRef<std::path::Path>,
+        corpus: &EncodedCorpus,
+    ) -> std::io::Result<()> {
+        let loaded = Params::load(path)?;
+        self.params
+            .restore_values(&loaded)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        if self.cache.is_some() {
+            self.cache = Some(ReviewVectors::from_flat(
+                self.cfg.k,
+                self.encoder.encode_all(&self.params, corpus),
+            ));
+        }
+        Ok(())
+    }
+
+    /// The latest-`m` review matrices of one user–item pair: differentiable
+    /// review representations `[m, k]` plus validity masks.
+    fn review_matrix(
+        &self,
+        tape: &mut Tape,
+        corpus: &EncodedCorpus,
+        review_indices: &[usize],
+        m: usize,
+    ) -> (Var, Vec<bool>) {
+        match (&self.cache, self.cfg.encoder) {
+            (Some(cache), _) => {
+                let (t, mask) = cache.stack_padded(review_indices, m);
+                (tape.constant(t), mask)
+            }
+            (None, _) => {
+                // End-to-end: encode each review on the tape; zero rows pad.
+                let take = review_indices.len().min(m);
+                let start = review_indices.len() - take;
+                let mut rows = Vec::with_capacity(m);
+                let mut mask = vec![false; m];
+                for (slot, &ri) in review_indices[start..].iter().enumerate() {
+                    rows.push(self.encoder.forward_review(tape, &self.params, corpus, ri));
+                    mask[slot] = true;
+                }
+                while rows.len() < m {
+                    rows.push(tape.constant(Tensor::zeros(1, self.cfg.k)));
+                }
+                (tape.concat_rows(&rows), mask)
+            }
+        }
+    }
+
+    /// The input reviews of an entity under the configured sampling
+    /// strategy: the paper's latest-`m` (time-based) or a stable
+    /// pseudo-random `m`-subset (ablation).
+    fn select_inputs(&self, all: &[usize], m: usize, salt: u64) -> Vec<usize> {
+        match self.cfg.sampling {
+            Sampling::Latest => all[all.len().saturating_sub(m)..].to_vec(),
+            Sampling::Random => {
+                if all.len() <= m {
+                    return all.to_vec();
+                }
+                let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ salt);
+                let mut pool: Vec<usize> = all.to_vec();
+                for i in 0..m {
+                    let j = rng.gen_range(i..pool.len());
+                    pool.swap(i, j);
+                }
+                pool.truncate(m);
+                pool
+            }
+        }
+    }
+
+    fn user_inputs(&self, user: usize) -> Vec<usize> {
+        let all = self.index.user_reviews(UserId(user as u32));
+        self.select_inputs(all, self.cfg.s_u, 0x5555_0000 ^ user as u64)
+    }
+
+    fn item_inputs(&self, item: usize) -> Vec<usize> {
+        let all = self.index.item_reviews(ItemId(item as u32));
+        self.select_inputs(all, self.cfg.s_i, 0xAAAA_0000 ^ item as u64)
+    }
+
+    /// Counterpart entity ids aligned with the padded review matrix slots:
+    /// slot `j` of the matrix holds `revs[start + j]`, padding slots get id
+    /// 0 (they are masked out of the attention softmax anyway).
+    fn aligned_counterpart_ids(ds_revs: &[usize], m: usize, id_of: impl Fn(usize) -> usize) -> Vec<usize> {
+        let take = ds_revs.len().min(m);
+        let start = ds_revs.len() - take;
+        let mut ids = vec![0usize; m];
+        for (slot, &ri) in ids.iter_mut().zip(&ds_revs[start..]) {
+            *slot = id_of(ri);
+        }
+        ids
+    }
+
+    /// The §III-D attention context for one tower: per review slot, the
+    /// target pair's user and item ID embeddings plus the ID embedding of
+    /// the review's counterpart entity — a `[m, 3·id_dim]` matrix.
+    fn tower_context(
+        &self,
+        tape: &mut Tape,
+        e_u: Var,
+        e_i: Var,
+        counterpart_ids: &[usize],
+        counterpart: &Embedding,
+    ) -> Var {
+        let m = counterpart_ids.len();
+        let dup = vec![0usize; m];
+        let u_rows = tape.gather_rows(e_u, &dup);
+        let i_rows = tape.gather_rows(e_i, &dup);
+        let cp = counterpart.forward(tape, &self.params, counterpart_ids);
+        tape.concat_cols(&[u_rows, i_rows, cp])
+    }
+
+    /// Differentiable joint forward for one pair: returns the rating node
+    /// (`[1, 1]`) and the reliability logits (`[1, 2]`, class 1 = benign).
+    fn forward_pair(&self, tape: &mut Tape, corpus: &EncodedCorpus, user: usize, item: usize) -> (Var, Var) {
+        let u_revs = self.user_inputs(user);
+        let i_revs = self.item_inputs(item);
+
+        let e_u = self.user_emb.forward(tape, &self.params, &[user]);
+        let e_i = self.item_emb.forward(tape, &self.params, &[item]);
+
+        let (u_matrix, u_mask) = self.review_matrix(tape, corpus, &u_revs, self.cfg.s_u);
+        let (i_matrix, i_mask) = self.review_matrix(tape, corpus, &i_revs, self.cfg.s_i);
+
+        // Per-review contexts (paper §III-D: the j-th review's own author
+        // and target IDs enter its attention score).
+        let (ds_u_ids, ds_i_ids) = (&self.input_items_of, &self.input_users_of);
+        let u_cp = Self::aligned_counterpart_ids(&u_revs, self.cfg.s_u, |ri| ds_u_ids[ri]);
+        let i_cp = Self::aligned_counterpart_ids(&i_revs, self.cfg.s_i, |ri| ds_i_ids[ri]);
+        let u_ctx = self.tower_context(tape, e_u, e_i, &u_cp, &self.item_emb);
+        let i_ctx = self.tower_context(tape, e_u, e_i, &i_cp, &self.user_emb);
+
+        let x_u = self.user_tower.forward(tape, &self.params, u_matrix, &u_mask, u_ctx, self.cfg.pooling);
+        let y_i = self.item_tower.forward(tape, &self.params, i_matrix, &i_mask, i_ctx, self.cfg.pooling);
+
+        // Reliability head (Eq. 9): softmax(W[x_u, y_i] + b); the softmax is
+        // folded into the cross-entropy during training and applied in
+        // `predict`.
+        let joint_repr = tape.concat_cols(&[x_u, y_i]);
+        let logits = self.rel_head.forward(tape, &self.params, joint_repr);
+
+        // Rating head (Eq. 12): FM([(e_u + W_h x_u), (e_i + W_e y_i)]).
+        let xh = self.w_h.forward(tape, &self.params, x_u);
+        let ye = self.w_e.forward(tape, &self.params, y_i);
+        let a = tape.add(e_u, xh);
+        let b = tape.add(e_i, ye);
+        let fused = tape.concat_cols(&[a, b]);
+        let residual = self.fm.forward(tape, &self.params, fused);
+        let rating = tape.add_scalar(residual, self.mean_rating);
+
+        (rating, logits)
+    }
+
+    /// Joint prediction for a user–item pair (tape-free fast path in frozen
+    /// mode; falls back to a throwaway tape in end-to-end mode).
+    pub fn predict(&self, corpus: &EncodedCorpus, user: UserId, item: ItemId) -> Prediction {
+        match &self.cache {
+            Some(cache) => self.predict_frozen(cache, user, item),
+            None => {
+                let mut tape = Tape::new();
+                let (pred, logits) = self.forward_pair(&mut tape, corpus, user.index(), item.index());
+                let z = tape.value(logits);
+                Prediction {
+                    rating: tape.value(pred).item().clamp(1.0, 5.0),
+                    reliability: softmax2(z.get(0, 0), z.get(0, 1)),
+                }
+            }
+        }
+    }
+
+    fn predict_frozen(&self, cache: &ReviewVectors, user: UserId, item: ItemId) -> Prediction {
+        let u_revs = self.user_inputs(user.index());
+        let i_revs = self.item_inputs(item.index());
+        let e_u = self.user_emb.infer(&self.params, &[user.index()]);
+        let e_i = self.item_emb.infer(&self.params, &[item.index()]);
+
+        let (u_matrix, u_mask) = cache.stack_padded(&u_revs, self.cfg.s_u);
+        let (i_matrix, i_mask) = cache.stack_padded(&i_revs, self.cfg.s_i);
+        let u_ctx = self.infer_tower_context(&e_u, &e_i, &u_revs, self.cfg.s_u, true);
+        let i_ctx = self.infer_tower_context(&e_u, &e_i, &i_revs, self.cfg.s_i, false);
+        let x_u = self.user_tower.infer(&self.params, &u_matrix, &u_mask, &u_ctx, self.cfg.pooling);
+        let y_i = self.item_tower.infer(&self.params, &i_matrix, &i_mask, &i_ctx, self.cfg.pooling);
+
+        let joint = Tensor::concat_cols(&[&x_u, &y_i]);
+        let z = self.rel_head.infer(&self.params, &joint);
+        let a = e_u.add(&self.w_h.infer(&self.params, &x_u));
+        let b = e_i.add(&self.w_e.infer(&self.params, &y_i));
+        let fused = Tensor::concat_cols(&[&a, &b]);
+        let rating = self.fm.infer(&self.params, &fused).item() + self.mean_rating;
+
+        Prediction {
+            rating: rating.clamp(1.0, 5.0),
+            reliability: softmax2(z.get(0, 0), z.get(0, 1)),
+        }
+    }
+
+    /// Joint predictions for the listed review indices.
+    pub fn predict_reviews(&self, ds: &Dataset, corpus: &EncodedCorpus, indices: &[usize]) -> Vec<Prediction> {
+        indices
+            .iter()
+            .map(|&i| self.predict(corpus, ds.reviews[i].user, ds.reviews[i].item))
+            .collect()
+    }
+
+    /// Fraud-attention weights of the user tower for a target pair — which
+    /// of the user's latest reviews drive `x_u`. Returns
+    /// `(review_indices, weights)` aligned pairwise.
+    pub fn user_attention(&self, corpus: &EncodedCorpus, user: UserId, item: ItemId) -> (Vec<usize>, Vec<f32>) {
+        let u_revs = self.user_inputs(user.index());
+        let cache = self.ensure_cache(corpus);
+        let e_u = self.user_emb.infer(&self.params, &[user.index()]);
+        let e_i = self.item_emb.infer(&self.params, &[item.index()]);
+        let (matrix, mask) = cache.stack_padded(&u_revs, self.cfg.s_u);
+        let ctx = self.infer_tower_context(&e_u, &e_i, &u_revs, self.cfg.s_u, true);
+        let weights = self.user_tower.infer_attention(&self.params, &matrix, &mask, &ctx);
+        let take = u_revs.len().min(self.cfg.s_u);
+        let start = u_revs.len() - take;
+        (u_revs[start..].to_vec(), weights[..take].to_vec())
+    }
+
+    /// Tape-free per-review context matrix (`[m, 3·id_dim]`).
+    fn infer_tower_context(&self, e_u: &Tensor, e_i: &Tensor, revs: &[usize], m: usize, user_side: bool) -> Tensor {
+        let lookup: &[usize] = if user_side { &self.input_items_of } else { &self.input_users_of };
+        let cp_ids = Self::aligned_counterpart_ids(revs, m, |ri| lookup[ri]);
+        let cp = if user_side {
+            self.item_emb.infer(&self.params, &cp_ids)
+        } else {
+            self.user_emb.infer(&self.params, &cp_ids)
+        };
+        let dup = vec![0usize; m];
+        let u_rows = e_u.gather_rows(&dup);
+        let i_rows = e_i.gather_rows(&dup);
+        Tensor::concat_cols(&[&u_rows, &i_rows, &cp])
+    }
+
+    /// Fraud-attention weights of the item tower for a target pair — which
+    /// of the item's latest reviews drive `y_i`. Returns
+    /// `(review_indices, weights)` aligned pairwise.
+    pub fn item_attention(&self, corpus: &EncodedCorpus, user: UserId, item: ItemId) -> (Vec<usize>, Vec<f32>) {
+        let i_revs = self.item_inputs(item.index());
+        let cache = self.ensure_cache(corpus);
+        let e_u = self.user_emb.infer(&self.params, &[user.index()]);
+        let e_i = self.item_emb.infer(&self.params, &[item.index()]);
+        let (matrix, mask) = cache.stack_padded(&i_revs, self.cfg.s_i);
+        let ctx = self.infer_tower_context(&e_u, &e_i, &i_revs, self.cfg.s_i, false);
+        let weights = self.item_tower.infer_attention(&self.params, &matrix, &mask, &ctx);
+        let take = i_revs.len().min(self.cfg.s_i);
+        let start = i_revs.len() - take;
+        (i_revs[start..].to_vec(), weights[..take].to_vec())
+    }
+
+    fn ensure_cache(&self, corpus: &EncodedCorpus) -> ReviewVectors {
+        match &self.cache {
+            Some(c) => c.clone(),
+            None => ReviewVectors::from_flat(self.cfg.k, self.encoder.encode_all(&self.params, corpus)),
+        }
+    }
+}
+
+#[inline]
+fn softmax2(z_fake: f32, z_benign: f32) -> f32 {
+    let m = z_fake.max(z_benign);
+    let e0 = (z_fake - m).exp();
+    let e1 = (z_benign - m).exp();
+    e1 / (e0 + e1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrre_data::synth::{generate, SynthConfig};
+    use rrre_data::{train_test_split, CorpusConfig, Label};
+    use rrre_metrics::{auc, brmse};
+    use rrre_text::word2vec::Word2VecConfig;
+
+    fn tiny() -> (Dataset, EncodedCorpus) {
+        let ds = generate(&SynthConfig::yelp_chi().scaled(0.05));
+        let corpus = EncodedCorpus::build(
+            &ds,
+            &CorpusConfig {
+                max_len: 14,
+                word2vec: Word2VecConfig { dim: 8, epochs: 2, ..Default::default() },
+                ..Default::default()
+            },
+        );
+        (ds, corpus)
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let (ds, corpus) = tiny();
+        let train: Vec<usize> = (0..ds.len()).collect();
+        let mut losses = Vec::new();
+        let cfg = RrreConfig { epochs: 6, ..RrreConfig::tiny() };
+        let _ = Rrre::fit_with_hook(&ds, &corpus, &train, cfg, |s, _| losses.push(s.loss));
+        assert!(losses.last().unwrap() < losses.first().unwrap(), "losses {losses:?}");
+    }
+
+    #[test]
+    fn joint_model_learns_both_tasks() {
+        let (ds, corpus) = tiny();
+        let mut rng = StdRng::seed_from_u64(7);
+        let split = train_test_split(&ds, 0.3, &mut rng);
+        let cfg = RrreConfig { epochs: 10, ..RrreConfig::tiny() };
+        let model = Rrre::fit(&ds, &corpus, &split.train, cfg);
+
+        let preds = model.predict_reviews(&ds, &corpus, &split.test);
+        let ratings: Vec<f32> = preds.iter().map(|p| p.rating).collect();
+        let rels: Vec<f32> = preds.iter().map(|p| p.reliability).collect();
+        let targets: Vec<f32> = split.test.iter().map(|&i| ds.reviews[i].rating).collect();
+        let weights: Vec<f32> = split.test.iter().map(|&i| ds.reviews[i].label.as_f32()).collect();
+        let labels: Vec<bool> = split.test.iter().map(|&i| ds.reviews[i].label == Label::Benign).collect();
+
+        // Rating: beat the train-mean predictor on benign reviews.
+        let mean = split.train.iter().map(|&i| ds.reviews[i].rating).sum::<f32>() / split.train.len() as f32;
+        let model_brmse = brmse(&ratings, &targets, &weights);
+        let mean_brmse = brmse(&vec![mean; targets.len()], &targets, &weights);
+        assert!(model_brmse < mean_brmse, "bRMSE {model_brmse} vs mean {mean_brmse}");
+
+        // Reliability: clearly better than chance.
+        let a = auc(&rels, &labels);
+        assert!(a > 0.6, "AUC {a}");
+    }
+
+    #[test]
+    fn predictions_are_bounded() {
+        let (ds, corpus) = tiny();
+        let train: Vec<usize> = (0..ds.len()).collect();
+        let cfg = RrreConfig { epochs: 2, ..RrreConfig::tiny() };
+        let model = Rrre::fit(&ds, &corpus, &train, cfg);
+        for p in model.predict_reviews(&ds, &corpus, &train[..20.min(train.len())]) {
+            assert!((1.0..=5.0).contains(&p.rating));
+            assert!((0.0..=1.0).contains(&p.reliability));
+        }
+    }
+
+    #[test]
+    fn end_to_end_mode_trains_and_agrees_in_shape() {
+        let (ds, corpus) = tiny();
+        let train: Vec<usize> = (0..40.min(ds.len())).collect();
+        let cfg = RrreConfig {
+            epochs: 1,
+            encoder: EncoderMode::EndToEnd,
+            batch_size: 8,
+            ..RrreConfig::tiny()
+        };
+        let model = Rrre::fit(&ds, &corpus, &train, cfg);
+        let p = model.predict(&corpus, ds.reviews[0].user, ds.reviews[0].item);
+        assert!((1.0..=5.0).contains(&p.rating));
+        assert!((0.0..=1.0).contains(&p.reliability));
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_preserves_predictions() {
+        let (ds, corpus) = tiny();
+        let train: Vec<usize> = (0..ds.len()).collect();
+        let cfg = RrreConfig { epochs: 2, ..RrreConfig::tiny() };
+        let model = Rrre::fit(&ds, &corpus, &train, cfg);
+        let dir = std::env::temp_dir().join("rrre-core-ckpt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.rrrp");
+        model.save_weights(&path).unwrap();
+
+        // A differently-seeded fresh model diverges, then matches exactly
+        // after restoring the checkpoint.
+        let mut other = Rrre::fit(&ds, &corpus, &train, RrreConfig { seed: cfg.seed ^ 0xFF, ..cfg });
+        let r = &ds.reviews[0];
+        let before = other.predict(&corpus, r.user, r.item);
+        other.load_weights(&path, &corpus).unwrap();
+        std::fs::remove_file(&path).ok();
+        let restored = other.predict(&corpus, r.user, r.item);
+        let original = model.predict(&corpus, r.user, r.item);
+        assert_ne!(before, original);
+        assert_eq!(restored, original);
+    }
+
+    #[test]
+    fn item_attention_exposes_item_reviews() {
+        let (ds, corpus) = tiny();
+        let train: Vec<usize> = (0..ds.len()).collect();
+        let cfg = RrreConfig { epochs: 2, ..RrreConfig::tiny() };
+        let model = Rrre::fit(&ds, &corpus, &train, cfg);
+        let r = &ds.reviews[0];
+        let (revs, weights) = model.item_attention(&corpus, r.user, r.item);
+        assert_eq!(revs.len(), weights.len());
+        assert!(!revs.is_empty());
+        assert!((weights.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+        let index = ds.index();
+        assert!(revs.iter().all(|ri| index.item_reviews(r.item).contains(ri)));
+    }
+
+    #[test]
+    fn attention_exposes_user_reviews() {
+        let (ds, corpus) = tiny();
+        let train: Vec<usize> = (0..ds.len()).collect();
+        let cfg = RrreConfig { epochs: 2, ..RrreConfig::tiny() };
+        let model = Rrre::fit(&ds, &corpus, &train, cfg);
+        let r = &ds.reviews[0];
+        let (revs, weights) = model.user_attention(&corpus, r.user, r.item);
+        assert_eq!(revs.len(), weights.len());
+        assert!(!revs.is_empty());
+        assert!((weights.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+    }
+}

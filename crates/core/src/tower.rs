@@ -1,0 +1,197 @@
+//! UserNet / ItemNet towers (paper §III-D, Eq. 5–8).
+//!
+//! A tower takes the entity's `m` review embeddings, weights them with the
+//! fraud-attention mechanism conditioned on the target pair's user and item
+//! ID embeddings, and projects the weighted sum through a fully connected
+//! layer into the entity representation (`x_u` or `y_i`).
+
+use crate::config::Pooling;
+use rand::Rng;
+use rrre_tensor::nn::{AttentionPool, Linear};
+use rrre_tensor::{Params, Tape, Tensor, Var};
+
+/// One tower (UserNet and ItemNet are two instances with separate weights).
+#[derive(Debug, Clone)]
+pub struct Tower {
+    attn: AttentionPool,
+    fc: Linear,
+    k: usize,
+    out_dim: usize,
+}
+
+impl Tower {
+    /// Registers tower weights under `name.*`.
+    ///
+    /// * `k` — review-embedding size;
+    /// * `ctx_dim` — context size (user ⊕ item ID embeddings = `2 × id_dim`);
+    /// * `attn_dim` — attention hidden size;
+    /// * `out_dim` — entity-representation size.
+    pub fn new(
+        params: &mut Params,
+        rng: &mut impl Rng,
+        name: &str,
+        k: usize,
+        ctx_dim: usize,
+        attn_dim: usize,
+        out_dim: usize,
+    ) -> Self {
+        Self {
+            attn: AttentionPool::new(params, rng, &format!("{name}.attn"), k, ctx_dim, attn_dim),
+            fc: Linear::new(params, rng, &format!("{name}.fc"), k, out_dim),
+            k,
+            out_dim,
+        }
+    }
+
+    /// Entity-representation size.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Differentiable tower forward: `reviews` is `[m, k]` with validity
+    /// `mask`, `context` is `[1, ctx_dim]` (target-pair ID embeddings).
+    /// Entities with no reviews at all (fully false mask) produce the zero
+    /// representation projected through the dense layer, so downstream
+    /// shapes stay uniform. `pooling` selects fraud-attention or the
+    /// mean-pooling ablation.
+    pub fn forward(
+        &self,
+        tape: &mut Tape,
+        params: &Params,
+        reviews: Var,
+        mask: &[bool],
+        context: Var,
+        pooling: Pooling,
+    ) -> Var {
+        let pooled = if mask.iter().any(|&b| b) {
+            match pooling {
+                Pooling::FraudAttention => self.attn.forward(tape, params, reviews, context, Some(mask)),
+                Pooling::Mean => {
+                    let real = mask.iter().filter(|&&b| b).count() as f32;
+                    let keep = Tensor::col_vector(
+                        &mask.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect::<Vec<_>>(),
+                    );
+                    let keep = tape.constant(keep);
+                    let kept = tape.mul_col_broadcast(reviews, keep);
+                    let summed = tape.sum_rows(kept);
+                    tape.scale(summed, 1.0 / real)
+                }
+            }
+        } else {
+            tape.constant(Tensor::zeros(1, self.k))
+        };
+        self.fc.forward(tape, params, pooled)
+    }
+
+    /// Tape-free tower forward.
+    pub fn infer(&self, params: &Params, reviews: &Tensor, mask: &[bool], context: &Tensor, pooling: Pooling) -> Tensor {
+        let pooled = if mask.iter().any(|&b| b) {
+            match pooling {
+                Pooling::FraudAttention => self.attn.infer(params, reviews, context, Some(mask)),
+                Pooling::Mean => {
+                    let real = mask.iter().filter(|&&b| b).count() as f32;
+                    let mut summed = Tensor::zeros(1, reviews.cols());
+                    for (r, &keep) in mask.iter().enumerate() {
+                        if keep {
+                            for (o, &x) in summed.row_mut(0).iter_mut().zip(reviews.row(r)) {
+                                *o += x;
+                            }
+                        }
+                    }
+                    summed.scale(1.0 / real)
+                }
+            }
+        } else {
+            Tensor::zeros(1, self.k)
+        };
+        self.fc.infer(params, &pooled)
+    }
+
+    /// Tape-free attention weights, exposed for the review-level explanation
+    /// pipeline (which review mattered).
+    pub fn infer_attention(&self, params: &Params, reviews: &Tensor, mask: &[bool], context: &Tensor) -> Vec<f32> {
+        if mask.iter().any(|&b| b) {
+            self.attn.infer_weights(params, reviews, context, Some(mask))
+        } else {
+            vec![0.0; reviews.rows()]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use rrre_tensor::gradcheck::assert_gradients_ok;
+    use rrre_tensor::init;
+
+    fn setup(seed: u64) -> (Params, Tower, Tensor, Tensor) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut params = Params::new();
+        let tower = Tower::new(&mut params, &mut rng, "t", 6, 4, 5, 3);
+        let reviews = init::normal(&mut rng, 4, 6, 0.0, 1.0);
+        let ctx = init::normal(&mut rng, 1, 4, 0.0, 1.0);
+        (params, tower, reviews, ctx)
+    }
+
+    #[test]
+    fn forward_and_infer_agree() {
+        let (params, tower, reviews, ctx) = setup(1);
+        let mask = [true, true, false, true];
+        let mut tape = Tape::new();
+        let rv = tape.constant(reviews.clone());
+        let cv = tape.constant(ctx.clone());
+        let out = tower.forward(&mut tape, &params, rv, &mask, cv, Pooling::FraudAttention);
+        assert_eq!(tape.shape(out), (1, 3));
+        assert!(tape.value(out).approx_eq(&tower.infer(&params, &reviews, &mask, &ctx, Pooling::FraudAttention), 1e-4));
+    }
+
+    #[test]
+    fn empty_mask_yields_bias_only() {
+        let (params, tower, reviews, ctx) = setup(2);
+        let mask = [false; 4];
+        let out = tower.infer(&params, &reviews, &mask, &ctx, Pooling::FraudAttention);
+        // Zero pooled vector → output is the fc bias (zero-initialised).
+        assert!(out.approx_eq(&Tensor::zeros(1, 3), 1e-6));
+    }
+
+    #[test]
+    fn attention_weights_expose_masking() {
+        let (params, tower, reviews, ctx) = setup(3);
+        let mask = [true, false, true, false];
+        let w = tower.infer_attention(&params, &reviews, &mask, &ctx);
+        assert!(w[1] < 1e-9 && w[3] < 1e-9);
+        assert!((w.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn mean_pooling_averages_unmasked_rows() {
+        let (params, tower, reviews, ctx) = setup(5);
+        let mask = [true, true, false, false];
+        let out = tower.infer(&params, &reviews, &mask, &ctx, Pooling::Mean);
+        // Hand-computed mean of first two rows through the dense layer.
+        let mut mean = Tensor::zeros(1, 6);
+        for c in 0..6 {
+            mean.set(0, c, (reviews.get(0, c) + reviews.get(1, c)) / 2.0);
+        }
+        let expected = tower.fc.infer(&params, &mean);
+        assert!(out.approx_eq(&expected, 1e-5));
+    }
+
+    #[test]
+    fn tower_gradcheck() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut params = Params::new();
+        let tower = Tower::new(&mut params, &mut rng, "t", 4, 3, 4, 2);
+        let reviews = init::normal(&mut rng, 3, 4, 0.0, 1.0);
+        let ctx = init::normal(&mut rng, 1, 3, 0.0, 1.0);
+        let mask = [true, true, true];
+        assert_gradients_ok(&mut params, move |p, tape| {
+            let rv = tape.constant(reviews.clone());
+            let cv = tape.constant(ctx.clone());
+            let out = tower.forward(tape, p, rv, &mask, cv, Pooling::FraudAttention);
+            let sq = tape.square(out);
+            tape.sum_all(sq)
+        });
+    }
+}

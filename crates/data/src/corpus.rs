@@ -1,0 +1,128 @@
+//! Encoded corpus: the shared text-preprocessing pipeline every text-based
+//! model (RRRE, DeepCoNN, NARRE, DER, content features) runs on.
+//!
+//! Tokenizes every review, builds a vocabulary, pretrains skip-gram word
+//! vectors (the paper's "textual content of reviews is pretrained as
+//! vectors"), and encodes each review to a fixed-length id sequence.
+//!
+//! Word-vector pretraining is unsupervised and uses all review text; labels
+//! and ratings never enter this stage.
+
+use crate::Dataset;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rrre_text::{encode_document, tokenize, train_word2vec, EncodedDoc, Vocab, Word2VecConfig, WordVectors};
+
+/// Configuration of the text pipeline.
+#[derive(Debug, Clone)]
+pub struct CorpusConfig {
+    /// Fixed review length in tokens (pad/truncate).
+    pub max_len: usize,
+    /// Minimum corpus frequency for a word to enter the vocabulary.
+    pub min_count: u64,
+    /// Word2vec pretraining settings.
+    pub word2vec: Word2VecConfig,
+    /// Seed for the word2vec RNG.
+    pub seed: u64,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        Self { max_len: 30, min_count: 2, word2vec: Word2VecConfig::default(), seed: 0x7E47 }
+    }
+}
+
+/// The encoded corpus of one dataset.
+#[derive(Debug, Clone)]
+pub struct EncodedCorpus {
+    /// Vocabulary over the dataset's review text.
+    pub vocab: Vocab,
+    /// Pretrained word vectors (`vocab.len() × dim`).
+    pub word_vectors: WordVectors,
+    /// One encoded document per review, aligned with `dataset.reviews`.
+    pub docs: Vec<EncodedDoc>,
+    /// Fixed document length.
+    pub max_len: usize,
+}
+
+impl EncodedCorpus {
+    /// Builds the pipeline over a dataset.
+    pub fn build(ds: &Dataset, cfg: &CorpusConfig) -> Self {
+        let tokenised: Vec<Vec<String>> = ds.reviews.iter().map(|r| tokenize(&r.text)).collect();
+        let refs: Vec<&[String]> = tokenised.iter().map(Vec::as_slice).collect();
+        let vocab = Vocab::build(refs, cfg.min_count);
+        let id_docs: Vec<Vec<usize>> = tokenised.iter().map(|t| vocab.encode(t)).collect();
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let word_vectors = train_word2vec(&id_docs, &vocab, &cfg.word2vec, &mut rng);
+        let docs = ds
+            .reviews
+            .iter()
+            .map(|r| encode_document(&r.text, &vocab, cfg.max_len))
+            .collect();
+        Self { vocab, word_vectors, docs, max_len: cfg.max_len }
+    }
+
+    /// Word-embedding dimension.
+    pub fn embed_dim(&self) -> usize {
+        self.word_vectors.dim()
+    }
+
+    /// The mean word vector of review `idx` — the cheap fixed review
+    /// representation used by feature-based baselines.
+    pub fn mean_vector(&self, idx: usize) -> Vec<f32> {
+        let doc = &self.docs[idx];
+        rrre_text::similarity::mean_vector(&doc.ids, doc.len, self.word_vectors.as_flat(), self.embed_dim())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{generate, SynthConfig};
+
+    fn tiny_corpus() -> (Dataset, EncodedCorpus) {
+        let ds = generate(&SynthConfig::yelp_chi().scaled(0.03));
+        let cfg = CorpusConfig {
+            max_len: 12,
+            word2vec: Word2VecConfig { dim: 8, epochs: 1, ..Default::default() },
+            ..Default::default()
+        };
+        let corpus = EncodedCorpus::build(&ds, &cfg);
+        (ds, corpus)
+    }
+
+    #[test]
+    fn one_doc_per_review_with_fixed_length() {
+        let (ds, corpus) = tiny_corpus();
+        assert_eq!(corpus.docs.len(), ds.len());
+        assert!(corpus.docs.iter().all(|d| d.ids.len() == 12));
+    }
+
+    #[test]
+    fn word_vectors_cover_vocab() {
+        let (_, corpus) = tiny_corpus();
+        assert_eq!(corpus.word_vectors.len(), corpus.vocab.len());
+        assert_eq!(corpus.embed_dim(), 8);
+    }
+
+    #[test]
+    fn mean_vectors_are_finite_and_nonzero_for_real_text() {
+        let (_, corpus) = tiny_corpus();
+        let v = corpus.mean_vector(0);
+        assert_eq!(v.len(), 8);
+        assert!(v.iter().all(|x| x.is_finite()));
+        assert!(v.iter().any(|&x| x != 0.0));
+    }
+
+    #[test]
+    fn deterministic_given_config() {
+        let ds = generate(&SynthConfig::cds().scaled(0.03));
+        let cfg = CorpusConfig {
+            word2vec: Word2VecConfig { dim: 8, epochs: 1, ..Default::default() },
+            ..Default::default()
+        };
+        let a = EncodedCorpus::build(&ds, &cfg);
+        let b = EncodedCorpus::build(&ds, &cfg);
+        assert_eq!(a.word_vectors.as_flat(), b.word_vectors.as_flat());
+    }
+}

@@ -1,0 +1,220 @@
+//! The review dataset container and its per-user / per-item index.
+
+use crate::types::{ItemId, Label, Review, UserId};
+use serde::{Deserialize, Serialize};
+
+/// A complete labelled review dataset with dense user/item id spaces.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Human-readable name (e.g. `"YelpChi-sim"`).
+    pub name: String,
+    /// Number of distinct users (`UserId` values are `0..n_users`).
+    pub n_users: usize,
+    /// Number of distinct items (`ItemId` values are `0..n_items`).
+    pub n_items: usize,
+    /// All reviews, in generation order.
+    pub reviews: Vec<Review>,
+    /// Optional display names per item (used by the case study).
+    pub item_names: Vec<String>,
+    /// Optional display names per user.
+    pub user_names: Vec<String>,
+}
+
+impl Dataset {
+    /// Creates a dataset, validating id ranges.
+    ///
+    /// # Panics
+    /// Panics if any review references a user/item outside the declared
+    /// ranges, or a rating outside `[1, 5]`.
+    pub fn new(name: impl Into<String>, n_users: usize, n_items: usize, reviews: Vec<Review>) -> Self {
+        for (i, r) in reviews.iter().enumerate() {
+            assert!(r.user.index() < n_users, "review {i}: user {} out of {n_users}", r.user.0);
+            assert!(r.item.index() < n_items, "review {i}: item {} out of {n_items}", r.item.0);
+            assert!((1.0..=5.0).contains(&r.rating), "review {i}: rating {} outside [1,5]", r.rating);
+        }
+        Self {
+            name: name.into(),
+            n_users,
+            n_items,
+            reviews,
+            item_names: Vec::new(),
+            user_names: Vec::new(),
+        }
+    }
+
+    /// Number of reviews.
+    pub fn len(&self) -> usize {
+        self.reviews.len()
+    }
+
+    /// Whether the dataset has no reviews.
+    pub fn is_empty(&self) -> bool {
+        self.reviews.is_empty()
+    }
+
+    /// Fraction of reviews labelled fake.
+    pub fn fake_fraction(&self) -> f64 {
+        if self.reviews.is_empty() {
+            return 0.0;
+        }
+        let fakes = self.reviews.iter().filter(|r| r.label == Label::Fake).count();
+        fakes as f64 / self.reviews.len() as f64
+    }
+
+    /// Builds the per-user / per-item review index (time-sorted).
+    pub fn index(&self) -> DatasetIndex {
+        DatasetIndex::build(self)
+    }
+
+    /// Display name for an item (falls back to `item#<id>`).
+    pub fn item_name(&self, item: ItemId) -> String {
+        self.item_names
+            .get(item.index())
+            .cloned()
+            .unwrap_or_else(|| format!("item#{}", item.0))
+    }
+
+    /// Display name for a user (falls back to `user#<id>`).
+    pub fn user_name(&self, user: UserId) -> String {
+        self.user_names
+            .get(user.index())
+            .cloned()
+            .unwrap_or_else(|| format!("user#{}", user.0))
+    }
+}
+
+/// Time-sorted per-user and per-item review index over a [`Dataset`].
+///
+/// Holds review *indices* into `dataset.reviews`, so it stays valid only for
+/// the dataset it was built from.
+#[derive(Debug, Clone)]
+pub struct DatasetIndex {
+    by_user: Vec<Vec<usize>>,
+    by_item: Vec<Vec<usize>>,
+}
+
+impl DatasetIndex {
+    /// Builds the index; within each user/item the review indices are sorted
+    /// by ascending timestamp (ties by review index for determinism).
+    pub fn build(ds: &Dataset) -> Self {
+        let mut by_user: Vec<Vec<usize>> = vec![Vec::new(); ds.n_users];
+        let mut by_item: Vec<Vec<usize>> = vec![Vec::new(); ds.n_items];
+        for (idx, r) in ds.reviews.iter().enumerate() {
+            by_user[r.user.index()].push(idx);
+            by_item[r.item.index()].push(idx);
+        }
+        let sort_key = |indices: &mut Vec<usize>| {
+            indices.sort_by_key(|&i| (ds.reviews[i].timestamp, i));
+        };
+        by_user.iter_mut().for_each(sort_key);
+        by_item.iter_mut().for_each(sort_key);
+        Self { by_user, by_item }
+    }
+
+    /// Review indices written by `user`, oldest first.
+    pub fn user_reviews(&self, user: UserId) -> &[usize] {
+        &self.by_user[user.index()]
+    }
+
+    /// Review indices written to `item`, oldest first.
+    pub fn item_reviews(&self, item: ItemId) -> &[usize] {
+        &self.by_item[item.index()]
+    }
+
+    /// The `|W^u|` degree of a user.
+    pub fn user_degree(&self, user: UserId) -> usize {
+        self.by_user[user.index()].len()
+    }
+
+    /// The `|W^i|` degree of an item.
+    pub fn item_degree(&self, item: ItemId) -> usize {
+        self.by_item[item.index()].len()
+    }
+
+    /// The latest `m` review indices of a user — the paper's time-based
+    /// sampling strategy ("select the latest m reviews"). Returns fewer than
+    /// `m` if the user has fewer.
+    pub fn latest_user_reviews(&self, user: UserId, m: usize) -> &[usize] {
+        let all = self.user_reviews(user);
+        &all[all.len().saturating_sub(m)..]
+    }
+
+    /// The latest `m` review indices of an item.
+    pub fn latest_item_reviews(&self, item: ItemId, m: usize) -> &[usize] {
+        let all = self.item_reviews(item);
+        &all[all.len().saturating_sub(m)..]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn review(user: u32, item: u32, rating: f32, ts: i64, label: Label) -> Review {
+        Review {
+            user: UserId(user),
+            item: ItemId(item),
+            rating,
+            label,
+            timestamp: ts,
+            text: String::from("text"),
+        }
+    }
+
+    fn tiny() -> Dataset {
+        Dataset::new(
+            "tiny",
+            2,
+            2,
+            vec![
+                review(0, 0, 5.0, 10, Label::Benign),
+                review(0, 1, 3.0, 5, Label::Fake),
+                review(1, 1, 1.0, 20, Label::Benign),
+                review(0, 0, 4.0, 1, Label::Benign),
+            ],
+        )
+    }
+
+    #[test]
+    fn fake_fraction_counts() {
+        assert!((tiny().fake_fraction() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn index_is_time_sorted() {
+        let ds = tiny();
+        let idx = ds.index();
+        assert_eq!(idx.user_reviews(UserId(0)), &[3, 1, 0]);
+        assert_eq!(idx.item_reviews(ItemId(1)), &[1, 2]);
+        assert_eq!(idx.user_degree(UserId(1)), 1);
+        assert_eq!(idx.item_degree(ItemId(0)), 2);
+    }
+
+    #[test]
+    fn latest_reviews_takes_newest() {
+        let ds = tiny();
+        let idx = ds.index();
+        assert_eq!(idx.latest_user_reviews(UserId(0), 2), &[1, 0]);
+        assert_eq!(idx.latest_user_reviews(UserId(0), 10), &[3, 1, 0]);
+        assert_eq!(idx.latest_item_reviews(ItemId(1), 1), &[2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn invalid_user_id_rejected() {
+        let _ = Dataset::new("bad", 1, 2, vec![review(1, 0, 3.0, 0, Label::Benign)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "rating")]
+    fn invalid_rating_rejected() {
+        let _ = Dataset::new("bad", 1, 1, vec![review(0, 0, 6.0, 0, Label::Benign)]);
+    }
+
+    #[test]
+    fn display_names_fall_back() {
+        let ds = tiny();
+        assert_eq!(ds.item_name(ItemId(1)), "item#1");
+        assert_eq!(ds.user_name(UserId(0)), "user#0");
+    }
+}

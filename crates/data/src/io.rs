@@ -1,0 +1,44 @@
+//! Dataset persistence as JSON (pretty for small sets, compact otherwise).
+
+use crate::Dataset;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Saves a dataset as compact JSON.
+pub fn save_json(ds: &Dataset, path: impl AsRef<Path>) -> io::Result<()> {
+    let json = serde_json::to_string(ds).map_err(io::Error::other)?;
+    fs::write(path, json)
+}
+
+/// Loads a dataset from JSON written by [`save_json`].
+pub fn load_json(path: impl AsRef<Path>) -> io::Result<Dataset> {
+    let json = fs::read_to_string(path)?;
+    serde_json::from_str(&json).map_err(io::Error::other)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{generate, SynthConfig};
+
+    #[test]
+    fn roundtrip_preserves_dataset() {
+        let ds = generate(&SynthConfig::yelp_chi().scaled(0.02));
+        let dir = std::env::temp_dir().join("rrre-data-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.json");
+        save_json(&ds, &path).unwrap();
+        let loaded = load_json(&path).unwrap();
+        assert_eq!(loaded.name, ds.name);
+        assert_eq!(loaded.len(), ds.len());
+        assert_eq!(loaded.n_users, ds.n_users);
+        assert_eq!(loaded.reviews[0].text, ds.reviews[0].text);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        assert!(load_json("/nonexistent/rrre/path.json").is_err());
+    }
+}

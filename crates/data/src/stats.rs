@@ -1,0 +1,127 @@
+//! Dataset statistics — everything needed to print the paper's Table II and
+//! to sanity-check the synthetic generator.
+
+use crate::{Dataset, Label};
+
+/// Summary statistics of a dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetStats {
+    /// Dataset name.
+    pub name: String,
+    /// Total reviews.
+    pub n_reviews: usize,
+    /// Distinct users that wrote at least one review.
+    pub n_users: usize,
+    /// Distinct items with at least one review.
+    pub n_items: usize,
+    /// Percentage of fake reviews (0–100).
+    pub fake_pct: f64,
+    /// Median `|W^u|` over users with at least one review.
+    pub median_user_degree: usize,
+    /// Median `|W^i|` over items with at least one review.
+    pub median_item_degree: usize,
+    /// Maximum `|W^u|`.
+    pub max_user_degree: usize,
+    /// Maximum `|W^i|`.
+    pub max_item_degree: usize,
+    /// Mean rating of benign reviews.
+    pub benign_mean_rating: f64,
+    /// Mean rating of fake reviews.
+    pub fake_mean_rating: f64,
+}
+
+fn median(sorted: &[usize]) -> usize {
+    if sorted.is_empty() {
+        0
+    } else {
+        sorted[sorted.len() / 2]
+    }
+}
+
+/// Computes [`DatasetStats`] for a dataset.
+pub fn dataset_stats(ds: &Dataset) -> DatasetStats {
+    let index = ds.index();
+    let mut user_degrees: Vec<usize> = (0..ds.n_users)
+        .map(|u| index.user_reviews(crate::UserId(u as u32)).len())
+        .filter(|&d| d > 0)
+        .collect();
+    let mut item_degrees: Vec<usize> = (0..ds.n_items)
+        .map(|i| index.item_reviews(crate::ItemId(i as u32)).len())
+        .filter(|&d| d > 0)
+        .collect();
+    user_degrees.sort_unstable();
+    item_degrees.sort_unstable();
+
+    let (mut benign_sum, mut benign_n, mut fake_sum, mut fake_n) = (0.0f64, 0usize, 0.0f64, 0usize);
+    for r in &ds.reviews {
+        match r.label {
+            Label::Benign => {
+                benign_sum += r.rating as f64;
+                benign_n += 1;
+            }
+            Label::Fake => {
+                fake_sum += r.rating as f64;
+                fake_n += 1;
+            }
+        }
+    }
+
+    DatasetStats {
+        name: ds.name.clone(),
+        n_reviews: ds.reviews.len(),
+        n_users: user_degrees.len(),
+        n_items: item_degrees.len(),
+        fake_pct: ds.fake_fraction() * 100.0,
+        median_user_degree: median(&user_degrees),
+        median_item_degree: median(&item_degrees),
+        max_user_degree: user_degrees.last().copied().unwrap_or(0),
+        max_item_degree: item_degrees.last().copied().unwrap_or(0),
+        benign_mean_rating: if benign_n > 0 { benign_sum / benign_n as f64 } else { 0.0 },
+        fake_mean_rating: if fake_n > 0 { fake_sum / fake_n as f64 } else { 0.0 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ItemId, Review, UserId};
+
+    fn review(user: u32, item: u32, rating: f32, label: Label) -> Review {
+        Review { user: UserId(user), item: ItemId(item), rating, label, timestamp: 0, text: String::new() }
+    }
+
+    #[test]
+    fn stats_on_small_dataset() {
+        let ds = Dataset::new(
+            "t",
+            3,
+            2,
+            vec![
+                review(0, 0, 5.0, Label::Benign),
+                review(0, 1, 4.0, Label::Benign),
+                review(1, 0, 1.0, Label::Fake),
+                review(2, 0, 3.0, Label::Benign),
+            ],
+        );
+        let s = dataset_stats(&ds);
+        assert_eq!(s.n_reviews, 4);
+        assert_eq!(s.n_users, 3);
+        assert_eq!(s.n_items, 2);
+        assert!((s.fake_pct - 25.0).abs() < 1e-9);
+        assert_eq!(s.median_user_degree, 1);
+        assert_eq!(s.median_item_degree, 3);
+        assert_eq!(s.max_user_degree, 2);
+        assert_eq!(s.max_item_degree, 3);
+        assert!((s.benign_mean_rating - 4.0).abs() < 1e-9);
+        assert!((s.fake_mean_rating - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unused_ids_not_counted() {
+        let ds = Dataset::new("t", 10, 10, vec![review(0, 0, 3.0, Label::Benign)]);
+        let s = dataset_stats(&ds);
+        assert_eq!(s.n_users, 1);
+        assert_eq!(s.n_items, 1);
+        assert_eq!(s.fake_mean_rating, 0.0);
+    }
+}

@@ -1,0 +1,215 @@
+//! Latent benign world model: user preferences, item qualities, popularity
+//! and activity distributions, and the true rating process.
+
+use crate::synth::config::SynthConfig;
+use crate::synth::textgen::{aspects_for, Domain};
+use rand::Rng;
+
+/// Dimension of the latent preference/factor vectors.
+pub const LATENT_DIM: usize = 8;
+
+/// The hidden ground-truth world the generator samples reviews from.
+#[derive(Debug, Clone)]
+pub struct LatentWorld {
+    /// Per-user rating bias.
+    pub user_bias: Vec<f32>,
+    /// Per-user latent preference vectors.
+    pub user_pref: Vec<[f32; LATENT_DIM]>,
+    /// Per-user sampling weight (activity).
+    pub user_activity: Vec<f64>,
+    /// Per-item scalar quality (the "good/bad item" of the fraud-detection
+    /// assumption the paper builds on).
+    pub item_quality: Vec<f32>,
+    /// Per-item latent factor vectors.
+    pub item_factors: Vec<[f32; LATENT_DIM]>,
+    /// Per-item sampling weight (popularity).
+    pub item_popularity: Vec<f64>,
+    /// Per-item aspect words (indices into the domain lexicon).
+    pub item_aspects: Vec<Vec<usize>>,
+    /// Per-user "session" days: benign users review in bursts too
+    /// (weekend sprees), so burstiness alone cannot flag fraud.
+    pub user_sessions: Vec<Vec<i64>>,
+    /// Text domain.
+    pub domain: Domain,
+}
+
+fn standard_normal(rng: &mut impl Rng) -> f32 {
+    loop {
+        let u1: f32 = rng.gen();
+        if u1 <= f32::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f32 = rng.gen();
+        return (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos();
+    }
+}
+
+impl LatentWorld {
+    /// Samples a world from the configuration.
+    pub fn generate(cfg: &SynthConfig, rng: &mut impl Rng) -> Self {
+        let lexicon = aspects_for(cfg.domain);
+        // A fat-tailed bias makes genuinely enthusiastic / grumpy benign
+        // users (1- and 5-star habits) common, so rating extremity alone
+        // cannot flag fraud.
+        let user_bias = (0..cfg.n_users)
+            .map(|_| {
+                let z = standard_normal(rng);
+                0.55 * z + 0.25 * z.signum() * z * z * 0.1
+            })
+            .collect();
+        let user_pref = (0..cfg.n_users)
+            .map(|_| std::array::from_fn(|_| standard_normal(rng)))
+            .collect();
+        let user_activity = (0..cfg.n_users)
+            .map(|_| (cfg.user_activity_sigma as f32 * standard_normal(rng)).exp() as f64)
+            .collect();
+        let item_quality = (0..cfg.n_items).map(|_| 0.8 * standard_normal(rng)).collect();
+        let item_factors = (0..cfg.n_items)
+            .map(|_| std::array::from_fn(|_| standard_normal(rng)))
+            .collect();
+        let item_popularity = (0..cfg.n_items)
+            .map(|rank| 1.0 / ((rank + 1) as f64).powf(cfg.item_popularity_exponent))
+            .collect();
+        let item_aspects = (0..cfg.n_items)
+            .map(|_| {
+                let k = rng.gen_range(2..=3);
+                let mut picked = Vec::with_capacity(k);
+                while picked.len() < k {
+                    let a = rng.gen_range(0..lexicon.len());
+                    if !picked.contains(&a) {
+                        picked.push(a);
+                    }
+                }
+                picked
+            })
+            .collect();
+        let user_sessions = (0..cfg.n_users)
+            .map(|_| {
+                let n = rng.gen_range(1..=3);
+                (0..n).map(|_| rng.gen_range(0..cfg.horizon_days.max(1))).collect()
+            })
+            .collect();
+        Self {
+            user_bias,
+            user_pref,
+            user_activity,
+            item_quality,
+            item_factors,
+            item_popularity,
+            item_aspects,
+            user_sessions,
+            domain: cfg.domain,
+        }
+    }
+
+    /// A benign timestamp for `user`: usually inside one of the user's
+    /// session bursts, sometimes anywhere in the horizon.
+    pub fn benign_timestamp(&self, user: usize, horizon: i64, rng: &mut impl Rng) -> i64 {
+        let sessions = &self.user_sessions[user];
+        if !sessions.is_empty() && rng.gen::<f32>() < 0.6 {
+            let base = sessions[rng.gen_range(0..sessions.len())];
+            (base + rng.gen_range(0..5)).min(horizon.max(1) - 1)
+        } else {
+            rng.gen_range(0..horizon.max(1))
+        }
+    }
+
+    /// The noiseless expected rating a benign user gives an item.
+    pub fn expected_rating(&self, user: usize, item: usize) -> f32 {
+        let dot: f32 = self.user_pref[user]
+            .iter()
+            .zip(&self.item_factors[item])
+            .map(|(&p, &q)| p * q)
+            .sum();
+        3.0 + 0.9 * self.item_quality[item] + self.user_bias[user] + 0.18 * dot
+    }
+
+    /// A noisy, clamped, integer star rating from the latent model.
+    pub fn sample_rating(&self, user: usize, item: usize, noise: f32, rng: &mut impl Rng) -> f32 {
+        let mu = self.expected_rating(user, item) + noise * standard_normal(rng);
+        mu.round().clamp(1.0, 5.0)
+    }
+
+    /// Aspect word strings for an item.
+    pub fn aspect_words(&self, item: usize) -> Vec<&'static str> {
+        let lexicon = aspects_for(self.domain);
+        self.item_aspects[item].iter().map(|&a| lexicon[a]).collect()
+    }
+
+    /// Samples an index from `weights` proportionally (linear scan — the
+    /// pools are small enough that this is not a bottleneck).
+    pub fn weighted_index(weights: &[f64], rng: &mut impl Rng) -> usize {
+        let total: f64 = weights.iter().sum();
+        debug_assert!(total > 0.0, "weighted_index: zero total weight");
+        let mut x = rng.gen::<f64>() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            x -= w;
+            if x <= 0.0 {
+                return i;
+            }
+        }
+        weights.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn world() -> LatentWorld {
+        let cfg = SynthConfig::yelp_chi().scaled(0.05);
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        LatentWorld::generate(&cfg, &mut rng)
+    }
+
+    #[test]
+    fn shapes_match_config() {
+        let w = world();
+        assert_eq!(w.user_bias.len(), 150);
+        assert_eq!(w.item_quality.len(), 2);
+        assert!(w.item_aspects.iter().all(|a| (2..=3).contains(&a.len())));
+    }
+
+    #[test]
+    fn ratings_are_valid_stars() {
+        let w = world();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let r = w.sample_rating(0, 0, 0.7, &mut rng);
+            assert!((1.0..=5.0).contains(&r));
+            assert_eq!(r.fract(), 0.0);
+        }
+    }
+
+    #[test]
+    fn good_items_get_higher_ratings_on_average() {
+        let cfg = SynthConfig::yelp_chi().scaled(0.2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let w = LatentWorld::generate(&cfg, &mut rng);
+        let best = (0..w.item_quality.len())
+            .max_by(|&a, &b| w.item_quality[a].total_cmp(&w.item_quality[b]))
+            .unwrap();
+        let worst = (0..w.item_quality.len())
+            .min_by(|&a, &b| w.item_quality[a].total_cmp(&w.item_quality[b]))
+            .unwrap();
+        let avg = |item: usize, rng: &mut StdRng| {
+            (0..100).map(|u| w.sample_rating(u % w.user_bias.len(), item, 0.7, rng)).sum::<f32>() / 100.0
+        };
+        assert!(avg(best, &mut rng) > avg(worst, &mut rng));
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let weights = [0.0, 10.0, 0.0];
+        for _ in 0..50 {
+            assert_eq!(LatentWorld::weighted_index(&weights, &mut rng), 1);
+        }
+        let skewed = [1.0, 9.0];
+        let hits = (0..2_000)
+            .filter(|_| LatentWorld::weighted_index(&skewed, &mut rng) == 1)
+            .count();
+        assert!((1_600..=2_000).contains(&hits), "hits {hits}");
+    }
+}

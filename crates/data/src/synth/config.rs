@@ -1,0 +1,192 @@
+//! Generator configuration and the five dataset presets of the paper's
+//! Table II, scaled to CPU-tractable sizes while preserving the statistics
+//! the compared methods key on (fraud rate, degree shape, user/item ratio).
+
+use crate::synth::textgen::Domain;
+
+/// Full configuration of the synthetic dataset generator.
+#[derive(Debug, Clone)]
+pub struct SynthConfig {
+    /// Dataset display name.
+    pub name: String,
+    /// Text domain (aspect lexicon).
+    pub domain: Domain,
+    /// Size of the user pool (unused users are compacted away).
+    pub n_users: usize,
+    /// Size of the item pool.
+    pub n_items: usize,
+    /// Target total review count.
+    pub n_reviews: usize,
+    /// Target fraction of fake reviews (paper Table II column).
+    pub fake_fraction: f64,
+    /// Zipf exponent of item popularity (higher → more head-heavy).
+    pub item_popularity_exponent: f64,
+    /// Log-normal σ of user activity (higher → heavier-tailed user degrees).
+    pub user_activity_sigma: f64,
+    /// Standard deviation of the rating noise on top of the latent model.
+    pub rating_noise: f32,
+    /// Min/max fake reviews per fraud campaign (inclusive).
+    pub campaign_size: (usize, usize),
+    /// Probability that a fraudster also writes one benign camouflage review.
+    pub camouflage_rate: f64,
+    /// Mean fake reviews per fraudulent user. Low values create singleton
+    /// "hit-and-run" fraudsters whose fairness graph methods cannot
+    /// estimate — the paper's explanation for REV2's weakness on Yelp.
+    pub fakes_per_fraudster: f64,
+    /// Whether fakes are orchestrated campaigns (Yelp) or diffuse unhelpful
+    /// reviews (Amazon's helpfulness-vote ground truth).
+    pub campaign_fraud: bool,
+    /// Time horizon in days; benign reviews are spread over it.
+    pub horizon_days: i64,
+    /// Master RNG seed.
+    pub seed: u64,
+}
+
+impl SynthConfig {
+    /// YelpChi-shaped preset: very few, high-degree items; many low-degree
+    /// users; 13.23 % fakes from bursty campaigns.
+    pub fn yelp_chi() -> Self {
+        Self {
+            name: "YelpChi-sim".into(),
+            domain: Domain::Restaurant,
+            n_users: 3_000,
+            n_items: 40,
+            n_reviews: 6_000,
+            fake_fraction: 0.1323,
+            item_popularity_exponent: 0.7,
+            user_activity_sigma: 0.9,
+            rating_noise: 0.8,
+            campaign_size: (8, 20),
+            camouflage_rate: 0.35,
+            fakes_per_fraudster: 1.4,
+            campaign_fraud: true,
+            horizon_days: 1_000,
+            seed: 0xC41,
+        }
+    }
+
+    /// YelpNYC-shaped preset: larger, 10.27 % fakes.
+    pub fn yelp_nyc() -> Self {
+        Self {
+            name: "YelpNYC-sim".into(),
+            n_users: 6_500,
+            n_items: 110,
+            n_reviews: 12_000,
+            fake_fraction: 0.1027,
+            seed: 0x117C,
+            ..Self::yelp_chi()
+        }
+    }
+
+    /// YelpZip-shaped preset: the largest Yelp set, 13.22 % fakes.
+    pub fn yelp_zip() -> Self {
+        Self {
+            name: "YelpZip-sim".into(),
+            n_users: 9_000,
+            n_items: 260,
+            n_reviews: 17_000,
+            fake_fraction: 0.1322,
+            seed: 0x21B,
+            ..Self::yelp_chi()
+        }
+    }
+
+    /// Amazon Musics-shaped preset: more items than the Yelp sets have users
+    /// per item — item degree is low (the paper blames this for DER/REV2
+    /// weakness); 24.93 % negative class from diffuse unhelpful reviews.
+    pub fn musics() -> Self {
+        Self {
+            name: "Musics-sim".into(),
+            domain: Domain::Music,
+            n_users: 1_500,
+            n_items: 2_300,
+            n_reviews: 6_500,
+            fake_fraction: 0.2493,
+            item_popularity_exponent: 0.4,
+            user_activity_sigma: 0.7,
+            rating_noise: 0.8,
+            campaign_size: (2, 5),
+            camouflage_rate: 0.2,
+            fakes_per_fraudster: 2.6,
+            campaign_fraud: false,
+            horizon_days: 1_500,
+            seed: 0x305C,
+        }
+    }
+
+    /// Amazon CDs-shaped preset: 22.39 % negative class.
+    pub fn cds() -> Self {
+        Self {
+            name: "CDs-sim".into(),
+            n_users: 2_100,
+            n_items: 2_500,
+            n_reviews: 4_800,
+            fake_fraction: 0.2239,
+            seed: 0xCD5,
+            ..Self::musics()
+        }
+    }
+
+    /// All five presets in the paper's Table II order.
+    pub fn all_presets() -> Vec<Self> {
+        vec![Self::yelp_chi(), Self::yelp_nyc(), Self::yelp_zip(), Self::musics(), Self::cds()]
+    }
+
+    /// Scales user/item/review counts by `factor` (minimum 1 each); used for
+    /// smoke-test and benchmark sizes.
+    ///
+    /// # Panics
+    /// Panics on a non-positive factor.
+    pub fn scaled(mut self, factor: f64) -> Self {
+        assert!(factor > 0.0, "SynthConfig::scaled: non-positive factor {factor}");
+        let scale = |x: usize| ((x as f64 * factor).round() as usize).max(1);
+        self.n_users = scale(self.n_users);
+        self.n_items = scale(self.n_items);
+        self.n_reviews = scale(self.n_reviews);
+        self
+    }
+
+    /// Replaces the RNG seed (for repeated trials).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper_fraud_rates() {
+        assert!((SynthConfig::yelp_chi().fake_fraction - 0.1323).abs() < 1e-9);
+        assert!((SynthConfig::yelp_nyc().fake_fraction - 0.1027).abs() < 1e-9);
+        assert!((SynthConfig::yelp_zip().fake_fraction - 0.1322).abs() < 1e-9);
+        assert!((SynthConfig::musics().fake_fraction - 0.2493).abs() < 1e-9);
+        assert!((SynthConfig::cds().fake_fraction - 0.2239).abs() < 1e-9);
+    }
+
+    #[test]
+    fn yelp_is_user_heavy_amazon_is_item_heavy() {
+        for cfg in [SynthConfig::yelp_chi(), SynthConfig::yelp_nyc(), SynthConfig::yelp_zip()] {
+            assert!(cfg.n_users > 10 * cfg.n_items, "{}", cfg.name);
+        }
+        for cfg in [SynthConfig::musics(), SynthConfig::cds()] {
+            assert!(cfg.n_items > cfg.n_users, "{}", cfg.name);
+        }
+    }
+
+    #[test]
+    fn scaling_shrinks_proportionally() {
+        let cfg = SynthConfig::yelp_chi().scaled(0.1);
+        assert_eq!(cfg.n_reviews, 600);
+        assert_eq!(cfg.n_items, 4);
+        assert_eq!(cfg.n_users, 300);
+    }
+
+    #[test]
+    fn scaling_never_hits_zero() {
+        let cfg = SynthConfig::yelp_chi().scaled(1e-6);
+        assert!(cfg.n_users >= 1 && cfg.n_items >= 1 && cfg.n_reviews >= 1);
+    }
+}

@@ -1,0 +1,275 @@
+//! Fraud injection.
+//!
+//! Yelp-shaped presets use *campaign fraud*: rings of fraudulent users blast
+//! a target item with same-direction fakes inside a short time burst —
+//! promoting bad items and demoting good ones, exactly the scenario the
+//! paper's introduction and the FraudEagle assumption describe. Amazon-shaped
+//! presets use *diffuse unhelpful reviews*: individually biased, off-topic,
+//! low-information reviews matching that ground truth's provenance
+//! (helpfulness votes rather than filter decisions).
+
+use crate::synth::behavior::LatentWorld;
+use crate::synth::config::SynthConfig;
+use crate::synth::textgen::{fake_text, unhelpful_text, FraudDirection};
+use crate::types::{ItemId, Label, Review, UserId};
+use rand::Rng;
+use std::collections::HashSet;
+
+/// The outcome of fraud planning: fake reviews plus the set of fraudster
+/// users (needed to generate their camouflage reviews).
+#[derive(Debug)]
+pub struct FraudOutcome {
+    /// Generated fake reviews.
+    pub reviews: Vec<Review>,
+    /// Users designated as fraudsters.
+    pub fraudsters: Vec<usize>,
+}
+
+/// Picks a campaign direction for an item: demote good items, promote bad
+/// ones (the profitable strategies).
+fn direction_for(quality: f32) -> FraudDirection {
+    if quality >= 0.0 {
+        FraudDirection::Demote
+    } else {
+        FraudDirection::Promote
+    }
+}
+
+/// Star rating of a campaign fake: biased in the campaign direction but
+/// with a deliberately subtle tail — professional fraud avoids the rating
+/// statistics that would flag uniform 5s/1s, which keeps behavioural
+/// detectors in the paper's 0.6–0.8 band.
+fn fake_rating(direction: FraudDirection, rng: &mut impl Rng) -> f32 {
+    let roll: f32 = rng.gen();
+    match direction {
+        FraudDirection::Promote => {
+            if roll < 0.50 {
+                5.0
+            } else if roll < 0.90 {
+                4.0
+            } else {
+                3.0
+            }
+        }
+        FraudDirection::Demote => {
+            if roll < 0.50 {
+                1.0
+            } else if roll < 0.90 {
+                2.0
+            } else {
+                3.0
+            }
+        }
+    }
+}
+
+/// Star rating of a diffuse unhelpful review: almost always the extreme.
+fn extreme_rating(direction: FraudDirection, rng: &mut impl Rng) -> f32 {
+    match direction {
+        FraudDirection::Promote => {
+            if rng.gen::<f32>() < 0.85 {
+                5.0
+            } else {
+                4.0
+            }
+        }
+        FraudDirection::Demote => {
+            if rng.gen::<f32>() < 0.85 {
+                1.0
+            } else {
+                2.0
+            }
+        }
+    }
+}
+
+/// Generates `n_fake` fake reviews.
+///
+/// `taken` holds already-used `(user, item)` pairs and is extended with the
+/// new ones so the driver can avoid duplicates across benign and fake
+/// generation.
+pub fn generate_fraud(
+    cfg: &SynthConfig,
+    world: &LatentWorld,
+    n_fake: usize,
+    taken: &mut HashSet<(usize, usize)>,
+    rng: &mut impl Rng,
+) -> FraudOutcome {
+    // Size the fraudster pool from the configured fakes-per-fraudster rate.
+    let n_fraudsters = ((n_fake as f64 / cfg.fakes_per_fraudster.max(0.1)).ceil() as usize)
+        .clamp(1, cfg.n_users.saturating_sub(1).max(1));
+    // Fraudsters are the tail of the user id space: ids are arbitrary labels,
+    // so this is not a learnable shortcut, but it keeps them disjoint from
+    // heavy benign reviewers deterministically.
+    let fraudsters: Vec<usize> = (cfg.n_users - n_fraudsters..cfg.n_users).collect();
+
+    // The quota can never exceed the number of distinct (fraudster, item)
+    // pairs; clamp it so tiny scaled configs terminate.
+    let n_fake = n_fake.min(fraudsters.len().saturating_mul(cfg.n_items));
+
+    let mut reviews = Vec::with_capacity(n_fake);
+    if cfg.campaign_fraud {
+        // Campaign mode: bursts against extreme-quality targets. The outer
+        // attempt bound guards against saturated targets near exhaustion.
+        let mut campaigns = 0usize;
+        let max_campaigns = n_fake * 20 + 100;
+        while reviews.len() < n_fake && campaigns < max_campaigns {
+            campaigns += 1;
+            let item = pick_extreme_item(world, rng);
+            let direction = direction_for(world.item_quality[item]);
+            let size = rng.gen_range(cfg.campaign_size.0..=cfg.campaign_size.1).min(n_fake - reviews.len());
+            let start = rng.gen_range(0..cfg.horizon_days.saturating_sub(20).max(1));
+            let mut attempts = 0;
+            let mut placed = 0;
+            while placed < size && attempts < size * 20 {
+                attempts += 1;
+                let user = fraudsters[rng.gen_range(0..fraudsters.len())];
+                if !taken.insert((user, item)) {
+                    continue;
+                }
+                reviews.push(Review {
+                    user: UserId(user as u32),
+                    item: ItemId(item as u32),
+                    rating: fake_rating(direction, rng),
+                    label: Label::Fake,
+                    timestamp: start + rng.gen_range(0..15),
+                    text: fake_text(rng, direction, &world.aspect_words(item)),
+                });
+                placed += 1;
+            }
+            if placed == 0 {
+                // Target saturated with this ring; try another item.
+                continue;
+            }
+        }
+    } else {
+        // Diffuse mode: independent unhelpful reviews on popularity-sampled
+        // items.
+        let mut attempts = 0;
+        while reviews.len() < n_fake && attempts < n_fake * 50 {
+            attempts += 1;
+            let user = fraudsters[rng.gen_range(0..fraudsters.len())];
+            let item = LatentWorld::weighted_index(&world.item_popularity, rng);
+            if !taken.insert((user, item)) {
+                continue;
+            }
+            let direction = direction_for(world.item_quality[item]);
+            reviews.push(Review {
+                user: UserId(user as u32),
+                item: ItemId(item as u32),
+                // Unhelpful reviews are hot-headed rants/raves: reliably at
+                // the extreme, which is exactly the consensus-deviation
+                // signal REV2 exploits on the Amazon-shaped sets (paper
+                // Table IV: REV2 strong on Musics/CDs, weak on Yelp).
+                rating: extreme_rating(direction, rng),
+                label: Label::Fake,
+                // Session-like timing, same as benign users — diffuse
+                // unhelpful reviewers have no burst signature.
+                timestamp: world.benign_timestamp(user, cfg.horizon_days, rng),
+                text: unhelpful_text(rng, direction),
+            });
+        }
+    }
+
+    FraudOutcome { reviews, fraudsters }
+}
+
+/// Samples an item with probability proportional to `|quality|` (extreme
+/// items attract campaigns more) blended with popularity; the additive
+/// constant keeps middling items in play so rating deviation alone does not
+/// give fakes away.
+fn pick_extreme_item(world: &LatentWorld, rng: &mut impl Rng) -> usize {
+    let weights: Vec<f64> = world
+        .item_quality
+        .iter()
+        .zip(&world.item_popularity)
+        .map(|(&q, &p)| (q.abs() as f64 + 1.2) * p)
+        .collect();
+    LatentWorld::weighted_index(&weights, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn setup(campaign: bool) -> (SynthConfig, LatentWorld, StdRng) {
+        let mut cfg = if campaign {
+            SynthConfig::yelp_chi().scaled(0.1)
+        } else {
+            SynthConfig::musics().scaled(0.1)
+        };
+        cfg.campaign_fraud = campaign;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let world = LatentWorld::generate(&cfg, &mut rng);
+        (cfg, world, rng)
+    }
+
+    #[test]
+    fn quota_met_and_all_fake_labelled() {
+        let (cfg, world, mut rng) = setup(true);
+        let mut taken = HashSet::new();
+        let out = generate_fraud(&cfg, &world, 80, &mut taken, &mut rng);
+        assert_eq!(out.reviews.len(), 80);
+        assert!(out.reviews.iter().all(|r| r.label == Label::Fake));
+        assert_eq!(taken.len(), 80);
+    }
+
+    #[test]
+    fn fake_ratings_stay_on_their_side_of_neutral() {
+        let (cfg, world, mut rng) = setup(true);
+        let mut taken = HashSet::new();
+        let out = generate_fraud(&cfg, &world, 60, &mut taken, &mut rng);
+        for r in &out.reviews {
+            let q = world.item_quality[r.item.index()];
+            if q >= 0.0 {
+                assert!(r.rating <= 3.0, "demote rating {}", r.rating);
+            } else {
+                assert!(r.rating >= 3.0, "promote rating {}", r.rating);
+            }
+        }
+    }
+
+    #[test]
+    fn campaign_fakes_oppose_item_quality_on_average() {
+        let (cfg, world, mut rng) = setup(true);
+        let mut taken = HashSet::new();
+        let out = generate_fraud(&cfg, &world, 60, &mut taken, &mut rng);
+        let (mut promo, mut promo_n, mut demo, mut demo_n) = (0.0f32, 0usize, 0.0f32, 0usize);
+        for r in &out.reviews {
+            if world.item_quality[r.item.index()] >= 0.0 {
+                demo += r.rating;
+                demo_n += 1;
+            } else {
+                promo += r.rating;
+                promo_n += 1;
+            }
+        }
+        if demo_n > 0 {
+            assert!(demo / demo_n as f32 <= 2.5, "demote mean {}", demo / demo_n as f32);
+        }
+        if promo_n > 0 {
+            assert!(promo / promo_n as f32 >= 3.5, "promote mean {}", promo / promo_n as f32);
+        }
+        assert!(demo_n + promo_n > 0);
+    }
+
+    #[test]
+    fn no_duplicate_pairs() {
+        let (cfg, world, mut rng) = setup(false);
+        let mut taken = HashSet::new();
+        let out = generate_fraud(&cfg, &world, 100, &mut taken, &mut rng);
+        let pairs: HashSet<(u32, u32)> = out.reviews.iter().map(|r| (r.user.0, r.item.0)).collect();
+        assert_eq!(pairs.len(), out.reviews.len());
+    }
+
+    #[test]
+    fn fraudsters_are_a_small_pool() {
+        let (cfg, world, mut rng) = setup(true);
+        let mut taken = HashSet::new();
+        let out = generate_fraud(&cfg, &world, 80, &mut taken, &mut rng);
+        assert!(out.fraudsters.len() < cfg.n_users / 2);
+        let users: HashSet<u32> = out.reviews.iter().map(|r| r.user.0).collect();
+        assert!(users.iter().all(|&u| out.fraudsters.contains(&(u as usize))));
+    }
+}

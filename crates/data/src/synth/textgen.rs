@@ -1,0 +1,305 @@
+//! Review text generation.
+//!
+//! Benign reviews mix item-specific aspect words with sentiment words that
+//! match the rating, glued by filler. Fake reviews are generated
+//! *procedurally* from a distinct spam lexicon (superlatives and
+//! call-to-action vocabulary) with a sprinkle of on-topic aspect words —
+//! lexically detectable by a semantic model, but without the verbatim
+//! template repetition that would make surface self-similarity features a
+//! giveaway. This balance mirrors the paper's setting, where
+//! metadata/behaviour baselines sit in the 0.6–0.8 AUC band while the
+//! text-reading RRRE reaches 0.8–0.9.
+
+use rand::Rng;
+
+/// Review domain, selecting the aspect lexicon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Domain {
+    /// Yelp-like restaurant/venue reviews.
+    Restaurant,
+    /// Amazon-like music product reviews.
+    Music,
+}
+
+/// Direction of a fraud campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FraudDirection {
+    /// Unjustly promote a bad item with glowing fakes.
+    Promote,
+    /// Unjustly demote a good item with scathing fakes.
+    Demote,
+}
+
+/// Restaurant aspect vocabulary; each item gets a few of these.
+pub const RESTAURANT_ASPECTS: &[&str] = &[
+    "burger", "pizza", "sushi", "noodles", "coffee", "dessert", "pancakes", "tacos", "steak",
+    "seafood", "ramen", "brunch", "cocktails", "wine", "patio", "service", "staff", "ambience",
+    "decor", "portions", "menu", "salad", "soup", "bbq", "sandwich", "fries", "curry", "dumplings",
+    "bakery", "espresso",
+];
+
+/// Music aspect vocabulary.
+pub const MUSIC_ASPECTS: &[&str] = &[
+    "album", "guitar", "vocals", "drums", "melody", "lyrics", "bass", "chorus", "tempo", "harmony",
+    "production", "soundtrack", "concert", "remix", "ballad", "riff", "solo", "acoustic", "synth",
+    "orchestra", "jazz", "blues", "folk", "opera", "percussion", "falsetto", "verse", "hook",
+    "mastering", "arrangement",
+];
+
+/// Positive sentiment vocabulary for benign reviews.
+pub const POSITIVE_WORDS: &[&str] = &[
+    "great", "delicious", "friendly", "wonderful", "excellent", "tasty", "cozy", "fresh", "lovely",
+    "impressive", "charming", "satisfying", "delightful", "smooth", "warm", "generous", "crisp",
+    "beautiful", "memorable", "pleasant",
+];
+
+/// Negative sentiment vocabulary for benign reviews.
+pub const NEGATIVE_WORDS: &[&str] = &[
+    "terrible", "bland", "rude", "slow", "disappointing", "stale", "overpriced", "noisy", "greasy",
+    "mediocre", "boring", "dull", "cold", "soggy", "cramped", "dirty", "forgettable", "unpleasant",
+    "flat", "weak",
+];
+
+/// Neutral filler vocabulary.
+pub const FILLER_WORDS: &[&str] = &[
+    "the", "was", "really", "very", "place", "time", "definitely", "would", "again", "visit",
+    "came", "ordered", "tried", "felt", "quite", "pretty", "honestly", "overall", "maybe", "with",
+    "and", "for", "had", "here", "there", "last", "week", "friends", "family", "evening",
+];
+
+/// Promotional spam vocabulary: superlatives + call-to-action. Overlaps a
+/// little with benign positives ("amazing" energy) but is dominated by
+/// hype/urgency words benign reviewers rarely use.
+pub const PROMOTE_SPAM_WORDS: &[&str] = &[
+    "best", "amazing", "incredible", "perfect", "awesome", "unbeatable", "must", "buy", "now",
+    "recommend", "stars", "five", "guaranteed", "unreal", "top", "deal", "ever", "hands", "down",
+    "trust", "wow", "hype", "everyone", "instantly", "life", "changing",
+];
+
+/// Demotional spam vocabulary.
+pub const DEMOTE_SPAM_WORDS: &[&str] = &[
+    "worst", "scam", "avoid", "horrible", "garbage", "ripoff", "awful", "zero", "never", "fraud",
+    "waste", "money", "disgusting", "stay", "away", "junk", "lie", "disaster", "save", "elsewhere",
+    "refund", "useless", "warning", "fake", "cheated", "furious",
+];
+
+/// Aspect lexicon for a domain.
+pub fn aspects_for(domain: Domain) -> &'static [&'static str] {
+    match domain {
+        Domain::Restaurant => RESTAURANT_ASPECTS,
+        Domain::Music => MUSIC_ASPECTS,
+    }
+}
+
+/// Generates benign review text for an item with the given aspect words and
+/// star rating. Length and composition vary with the rating's polarity.
+pub fn benign_text(rng: &mut impl Rng, item_aspects: &[&str], rating: f32) -> String {
+    debug_assert!(!item_aspects.is_empty(), "benign_text: item needs aspects");
+    let len = rng.gen_range(15..40);
+    let polarity_strength = ((rating - 3.0) / 2.0).clamp(-1.0, 1.0);
+    let mut words: Vec<&str> = Vec::with_capacity(len);
+    for _ in 0..len {
+        let roll: f32 = rng.gen();
+        let word = if roll < 0.25 {
+            item_aspects[rng.gen_range(0..item_aspects.len())]
+        } else if roll < 0.62 {
+            // Sentiment word: sign follows the rating, with some mixed
+            // feelings for mid ratings. The text is deliberately a strong
+            // signal for the rating — the channel that lets review-reading
+            // models beat ID-only matrix factorisation (paper Table III).
+            let positive = rng.gen::<f32>() < 0.5 + 0.48 * polarity_strength;
+            if positive {
+                POSITIVE_WORDS[rng.gen_range(0..POSITIVE_WORDS.len())]
+            } else {
+                NEGATIVE_WORDS[rng.gen_range(0..NEGATIVE_WORDS.len())]
+            }
+        } else {
+            FILLER_WORDS[rng.gen_range(0..FILLER_WORDS.len())]
+        };
+        words.push(word);
+    }
+    words.join(" ")
+}
+
+/// Generates fake review text for a campaign direction.
+///
+/// Fakes *mimic* genuine reviews — on-topic aspect words, sentiment matching
+/// the (fraudulent) rating direction, ordinary filler — but paid reviewers
+/// leak hype/urgency vocabulary at a steady rate. The resulting text is
+/// behaviourally inconspicuous (length, surface self-similarity) yet
+/// lexically detectable by a semantic model that reads the words, which is
+/// precisely the regime of the paper's Table IV.
+pub fn fake_text(rng: &mut impl Rng, direction: FraudDirection, item_aspects: &[&str]) -> String {
+    let spam: &[&str] = match direction {
+        FraudDirection::Promote => PROMOTE_SPAM_WORDS,
+        FraudDirection::Demote => DEMOTE_SPAM_WORDS,
+    };
+    let sentiment: &[&str] = match direction {
+        FraudDirection::Promote => POSITIVE_WORDS,
+        FraudDirection::Demote => NEGATIVE_WORDS,
+    };
+    let len = rng.gen_range(14..36);
+    let mut words: Vec<&str> = Vec::with_capacity(len);
+    for _ in 0..len {
+        let roll: f32 = rng.gen();
+        let word = if roll < 0.22 {
+            spam[rng.gen_range(0..spam.len())]
+        } else if roll < 0.45 && !item_aspects.is_empty() {
+            item_aspects[rng.gen_range(0..item_aspects.len())]
+        } else if roll < 0.65 {
+            sentiment[rng.gen_range(0..sentiment.len())]
+        } else {
+            FILLER_WORDS[rng.gen_range(0..FILLER_WORDS.len())]
+        };
+        words.push(word);
+    }
+    words.join(" ")
+}
+
+/// Generates low-information "unhelpful" text (the Amazon datasets' negative
+/// class are unhelpful reviews rather than orchestrated spam): off-topic
+/// filler with spam-flavoured sentiment, at ordinary review length so that
+/// surface statistics (length) do not give the class away.
+pub fn unhelpful_text(rng: &mut impl Rng, direction: FraudDirection) -> String {
+    let spam: &[&str] = match direction {
+        FraudDirection::Promote => PROMOTE_SPAM_WORDS,
+        FraudDirection::Demote => DEMOTE_SPAM_WORDS,
+    };
+    let len = rng.gen_range(13..32);
+    let mut words: Vec<&str> = Vec::with_capacity(len);
+    for _ in 0..len {
+        let roll: f32 = rng.gen();
+        let word = if roll < 0.28 {
+            spam[rng.gen_range(0..spam.len())]
+        } else {
+            FILLER_WORDS[rng.gen_range(0..FILLER_WORDS.len())]
+        };
+        words.push(word);
+    }
+    words.join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use rrre_text::similarity::jaccard;
+
+    #[test]
+    fn benign_text_mentions_item_aspects() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let aspects = ["sushi", "ramen"];
+        let text = benign_text(&mut rng, &aspects, 5.0);
+        assert!(text.split(' ').any(|w| aspects.contains(&w)), "no aspect in {text:?}");
+    }
+
+    #[test]
+    fn high_ratings_skew_positive() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let aspects = ["pizza"];
+        let mut pos = 0usize;
+        let mut neg = 0usize;
+        for _ in 0..50 {
+            let text = benign_text(&mut rng, &aspects, 5.0);
+            for w in text.split(' ') {
+                if POSITIVE_WORDS.contains(&w) {
+                    pos += 1;
+                }
+                if NEGATIVE_WORDS.contains(&w) {
+                    neg += 1;
+                }
+            }
+        }
+        assert!(pos > 3 * neg, "pos {pos} vs neg {neg}");
+    }
+
+    #[test]
+    fn low_ratings_skew_negative() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let aspects = ["pizza"];
+        let mut pos = 0usize;
+        let mut neg = 0usize;
+        for _ in 0..50 {
+            let text = benign_text(&mut rng, &aspects, 1.0);
+            for w in text.split(' ') {
+                if POSITIVE_WORDS.contains(&w) {
+                    pos += 1;
+                }
+                if NEGATIVE_WORDS.contains(&w) {
+                    neg += 1;
+                }
+            }
+        }
+        assert!(neg > 3 * pos, "pos {pos} vs neg {neg}");
+    }
+
+    #[test]
+    fn fake_text_is_spam_lexicon_heavy() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut spam_hits = 0usize;
+        let mut total = 0usize;
+        for _ in 0..40 {
+            let text = fake_text(&mut rng, FraudDirection::Promote, &["pizza"]);
+            for w in text.split(' ') {
+                total += 1;
+                if PROMOTE_SPAM_WORDS.contains(&w) {
+                    spam_hits += 1;
+                }
+            }
+        }
+        let frac = spam_hits as f64 / total as f64;
+        assert!(frac > 0.15, "spam fraction {frac}");
+        assert!(frac < 0.40, "spam fraction {frac} — mimicry should dominate");
+    }
+
+    #[test]
+    fn fakes_are_not_verbatim_templates() {
+        // Pairwise Jaccard between fakes must stay moderate — surface
+        // similarity alone should not solve the detection task.
+        let mut rng = StdRng::seed_from_u64(5);
+        let docs: Vec<Vec<String>> = (0..20)
+            .map(|_| {
+                fake_text(&mut rng, FraudDirection::Demote, &["pizza", "service"])
+                    .split(' ')
+                    .map(str::to_string)
+                    .collect()
+            })
+            .collect();
+        // Index docs into token-id space by hashing words to usize.
+        let to_ids = |d: &Vec<String>| -> Vec<usize> {
+            d.iter()
+                .map(|w| w.bytes().fold(0usize, |h, b| h.wrapping_mul(31).wrapping_add(b as usize)))
+                .collect()
+        };
+        let mut total = 0.0;
+        let mut count = 0;
+        for i in 0..docs.len() {
+            for j in i + 1..docs.len() {
+                total += jaccard(&to_ids(&docs[i]), &to_ids(&docs[j]));
+                count += 1;
+            }
+        }
+        let mean = total / count as f32;
+        assert!(mean < 0.45, "mean pairwise jaccard {mean} too template-like");
+        assert!(mean > 0.05, "mean pairwise jaccard {mean} suspiciously low");
+    }
+
+    #[test]
+    fn directions_use_disjoint_spam_lexicons() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let promote = fake_text(&mut rng, FraudDirection::Promote, &[]);
+        let demote = fake_text(&mut rng, FraudDirection::Demote, &[]);
+        assert!(promote.split(' ').any(|w| PROMOTE_SPAM_WORDS.contains(&w)));
+        assert!(demote.split(' ').any(|w| DEMOTE_SPAM_WORDS.contains(&w)));
+    }
+
+    #[test]
+    fn unhelpful_text_has_ordinary_length() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..20 {
+            let t = unhelpful_text(&mut rng, FraudDirection::Demote);
+            let n = t.split(' ').count();
+            assert!((13..32).contains(&n), "length {n}");
+        }
+    }
+}

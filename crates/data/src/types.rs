@@ -1,0 +1,102 @@
+//! Core dataset types: users, items, labelled reviews.
+
+use serde::{Deserialize, Serialize};
+
+/// Dense user identifier (`0..n_users`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct UserId(pub u32);
+
+/// Dense item identifier (`0..n_items`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ItemId(pub u32);
+
+impl UserId {
+    /// The id as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl ItemId {
+    /// The id as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Ground-truth reliability label of a review.
+///
+/// Matches the paper's definition: reliability is "the likelihood that a
+/// review is benign"; the ground truth `l_ui` is binary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Label {
+    /// A genuine review from a normal user.
+    Benign,
+    /// A fake/fraudulent review (Yelp-filtered / unhelpful in the paper's
+    /// datasets; campaign-generated here).
+    Fake,
+}
+
+impl Label {
+    /// The paper's `l_ui ∈ {0, 1}` encoding (benign = 1).
+    pub fn as_f32(self) -> f32 {
+        match self {
+            Label::Benign => 1.0,
+            Label::Fake => 0.0,
+        }
+    }
+
+    /// Class index for the softmax reliability head (benign = 1, fake = 0),
+    /// so that "probability of class 1" is the reliability score.
+    pub fn class_index(self) -> usize {
+        match self {
+            Label::Benign => 1,
+            Label::Fake => 0,
+        }
+    }
+
+    /// Whether the review is benign.
+    pub fn is_benign(self) -> bool {
+        matches!(self, Label::Benign)
+    }
+}
+
+/// One labelled review — the paper's tuple `t^ui = {u, i, r_ui, l_ui, w_ui}`
+/// plus the publication timestamp used by the time-based sampling strategy
+/// and the behavioural baselines.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Review {
+    /// Authoring user.
+    pub user: UserId,
+    /// Reviewed item.
+    pub item: ItemId,
+    /// Star rating `r_ui ∈ {1, …, 5}` stored as `f32`.
+    pub rating: f32,
+    /// Ground-truth reliability label `l_ui`.
+    pub label: Label,
+    /// Publication day (arbitrary epoch).
+    pub timestamp: i64,
+    /// Review text `w_ui`.
+    pub text: String,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_encodings() {
+        assert_eq!(Label::Benign.as_f32(), 1.0);
+        assert_eq!(Label::Fake.as_f32(), 0.0);
+        assert_eq!(Label::Benign.class_index(), 1);
+        assert_eq!(Label::Fake.class_index(), 0);
+        assert!(Label::Benign.is_benign());
+        assert!(!Label::Fake.is_benign());
+    }
+
+    #[test]
+    fn ids_index() {
+        assert_eq!(UserId(7).index(), 7);
+        assert_eq!(ItemId(3).index(), 3);
+    }
+}

@@ -1,0 +1,214 @@
+//! Loader for the Rayana–Akoglu Yelp dataset format.
+//!
+//! The real YelpChi/YelpNYC/YelpZip releases (obtained from the SpEagle
+//! authors; not redistributable with this repository) ship as two aligned
+//! text files:
+//!
+//! * `metadata` — one review per line:
+//!   `user_id<TAB>prod_id<TAB>rating<TAB>label<TAB>date`, where `label` is
+//!   `-1` for filtered (fake) and `1` for recommended (benign), and `date`
+//!   is `YYYY-MM-DD`;
+//! * `reviewContent` — the review text, same line order (optional; reviews
+//!   without text get an empty string, which the caller should filter or
+//!   tolerate).
+//!
+//! Anyone holding the real data can parse it with [`load_yelp`] and run the
+//! entire pipeline unchanged on it.
+
+use crate::types::{ItemId, Label, Review, UserId};
+use crate::Dataset;
+use std::collections::HashMap;
+use std::io::{self, BufRead};
+
+/// Days from the Unix epoch for a `YYYY-MM-DD` date (proleptic Gregorian).
+/// Returns `None` for malformed dates.
+fn days_since_epoch(date: &str) -> Option<i64> {
+    let mut parts = date.split('-');
+    let year: i64 = parts.next()?.parse().ok()?;
+    let month: i64 = parts.next()?.parse().ok()?;
+    let day: i64 = parts.next()?.parse().ok()?;
+    if parts.next().is_some() || !(1..=12).contains(&month) || !(1..=31).contains(&day) {
+        return None;
+    }
+    // Howard Hinnant's days-from-civil algorithm.
+    let y = if month <= 2 { year - 1 } else { year };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400;
+    let mp = (month + 9) % 12;
+    let doy = (153 * mp + 2) / 5 + day - 1;
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    Some(era * 146_097 + doe - 719_468)
+}
+
+/// A parse failure with its line number.
+#[derive(Debug)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses the `metadata` stream (and optionally the aligned `reviewContent`
+/// stream) into a [`Dataset`] with dense ids.
+///
+/// Fields may be separated by tabs or runs of spaces. Ratings outside
+/// `[1, 5]` are clamped; labels other than `-1`/`1` are errors.
+pub fn load_yelp(
+    name: &str,
+    metadata: impl BufRead,
+    review_content: Option<impl BufRead>,
+) -> Result<Dataset, ParseError> {
+    let mut texts: Vec<String> = Vec::new();
+    if let Some(rc) = review_content {
+        for line in rc.lines() {
+            let line = line.map_err(|e| ParseError { line: texts.len() + 1, message: e.to_string() })?;
+            texts.push(line);
+        }
+    }
+
+    let mut user_map: HashMap<String, u32> = HashMap::new();
+    let mut item_map: HashMap<String, u32> = HashMap::new();
+    let mut user_names: Vec<String> = Vec::new();
+    let mut item_names: Vec<String> = Vec::new();
+    let mut reviews = Vec::new();
+
+    for (lineno, line) in metadata.lines().enumerate() {
+        let line = line.map_err(|e| ParseError { line: lineno + 1, message: e.to_string() })?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(['\t', ' ']).filter(|f| !f.is_empty()).collect();
+        if fields.len() < 5 {
+            return Err(ParseError {
+                line: lineno + 1,
+                message: format!("expected 5 fields (user prod rating label date), got {}", fields.len()),
+            });
+        }
+        let user = *user_map.entry(fields[0].to_string()).or_insert_with(|| {
+            user_names.push(fields[0].to_string());
+            (user_names.len() - 1) as u32
+        });
+        let item = *item_map.entry(fields[1].to_string()).or_insert_with(|| {
+            item_names.push(fields[1].to_string());
+            (item_names.len() - 1) as u32
+        });
+        let rating: f32 = fields[2].parse().map_err(|_| ParseError {
+            line: lineno + 1,
+            message: format!("bad rating '{}'", fields[2]),
+        })?;
+        let label = match fields[3] {
+            "-1" => Label::Fake,
+            "1" => Label::Benign,
+            other => {
+                return Err(ParseError { line: lineno + 1, message: format!("bad label '{other}'") });
+            }
+        };
+        let timestamp = days_since_epoch(fields[4]).ok_or_else(|| ParseError {
+            line: lineno + 1,
+            message: format!("bad date '{}'", fields[4]),
+        })?;
+        let text = texts.get(reviews.len()).cloned().unwrap_or_default();
+        reviews.push(Review {
+            user: UserId(user),
+            item: ItemId(item),
+            rating: rating.clamp(1.0, 5.0),
+            label,
+            timestamp,
+            text,
+        });
+    }
+
+    let mut ds = Dataset::new(name, user_names.len(), item_names.len(), reviews);
+    ds.user_names = user_names;
+    ds.item_names = item_names;
+    Ok(ds)
+}
+
+/// Loads the two files from disk.
+pub fn load_yelp_files(
+    name: &str,
+    metadata_path: impl AsRef<std::path::Path>,
+    review_content_path: Option<&std::path::Path>,
+) -> io::Result<Dataset> {
+    let meta = io::BufReader::new(std::fs::File::open(metadata_path)?);
+    let rc = match review_content_path {
+        Some(p) => Some(io::BufReader::new(std::fs::File::open(p)?)),
+        None => None,
+    };
+    load_yelp(name, meta, rc).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const META: &str = "u1\tp1\t5.0\t1\t2012-06-01\n\
+                        u2\tp1\t1.0\t-1\t2012-06-03\n\
+                        u1\tp2\t4.0\t1\t2012-07-10\n";
+    const TEXT: &str = "great place loved it\nawful scam avoid\nreally nice pasta\n";
+
+    #[test]
+    fn parses_metadata_and_text() {
+        let ds = load_yelp("chi", META.as_bytes(), Some(TEXT.as_bytes())).unwrap();
+        assert_eq!(ds.len(), 3);
+        assert_eq!(ds.n_users, 2);
+        assert_eq!(ds.n_items, 2);
+        assert_eq!(ds.reviews[0].rating, 5.0);
+        assert_eq!(ds.reviews[1].label, Label::Fake);
+        assert_eq!(ds.reviews[2].text, "really nice pasta");
+        assert_eq!(ds.user_name(UserId(0)), "u1");
+        assert_eq!(ds.item_name(ItemId(1)), "p2");
+        // Dates map to increasing day numbers.
+        assert!(ds.reviews[1].timestamp > ds.reviews[0].timestamp);
+        assert!(ds.reviews[2].timestamp > ds.reviews[1].timestamp);
+    }
+
+    #[test]
+    fn missing_text_stream_yields_empty_texts() {
+        let ds = load_yelp("chi", META.as_bytes(), None::<&[u8]>).unwrap();
+        assert!(ds.reviews.iter().all(|r| r.text.is_empty()));
+    }
+
+    #[test]
+    fn space_separated_fields_accepted() {
+        let meta = "u1 p1 3.0 1 2013-01-15\n";
+        let ds = load_yelp("x", meta.as_bytes(), None::<&[u8]>).unwrap();
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds.reviews[0].rating, 3.0);
+    }
+
+    #[test]
+    fn malformed_lines_error_with_line_numbers() {
+        let bad_label = "u1\tp1\t5.0\t2\t2012-06-01\n";
+        let err = load_yelp("x", bad_label.as_bytes(), None::<&[u8]>).unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("label"));
+
+        let bad_date = "u1\tp1\t5.0\t1\tnot-a-date\n";
+        let err = load_yelp("x", bad_date.as_bytes(), None::<&[u8]>).unwrap_err();
+        assert!(err.message.contains("date"));
+
+        let short = "u1\tp1\t5.0\n";
+        let err = load_yelp("x", short.as_bytes(), None::<&[u8]>).unwrap_err();
+        assert!(err.message.contains("5 fields"));
+    }
+
+    #[test]
+    fn date_conversion_known_values() {
+        assert_eq!(days_since_epoch("1970-01-01"), Some(0));
+        assert_eq!(days_since_epoch("1970-01-02"), Some(1));
+        assert_eq!(days_since_epoch("2000-03-01"), Some(11017));
+        assert_eq!(days_since_epoch("2012-06-01"), Some(15492));
+        assert_eq!(days_since_epoch("2012-13-01"), None);
+        assert_eq!(days_since_epoch("garbage"), None);
+    }
+}

@@ -1,0 +1,69 @@
+//! Property-based tests of the synthetic dataset generator across random
+//! configurations — the invariants every downstream experiment relies on.
+
+use proptest::prelude::*;
+use rrre_data::synth::{generate, SynthConfig};
+use rrre_data::{dataset_stats, train_test_split, Label};
+use std::collections::HashSet;
+
+fn any_preset() -> impl Strategy<Value = SynthConfig> {
+    (0usize..5, 0.02f64..0.08, 0u64..100_000).prop_map(|(which, scale, seed)| {
+        let base = SynthConfig::all_presets().swap_remove(which);
+        base.scaled(scale).with_seed(seed)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn no_duplicate_user_item_pairs(cfg in any_preset()) {
+        let ds = generate(&cfg);
+        let mut seen = HashSet::new();
+        for r in &ds.reviews {
+            prop_assert!(seen.insert((r.user, r.item)), "duplicate pair {:?}/{:?}", r.user, r.item);
+        }
+    }
+
+    #[test]
+    fn timestamps_inside_horizon(cfg in any_preset()) {
+        let ds = generate(&cfg);
+        for r in &ds.reviews {
+            prop_assert!(r.timestamp >= 0);
+            // Campaign bursts may spill a few days past their start draw.
+            prop_assert!(r.timestamp < cfg.horizon_days + 30, "timestamp {}", r.timestamp);
+        }
+    }
+
+    #[test]
+    fn stats_are_internally_consistent(cfg in any_preset()) {
+        let ds = generate(&cfg);
+        let s = dataset_stats(&ds);
+        prop_assert_eq!(s.n_reviews, ds.len());
+        prop_assert!(s.n_users <= ds.n_users);
+        prop_assert!(s.median_user_degree <= s.max_user_degree);
+        prop_assert!(s.median_item_degree <= s.max_item_degree);
+        prop_assert!((0.0..=100.0).contains(&s.fake_pct));
+        prop_assert!((1.0..=5.0).contains(&s.benign_mean_rating));
+    }
+
+    #[test]
+    fn splits_cover_and_partition(cfg in any_preset(), split_seed in 0u64..1000) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let ds = generate(&cfg);
+        prop_assume!(ds.len() >= 10);
+        let split = train_test_split(&ds, 0.3, &mut StdRng::seed_from_u64(split_seed));
+        prop_assert_eq!(split.train.len() + split.test.len(), ds.len());
+        let train: HashSet<usize> = split.train.iter().copied().collect();
+        prop_assert!(split.test.iter().all(|i| !train.contains(i)));
+    }
+
+    #[test]
+    fn both_classes_present_at_reasonable_sizes(cfg in any_preset()) {
+        let ds = generate(&cfg);
+        prop_assume!(ds.len() >= 100);
+        let fakes = ds.reviews.iter().filter(|r| r.label == Label::Fake).count();
+        prop_assert!(fakes > 0, "no fakes generated");
+        prop_assert!(fakes < ds.len(), "everything fake");
+    }
+}

@@ -1,0 +1,252 @@
+//! Structural analysis of the review graph: connected components, density
+//! and k-core decomposition — the sparsity diagnostics behind the paper's
+//! "low degree of users and items leads to a sparse network" discussion of
+//! REV2/SpEagle behaviour.
+
+use crate::bipartite::ReviewGraph;
+use rrre_data::{ItemId, UserId};
+
+/// Node handle in the unified (users-then-items) node space.
+fn user_node(u: usize) -> usize {
+    u
+}
+fn item_node(g: &ReviewGraph, i: usize) -> usize {
+    g.n_users() + i
+}
+
+/// Connected-component labelling of the bipartite graph.
+///
+/// Returns `(labels, n_components)` where `labels[node]` identifies the
+/// component of each user (`0..n_users`) and item (`n_users..n_users+n_items`).
+/// Isolated nodes (no reviews) each form their own component.
+pub fn connected_components(g: &ReviewGraph) -> (Vec<usize>, usize) {
+    let n = g.n_users() + g.n_items();
+    let mut labels = vec![usize::MAX; n];
+    let mut next = 0usize;
+    let mut stack = Vec::new();
+    for start in 0..n {
+        if labels[start] != usize::MAX {
+            continue;
+        }
+        labels[start] = next;
+        stack.push(start);
+        while let Some(node) = stack.pop() {
+            let edges: &[usize] = if node < g.n_users() {
+                g.user_edges(UserId(node as u32))
+            } else {
+                g.item_edges(ItemId((node - g.n_users()) as u32))
+            };
+            for &e in edges {
+                let edge = g.edges()[e];
+                for neighbour in [user_node(edge.user.index()), item_node(g, edge.item.index())] {
+                    if labels[neighbour] == usize::MAX {
+                        labels[neighbour] = next;
+                        stack.push(neighbour);
+                    }
+                }
+            }
+        }
+        next += 1;
+    }
+    (labels, next)
+}
+
+/// Size of the largest connected component (in nodes).
+pub fn largest_component_size(g: &ReviewGraph) -> usize {
+    let (labels, n_components) = connected_components(g);
+    let mut sizes = vec![0usize; n_components];
+    for &l in &labels {
+        sizes[l] += 1;
+    }
+    sizes.into_iter().max().unwrap_or(0)
+}
+
+/// Bipartite density: edges / (users × items).
+pub fn density(g: &ReviewGraph) -> f64 {
+    let cells = g.n_users() as f64 * g.n_items() as f64;
+    if cells == 0.0 {
+        0.0
+    } else {
+        g.n_edges() as f64 / cells
+    }
+}
+
+/// K-core decomposition: the core number of every node — the largest `k`
+/// such that the node survives in the subgraph where every node has degree
+/// ≥ `k`. Fraud rings appear as unusually dense cores.
+///
+/// Returns core numbers indexed like [`connected_components`]'s labels.
+pub fn core_numbers(g: &ReviewGraph) -> Vec<usize> {
+    let n = g.n_users() + g.n_items();
+    let mut degree: Vec<usize> = (0..n)
+        .map(|node| {
+            if node < g.n_users() {
+                g.user_degree(UserId(node as u32))
+            } else {
+                g.item_degree(ItemId((node - g.n_users()) as u32))
+            }
+        })
+        .collect();
+    // Peeling with a bucket queue over degrees.
+    let max_deg = degree.iter().copied().max().unwrap_or(0);
+    let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); max_deg + 1];
+    for (node, &d) in degree.iter().enumerate() {
+        buckets[d].push(node);
+    }
+    let mut core = vec![0usize; n];
+    let mut removed = vec![false; n];
+    let mut k = 0usize;
+    // Peel from the lowest available degree; buckets can refill below the
+    // cursor as neighbours' degrees drop, so the cursor moves both ways.
+    let mut cursor = 0;
+    while cursor <= max_deg {
+        let Some(node) = buckets[cursor].pop() else {
+            cursor += 1;
+            continue;
+        };
+        if removed[node] || degree[node] != cursor {
+            continue; // stale entry from an earlier degree
+        }
+        k = k.max(cursor);
+        core[node] = k;
+        removed[node] = true;
+        let edges: Vec<usize> = if node < g.n_users() {
+            g.user_edges(UserId(node as u32)).to_vec()
+        } else {
+            g.item_edges(ItemId((node - g.n_users()) as u32)).to_vec()
+        };
+        for e in edges {
+            let edge = g.edges()[e];
+            let other = if node < g.n_users() {
+                item_node(g, edge.item.index())
+            } else {
+                user_node(edge.user.index())
+            };
+            if !removed[other] && degree[other] > 0 {
+                degree[other] -= 1;
+                buckets[degree[other]].push(other);
+                cursor = cursor.min(degree[other]);
+            }
+        }
+    }
+    core
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrre_data::{Dataset, Label, Review};
+
+    fn dataset(pairs: &[(u32, u32)], n_users: usize, n_items: usize) -> Dataset {
+        let reviews = pairs
+            .iter()
+            .enumerate()
+            .map(|(i, &(u, it))| Review {
+                user: UserId(u),
+                item: ItemId(it),
+                rating: 3.0,
+                label: Label::Benign,
+                timestamp: i as i64,
+                text: String::new(),
+            })
+            .collect();
+        Dataset::new("t", n_users, n_items, reviews)
+    }
+
+    fn graph(pairs: &[(u32, u32)], n_users: usize, n_items: usize) -> ReviewGraph {
+        let ds = dataset(pairs, n_users, n_items);
+        let all: Vec<usize> = (0..ds.len()).collect();
+        ReviewGraph::from_dataset(&ds, &all)
+    }
+
+    #[test]
+    fn components_split_disconnected_blocks() {
+        // users 0,1 ↔ item 0; user 2 ↔ item 1; user 3 and item 2 isolated.
+        let g = graph(&[(0, 0), (1, 0), (2, 1)], 4, 3);
+        let (labels, n) = connected_components(&g);
+        assert_eq!(n, 4); // block A, block B, isolated user, isolated item
+        assert_eq!(labels[0], labels[1]); // users 0,1 together
+        assert_eq!(labels[0], labels[4]); // with item 0 (node 4)
+        assert_ne!(labels[0], labels[2]);
+        assert_eq!(largest_component_size(&g), 3);
+    }
+
+    #[test]
+    fn density_known_value() {
+        let g = graph(&[(0, 0), (1, 0)], 2, 2);
+        assert!((density(&g) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn core_numbers_peel_stars_before_cliques() {
+        // A biclique K2,2 (core 2) plus a pendant user on item 0 (core 1).
+        let g = graph(&[(0, 0), (0, 1), (1, 0), (1, 1), (2, 0)], 3, 2);
+        let cores = core_numbers(&g);
+        assert_eq!(cores[2], 1, "pendant user");
+        assert_eq!(cores[0], 2);
+        assert_eq!(cores[1], 2);
+        assert_eq!(cores[3], 2); // item 0
+        assert_eq!(cores[4], 2); // item 1
+    }
+
+    /// Reference k-core by the definition: for ascending `k`, repeatedly
+    /// delete nodes of degree < `k`; a node's core number is the last `k`
+    /// at which it survived.
+    fn reference_core_numbers(g: &ReviewGraph) -> Vec<usize> {
+        let n = g.n_users() + g.n_items();
+        // adjacency as node -> multiset of neighbours
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for e in g.edges() {
+            let u = e.user.index();
+            let i = g.n_users() + e.item.index();
+            adj[u].push(i);
+            adj[i].push(u);
+        }
+        let mut core = vec![0usize; n];
+        let max_deg = adj.iter().map(Vec::len).max().unwrap_or(0);
+        for k in 1..=max_deg {
+            let mut alive: Vec<bool> = adj.iter().map(|a| !a.is_empty()).collect();
+            let mut degree: Vec<usize> = adj.iter().map(Vec::len).collect();
+            let mut changed = true;
+            while changed {
+                changed = false;
+                for node in 0..n {
+                    if alive[node] && degree[node] < k {
+                        alive[node] = false;
+                        changed = true;
+                        for &nb in &adj[node] {
+                            if alive[nb] {
+                                degree[nb] -= 1;
+                            }
+                        }
+                    }
+                }
+            }
+            for node in 0..n {
+                if alive[node] {
+                    core[node] = k;
+                }
+            }
+        }
+        core
+    }
+
+    #[test]
+    fn core_numbers_match_reference_on_generated_graph() {
+        use rrre_data::synth::{generate, SynthConfig};
+        let ds = generate(&SynthConfig::cds().scaled(0.05));
+        let all: Vec<usize> = (0..ds.len()).collect();
+        let g = ReviewGraph::from_dataset(&ds, &all);
+        let fast = core_numbers(&g);
+        let reference = reference_core_numbers(&g);
+        assert_eq!(fast, reference);
+    }
+
+    #[test]
+    fn core_numbers_zero_for_isolated() {
+        let g = graph(&[(0, 0)], 2, 1);
+        let cores = core_numbers(&g);
+        assert_eq!(cores[1], 0); // isolated user
+        assert_eq!(cores[0], 1);
+    }
+}

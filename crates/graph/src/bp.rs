@@ -1,0 +1,277 @@
+//! Loopy belief propagation over a pairwise Markov random field with binary
+//! node states — the inference engine behind the SpEagle+/FraudEagle
+//! baseline.
+//!
+//! Nodes carry prior potentials over two states; edges carry `2 × 2`
+//! compatibility tables. Messages are updated synchronously with damping
+//! until the maximum message change falls below a tolerance.
+
+/// A pairwise MRF with binary states.
+#[derive(Debug, Clone, Default)]
+pub struct BpNetwork {
+    priors: Vec<[f64; 2]>,
+    edges: Vec<BpEdge>,
+    /// Edge indices incident to each node.
+    adjacency: Vec<Vec<usize>>,
+}
+
+/// One undirected edge with its compatibility table `psi[state_a][state_b]`.
+#[derive(Debug, Clone, Copy)]
+pub struct BpEdge {
+    /// First endpoint.
+    pub a: usize,
+    /// Second endpoint.
+    pub b: usize,
+    /// Compatibility `psi[sa][sb]`.
+    pub psi: [[f64; 2]; 2],
+}
+
+/// Result of a BP run.
+#[derive(Debug, Clone)]
+pub struct BpResult {
+    /// Posterior marginal per node (normalised over the two states).
+    pub beliefs: Vec<[f64; 2]>,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Whether the message updates converged within tolerance.
+    pub converged: bool,
+}
+
+impl BpNetwork {
+    /// Creates a network with `n` nodes and uniform priors.
+    pub fn new(n: usize) -> Self {
+        Self { priors: vec![[0.5, 0.5]; n], edges: Vec::new(), adjacency: vec![Vec::new(); n] }
+    }
+
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.priors.len()
+    }
+
+    /// Number of edges.
+    pub fn n_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Sets a node's prior (need not be normalised; must be non-negative and
+    /// not both zero).
+    ///
+    /// # Panics
+    /// Panics on an invalid prior.
+    pub fn set_prior(&mut self, node: usize, prior: [f64; 2]) {
+        assert!(
+            prior[0] >= 0.0 && prior[1] >= 0.0 && prior[0] + prior[1] > 0.0,
+            "set_prior: invalid prior {prior:?}"
+        );
+        self.priors[node] = prior;
+    }
+
+    /// Clamps a node to a known state (supervision): the prior becomes a
+    /// near-delta on `state`.
+    pub fn clamp(&mut self, node: usize, state: usize) {
+        assert!(state < 2, "clamp: state {state} out of range");
+        let mut p = [1e-6; 2];
+        p[state] = 1.0 - 1e-6;
+        self.priors[node] = p;
+    }
+
+    /// Adds an undirected edge with compatibility table `psi`.
+    ///
+    /// # Panics
+    /// Panics on out-of-range endpoints or non-positive table entries.
+    pub fn add_edge(&mut self, a: usize, b: usize, psi: [[f64; 2]; 2]) {
+        assert!(a < self.n_nodes() && b < self.n_nodes(), "add_edge: endpoint out of range");
+        assert!(
+            psi.iter().flatten().all(|&x| x > 0.0),
+            "add_edge: compatibility entries must be positive"
+        );
+        let e = self.edges.len();
+        self.edges.push(BpEdge { a, b, psi });
+        self.adjacency[a].push(e);
+        self.adjacency[b].push(e);
+    }
+
+    /// Runs damped synchronous loopy BP.
+    ///
+    /// `damping ∈ [0, 1)`: fraction of the old message retained (0 = no
+    /// damping). Beliefs are always well defined even without convergence.
+    pub fn run(&self, max_iters: usize, damping: f64, tol: f64) -> BpResult {
+        assert!((0.0..1.0).contains(&damping), "run: damping {damping} outside [0, 1)");
+        let m = self.edges.len();
+        // Messages: msg_ab[e] flows a→b, msg_ba[e] flows b→a.
+        let mut msg_ab = vec![[0.5f64; 2]; m];
+        let mut msg_ba = vec![[0.5f64; 2]; m];
+        let mut iterations = 0;
+        let mut converged = false;
+
+        for it in 0..max_iters {
+            iterations = it + 1;
+            let mut max_delta = 0.0f64;
+            let mut new_ab = msg_ab.clone();
+            let mut new_ba = msg_ba.clone();
+
+            for (e, edge) in self.edges.iter().enumerate() {
+                // a → b: marginalise a's state over prior × incoming
+                // messages (excluding b's) × psi.
+                let pre_a = self.pre_message(edge.a, e, &msg_ab, &msg_ba);
+                let mut out_ab = [0.0f64; 2];
+                for (out, sb) in out_ab.iter_mut().zip(0..2) {
+                    for (pa, psi_row) in pre_a.iter().zip(&edge.psi) {
+                        *out += pa * psi_row[sb];
+                    }
+                }
+                normalise(&mut out_ab);
+
+                let pre_b = self.pre_message(edge.b, e, &msg_ab, &msg_ba);
+                let mut out_ba = [0.0f64; 2];
+                for (out, psi_row) in out_ba.iter_mut().zip(&edge.psi) {
+                    for (pb, psi) in pre_b.iter().zip(psi_row) {
+                        *out += pb * psi;
+                    }
+                }
+                normalise(&mut out_ba);
+
+                for s in 0..2 {
+                    let blended_ab = damping * msg_ab[e][s] + (1.0 - damping) * out_ab[s];
+                    let blended_ba = damping * msg_ba[e][s] + (1.0 - damping) * out_ba[s];
+                    max_delta = max_delta.max((blended_ab - msg_ab[e][s]).abs());
+                    max_delta = max_delta.max((blended_ba - msg_ba[e][s]).abs());
+                    new_ab[e][s] = blended_ab;
+                    new_ba[e][s] = blended_ba;
+                }
+            }
+            msg_ab = new_ab;
+            msg_ba = new_ba;
+            if max_delta < tol {
+                converged = true;
+                break;
+            }
+        }
+
+        let beliefs = (0..self.n_nodes())
+            .map(|n| {
+                let mut b = self.priors[n];
+                for &e in &self.adjacency[n] {
+                    let incoming = if self.edges[e].a == n { &msg_ba[e] } else { &msg_ab[e] };
+                    b[0] *= incoming[0];
+                    b[1] *= incoming[1];
+                    normalise(&mut b);
+                }
+                normalise(&mut b);
+                b
+            })
+            .collect();
+
+        BpResult { beliefs, iterations, converged }
+    }
+
+    /// Prior × product of incoming messages at `node`, excluding edge
+    /// `skip_edge`.
+    fn pre_message(&self, node: usize, skip_edge: usize, msg_ab: &[[f64; 2]], msg_ba: &[[f64; 2]]) -> [f64; 2] {
+        let mut pre = self.priors[node];
+        normalise(&mut pre);
+        for &e in &self.adjacency[node] {
+            if e == skip_edge {
+                continue;
+            }
+            let incoming = if self.edges[e].a == node { &msg_ba[e] } else { &msg_ab[e] };
+            pre[0] *= incoming[0];
+            pre[1] *= incoming[1];
+            normalise(&mut pre);
+        }
+        pre
+    }
+}
+
+fn normalise(p: &mut [f64; 2]) {
+    let s = p[0] + p[1];
+    if s > 0.0 {
+        p[0] /= s;
+        p[1] /= s;
+    } else {
+        *p = [0.5, 0.5];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Attractive potential: neighbours prefer matching states.
+    const ATTRACT: [[f64; 2]; 2] = [[0.9, 0.1], [0.1, 0.9]];
+    /// Repulsive potential: neighbours prefer differing states.
+    const REPEL: [[f64; 2]; 2] = [[0.1, 0.9], [0.9, 0.1]];
+
+    #[test]
+    fn isolated_node_keeps_prior() {
+        let mut net = BpNetwork::new(1);
+        net.set_prior(0, [0.3, 0.7]);
+        let r = net.run(10, 0.0, 1e-9);
+        assert!(r.converged);
+        assert!((r.beliefs[0][1] - 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chain_propagates_evidence_exactly() {
+        // Tree-structured graphs are exact: 0 — 1 with attractive coupling,
+        // node 0 clamped to state 1.
+        let mut net = BpNetwork::new(2);
+        net.clamp(0, 1);
+        net.add_edge(0, 1, ATTRACT);
+        let r = net.run(50, 0.0, 1e-12);
+        assert!(r.converged);
+        // P(s1 = 1) = 0.9 by direct computation.
+        assert!((r.beliefs[1][1] - 0.9).abs() < 1e-3, "{:?}", r.beliefs[1]);
+    }
+
+    #[test]
+    fn repulsive_edge_flips_evidence() {
+        let mut net = BpNetwork::new(2);
+        net.clamp(0, 1);
+        net.add_edge(0, 1, REPEL);
+        let r = net.run(50, 0.0, 1e-12);
+        assert!(r.beliefs[1][0] > 0.85);
+    }
+
+    #[test]
+    fn longer_chains_attenuate() {
+        // Evidence decays along the chain: belief at distance 2 is weaker
+        // than at distance 1.
+        let mut net = BpNetwork::new(3);
+        net.clamp(0, 1);
+        net.add_edge(0, 1, ATTRACT);
+        net.add_edge(1, 2, ATTRACT);
+        let r = net.run(100, 0.0, 1e-12);
+        assert!(r.beliefs[1][1] > r.beliefs[2][1]);
+        assert!(r.beliefs[2][1] > 0.5);
+    }
+
+    #[test]
+    fn loopy_graph_still_produces_sane_beliefs() {
+        // A frustrated triangle: all repulsive. Beliefs must remain valid
+        // distributions whether or not BP converges.
+        let mut net = BpNetwork::new(3);
+        net.set_prior(0, [0.8, 0.2]);
+        net.add_edge(0, 1, REPEL);
+        net.add_edge(1, 2, REPEL);
+        net.add_edge(2, 0, REPEL);
+        let r = net.run(200, 0.5, 1e-9);
+        for b in &r.beliefs {
+            assert!((b[0] + b[1] - 1.0).abs() < 1e-9);
+            assert!(b[0] >= 0.0 && b[1] >= 0.0);
+        }
+    }
+
+    #[test]
+    fn damping_reaches_same_fixed_point_on_tree() {
+        let build = || {
+            let mut net = BpNetwork::new(2);
+            net.clamp(0, 0);
+            net.add_edge(0, 1, ATTRACT);
+            net
+        };
+        let a = build().run(200, 0.0, 1e-12);
+        let b = build().run(400, 0.7, 1e-12);
+        assert!((a.beliefs[1][0] - b.beliefs[1][0]).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,101 @@
+//! Generic damped fixed-point iteration with convergence detection — the
+//! driver behind REV2's fairness/goodness/reliability updates.
+
+/// Configuration for [`fixed_point`].
+#[derive(Debug, Clone, Copy)]
+pub struct FixedPointConfig {
+    /// Maximum iterations.
+    pub max_iters: usize,
+    /// L∞ convergence tolerance between successive states.
+    pub tol: f64,
+}
+
+impl Default for FixedPointConfig {
+    fn default() -> Self {
+        Self { max_iters: 100, tol: 1e-6 }
+    }
+}
+
+/// Outcome of a fixed-point run.
+#[derive(Debug, Clone)]
+pub struct FixedPointResult<T> {
+    /// Final state.
+    pub state: T,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Whether `distance` fell below tolerance.
+    pub converged: bool,
+}
+
+/// Iterates `state ← step(state)` until `distance(old, new) < tol` or the
+/// iteration budget is exhausted.
+pub fn fixed_point<T>(
+    initial: T,
+    cfg: FixedPointConfig,
+    mut step: impl FnMut(&T) -> T,
+    mut distance: impl FnMut(&T, &T) -> f64,
+) -> FixedPointResult<T> {
+    let mut state = initial;
+    for it in 0..cfg.max_iters {
+        let next = step(&state);
+        let d = distance(&state, &next);
+        state = next;
+        if d < cfg.tol {
+            return FixedPointResult { state, iterations: it + 1, converged: true };
+        }
+    }
+    FixedPointResult { state, iterations: cfg.max_iters, converged: false }
+}
+
+/// L∞ distance between two equal-length `f64` slices — the standard
+/// `distance` argument for vector-valued fixed points.
+pub fn linf(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(&x, &y)| (x - y).abs()).fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converges_on_contraction() {
+        // x ← (x + 2/x) / 2 converges to sqrt(2).
+        let r = fixed_point(
+            1.0f64,
+            FixedPointConfig { max_iters: 50, tol: 1e-12 },
+            |&x| (x + 2.0 / x) / 2.0,
+            |&a, &b| (a - b).abs(),
+        );
+        assert!(r.converged);
+        assert!((r.state - 2.0f64.sqrt()).abs() < 1e-10);
+        assert!(r.iterations < 10);
+    }
+
+    #[test]
+    fn reports_non_convergence() {
+        let r = fixed_point(
+            0.0f64,
+            FixedPointConfig { max_iters: 5, tol: 1e-12 },
+            |&x| x + 1.0,
+            |&a, &b| (a - b).abs(),
+        );
+        assert!(!r.converged);
+        assert_eq!(r.iterations, 5);
+        assert_eq!(r.state, 5.0);
+    }
+
+    #[test]
+    fn vector_fixed_point_with_linf() {
+        let r = fixed_point(
+            vec![0.0f64, 10.0],
+            FixedPointConfig::default(),
+            |v| v.iter().map(|&x| 0.5 * x + 1.0).collect::<Vec<_>>(),
+            |a, b| linf(a, b),
+        );
+        assert!(r.converged);
+        for x in r.state {
+            assert!((x - 2.0).abs() < 1e-4);
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! # rrre-graph
+//!
+//! Graph substrate for the RRRE reproduction's network-based baselines: a
+//! bipartite user–item review graph, loopy belief propagation over binary
+//! pairwise MRFs (SpEagle+/FraudEagle), and a generic damped fixed-point
+//! driver (REV2).
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod bipartite;
+pub mod bp;
+pub mod iterate;
+
+pub use analysis::{connected_components, core_numbers, density, largest_component_size};
+pub use bipartite::{Edge, ReviewGraph};
+pub use bp::{BpEdge, BpNetwork, BpResult};
+pub use iterate::{fixed_point, linf, FixedPointConfig, FixedPointResult};

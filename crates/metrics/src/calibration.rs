@@ -1,0 +1,129 @@
+//! Probability-calibration diagnostics for the reliability scores: Brier
+//! score and expected calibration error. A reliability head that ranks well
+//! but is mis-calibrated would mislead the §III-B explanation filter, which
+//! thresholds raw probabilities.
+
+/// Brier score: mean squared error between predicted probabilities and
+/// binary outcomes. Lower is better; 0.25 is the chance level for balanced
+/// classes.
+///
+/// # Panics
+/// Panics on length mismatch.
+pub fn brier_score(probabilities: &[f32], labels: &[bool]) -> f64 {
+    assert_eq!(probabilities.len(), labels.len(), "brier_score: length mismatch");
+    if probabilities.is_empty() {
+        return 0.0;
+    }
+    probabilities
+        .iter()
+        .zip(labels)
+        .map(|(&p, &l)| {
+            let d = p as f64 - if l { 1.0 } else { 0.0 };
+            d * d
+        })
+        .sum::<f64>()
+        / probabilities.len() as f64
+}
+
+/// One bin of a reliability (calibration) diagram.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CalibrationBin {
+    /// Mean predicted probability of the bin's members.
+    pub mean_predicted: f64,
+    /// Empirical positive rate of the bin's members.
+    pub observed_rate: f64,
+    /// Number of members.
+    pub count: usize,
+}
+
+/// Equal-width calibration diagram with `n_bins` bins over `[0, 1]`.
+/// Empty bins are omitted.
+///
+/// # Panics
+/// Panics on length mismatch or `n_bins == 0`.
+pub fn calibration_bins(probabilities: &[f32], labels: &[bool], n_bins: usize) -> Vec<CalibrationBin> {
+    assert!(n_bins > 0, "calibration_bins: need at least one bin");
+    assert_eq!(probabilities.len(), labels.len(), "calibration_bins: length mismatch");
+    let mut sum_p = vec![0.0f64; n_bins];
+    let mut pos = vec![0usize; n_bins];
+    let mut count = vec![0usize; n_bins];
+    for (&p, &l) in probabilities.iter().zip(labels) {
+        let bin = ((p as f64 * n_bins as f64) as usize).min(n_bins - 1);
+        sum_p[bin] += p as f64;
+        if l {
+            pos[bin] += 1;
+        }
+        count[bin] += 1;
+    }
+    (0..n_bins)
+        .filter(|&b| count[b] > 0)
+        .map(|b| CalibrationBin {
+            mean_predicted: sum_p[b] / count[b] as f64,
+            observed_rate: pos[b] as f64 / count[b] as f64,
+            count: count[b],
+        })
+        .collect()
+}
+
+/// Expected calibration error: the count-weighted mean absolute gap between
+/// predicted probability and observed rate over the bins.
+pub fn expected_calibration_error(probabilities: &[f32], labels: &[bool], n_bins: usize) -> f64 {
+    let bins = calibration_bins(probabilities, labels, n_bins);
+    let total: usize = bins.iter().map(|b| b.count).sum();
+    if total == 0 {
+        return 0.0;
+    }
+    bins.iter()
+        .map(|b| (b.mean_predicted - b.observed_rate).abs() * b.count as f64)
+        .sum::<f64>()
+        / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn brier_extremes() {
+        assert_eq!(brier_score(&[1.0, 0.0], &[true, false]), 0.0);
+        assert_eq!(brier_score(&[0.0, 1.0], &[true, false]), 1.0);
+        assert!((brier_score(&[0.5, 0.5], &[true, false]) - 0.25).abs() < 1e-9);
+        assert_eq!(brier_score(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn perfectly_calibrated_scores_have_zero_ece() {
+        // 10 items at p=0.8, 8 positive → bin gap 0.
+        let probs = vec![0.8f32; 10];
+        let labels: Vec<bool> = (0..10).map(|i| i < 8).collect();
+        let ece = expected_calibration_error(&probs, &labels, 10);
+        assert!(ece < 1e-6, "ece {ece}"); // f32→f64 rounding of 0.8 leaves ~1e-8
+    }
+
+    #[test]
+    fn overconfident_scores_have_positive_ece() {
+        // Predicts 0.95 but only half are positive.
+        let probs = vec![0.95f32; 20];
+        let labels: Vec<bool> = (0..20).map(|i| i % 2 == 0).collect();
+        let ece = expected_calibration_error(&probs, &labels, 10);
+        assert!((ece - 0.45).abs() < 1e-6, "ece {ece}");
+    }
+
+    #[test]
+    fn bins_partition_and_report_means() {
+        let probs = [0.05f32, 0.15, 0.95];
+        let labels = [false, false, true];
+        let bins = calibration_bins(&probs, &labels, 10);
+        assert_eq!(bins.len(), 3);
+        assert_eq!(bins.iter().map(|b| b.count).sum::<usize>(), 3);
+        assert!((bins[2].mean_predicted - 0.95).abs() < 1e-6);
+        assert_eq!(bins[2].observed_rate, 1.0);
+    }
+
+    #[test]
+    fn probability_one_lands_in_last_bin() {
+        let bins = calibration_bins(&[1.0], &[true], 4);
+        assert_eq!(bins.len(), 1);
+        assert_eq!(bins[0].count, 1);
+    }
+}

@@ -1,0 +1,103 @@
+//! Threshold-based classification diagnostics.
+
+/// Confusion-matrix counts at a decision threshold (score ≥ threshold →
+/// predicted positive).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Confusion {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// True negatives.
+    pub tn: usize,
+    /// False negatives.
+    pub fn_: usize,
+}
+
+impl Confusion {
+    /// Builds the confusion matrix.
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    pub fn at_threshold(scores: &[f32], labels: &[bool], threshold: f32) -> Self {
+        assert_eq!(scores.len(), labels.len(), "Confusion: {} scores vs {} labels", scores.len(), labels.len());
+        let mut c = Confusion { tp: 0, fp: 0, tn: 0, fn_: 0 };
+        for (&s, &l) in scores.iter().zip(labels) {
+            match (s >= threshold, l) {
+                (true, true) => c.tp += 1,
+                (true, false) => c.fp += 1,
+                (false, false) => c.tn += 1,
+                (false, true) => c.fn_ += 1,
+            }
+        }
+        c
+    }
+
+    /// Accuracy (0 on empty input).
+    pub fn accuracy(&self) -> f64 {
+        let total = self.tp + self.fp + self.tn + self.fn_;
+        if total == 0 {
+            0.0
+        } else {
+            (self.tp + self.tn) as f64 / total as f64
+        }
+    }
+
+    /// Precision for the positive class (0 when nothing predicted positive).
+    pub fn precision(&self) -> f64 {
+        let denom = self.tp + self.fp;
+        if denom == 0 {
+            0.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// Recall for the positive class (0 when no positives exist).
+    pub fn recall(&self) -> f64 {
+        let denom = self.tp + self.fn_;
+        if denom == 0 {
+            0.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// F1 score (0 when precision + recall is 0).
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_rates() {
+        let scores = [0.9, 0.8, 0.3, 0.1];
+        let labels = [true, false, true, false];
+        let c = Confusion::at_threshold(&scores, &labels, 0.5);
+        assert_eq!(c, Confusion { tp: 1, fp: 1, tn: 1, fn_: 1 });
+        assert!((c.accuracy() - 0.5).abs() < 1e-9);
+        assert!((c.precision() - 0.5).abs() < 1e-9);
+        assert!((c.recall() - 0.5).abs() < 1e-9);
+        assert!((c.f1() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let c = Confusion::at_threshold(&[], &[], 0.5);
+        assert_eq!(c.accuracy(), 0.0);
+        let c = Confusion::at_threshold(&[0.1], &[true], 0.5);
+        assert_eq!(c.precision(), 0.0);
+        assert_eq!(c.recall(), 0.0);
+        assert_eq!(c.f1(), 0.0);
+    }
+}

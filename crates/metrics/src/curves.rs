@@ -1,0 +1,150 @@
+//! ROC and precision–recall curve points, for plotting and for threshold
+//! selection diagnostics.
+
+/// One ROC point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RocPoint {
+    /// False-positive rate.
+    pub fpr: f64,
+    /// True-positive rate (recall).
+    pub tpr: f64,
+    /// The score threshold this point corresponds to.
+    pub threshold: f32,
+}
+
+/// One precision–recall point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrPoint {
+    /// Recall.
+    pub recall: f64,
+    /// Precision.
+    pub precision: f64,
+    /// The score threshold this point corresponds to.
+    pub threshold: f32,
+}
+
+fn ranked(scores: &[f32]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]).then(a.cmp(&b)));
+    idx
+}
+
+/// The ROC curve, one point per distinct threshold, from (0,0) to (1,1).
+///
+/// # Panics
+/// Panics on length mismatch.
+pub fn roc_curve(scores: &[f32], labels: &[bool]) -> Vec<RocPoint> {
+    assert_eq!(scores.len(), labels.len(), "roc_curve: length mismatch");
+    let n_pos = labels.iter().filter(|&&l| l).count();
+    let n_neg = labels.len() - n_pos;
+    let mut points = vec![RocPoint { fpr: 0.0, tpr: 0.0, threshold: f32::INFINITY }];
+    if n_pos == 0 || n_neg == 0 {
+        points.push(RocPoint { fpr: 1.0, tpr: 1.0, threshold: f32::NEG_INFINITY });
+        return points;
+    }
+    let order = ranked(scores);
+    let (mut tp, mut fp) = (0usize, 0usize);
+    let mut i = 0;
+    while i < order.len() {
+        let threshold = scores[order[i]];
+        // Consume the whole tied block before emitting a point.
+        while i < order.len() && scores[order[i]] == threshold {
+            if labels[order[i]] {
+                tp += 1;
+            } else {
+                fp += 1;
+            }
+            i += 1;
+        }
+        points.push(RocPoint {
+            fpr: fp as f64 / n_neg as f64,
+            tpr: tp as f64 / n_pos as f64,
+            threshold,
+        });
+    }
+    points
+}
+
+/// The precision–recall curve over distinct thresholds, highest first.
+///
+/// # Panics
+/// Panics on length mismatch.
+pub fn pr_curve(scores: &[f32], labels: &[bool]) -> Vec<PrPoint> {
+    assert_eq!(scores.len(), labels.len(), "pr_curve: length mismatch");
+    let n_pos = labels.iter().filter(|&&l| l).count();
+    let mut points = Vec::new();
+    if n_pos == 0 {
+        return points;
+    }
+    let order = ranked(scores);
+    let (mut tp, mut predicted) = (0usize, 0usize);
+    let mut i = 0;
+    while i < order.len() {
+        let threshold = scores[order[i]];
+        while i < order.len() && scores[order[i]] == threshold {
+            if labels[order[i]] {
+                tp += 1;
+            }
+            predicted += 1;
+            i += 1;
+        }
+        points.push(PrPoint {
+            recall: tp as f64 / n_pos as f64,
+            precision: tp as f64 / predicted as f64,
+            threshold,
+        });
+    }
+    points
+}
+
+/// Trapezoidal area under a ROC curve produced by [`roc_curve`] — a
+/// cross-check for the rank-based [`crate::auc`].
+pub fn auc_from_curve(points: &[RocPoint]) -> f64 {
+    points
+        .windows(2)
+        .map(|w| (w[1].fpr - w[0].fpr) * (w[1].tpr + w[0].tpr) / 2.0)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::auc;
+
+    #[test]
+    fn roc_endpoints() {
+        let scores = [0.9f32, 0.6, 0.3, 0.1];
+        let labels = [true, false, true, false];
+        let curve = roc_curve(&scores, &labels);
+        assert_eq!(curve.first().unwrap().fpr, 0.0);
+        assert_eq!(curve.first().unwrap().tpr, 0.0);
+        assert_eq!(curve.last().unwrap().fpr, 1.0);
+        assert_eq!(curve.last().unwrap().tpr, 1.0);
+    }
+
+    #[test]
+    fn curve_auc_matches_rank_auc() {
+        let scores = [0.9f32, 0.8, 0.8, 0.55, 0.4, 0.2, 0.1];
+        let labels = [true, false, true, true, false, true, false];
+        let curve = roc_curve(&scores, &labels);
+        let a1 = auc_from_curve(&curve);
+        let a2 = auc(&scores, &labels);
+        assert!((a1 - a2).abs() < 1e-9, "{a1} vs {a2}");
+    }
+
+    #[test]
+    fn pr_curve_starts_precise_for_perfect_top() {
+        let scores = [0.9f32, 0.8, 0.2, 0.1];
+        let labels = [true, true, false, false];
+        let curve = pr_curve(&scores, &labels);
+        assert!((curve[0].precision - 1.0).abs() < 1e-9);
+        assert!((curve.last().unwrap().recall - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(pr_curve(&[0.5], &[false]).len(), 0);
+        let roc = roc_curve(&[0.5, 0.4], &[true, true]);
+        assert_eq!(roc.len(), 2);
+    }
+}

@@ -1,0 +1,205 @@
+//! Ranking metrics for reliability-score prediction: ROC-AUC, average
+//! precision, and NDCG@k (paper Eq. 18–19).
+
+/// Sorts indices by descending score, breaking ties by index for
+/// determinism.
+fn ranked_indices(scores: &[f32]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]).then(a.cmp(&b)));
+    idx
+}
+
+/// Area under the ROC curve via the Mann–Whitney statistic, with the
+/// standard midrank correction for tied scores.
+///
+/// Returns `0.5` when either class is empty (undefined AUC).
+///
+/// # Panics
+/// Panics on length mismatch.
+pub fn auc(scores: &[f32], labels: &[bool]) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "auc: {} scores vs {} labels", scores.len(), labels.len());
+    let n_pos = labels.iter().filter(|&&l| l).count();
+    let n_neg = labels.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return 0.5;
+    }
+    // Midranks over ascending scores.
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
+    let mut rank_sum_pos = 0.0f64;
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && scores[idx[j + 1]] == scores[idx[i]] {
+            j += 1;
+        }
+        // Ranks are 1-based; tied block [i, j] shares the average rank.
+        let midrank = (i + j + 2) as f64 / 2.0;
+        for &k in &idx[i..=j] {
+            if labels[k] {
+                rank_sum_pos += midrank;
+            }
+        }
+        i = j + 1;
+    }
+    let u = rank_sum_pos - (n_pos * (n_pos + 1)) as f64 / 2.0;
+    u / (n_pos as f64 * n_neg as f64)
+}
+
+/// Average precision: mean of precision@rank over the ranks of positive
+/// examples, ranking by descending score.
+///
+/// Returns `0.0` when there are no positives.
+///
+/// # Panics
+/// Panics on length mismatch.
+pub fn average_precision(scores: &[f32], labels: &[bool]) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "average_precision: {} scores vs {} labels", scores.len(), labels.len());
+    let order = ranked_indices(scores);
+    let mut hits = 0usize;
+    let mut sum = 0.0f64;
+    for (rank, &i) in order.iter().enumerate() {
+        if labels[i] {
+            hits += 1;
+            sum += hits as f64 / (rank + 1) as f64;
+        }
+    }
+    if hits == 0 {
+        0.0
+    } else {
+        sum / hits as f64
+    }
+}
+
+/// DCG@k with binary gains (paper Eq. 19): `Σ_{i≤k} (2^{l_i} − 1) / log₂(i+1)`.
+pub fn dcg_at_k(ranked_labels: &[bool], k: usize) -> f64 {
+    ranked_labels
+        .iter()
+        .take(k)
+        .enumerate()
+        .map(|(i, &l)| if l { 1.0 / ((i + 2) as f64).log2() } else { 0.0 })
+        .sum()
+}
+
+/// NDCG@k (paper Eq. 18): DCG of the score-induced ranking over the ideal
+/// DCG where the top-k are all benign. Following the paper ("IDCG@k is the
+/// DCG for ideal ranking where all `l_i`'s are 1"), the ideal assumes `k`
+/// benign reviews exist.
+///
+/// Returns `0.0` for `k == 0`.
+///
+/// # Panics
+/// Panics on length mismatch.
+pub fn ndcg_at_k(scores: &[f32], labels: &[bool], k: usize) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "ndcg_at_k: {} scores vs {} labels", scores.len(), labels.len());
+    if k == 0 {
+        return 0.0;
+    }
+    let order = ranked_indices(scores);
+    let ranked: Vec<bool> = order.iter().map(|&i| labels[i]).collect();
+    let dcg = dcg_at_k(&ranked, k);
+    let ideal: Vec<bool> = vec![true; k];
+    let idcg = dcg_at_k(&ideal, k);
+    dcg / idcg
+}
+
+/// Precision@k of a score-induced ranking.
+pub fn precision_at_k(scores: &[f32], labels: &[bool], k: usize) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "precision_at_k: length mismatch");
+    if k == 0 {
+        return 0.0;
+    }
+    let order = ranked_indices(scores);
+    let k = k.min(order.len());
+    let hits = order.iter().take(k).filter(|&&i| labels[i]).count();
+    hits as f64 / k as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auc_perfect_and_inverted() {
+        let labels = [true, true, false, false];
+        assert!((auc(&[0.9, 0.8, 0.2, 0.1], &labels) - 1.0).abs() < 1e-9);
+        assert!(auc(&[0.1, 0.2, 0.8, 0.9], &labels).abs() < 1e-9);
+    }
+
+    #[test]
+    fn auc_random_is_half() {
+        // All-equal scores: AUC must be exactly 0.5 under midrank handling.
+        let labels = [true, false, true, false, true];
+        assert!((auc(&[0.5; 5], &labels) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn auc_degenerate_classes() {
+        assert_eq!(auc(&[0.1, 0.9], &[true, true]), 0.5);
+        assert_eq!(auc(&[], &[]), 0.5);
+    }
+
+    #[test]
+    fn average_precision_known_value() {
+        // Ranking: pos, neg, pos → AP = (1/1 + 2/3) / 2
+        let ap = average_precision(&[0.9, 0.5, 0.4], &[true, false, true]);
+        assert!((ap - (1.0 + 2.0 / 3.0) / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn average_precision_no_positives() {
+        assert_eq!(average_precision(&[0.3, 0.1], &[false, false]), 0.0);
+    }
+
+    #[test]
+    fn ndcg_perfect_ranking_is_one() {
+        let scores = [0.9, 0.8, 0.1, 0.05];
+        let labels = [true, true, false, false];
+        assert!((ndcg_at_k(&scores, &labels, 2) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ndcg_penalises_high_ranked_fakes() {
+        let labels = [false, true, true, true];
+        let good = ndcg_at_k(&[0.1, 0.9, 0.8, 0.7], &labels, 3);
+        let bad = ndcg_at_k(&[0.95, 0.9, 0.8, 0.7], &labels, 3);
+        assert!(good > bad);
+        assert!((good - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ndcg_monotone_decreasing_in_k_for_fixed_prefix_quality() {
+        // With one fake buried at the end, larger k pulls it in.
+        let mut scores = vec![0.0f32; 20];
+        let mut labels = vec![true; 20];
+        for (i, s) in scores.iter_mut().enumerate() {
+            *s = 1.0 - i as f32 * 0.01;
+        }
+        labels[19] = false;
+        let n10 = ndcg_at_k(&scores, &labels, 10);
+        let n20 = ndcg_at_k(&scores, &labels, 20);
+        assert!(n10 >= n20);
+    }
+
+    #[test]
+    fn dcg_discounts_by_rank() {
+        let d = dcg_at_k(&[true, true], 2);
+        assert!((d - (1.0 + 1.0 / 3.0f64.log2())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn precision_at_k_basic() {
+        let p = precision_at_k(&[0.9, 0.8, 0.1], &[true, false, true], 2);
+        assert!((p - 0.5).abs() < 1e-9);
+        assert_eq!(precision_at_k(&[0.9], &[true], 0), 0.0);
+    }
+
+    #[test]
+    fn tie_breaking_is_deterministic() {
+        let scores = [0.5, 0.5, 0.5];
+        let labels = [true, false, true];
+        let a = ndcg_at_k(&scores, &labels, 3);
+        let b = ndcg_at_k(&scores, &labels, 3);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,97 @@
+//! Rating-prediction error metrics: RMSE (Eq. 16) and the paper's biased
+//! RMSE (Eq. 17), which evaluates only on benign reviews.
+
+/// Root mean squared error over all pairs.
+///
+/// Returns `0.0` for empty input.
+///
+/// # Panics
+/// Panics on length mismatch.
+pub fn rmse(predictions: &[f32], targets: &[f32]) -> f64 {
+    assert_eq!(predictions.len(), targets.len(), "rmse: {} preds vs {} targets", predictions.len(), targets.len());
+    if predictions.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = predictions
+        .iter()
+        .zip(targets)
+        .map(|(&p, &t)| {
+            let d = (p - t) as f64;
+            d * d
+        })
+        .sum();
+    (sum / predictions.len() as f64).sqrt()
+}
+
+/// Biased RMSE (paper Eq. 17): squared errors are weighted by the
+/// reliability ground truth `l_ui ∈ {0, 1}` and normalised by the number of
+/// benign reviews, so fake reviews contribute nothing.
+///
+/// `reliability` is typically 0/1 but fractional weights are honoured
+/// (weighted RMSE). Returns `0.0` if the total weight is zero.
+///
+/// # Panics
+/// Panics on length mismatches.
+pub fn brmse(predictions: &[f32], targets: &[f32], reliability: &[f32]) -> f64 {
+    assert_eq!(predictions.len(), targets.len(), "brmse: {} preds vs {} targets", predictions.len(), targets.len());
+    assert_eq!(predictions.len(), reliability.len(), "brmse: {} preds vs {} weights", predictions.len(), reliability.len());
+    let mut sum = 0.0f64;
+    let mut weight = 0.0f64;
+    for ((&p, &t), &l) in predictions.iter().zip(targets).zip(reliability) {
+        let d = (p - t) as f64;
+        sum += l as f64 * d * d;
+        weight += l as f64;
+    }
+    if weight == 0.0 {
+        0.0
+    } else {
+        (sum / weight).sqrt()
+    }
+}
+
+/// Mean absolute error, a common companion diagnostic.
+pub fn mae(predictions: &[f32], targets: &[f32]) -> f64 {
+    assert_eq!(predictions.len(), targets.len(), "mae: {} preds vs {} targets", predictions.len(), targets.len());
+    if predictions.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = predictions.iter().zip(targets).map(|(&p, &t)| ((p - t) as f64).abs()).sum();
+    sum / predictions.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmse_known_values() {
+        assert!((rmse(&[1.0, 2.0], &[1.0, 4.0]) - 2.0f64.sqrt()).abs() < 1e-9);
+        assert_eq!(rmse(&[], &[]), 0.0);
+        assert_eq!(rmse(&[3.0], &[3.0]), 0.0);
+    }
+
+    #[test]
+    fn brmse_ignores_fake_reviews() {
+        // Second example is fake (weight 0) and wildly wrong.
+        let b = brmse(&[1.0, 100.0], &[2.0, 1.0], &[1.0, 0.0]);
+        assert!((b - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn brmse_equals_rmse_when_all_benign() {
+        let p = [1.0, 2.5, 4.0];
+        let t = [2.0, 2.0, 5.0];
+        let w = [1.0, 1.0, 1.0];
+        assert!((brmse(&p, &t, &w) - rmse(&p, &t)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn brmse_zero_weight_is_zero() {
+        assert_eq!(brmse(&[1.0], &[5.0], &[0.0]), 0.0);
+    }
+
+    #[test]
+    fn mae_known_values() {
+        assert!((mae(&[1.0, 2.0], &[2.0, 0.0]) - 1.5).abs() < 1e-9);
+    }
+}

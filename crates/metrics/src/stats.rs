@@ -1,0 +1,133 @@
+//! Summary statistics and significance testing for repeated-trial
+//! experiment results (the paper reports means of five runs; this module
+//! lets the harness also report dispersion and paired significance).
+
+/// Mean and (sample) standard deviation of repeated measurements.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeanStd {
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; 0 for n < 2).
+    pub std: f64,
+    /// Number of measurements.
+    pub n: usize,
+}
+
+/// Computes mean and sample standard deviation.
+pub fn mean_std(values: &[f64]) -> MeanStd {
+    let n = values.len();
+    if n == 0 {
+        return MeanStd { mean: 0.0, std: 0.0, n: 0 };
+    }
+    let mean = values.iter().sum::<f64>() / n as f64;
+    let std = if n < 2 {
+        0.0
+    } else {
+        (values.iter().map(|&x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64).sqrt()
+    };
+    MeanStd { mean, std, n }
+}
+
+/// Result of a paired t-test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PairedTTest {
+    /// The t statistic of the mean difference `a − b`.
+    pub t: f64,
+    /// Degrees of freedom (`n − 1`).
+    pub dof: usize,
+    /// Mean difference `mean(a) − mean(b)`.
+    pub mean_diff: f64,
+    /// Two-sided significance verdict at the 5 % level, via the
+    /// t-distribution critical-value table below.
+    pub significant_at_5pct: bool,
+}
+
+/// Two-sided 5 % critical values of Student's t for dof 1..=30.
+const T_CRIT_5PCT: [f64; 30] = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+    2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+    2.052, 2.048, 2.045, 2.042,
+];
+
+/// Paired t-test on matched measurement vectors (e.g. per-trial bRMSE of
+/// two methods on the same splits).
+///
+/// Returns `None` for fewer than two pairs or on length mismatch.
+pub fn paired_t_test(a: &[f64], b: &[f64]) -> Option<PairedTTest> {
+    if a.len() != b.len() || a.len() < 2 {
+        return None;
+    }
+    let diffs: Vec<f64> = a.iter().zip(b).map(|(&x, &y)| x - y).collect();
+    let ms = mean_std(&diffs);
+    let dof = diffs.len() - 1;
+    let se = ms.std / (diffs.len() as f64).sqrt();
+    let t = if se == 0.0 {
+        if ms.mean == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY * ms.mean.signum()
+        }
+    } else {
+        ms.mean / se
+    };
+    let crit = T_CRIT_5PCT[(dof - 1).min(T_CRIT_5PCT.len() - 1)];
+    Some(PairedTTest { t, dof, mean_diff: ms.mean, significant_at_5pct: t.abs() > crit })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_std_known_values() {
+        let ms = mean_std(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((ms.mean - 5.0).abs() < 1e-12);
+        assert!((ms.std - (32.0f64 / 7.0).sqrt()).abs() < 1e-9);
+        assert_eq!(ms.n, 8);
+    }
+
+    #[test]
+    fn mean_std_degenerate() {
+        assert_eq!(mean_std(&[]).n, 0);
+        let one = mean_std(&[3.0]);
+        assert_eq!(one.mean, 3.0);
+        assert_eq!(one.std, 0.0);
+    }
+
+    #[test]
+    fn paired_t_detects_consistent_difference() {
+        let a = [1.00, 1.02, 0.98, 1.01, 0.99];
+        let b = [1.10, 1.12, 1.09, 1.11, 1.08];
+        let t = paired_t_test(&a, &b).unwrap();
+        assert!(t.mean_diff < 0.0);
+        assert!(t.significant_at_5pct, "t = {}", t.t);
+    }
+
+    #[test]
+    fn paired_t_ignores_shared_noise() {
+        // The pairing removes the large shared component.
+        let a = [10.0, 20.0, 30.0, 40.0];
+        let b = [10.5, 20.5, 30.5, 40.5];
+        let t = paired_t_test(&a, &b).unwrap();
+        assert!(t.significant_at_5pct);
+        assert!((t.mean_diff + 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paired_t_no_difference_is_insignificant() {
+        let a = [1.0, 1.2, 0.8, 1.1, 0.9, 1.05];
+        let b = [1.1, 0.9, 1.05, 1.0, 1.2, 0.8];
+        let t = paired_t_test(&a, &b).unwrap();
+        assert!(!t.significant_at_5pct, "t = {}", t.t);
+    }
+
+    #[test]
+    fn paired_t_degenerate_inputs() {
+        assert!(paired_t_test(&[1.0], &[2.0]).is_none());
+        assert!(paired_t_test(&[1.0, 2.0], &[1.0]).is_none());
+        // Identical vectors: zero difference, t = 0.
+        let t = paired_t_test(&[1.0, 2.0, 3.0], &[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(t.t, 0.0);
+        assert!(!t.significant_at_5pct);
+    }
+}

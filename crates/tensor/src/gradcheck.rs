@@ -1,0 +1,185 @@
+//! Numerical gradient checking.
+//!
+//! Every differentiable op and layer in this workspace is validated against
+//! central finite differences. The checker perturbs each scalar weight of
+//! each parameter, rebuilds the forward pass through the user's closure, and
+//! compares the analytic gradient from [`Tape::backward`] with
+//! `(f(θ+ε) − f(θ−ε)) / 2ε` under a mixed absolute/relative tolerance
+//! appropriate for `f32`.
+
+use crate::{Params, Tape, Var};
+
+/// Configuration for [`check_gradients`].
+#[derive(Debug, Clone, Copy)]
+pub struct GradCheck {
+    /// Finite-difference step.
+    pub epsilon: f32,
+    /// Absolute tolerance floor.
+    pub atol: f32,
+    /// Relative tolerance against `max(|analytic|, |numeric|)`.
+    pub rtol: f32,
+}
+
+impl Default for GradCheck {
+    fn default() -> Self {
+        Self { epsilon: 1e-2, atol: 2e-3, rtol: 2e-2 }
+    }
+}
+
+/// A single gradient-check failure.
+#[derive(Debug, Clone)]
+pub struct GradMismatch {
+    /// Name of the offending parameter.
+    pub param: String,
+    /// Flat index of the offending scalar within the parameter.
+    pub index: usize,
+    /// Analytic gradient from the tape.
+    pub analytic: f32,
+    /// Central-difference estimate.
+    pub numeric: f32,
+}
+
+/// Checks the analytic gradients of every parameter in `params` for the loss
+/// built by `build` (which must return a `1 × 1` loss node).
+///
+/// Returns all mismatches; an empty `Vec` means the check passed. `build`
+/// must be a pure function of the parameter values (draw any randomness —
+/// e.g. dropout masks — outside and capture it).
+pub fn check_gradients(
+    params: &mut Params,
+    cfg: GradCheck,
+    mut build: impl FnMut(&Params, &mut Tape) -> Var,
+) -> Vec<GradMismatch> {
+    // Analytic pass.
+    params.zero_grads();
+    let mut tape = Tape::new();
+    let loss = build(params, &mut tape);
+    tape.backward(loss, params);
+    let analytic: Vec<Vec<f32>> = params.ids().map(|id| params.grad(id).as_slice().to_vec()).collect();
+
+    let mut mismatches = Vec::new();
+    let ids: Vec<_> = params.ids().collect();
+    // Indexed loops are intentional: the body mutates `params` in place per
+    // scalar, which rules out holding iterator borrows.
+    #[allow(clippy::needless_range_loop)]
+    for (pi, id) in ids.iter().enumerate() {
+        let n = params.get(*id).len();
+        for i in 0..n {
+            let orig = params.get(*id).as_slice()[i];
+
+            params.get_mut(*id).as_mut_slice()[i] = orig + cfg.epsilon;
+            let mut t_plus = Tape::new();
+            let l_plus = build(params, &mut t_plus);
+            let f_plus = t_plus.value(l_plus).item();
+
+            params.get_mut(*id).as_mut_slice()[i] = orig - cfg.epsilon;
+            let mut t_minus = Tape::new();
+            let l_minus = build(params, &mut t_minus);
+            let f_minus = t_minus.value(l_minus).item();
+
+            params.get_mut(*id).as_mut_slice()[i] = orig;
+
+            let numeric = (f_plus - f_minus) / (2.0 * cfg.epsilon);
+            let a = analytic[pi][i];
+            let tol = cfg.atol + cfg.rtol * a.abs().max(numeric.abs());
+            if (a - numeric).abs() > tol {
+                mismatches.push(GradMismatch {
+                    param: params.name(*id).to_string(),
+                    index: i,
+                    analytic: a,
+                    numeric,
+                });
+            }
+        }
+    }
+    mismatches
+}
+
+/// Asserts that [`check_gradients`] finds no mismatches, with a readable
+/// panic message listing the first few offenders. Test helper.
+pub fn assert_gradients_ok(params: &mut Params, build: impl FnMut(&Params, &mut Tape) -> Var) {
+    let mismatches = check_gradients(params, GradCheck::default(), build);
+    if !mismatches.is_empty() {
+        let preview: Vec<String> = mismatches
+            .iter()
+            .take(5)
+            .map(|m| {
+                format!(
+                    "{}[{}]: analytic {:.6} vs numeric {:.6}",
+                    m.param, m.index, m.analytic, m.numeric
+                )
+            })
+            .collect();
+        panic!(
+            "gradient check failed at {} scalar(s):\n  {}",
+            mismatches.len(),
+            preview.join("\n  ")
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{init, Tensor};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn quadratic_bowl_passes() {
+        let mut params = Params::new();
+        params.register("x", Tensor::from_vec(1, 3, vec![0.3, -0.7, 1.2]));
+        assert_gradients_ok(&mut params, |p, tape| {
+            let x = tape.param(p, crate::ParamId(0));
+            let sq = tape.square(x);
+            tape.sum_all(sq)
+        });
+    }
+
+    #[test]
+    fn detects_a_wrong_gradient() {
+        // A build function whose value ignores the parameter but whose graph
+        // pretends to use it would be caught; emulate by comparing tanh vs
+        // identity — the checker must flag the discrepancy when we lie about
+        // the forward (here: grad of x for loss sum(tanh(x)) vs numeric of
+        // sum(x)). We construct the lie by toggling behaviour on a counter.
+        let mut params = Params::new();
+        params.register("x", Tensor::from_vec(1, 2, vec![0.9, -0.4]));
+        let mut calls = 0usize;
+        let mismatches = check_gradients(&mut params, GradCheck::default(), |p, tape| {
+            let x = tape.param(p, crate::ParamId(0));
+            calls += 1;
+            if calls == 1 {
+                // analytic pass sees tanh
+                let t = tape.tanh(x);
+                tape.sum_all(t)
+            } else {
+                // numeric passes see identity
+                tape.sum_all(x)
+            }
+        });
+        assert!(!mismatches.is_empty());
+    }
+
+    #[test]
+    fn composite_network_passes() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut params = Params::new();
+        let w1 = params.register("w1", init::xavier_uniform(&mut rng, 4, 6));
+        let b1 = params.register("b1", Tensor::zeros(1, 6));
+        let w2 = params.register("w2", init::xavier_uniform(&mut rng, 6, 2));
+        let b2 = params.register("b2", Tensor::zeros(1, 2));
+        let x = init::normal(&mut rng, 3, 4, 0.0, 1.0);
+        let targets = vec![0usize, 1, 0];
+        assert_gradients_ok(&mut params, move |p, tape| {
+            let xv = tape.constant(x.clone());
+            let w1v = tape.param(p, w1);
+            let b1v = tape.param(p, b1);
+            let w2v = tape.param(p, w2);
+            let b2v = tape.param(p, b2);
+            let h = tape.affine(xv, w1v, b1v);
+            let h = tape.tanh(h);
+            let z = tape.affine(h, w2v, b2v);
+            tape.softmax_cross_entropy(z, &targets, None)
+        });
+    }
+}

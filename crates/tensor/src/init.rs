@@ -1,0 +1,98 @@
+//! Weight initialisation schemes.
+//!
+//! All initialisers are deterministic given the supplied RNG, which the whole
+//! workspace threads explicitly (seeded `StdRng`) so every experiment is
+//! reproducible run-to-run.
+
+use crate::Tensor;
+use rand::Rng;
+
+/// Samples every element i.i.d. uniform in `[lo, hi)`.
+pub fn uniform(rng: &mut impl Rng, rows: usize, cols: usize, lo: f32, hi: f32) -> Tensor {
+    assert!(lo < hi, "uniform: empty interval [{lo}, {hi})");
+    let mut t = Tensor::zeros(rows, cols);
+    for x in t.as_mut_slice() {
+        *x = rng.gen_range(lo..hi);
+    }
+    t
+}
+
+/// Samples every element i.i.d. from `N(mean, std²)` via Box–Muller.
+pub fn normal(rng: &mut impl Rng, rows: usize, cols: usize, mean: f32, std: f32) -> Tensor {
+    let mut t = Tensor::zeros(rows, cols);
+    for x in t.as_mut_slice() {
+        *x = mean + std * standard_normal(rng);
+    }
+    t
+}
+
+/// A single draw from the standard normal distribution (Box–Muller).
+pub fn standard_normal(rng: &mut impl Rng) -> f32 {
+    loop {
+        let u1: f32 = rng.gen::<f32>();
+        if u1 <= f32::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f32 = rng.gen::<f32>();
+        let r = (-2.0 * u1.ln()).sqrt();
+        return r * (std::f32::consts::TAU * u2).cos();
+    }
+}
+
+/// Glorot/Xavier uniform: `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
+///
+/// The default for the dense and attention weights of the RRRE towers.
+pub fn xavier_uniform(rng: &mut impl Rng, fan_in: usize, fan_out: usize) -> Tensor {
+    let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    uniform(rng, fan_in, fan_out, -a, a)
+}
+
+/// He/Kaiming normal: `N(0, 2/fan_in)`, used ahead of ReLU non-linearities
+/// (the DeepCoNN convolution stack).
+pub fn he_normal(rng: &mut impl Rng, fan_in: usize, fan_out: usize) -> Tensor {
+    normal(rng, fan_in, fan_out, 0.0, (2.0 / fan_in as f32).sqrt())
+}
+
+/// Small-scale normal used for embedding tables (`N(0, scale²)`).
+pub fn embedding(rng: &mut impl Rng, vocab: usize, dim: usize, scale: f32) -> Tensor {
+    normal(rng, vocab, dim, 0.0, scale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = uniform(&mut rng, 20, 20, -0.5, 0.5);
+        assert!(t.as_slice().iter().all(|&x| (-0.5..0.5).contains(&x)));
+    }
+
+    #[test]
+    fn normal_moments_roughly_match() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let t = normal(&mut rng, 100, 100, 1.0, 2.0);
+        let mean = t.mean();
+        let var = t.as_slice().iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / t.len() as f32;
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    fn xavier_scale_shrinks_with_fan() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let small = xavier_uniform(&mut rng, 4, 4, );
+        let big = xavier_uniform(&mut rng, 400, 400);
+        assert!(small.as_slice().iter().map(|x| x.abs()).fold(0.0, f32::max)
+            > big.as_slice().iter().map(|x| x.abs()).fold(0.0, f32::max));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        assert!(normal(&mut a, 3, 3, 0.0, 1.0).approx_eq(&normal(&mut b, 3, 3, 0.0, 1.0), 0.0));
+    }
+}

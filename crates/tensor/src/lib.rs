@@ -1,0 +1,56 @@
+//! # rrre-tensor
+//!
+//! The deep-learning substrate of the RRRE reproduction: dense `f32`
+//! matrices, reverse-mode automatic differentiation on an append-only tape,
+//! the neural layers the paper's models are assembled from (Linear,
+//! Embedding, LSTM/BiLSTM, GRU, 1-D CNN, additive attention, factorization
+//! machine, dropout), losses, and first-order optimisers.
+//!
+//! Everything is implemented from scratch on `std` + `rand`; correctness of
+//! every differentiable op and layer is enforced by numerical gradient
+//! checking (see [`gradcheck`]).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use rrre_tensor::{nn::Linear, optim::Adam, Params, Tape, Tensor};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let mut params = Params::new();
+//! let layer = Linear::new(&mut params, &mut rng, "fc", 2, 1);
+//! let mut opt = Adam::new(0.05);
+//!
+//! // Learn y = x0 + x1.
+//! let x = Tensor::from_rows(&[vec![1.0, 2.0], vec![-1.0, 0.5], vec![0.0, 3.0]]);
+//! let y = Tensor::col_vector(&[3.0, -0.5, 3.0]);
+//! for _ in 0..400 {
+//!     params.zero_grads();
+//!     let mut tape = Tape::new();
+//!     let xv = tape.constant(x.clone());
+//!     let pred = layer.forward(&mut tape, &params, xv);
+//!     let loss = tape.mse(pred, &y);
+//!     tape.backward(loss, &mut params);
+//!     opt.step(&mut params);
+//! }
+//! let mut tape = Tape::new();
+//! let xv = tape.constant(x.clone());
+//! let pred = layer.forward(&mut tape, &params, xv);
+//! assert!(tape.value(pred).approx_eq(&y, 0.05));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod gradcheck;
+pub mod init;
+pub mod nn;
+pub mod optim;
+mod ops;
+mod params;
+mod serialize;
+mod tape;
+mod tensor;
+
+pub use params::{ParamId, Params};
+pub use tape::{Tape, Var};
+pub use tensor::Tensor;

@@ -1,0 +1,304 @@
+//! Additive (fraud-)attention pooling — paper §III-D, Eq. (5)–(7).
+//!
+//! Scores each of `m` review embeddings against a context vector (the
+//! concatenated user- and item-ID embeddings), softmaxes the scores into
+//! weights `α`, and returns the weighted sum of the review embeddings.
+//!
+//! The paper writes separate context projections `W_u e_u + W_i e_i`; this
+//! layer takes the context pre-concatenated and uses the block matrix
+//! `W_ctx = [W_u; W_i]`, which is algebraically identical.
+
+use crate::{init, ParamId, Params, Tape, Tensor, Var};
+use rand::Rng;
+
+/// Additive attention pooling over the rows of an `[m, k]` matrix.
+#[derive(Debug, Clone)]
+pub struct AttentionPool {
+    w_rev: ParamId,
+    w_ctx: ParamId,
+    b1: ParamId,
+    h: ParamId,
+    b2: ParamId,
+    item_dim: usize,
+    ctx_dim: usize,
+    attn_dim: usize,
+}
+
+/// Large negative logit used to exclude zero-padded positions from the
+/// softmax; chosen well inside `f32` range so `exp` underflows cleanly.
+const MASK_LOGIT: f32 = -1.0e9;
+
+impl AttentionPool {
+    /// Registers attention weights under `name.*`.
+    ///
+    /// * `item_dim` — dimension of each pooled row (the review embedding).
+    /// * `ctx_dim` — dimension of the context vector.
+    /// * `attn_dim` — hidden size of the score MLP.
+    pub fn new(
+        params: &mut Params,
+        rng: &mut impl Rng,
+        name: &str,
+        item_dim: usize,
+        ctx_dim: usize,
+        attn_dim: usize,
+    ) -> Self {
+        Self {
+            w_rev: params.register(format!("{name}.w_rev"), init::xavier_uniform(rng, item_dim, attn_dim)),
+            w_ctx: params.register(format!("{name}.w_ctx"), init::xavier_uniform(rng, ctx_dim, attn_dim)),
+            b1: params.register(format!("{name}.b1"), Tensor::zeros(1, attn_dim)),
+            h: params.register(format!("{name}.h"), init::xavier_uniform(rng, attn_dim, 1)),
+            b2: params.register(format!("{name}.b2"), Tensor::zeros(1, 1)),
+            item_dim,
+            ctx_dim,
+            attn_dim,
+        }
+    }
+
+    /// Dimension of each pooled row.
+    pub fn item_dim(&self) -> usize {
+        self.item_dim
+    }
+
+    /// Dimension of the context vector.
+    pub fn ctx_dim(&self) -> usize {
+        self.ctx_dim
+    }
+
+    /// Hidden size of the score MLP.
+    pub fn attn_dim(&self) -> usize {
+        self.attn_dim
+    }
+
+    /// Raw attention logits `α*` (`[m, 1]`) for rows `items` (`[m, k]`)
+    /// against context. Eq. (5).
+    ///
+    /// `context` is either `[1, ctx_dim]` (one shared context broadcast over
+    /// all rows — RRRE's target user/item IDs) or `[m, ctx_dim]` (a per-row
+    /// context — NARRE attends with the ID embedding of each review's own
+    /// counterpart entity).
+    fn logits(&self, tape: &mut Tape, params: &Params, items: Var, context: Var) -> Var {
+        let m = tape.value(items).rows();
+        assert_eq!(tape.value(items).cols(), self.item_dim, "AttentionPool: item dim mismatch");
+        let ctx_shape = tape.value(context).shape();
+        assert!(
+            ctx_shape == (1, self.ctx_dim) || ctx_shape == (m, self.ctx_dim),
+            "AttentionPool: context must be [1, {}] or [{m}, {}], got {ctx_shape:?}",
+            self.ctx_dim,
+            self.ctx_dim
+        );
+        let w_rev = tape.param(params, self.w_rev);
+        let w_ctx = tape.param(params, self.w_ctx);
+        let b1 = tape.param(params, self.b1);
+        let h = tape.param(params, self.h);
+        let b2 = tape.param(params, self.b2);
+
+        let proj_items = tape.matmul(items, w_rev);
+        let proj_ctx = tape.matmul(context, w_ctx);
+        let pre = if ctx_shape.0 == 1 {
+            let ctx_plus_b1 = tape.add(proj_ctx, b1);
+            tape.add_row_broadcast(proj_items, ctx_plus_b1)
+        } else {
+            let summed = tape.add(proj_items, proj_ctx);
+            tape.add_row_broadcast(summed, b1)
+        };
+        let act = tape.tanh(pre);
+        let scores = tape.matmul(act, h);
+        tape.add_row_broadcast(scores, b2)
+    }
+
+    /// Attention weights `α` (`[m, 1]`, Eq. 6). Positions where
+    /// `mask[j] == false` (zero padding) are excluded from the softmax.
+    ///
+    /// # Panics
+    /// Panics if a mask is supplied with the wrong length or masks out every
+    /// position.
+    pub fn weights(
+        &self,
+        tape: &mut Tape,
+        params: &Params,
+        items: Var,
+        context: Var,
+        mask: Option<&[bool]>,
+    ) -> Var {
+        let m = tape.value(items).rows();
+        let mut logits = self.logits(tape, params, items, context);
+        if let Some(mask) = mask {
+            assert_eq!(mask.len(), m, "AttentionPool: mask of {} for {m} rows", mask.len());
+            assert!(mask.iter().any(|&b| b), "AttentionPool: all positions masked");
+            let penalty = Tensor::col_vector(
+                &mask.iter().map(|&b| if b { 0.0 } else { MASK_LOGIT }).collect::<Vec<_>>(),
+            );
+            let penalty = tape.constant(penalty);
+            logits = tape.add(logits, penalty);
+        }
+        let row = tape.transpose(logits);
+        let soft = tape.softmax_rows(row);
+        tape.transpose(soft)
+    }
+
+    /// Full pooling: weighted sum of the rows (`[1, k]`, Eq. 7).
+    pub fn forward(
+        &self,
+        tape: &mut Tape,
+        params: &Params,
+        items: Var,
+        context: Var,
+        mask: Option<&[bool]>,
+    ) -> Var {
+        let alpha = self.weights(tape, params, items, context, mask);
+        let weighted = tape.mul_col_broadcast(items, alpha);
+        tape.sum_rows(weighted)
+    }
+
+    /// Tape-free attention weights for inference/explanation paths. Accepts
+    /// the same `[1, ctx]` or `[m, ctx]` context shapes as the tape forward.
+    pub fn infer_weights(&self, params: &Params, items: &Tensor, context: &Tensor, mask: Option<&[bool]>) -> Vec<f32> {
+        let proj_ctx = context.matmul(params.get(self.w_ctx));
+        let proj_items = items.matmul(params.get(self.w_rev));
+        let pre = if proj_ctx.rows() == 1 {
+            proj_items.add_row_broadcast(&proj_ctx.add(params.get(self.b1)))
+        } else {
+            proj_items.add(&proj_ctx).add_row_broadcast(params.get(self.b1))
+        };
+        let proj = pre.map(f32::tanh);
+        let mut scores: Vec<f32> = proj
+            .matmul(params.get(self.h))
+            .map(|x| x + params.get(self.b2).item())
+            .into_vec();
+        if let Some(mask) = mask {
+            for (s, &keep) in scores.iter_mut().zip(mask) {
+                if !keep {
+                    *s = MASK_LOGIT;
+                }
+            }
+        }
+        let m = scores.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut denom = 0.0;
+        for s in &mut scores {
+            *s = (*s - m).exp();
+            denom += *s;
+        }
+        for s in &mut scores {
+            *s /= denom;
+        }
+        scores
+    }
+
+    /// Tape-free pooled output.
+    pub fn infer(&self, params: &Params, items: &Tensor, context: &Tensor, mask: Option<&[bool]>) -> Tensor {
+        let alpha = self.infer_weights(params, items, context, mask);
+        let mut out = Tensor::zeros(1, items.cols());
+        for (r, &a) in alpha.iter().enumerate() {
+            for (o, &x) in out.row_mut(0).iter_mut().zip(items.row(r)) {
+                *o += a * x;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::assert_gradients_ok;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn setup(seed: u64) -> (Params, AttentionPool, Tensor, Tensor) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut params = Params::new();
+        let attn = AttentionPool::new(&mut params, &mut rng, "a", 4, 3, 5);
+        let items = init::normal(&mut rng, 6, 4, 0.0, 1.0);
+        let ctx = init::normal(&mut rng, 1, 3, 0.0, 1.0);
+        (params, attn, items, ctx)
+    }
+
+    #[test]
+    fn weights_sum_to_one() {
+        let (params, attn, items, ctx) = setup(41);
+        let mut tape = Tape::new();
+        let iv = tape.constant(items.clone());
+        let cv = tape.constant(ctx.clone());
+        let w = attn.weights(&mut tape, &params, iv, cv, None);
+        assert_eq!(tape.shape(w), (6, 1));
+        assert!((tape.value(w).sum() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn masked_positions_get_zero_weight() {
+        let (params, attn, items, ctx) = setup(42);
+        let mask = [true, false, true, false, true, true];
+        let w = attn.infer_weights(&params, &items, &ctx, Some(&mask));
+        assert!(w[1] < 1e-12 && w[3] < 1e-12);
+        assert!((w.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn forward_and_infer_agree() {
+        let (params, attn, items, ctx) = setup(43);
+        let mask = [true, true, false, true, true, false];
+        let mut tape = Tape::new();
+        let iv = tape.constant(items.clone());
+        let cv = tape.constant(ctx.clone());
+        let out = attn.forward(&mut tape, &params, iv, cv, Some(&mask));
+        assert_eq!(tape.shape(out), (1, 4));
+        assert!(tape.value(out).approx_eq(&attn.infer(&params, &items, &ctx, Some(&mask)), 1e-4));
+    }
+
+    #[test]
+    fn pooled_output_is_convex_combination() {
+        // With a single unmasked row, the output must equal that row.
+        let (params, attn, items, ctx) = setup(44);
+        let mask = [false, false, true, false, false, false];
+        let out = attn.infer(&params, &items, &ctx, Some(&mask));
+        assert!(out.approx_eq(&items.row_tensor(2), 1e-4));
+    }
+
+    #[test]
+    fn per_row_context_matches_tape_and_infer() {
+        let (params, attn, items, _) = setup(46);
+        let mut rng = StdRng::seed_from_u64(47);
+        let ctx_rows = init::normal(&mut rng, 6, 3, 0.0, 1.0);
+        let mut tape = Tape::new();
+        let iv = tape.constant(items.clone());
+        let cv = tape.constant(ctx_rows.clone());
+        let w = attn.weights(&mut tape, &params, iv, cv, None);
+        let inferred = attn.infer_weights(&params, &items, &ctx_rows, None);
+        for (r, &iw) in inferred.iter().enumerate() {
+            assert!((tape.value(w).get(r, 0) - iw).abs() < 1e-5);
+        }
+        assert!((inferred.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn per_row_context_gradcheck() {
+        let mut rng = StdRng::seed_from_u64(48);
+        let mut params = Params::new();
+        let attn = AttentionPool::new(&mut params, &mut rng, "a", 3, 2, 4);
+        let items = init::normal(&mut rng, 4, 3, 0.0, 1.0);
+        let ctx = init::normal(&mut rng, 4, 2, 0.0, 1.0);
+        assert_gradients_ok(&mut params, move |p, tape| {
+            let iv = tape.constant(items.clone());
+            let cv = tape.constant(ctx.clone());
+            let out = attn.forward(tape, p, iv, cv, None);
+            let sq = tape.square(out);
+            tape.sum_all(sq)
+        });
+    }
+
+    #[test]
+    fn attention_gradcheck() {
+        let mut rng = StdRng::seed_from_u64(45);
+        let mut params = Params::new();
+        let attn = AttentionPool::new(&mut params, &mut rng, "a", 3, 2, 4);
+        let items = init::normal(&mut rng, 4, 3, 0.0, 1.0);
+        let ctx = init::normal(&mut rng, 1, 2, 0.0, 1.0);
+        let mask = [true, true, false, true];
+        assert_gradients_ok(&mut params, move |p, tape| {
+            let iv = tape.constant(items.clone());
+            let cv = tape.constant(ctx.clone());
+            let out = attn.forward(tape, p, iv, cv, Some(&mask));
+            let sq = tape.square(out);
+            tape.sum_all(sq)
+        });
+    }
+}

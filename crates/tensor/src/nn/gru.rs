@@ -1,0 +1,166 @@
+//! Gated recurrent unit, the sequence model of the DER baseline.
+
+use crate::{init, ParamId, Params, Tape, Tensor, Var};
+use rand::Rng;
+
+/// GRU with fused `[update | reset]` gate weights and a separate candidate
+/// projection.
+#[derive(Debug, Clone)]
+pub struct Gru {
+    wx_zr: ParamId,
+    wh_zr: ParamId,
+    b_zr: ParamId,
+    wx_n: ParamId,
+    wh_n: ParamId,
+    b_n: ParamId,
+    input_dim: usize,
+    hidden_dim: usize,
+}
+
+impl Gru {
+    /// Registers GRU weights under `name.*`.
+    pub fn new(params: &mut Params, rng: &mut impl Rng, name: &str, input_dim: usize, hidden_dim: usize) -> Self {
+        Self {
+            wx_zr: params.register(format!("{name}.wx_zr"), init::xavier_uniform(rng, input_dim, 2 * hidden_dim)),
+            wh_zr: params.register(format!("{name}.wh_zr"), init::xavier_uniform(rng, hidden_dim, 2 * hidden_dim)),
+            b_zr: params.register(format!("{name}.b_zr"), Tensor::zeros(1, 2 * hidden_dim)),
+            wx_n: params.register(format!("{name}.wx_n"), init::xavier_uniform(rng, input_dim, hidden_dim)),
+            wh_n: params.register(format!("{name}.wh_n"), init::xavier_uniform(rng, hidden_dim, hidden_dim)),
+            b_n: params.register(format!("{name}.b_n"), Tensor::zeros(1, hidden_dim)),
+            input_dim,
+            hidden_dim,
+        }
+    }
+
+    /// Input feature dimension.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Hidden state dimension.
+    pub fn hidden_dim(&self) -> usize {
+        self.hidden_dim
+    }
+
+    /// One differentiable step: `x_t` is `[n, input]`, `h` is `[n, hidden]`.
+    pub fn step(&self, tape: &mut Tape, params: &Params, x_t: Var, h: Var) -> Var {
+        let hd = self.hidden_dim;
+        let wx_zr = tape.param(params, self.wx_zr);
+        let wh_zr = tape.param(params, self.wh_zr);
+        let b_zr = tape.param(params, self.b_zr);
+        let xz = tape.matmul(x_t, wx_zr);
+        let hz = tape.matmul(h, wh_zr);
+        let zr_pre = tape.add(xz, hz);
+        let zr_pre = tape.add_row_broadcast(zr_pre, b_zr);
+        let z_pre = tape.slice_cols(zr_pre, 0, hd);
+        let r_pre = tape.slice_cols(zr_pre, hd, 2 * hd);
+        let z = tape.sigmoid(z_pre);
+        let r = tape.sigmoid(r_pre);
+
+        let wx_n = tape.param(params, self.wx_n);
+        let wh_n = tape.param(params, self.wh_n);
+        let b_n = tape.param(params, self.b_n);
+        let rh = tape.mul(r, h);
+        let xn = tape.matmul(x_t, wx_n);
+        let hn = tape.matmul(rh, wh_n);
+        let n_pre = tape.add(xn, hn);
+        let n_pre = tape.add_row_broadcast(n_pre, b_n);
+        let n = tape.tanh(n_pre);
+
+        // h' = (1 − z) ⊙ n + z ⊙ h
+        let zn = tape.mul(z, n);
+        let n_minus_zn = tape.sub(n, zn);
+        let zh = tape.mul(z, h);
+        tape.add(n_minus_zn, zh)
+    }
+
+    /// Runs over a `[T, input]` sequence node, returning the final hidden
+    /// state (`[1, hidden]`).
+    pub fn forward_final(&self, tape: &mut Tape, params: &Params, seq: Var) -> Var {
+        let t_len = tape.value(seq).rows();
+        assert!(t_len > 0, "Gru::forward_final: empty sequence");
+        let mut h = tape.constant(Tensor::zeros(1, self.hidden_dim));
+        for t in 0..t_len {
+            let x_t = tape.gather_rows(seq, &[t]);
+            h = self.step(tape, params, x_t, h);
+        }
+        h
+    }
+
+    /// Tape-free final hidden state.
+    pub fn infer_final(&self, params: &Params, seq: &Tensor) -> Tensor {
+        let (t_len, d) = seq.shape();
+        assert_eq!(d, self.input_dim, "Gru::infer_final: input dim {d}, expected {}", self.input_dim);
+        let hd = self.hidden_dim;
+        let mut h = Tensor::zeros(1, hd);
+        for t in 0..t_len {
+            let x_t = seq.gather_rows(&[t]);
+            let mut zr = x_t.matmul(params.get(self.wx_zr));
+            zr.add_assign(&h.matmul(params.get(self.wh_zr)));
+            zr = zr.add_row_broadcast(params.get(self.b_zr));
+            let z: Vec<f32> = (0..hd).map(|j| sigmoid(zr.get(0, j))).collect();
+            let r: Vec<f32> = (0..hd).map(|j| sigmoid(zr.get(0, hd + j))).collect();
+            let rh = Tensor::from_vec(1, hd, (0..hd).map(|j| r[j] * h.get(0, j)).collect());
+            let mut n = x_t.matmul(params.get(self.wx_n));
+            n.add_assign(&rh.matmul(params.get(self.wh_n)));
+            n = n.add_row_broadcast(params.get(self.b_n));
+            let mut h_next = Tensor::zeros(1, hd);
+            for (j, (&zj, slot)) in z.iter().zip(h_next.row_mut(0).iter_mut()).enumerate() {
+                let nj = n.get(0, j).tanh();
+                *slot = (1.0 - zj) * nj + zj * h.get(0, j);
+            }
+            h = h_next;
+        }
+        h
+    }
+}
+
+#[inline]
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::assert_gradients_ok;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn forward_and_infer_agree() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut params = Params::new();
+        let gru = Gru::new(&mut params, &mut rng, "g", 3, 4);
+        let seq = init::normal(&mut rng, 5, 3, 0.0, 1.0);
+        let mut tape = Tape::new();
+        let sv = tape.constant(seq.clone());
+        let h = gru.forward_final(&mut tape, &params, sv);
+        assert_eq!(tape.shape(h), (1, 4));
+        assert!(tape.value(h).approx_eq(&gru.infer_final(&params, &seq), 1e-5));
+    }
+
+    #[test]
+    fn gru_gradcheck() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let mut params = Params::new();
+        let gru = Gru::new(&mut params, &mut rng, "g", 2, 3);
+        let seq = init::normal(&mut rng, 3, 2, 0.0, 1.0);
+        assert_gradients_ok(&mut params, move |p, tape| {
+            let sv = tape.constant(seq.clone());
+            let h = gru.forward_final(tape, p, sv);
+            let sq = tape.square(h);
+            tape.sum_all(sq)
+        });
+    }
+
+    #[test]
+    fn zero_update_gate_bias_mixes_state() {
+        // With a single step from h=0 the output must lie in (-1, 1) strictly.
+        let mut rng = StdRng::seed_from_u64(15);
+        let mut params = Params::new();
+        let gru = Gru::new(&mut params, &mut rng, "g", 2, 2);
+        let seq = Tensor::from_vec(1, 2, vec![0.5, -0.5]);
+        let h = gru.infer_final(&params, &seq);
+        assert!(h.as_slice().iter().all(|&x| x.abs() < 1.0));
+    }
+}

@@ -1,0 +1,24 @@
+//! Neural-network layers built on the autograd tape.
+//!
+//! Layers register their weights in a shared [`crate::Params`] store at
+//! construction and are stateless afterwards: `forward` records ops on a
+//! caller-supplied [`crate::Tape`]. Layers that sit on hot inference paths
+//! (the review encoders) additionally expose tape-free `infer` methods.
+
+mod attention;
+mod conv;
+mod dropout;
+mod embedding;
+mod fm;
+mod gru;
+mod linear;
+mod lstm;
+
+pub use attention::AttentionPool;
+pub use conv::Conv1dMaxPool;
+pub use dropout::Dropout;
+pub use embedding::Embedding;
+pub use fm::FactorizationMachine;
+pub use gru::Gru;
+pub use linear::Linear;
+pub use lstm::{BiLstm, Lstm};

@@ -1,0 +1,91 @@
+//! Non-linear activations.
+
+use crate::tape::{Op, Tape, Var};
+
+impl Tape {
+    /// Hyperbolic tangent, applied element-wise.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(f32::tanh);
+        self.push(value, Op::Tanh(a))
+    }
+
+    /// Logistic sigmoid, applied element-wise.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(|x| 1.0 / (1.0 + (-x).exp()));
+        self.push(value, Op::Sigmoid(a))
+    }
+
+    /// Rectified linear unit, applied element-wise.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(|x| x.max(0.0));
+        self.push(value, Op::Relu(a))
+    }
+
+    /// Numerically stable row-wise softmax.
+    pub fn softmax_rows(&mut self, a: Var) -> Var {
+        let src = self.value(a);
+        let mut value = src.clone();
+        for r in 0..value.rows() {
+            let row = value.row_mut(r);
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut denom = 0.0;
+            for x in row.iter_mut() {
+                *x = (*x - m).exp();
+                denom += *x;
+            }
+            for x in row.iter_mut() {
+                *x /= denom;
+            }
+        }
+        self.push(value, Op::SoftmaxRows(a))
+    }
+
+    /// Inverted-dropout with keep-probability `1 - rate`, using the supplied
+    /// pre-drawn `mask` of `0.0 / (1/(1-rate))` entries. Recording the mask as
+    /// a constant keeps the op differentiable and the tape deterministic; the
+    /// [`crate::nn::Dropout`] layer draws masks from its RNG.
+    pub fn apply_mask(&mut self, a: Var, mask: Var) -> Var {
+        self.mul(a, mask)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Tape, Tensor};
+
+    #[test]
+    fn softmax_rows_sum_to_one_and_order() {
+        let mut tape = Tape::new();
+        let a = tape.constant(Tensor::from_vec(2, 3, vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]));
+        let s = tape.softmax_rows(a);
+        let v = tape.value(s);
+        for r in 0..2 {
+            let sum: f32 = v.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+            assert!(v.get(r, 2) > v.get(r, 1) && v.get(r, 1) > v.get(r, 0));
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let mut tape = Tape::new();
+        let a = tape.constant(Tensor::from_vec(1, 3, vec![1.0, 2.0, 3.0]));
+        let b = tape.constant(Tensor::from_vec(1, 3, vec![1001.0, 1002.0, 1003.0]));
+        let sa = tape.softmax_rows(a);
+        let sb = tape.softmax_rows(b);
+        let (va, vb) = (tape.value(sa).clone(), tape.value(sb).clone());
+        assert!(va.approx_eq(&vb, 1e-5));
+    }
+
+    #[test]
+    fn activations_known_values() {
+        let mut tape = Tape::new();
+        let a = tape.constant(Tensor::from_vec(1, 3, vec![-1.0, 0.0, 1.0]));
+        let t = tape.tanh(a);
+        let s = tape.sigmoid(a);
+        let r = tape.relu(a);
+        assert!((tape.value(t).get(0, 0) + 0.76159).abs() < 1e-4);
+        assert!((tape.value(s).get(0, 1) - 0.5).abs() < 1e-6);
+        assert_eq!(tape.value(r).as_slice(), &[0.0, 0.0, 1.0]);
+    }
+}

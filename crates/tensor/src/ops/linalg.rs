@@ -1,0 +1,144 @@
+//! Arithmetic and linear-algebra ops.
+
+use crate::tape::{Op, Tape, Var};
+
+impl Tape {
+    /// Element-wise sum of two same-shaped nodes.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).add(self.value(b));
+        self.push(value, Op::Add(a, b))
+    }
+
+    /// Element-wise difference `a - b`.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).sub(self.value(b));
+        self.push(value, Op::Sub(a, b))
+    }
+
+    /// Element-wise (Hadamard) product.
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).mul(self.value(b));
+        self.push(value, Op::Mul(a, b))
+    }
+
+    /// Adds a `1 × c` row vector to every row of `a`.
+    pub fn add_row_broadcast(&mut self, a: Var, row: Var) -> Var {
+        let value = self.value(a).add_row_broadcast(self.value(row));
+        self.push(value, Op::AddRowBroadcast(a, row))
+    }
+
+    /// Multiplies every row `r` of `a` by the scalar `col[r]` (`col` is `r × 1`).
+    pub fn mul_col_broadcast(&mut self, a: Var, col: Var) -> Var {
+        let av = self.value(a);
+        let cv = self.value(col);
+        assert_eq!(cv.cols(), 1, "mul_col_broadcast: rhs must be a column vector");
+        assert_eq!(cv.rows(), av.rows(), "mul_col_broadcast: {} rows vs {} weights", av.rows(), cv.rows());
+        let mut value = av.clone();
+        for r in 0..value.rows() {
+            let s = cv.get(r, 0);
+            for x in value.row_mut(r) {
+                *x *= s;
+            }
+        }
+        self.push(value, Op::MulColBroadcast(a, col))
+    }
+
+    /// Scalar multiple `alpha * a`.
+    pub fn scale(&mut self, a: Var, alpha: f32) -> Var {
+        let value = self.value(a).scale(alpha);
+        self.push(value, Op::Scale(a, alpha))
+    }
+
+    /// Negation, recorded as a scale by `-1`.
+    pub fn neg(&mut self, a: Var) -> Var {
+        self.scale(a, -1.0)
+    }
+
+    /// Adds a scalar constant to every element.
+    pub fn add_scalar(&mut self, a: Var, alpha: f32) -> Var {
+        let value = self.value(a).map(|x| x + alpha);
+        self.push(value, Op::AddScalar(a))
+    }
+
+    /// Matrix product `a · b`.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).matmul(self.value(b));
+        self.push(value, Op::MatMul(a, b))
+    }
+
+    /// Materialised transpose.
+    pub fn transpose(&mut self, a: Var) -> Var {
+        let value = self.value(a).transpose();
+        self.push(value, Op::Transpose(a))
+    }
+
+    /// Element-wise square.
+    pub fn square(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(|x| x * x);
+        self.push(value, Op::Square(a))
+    }
+
+    /// Affine map `x · w + b` with `b` broadcast over rows — the fundamental
+    /// dense-layer primitive.
+    pub fn affine(&mut self, x: Var, w: Var, b: Var) -> Var {
+        let xw = self.matmul(x, w);
+        self.add_row_broadcast(xw, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Params, Tape, Tensor};
+
+    #[test]
+    fn add_and_matmul_forward() {
+        let mut tape = Tape::new();
+        let a = tape.constant(Tensor::from_vec(1, 2, vec![1.0, 2.0]));
+        let b = tape.constant(Tensor::from_vec(1, 2, vec![3.0, 4.0]));
+        let s = tape.add(a, b);
+        assert_eq!(tape.value(s).as_slice(), &[4.0, 6.0]);
+
+        let w = tape.constant(Tensor::from_vec(2, 1, vec![1.0, -1.0]));
+        let p = tape.matmul(s, w);
+        assert_eq!(tape.value(p).item(), -2.0);
+    }
+
+    #[test]
+    fn matmul_gradients_match_formula() {
+        // loss = sum(A·B); dA = 1·Bᵀ, dB = Aᵀ·1
+        let mut params = Params::new();
+        let a_id = params.register("a", Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+        let b_id = params.register("b", Tensor::from_vec(2, 2, vec![5.0, 6.0, 7.0, 8.0]));
+        let mut tape = Tape::new();
+        let a = tape.param(&params, a_id);
+        let b = tape.param(&params, b_id);
+        let c = tape.matmul(a, b);
+        let loss = tape.sum_all(c);
+        tape.backward(loss, &mut params);
+        let ones = Tensor::ones(2, 2);
+        assert!(params.grad(a_id).approx_eq(&ones.matmul_nt(params.get(b_id)), 1e-5));
+        assert!(params.grad(b_id).approx_eq(&params.get(a_id).matmul_tn(&ones), 1e-5));
+    }
+
+    #[test]
+    fn mul_col_broadcast_weights_rows() {
+        let mut tape = Tape::new();
+        let a = tape.constant(Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+        let w = tape.constant(Tensor::col_vector(&[2.0, 0.5]));
+        let out = tape.mul_col_broadcast(a, w);
+        assert_eq!(tape.value(out).as_slice(), &[2.0, 4.0, 1.5, 2.0]);
+    }
+
+    #[test]
+    fn gradient_accumulates_on_reuse() {
+        // loss = sum(x + x) => dx = 2
+        let mut params = Params::new();
+        let x_id = params.register("x", Tensor::ones(1, 3));
+        let mut tape = Tape::new();
+        let x = tape.param(&params, x_id);
+        let y = tape.add(x, x);
+        let loss = tape.sum_all(y);
+        tape.backward(loss, &mut params);
+        assert!(params.grad(x_id).approx_eq(&Tensor::full(1, 3, 2.0), 1e-6));
+    }
+}

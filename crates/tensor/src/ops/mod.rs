@@ -1,0 +1,12 @@
+//! Forward builders for every differentiable operation.
+//!
+//! Each method records one [`crate::tape::Op`] node on the tape and returns a
+//! [`crate::Var`] handle. Shape validation happens eagerly here so that a
+//! malformed graph fails at construction with the offending op named, not
+//! deep inside the backward sweep.
+
+mod activation;
+mod linalg;
+mod loss_ops;
+mod reduce;
+mod structural;

@@ -1,0 +1,178 @@
+//! First-order optimisers over a [`Params`] store.
+
+use crate::{Params, Tensor};
+
+/// Plain stochastic gradient descent with optional momentum.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum coefficient (`0.0` disables momentum).
+    pub momentum: f32,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimiser.
+    pub fn new(lr: f32, momentum: f32) -> Self {
+        assert!(lr > 0.0, "Sgd: non-positive learning rate {lr}");
+        assert!((0.0..1.0).contains(&momentum), "Sgd: momentum {momentum} outside [0, 1)");
+        Self { lr, momentum, velocity: Vec::new() }
+    }
+
+    /// Applies one update from the accumulated gradients, then leaves the
+    /// gradients untouched (call [`Params::zero_grads`] afterwards).
+    pub fn step(&mut self, params: &mut Params) {
+        if self.velocity.len() != params.len() {
+            self.velocity = params
+                .ids()
+                .map(|id| {
+                    let (r, c) = params.get(id).shape();
+                    Tensor::zeros(r, c)
+                })
+                .collect();
+        }
+        for (i, id) in params.ids().enumerate().collect::<Vec<_>>() {
+            let grad = params.grad(id).clone();
+            let v = &mut self.velocity[i];
+            if self.momentum > 0.0 {
+                v.map_inplace(|x| x * self.momentum);
+                v.axpy(1.0, &grad);
+                params.get_mut(id).axpy(-self.lr, &v.clone());
+            } else {
+                params.get_mut(id).axpy(-self.lr, &grad);
+            }
+        }
+    }
+}
+
+/// Adam (Kingma & Ba, 2015) with bias correction.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Denominator stabiliser.
+    pub eps: f32,
+    t: u64,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Creates an Adam optimiser with the canonical `β₁ = 0.9, β₂ = 0.999`.
+    pub fn new(lr: f32) -> Self {
+        Self::with_betas(lr, 0.9, 0.999)
+    }
+
+    /// Creates an Adam optimiser with explicit decay rates.
+    pub fn with_betas(lr: f32, beta1: f32, beta2: f32) -> Self {
+        assert!(lr > 0.0, "Adam: non-positive learning rate {lr}");
+        Self { lr, beta1, beta2, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+
+    /// Number of steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// Applies one Adam update from the accumulated gradients.
+    pub fn step(&mut self, params: &mut Params) {
+        if self.m.len() != params.len() {
+            let zeros = |p: &Params| {
+                p.ids()
+                    .map(|id| {
+                        let (r, c) = p.get(id).shape();
+                        Tensor::zeros(r, c)
+                    })
+                    .collect::<Vec<_>>()
+            };
+            self.m = zeros(params);
+            self.v = zeros(params);
+        }
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (i, id) in params.ids().enumerate().collect::<Vec<_>>() {
+            let grad = params.grad(id).clone();
+            let m = &mut self.m[i];
+            m.map_inplace(|x| x * self.beta1);
+            m.axpy(1.0 - self.beta1, &grad);
+            let v = &mut self.v[i];
+            let g_sq = grad.map(|x| x * x);
+            v.map_inplace(|x| x * self.beta2);
+            v.axpy(1.0 - self.beta2, &g_sq);
+
+            let m_hat = self.m[i].scale(1.0 / bc1);
+            let v_hat = self.v[i].scale(1.0 / bc2);
+            let update = m_hat.zip_map(&v_hat, |mh, vh| mh / (vh.sqrt() + self.eps));
+            params.get_mut(id).axpy(-self.lr, &update);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Tape, Tensor};
+
+    /// Minimises `(x - 3)²` and checks convergence.
+    fn optimise(mut step: impl FnMut(&mut Params), params: &mut Params, iters: usize) -> f32 {
+        let id = params.ids().next().unwrap();
+        for _ in 0..iters {
+            params.zero_grads();
+            let mut tape = Tape::new();
+            let x = tape.param(params, id);
+            let t = tape.constant(Tensor::scalar(3.0));
+            let d = tape.sub(x, t);
+            let sq = tape.square(d);
+            let loss = tape.sum_all(sq);
+            tape.backward(loss, params);
+            step(params);
+        }
+        params.get(id).item()
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut params = Params::new();
+        params.register("x", Tensor::scalar(-5.0));
+        let mut opt = Sgd::new(0.1, 0.0);
+        let x = optimise(|p| opt.step(p), &mut params, 200);
+        assert!((x - 3.0).abs() < 1e-3, "x = {x}");
+    }
+
+    #[test]
+    fn sgd_momentum_converges_faster_than_plain_on_ravine() {
+        let run = |momentum: f32| {
+            let mut params = Params::new();
+            params.register("x", Tensor::scalar(-5.0));
+            let mut opt = Sgd::new(0.02, momentum);
+            let x = optimise(|p| opt.step(p), &mut params, 40);
+            (x - 3.0).abs()
+        };
+        assert!(run(0.9) < run(0.0));
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut params = Params::new();
+        params.register("x", Tensor::scalar(-5.0));
+        let mut opt = Adam::new(0.3);
+        let x = optimise(|p| opt.step(p), &mut params, 300);
+        assert!((x - 3.0).abs() < 1e-2, "x = {x}");
+    }
+
+    #[test]
+    fn adam_step_counter_advances() {
+        let mut params = Params::new();
+        params.register("x", Tensor::scalar(0.0));
+        let mut opt = Adam::new(0.1);
+        opt.step(&mut params);
+        opt.step(&mut params);
+        assert_eq!(opt.steps(), 2);
+    }
+}

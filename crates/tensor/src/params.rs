@@ -1,0 +1,187 @@
+//! Trainable-parameter storage shared by all models in the workspace.
+//!
+//! Parameters live outside the autograd tape so that a fresh [`crate::Tape`]
+//! can be built per training step (the tape is append-only and cheap) while
+//! the long-lived weights and their gradient accumulators stay here.
+
+use crate::Tensor;
+
+/// Opaque handle to a parameter registered in a [`Params`] store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ParamId(pub(crate) usize);
+
+impl ParamId {
+    /// The raw index, useful for stable serialisation of checkpoints.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// A store of named trainable tensors and their gradient accumulators.
+#[derive(Debug, Default, Clone)]
+pub struct Params {
+    values: Vec<Tensor>,
+    grads: Vec<Tensor>,
+    names: Vec<String>,
+}
+
+impl Params {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a tensor as a trainable parameter and returns its handle.
+    pub fn register(&mut self, name: impl Into<String>, value: Tensor) -> ParamId {
+        let (r, c) = value.shape();
+        self.grads.push(Tensor::zeros(r, c));
+        self.values.push(value);
+        self.names.push(name.into());
+        ParamId(self.values.len() - 1)
+    }
+
+    /// Number of registered parameters (tensors, not scalars).
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Total number of scalar weights across all parameters.
+    pub fn num_scalars(&self) -> usize {
+        self.values.iter().map(Tensor::len).sum()
+    }
+
+    /// Immutable access to a parameter value.
+    pub fn get(&self, id: ParamId) -> &Tensor {
+        &self.values[id.0]
+    }
+
+    /// Mutable access to a parameter value (used by optimisers and tests).
+    pub fn get_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.values[id.0]
+    }
+
+    /// Immutable access to the accumulated gradient of a parameter.
+    pub fn grad(&self, id: ParamId) -> &Tensor {
+        &self.grads[id.0]
+    }
+
+    /// Mutable access to the accumulated gradient (tape backward writes here).
+    pub fn grad_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.grads[id.0]
+    }
+
+    /// The name a parameter was registered under.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.names[id.0]
+    }
+
+    /// Iterates over all `(id, name, value)` triples.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &str, &Tensor)> {
+        self.values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (ParamId(i), self.names[i].as_str(), v))
+    }
+
+    /// All parameter ids in registration order.
+    pub fn ids(&self) -> impl Iterator<Item = ParamId> {
+        (0..self.values.len()).map(ParamId)
+    }
+
+    /// Resets every gradient accumulator to zero.
+    pub fn zero_grads(&mut self) {
+        for g in &mut self.grads {
+            let (r, c) = g.shape();
+            *g = Tensor::zeros(r, c);
+        }
+    }
+
+    /// Sum of squared L2 norms of all values — the `Σ‖ε‖²` regulariser of
+    /// Eq. (13)/(14) in the paper.
+    pub fn l2_norm_sq(&self) -> f32 {
+        self.values.iter().map(Tensor::norm_sq).sum()
+    }
+
+    /// Adds `2·gamma·value` to every gradient, i.e. the gradient of
+    /// `gamma · Σ‖ε‖²`. Call once per step before the optimiser update.
+    pub fn apply_l2_grad(&mut self, gamma: f32) {
+        for (v, g) in self.values.iter().zip(&mut self.grads) {
+            g.axpy(2.0 * gamma, v);
+        }
+    }
+
+    /// Global gradient-norm clipping: if the joint L2 norm of all gradients
+    /// exceeds `max_norm`, rescales them to have exactly that norm.
+    /// Returns the pre-clip norm.
+    pub fn clip_grad_norm(&mut self, max_norm: f32) -> f32 {
+        let total: f32 = self.grads.iter().map(Tensor::norm_sq).sum::<f32>().sqrt();
+        if total > max_norm && total > 0.0 {
+            let scale = max_norm / total;
+            for g in &mut self.grads {
+                g.map_inplace(|x| x * scale);
+            }
+        }
+        total
+    }
+
+    /// True if any parameter or gradient contains a NaN/inf.
+    pub fn has_non_finite(&self) -> bool {
+        self.values.iter().chain(&self.grads).any(Tensor::has_non_finite)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_access() {
+        let mut p = Params::new();
+        let w = p.register("w", Tensor::ones(2, 3));
+        let b = p.register("b", Tensor::zeros(1, 3));
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.num_scalars(), 9);
+        assert_eq!(p.name(w), "w");
+        assert_eq!(p.get(b).shape(), (1, 3));
+        assert_eq!(p.grad(w).shape(), (2, 3));
+    }
+
+    #[test]
+    fn zero_grads_resets() {
+        let mut p = Params::new();
+        let w = p.register("w", Tensor::ones(2, 2));
+        p.grad_mut(w).axpy(1.0, &Tensor::ones(2, 2));
+        assert_eq!(p.grad(w).sum(), 4.0);
+        p.zero_grads();
+        assert_eq!(p.grad(w).sum(), 0.0);
+    }
+
+    #[test]
+    fn l2_regulariser_matches_manual() {
+        let mut p = Params::new();
+        let w = p.register("w", Tensor::from_vec(1, 2, vec![3.0, 4.0]));
+        assert!((p.l2_norm_sq() - 25.0).abs() < 1e-6);
+        p.apply_l2_grad(0.5);
+        // grad = 2*gamma*w = [3, 4]
+        assert!(p.grad(w).approx_eq(&Tensor::from_vec(1, 2, vec![3.0, 4.0]), 1e-6));
+    }
+
+    #[test]
+    fn clip_grad_norm_rescales() {
+        let mut p = Params::new();
+        let w = p.register("w", Tensor::zeros(1, 2));
+        *p.grad_mut(w) = Tensor::from_vec(1, 2, vec![3.0, 4.0]);
+        let pre = p.clip_grad_norm(1.0);
+        assert!((pre - 5.0).abs() < 1e-5);
+        assert!((p.grad(w).norm() - 1.0).abs() < 1e-5);
+        // Below the threshold nothing changes.
+        let pre2 = p.clip_grad_norm(10.0);
+        assert!((pre2 - 1.0).abs() < 1e-5);
+        assert!((p.grad(w).norm() - 1.0).abs() < 1e-5);
+    }
+}

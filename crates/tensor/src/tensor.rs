@@ -1,0 +1,662 @@
+//! Dense, row-major, two-dimensional `f32` tensor.
+//!
+//! The RRRE models only ever need matrices: parameter tables, batched feature
+//! matrices `[batch, features]` and per-timestep slices of sequences. Keeping
+//! the storage strictly two-dimensional makes every kernel in this crate
+//! simple, cache-friendly and easy to verify; sequences and sets of reviews
+//! are handled as `Vec<Tensor>` (or index lists) one level up, in the layers.
+//!
+//! All shape mismatches are programming errors and panic with a descriptive
+//! message, mirroring the convention of mainstream array libraries.
+
+use std::fmt;
+
+/// A dense row-major matrix of `f32` values.
+///
+/// A vector is represented as a single-row (`1 × n`) or single-column
+/// (`n × 1`) tensor; a scalar as `1 × 1`.
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor of the given shape filled with `value`.
+    pub fn full(rows: usize, cols: usize, value: f32) -> Self {
+        Self { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Creates a zero tensor of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self::full(rows, cols, 0.0)
+    }
+
+    /// Creates a tensor of ones of the given shape.
+    pub fn ones(rows: usize, cols: usize) -> Self {
+        Self::full(rows, cols, 1.0)
+    }
+
+    /// Creates a `1 × 1` tensor holding `value`.
+    pub fn scalar(value: f32) -> Self {
+        Self { rows: 1, cols: 1, data: vec![value] }
+    }
+
+    /// Builds a tensor from a flat row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "Tensor::from_vec: buffer of length {} cannot fill a {rows}x{cols} tensor",
+            data.len()
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Builds a tensor from a slice of equally sized rows.
+    ///
+    /// # Panics
+    /// Panics if the rows have inconsistent lengths or `rows` is empty.
+    pub fn from_rows(rows: &[Vec<f32>]) -> Self {
+        assert!(!rows.is_empty(), "Tensor::from_rows: need at least one row");
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(r.len(), cols, "Tensor::from_rows: row {i} has length {}, expected {cols}", r.len());
+            data.extend_from_slice(r);
+        }
+        Self { rows: rows.len(), cols, data }
+    }
+
+    /// Builds a single-row tensor from a slice.
+    pub fn row_vector(values: &[f32]) -> Self {
+        Self::from_vec(1, values.len(), values.to_vec())
+    }
+
+    /// Builds a single-column tensor from a slice.
+    pub fn col_vector(values: &[f32]) -> Self {
+        Self::from_vec(values.len(), 1, values.to_vec())
+    }
+
+    /// The identity matrix of size `n × n`.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Self::zeros(n, n);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the flat row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the flat row-major buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning the flat buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element access.
+    ///
+    /// # Panics
+    /// Panics on out-of-bounds indices.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols, "Tensor::get({r},{c}) out of bounds for {}x{}", self.rows, self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element mutation.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols, "Tensor::set({r},{c}) out of bounds for {}x{}", self.rows, self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Immutable view of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable view of row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copies row `r` into a new single-row tensor.
+    pub fn row_tensor(&self, r: usize) -> Tensor {
+        Tensor::row_vector(self.row(r))
+    }
+
+    /// Column `c` copied into a `Vec`.
+    pub fn col(&self, c: usize) -> Vec<f32> {
+        (0..self.rows).map(|r| self.get(r, c)).collect()
+    }
+
+    /// The single value of a `1 × 1` tensor.
+    ///
+    /// # Panics
+    /// Panics if the tensor is not `1 × 1`.
+    pub fn item(&self) -> f32 {
+        assert_eq!(self.shape(), (1, 1), "Tensor::item on a {}x{} tensor", self.rows, self.cols);
+        self.data[0]
+    }
+
+    /// Reinterprets the buffer under a new shape of equal element count.
+    ///
+    /// # Panics
+    /// Panics if the element counts differ.
+    pub fn reshape(&self, rows: usize, cols: usize) -> Tensor {
+        assert_eq!(self.len(), rows * cols, "Tensor::reshape: {}x{} -> {rows}x{cols}", self.rows, self.cols);
+        Tensor { rows, cols, data: self.data.clone() }
+    }
+
+    /// Applies `f` to every element, producing a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&x| f(x)).collect() }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Element-wise combination of two same-shaped tensors.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn zip_map(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        self.assert_same_shape(other, "zip_map");
+        Tensor {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect(),
+        }
+    }
+
+    fn assert_same_shape(&self, other: &Tensor, op: &str) {
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "Tensor::{op}: shape mismatch {}x{} vs {}x{}",
+            self.rows,
+            self.cols,
+            other.rows,
+            other.cols
+        );
+    }
+
+    /// Element-wise sum.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        self.zip_map(other, |a, b| a + b)
+    }
+
+    /// Element-wise difference.
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        self.zip_map(other, |a, b| a - b)
+    }
+
+    /// Element-wise (Hadamard) product.
+    pub fn mul(&self, other: &Tensor) -> Tensor {
+        self.zip_map(other, |a, b| a * b)
+    }
+
+    /// In-place element-wise addition.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        self.assert_same_shape(other, "add_assign");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// In-place `self += alpha * other` (axpy).
+    pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
+        self.assert_same_shape(other, "axpy");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Scalar multiple.
+    pub fn scale(&self, alpha: f32) -> Tensor {
+        self.map(|x| alpha * x)
+    }
+
+    /// Adds `row` (a `1 × cols` tensor) to every row.
+    ///
+    /// # Panics
+    /// Panics if `row` is not `1 × self.cols()`.
+    pub fn add_row_broadcast(&self, row: &Tensor) -> Tensor {
+        assert_eq!(row.rows, 1, "add_row_broadcast: rhs must be a single row");
+        assert_eq!(row.cols, self.cols, "add_row_broadcast: {} vs {} columns", self.cols, row.cols);
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            for (o, &b) in out.row_mut(r).iter_mut().zip(&row.data) {
+                *o += b;
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self · other`.
+    ///
+    /// Uses the cache-friendly i-k-j loop order; adequate for the model sizes
+    /// in this workspace (dozens to a few hundred columns).
+    ///
+    /// # Panics
+    /// Panics if the inner dimensions disagree.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul: {}x{} . {}x{} inner dimensions disagree",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (m, k, n) = (self.rows, self.cols, other.cols);
+        let mut out = Tensor::zeros(m, n);
+        for i in 0..m {
+            let a_row = self.row(i);
+            let out_row = out.row_mut(i);
+            for (p, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[p * n..(p + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+            let _ = k;
+        }
+        out
+    }
+
+    /// `self · otherᵀ` without materialising the transpose.
+    pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_nt: {}x{} . ({}x{})^T inner dimensions disagree",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (m, n) = (self.rows, other.rows);
+        let mut out = Tensor::zeros(m, n);
+        for i in 0..m {
+            let a_row = self.row(i);
+            let out_row = out.row_mut(i);
+            for (j, o) in out_row.iter_mut().enumerate() {
+                let b_row = other.row(j);
+                let mut acc = 0.0;
+                for (&a, &b) in a_row.iter().zip(b_row) {
+                    acc += a * b;
+                }
+                *o = acc;
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ · other` without materialising the transpose.
+    pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.rows, other.rows,
+            "matmul_tn: ({}x{})^T . {}x{} inner dimensions disagree",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (m, n) = (self.cols, other.cols);
+        let mut out = Tensor::zeros(m, n);
+        for p in 0..self.rows {
+            let a_row = self.row(p);
+            let b_row = other.row(p);
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[i * n..(i + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Materialised transpose.
+    pub fn transpose(&self) -> Tensor {
+        let mut out = Tensor::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (`0.0` for an empty tensor).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Column-wise sum, producing a `1 × cols` tensor.
+    pub fn sum_rows(&self) -> Tensor {
+        let mut out = Tensor::zeros(1, self.cols);
+        for r in 0..self.rows {
+            for (o, &x) in out.data.iter_mut().zip(self.row(r)) {
+                *o += x;
+            }
+        }
+        out
+    }
+
+    /// Row-wise sum, producing a `rows × 1` tensor.
+    pub fn sum_cols(&self) -> Tensor {
+        let mut out = Tensor::zeros(self.rows, 1);
+        for r in 0..self.rows {
+            out.data[r] = self.row(r).iter().sum();
+        }
+        out
+    }
+
+    /// Maximum element (`f32::NEG_INFINITY` if empty).
+    pub fn max(&self) -> f32 {
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum element (`f32::INFINITY` if empty).
+    pub fn min(&self) -> f32 {
+        self.data.iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Dot product of two tensors viewed as flat vectors.
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    pub fn dot(&self, other: &Tensor) -> f32 {
+        assert_eq!(self.len(), other.len(), "dot: length mismatch {} vs {}", self.len(), other.len());
+        self.data.iter().zip(&other.data).map(|(&a, &b)| a * b).sum()
+    }
+
+    /// Frobenius (L2) norm.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|&x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// Squared Frobenius norm.
+    pub fn norm_sq(&self) -> f32 {
+        self.data.iter().map(|&x| x * x).sum::<f32>()
+    }
+
+    /// Horizontal concatenation of tensors with equal row counts.
+    ///
+    /// # Panics
+    /// Panics if `parts` is empty or row counts differ.
+    pub fn concat_cols(parts: &[&Tensor]) -> Tensor {
+        assert!(!parts.is_empty(), "concat_cols: need at least one part");
+        let rows = parts[0].rows;
+        for p in parts {
+            assert_eq!(p.rows, rows, "concat_cols: row counts differ ({} vs {rows})", p.rows);
+        }
+        let cols: usize = parts.iter().map(|p| p.cols).sum();
+        let mut out = Tensor::zeros(rows, cols);
+        for r in 0..rows {
+            let mut offset = 0;
+            for p in parts {
+                out.row_mut(r)[offset..offset + p.cols].copy_from_slice(p.row(r));
+                offset += p.cols;
+            }
+        }
+        out
+    }
+
+    /// Vertical concatenation of tensors with equal column counts.
+    ///
+    /// # Panics
+    /// Panics if `parts` is empty or column counts differ.
+    pub fn concat_rows(parts: &[&Tensor]) -> Tensor {
+        assert!(!parts.is_empty(), "concat_rows: need at least one part");
+        let cols = parts[0].cols;
+        let rows: usize = parts.iter().map(|p| p.rows).sum();
+        let mut data = Vec::with_capacity(rows * cols);
+        for p in parts {
+            assert_eq!(p.cols, cols, "concat_rows: column counts differ ({} vs {cols})", p.cols);
+            data.extend_from_slice(&p.data);
+        }
+        Tensor { rows, cols, data }
+    }
+
+    /// Copies a contiguous range of columns into a new tensor.
+    ///
+    /// # Panics
+    /// Panics if the range exceeds the column count.
+    pub fn slice_cols(&self, start: usize, end: usize) -> Tensor {
+        assert!(start <= end && end <= self.cols, "slice_cols: {start}..{end} out of 0..{}", self.cols);
+        let mut out = Tensor::zeros(self.rows, end - start);
+        for r in 0..self.rows {
+            out.row_mut(r).copy_from_slice(&self.row(r)[start..end]);
+        }
+        out
+    }
+
+    /// Gathers the listed rows into a new tensor (duplicates allowed).
+    ///
+    /// # Panics
+    /// Panics on any out-of-range index.
+    pub fn gather_rows(&self, indices: &[usize]) -> Tensor {
+        let mut out = Tensor::zeros(indices.len(), self.cols);
+        for (r, &idx) in indices.iter().enumerate() {
+            assert!(idx < self.rows, "gather_rows: index {idx} out of 0..{}", self.rows);
+            out.row_mut(r).copy_from_slice(self.row(idx));
+        }
+        out
+    }
+
+    /// Clamps every element into `[lo, hi]`.
+    pub fn clamp(&self, lo: f32, hi: f32) -> Tensor {
+        self.map(|x| x.clamp(lo, hi))
+    }
+
+    /// Whether every pairwise difference is at most `tol` in absolute value.
+    pub fn approx_eq(&self, other: &Tensor, tol: f32) -> bool {
+        self.shape() == other.shape()
+            && self.data.iter().zip(&other.data).all(|(&a, &b)| (a - b).abs() <= tol)
+    }
+
+    /// True if any element is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|x| !x.is_finite())
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Tensor {}x{} [", self.rows, self.cols)?;
+        let max_rows = 8.min(self.rows);
+        for r in 0..max_rows {
+            write!(f, "  [")?;
+            let max_cols = 10.min(self.cols);
+            for c in 0..max_cols {
+                write!(f, "{:>9.4}", self.get(r, c))?;
+                if c + 1 < max_cols {
+                    write!(f, ", ")?;
+                }
+            }
+            if self.cols > max_cols {
+                write!(f, ", …")?;
+            }
+            writeln!(f, "]")?;
+        }
+        if self.rows > max_rows {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_shape() {
+        let t = Tensor::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(t.shape(), (2, 3));
+        assert_eq!(t.get(1, 2), 6.0);
+        assert_eq!(t.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(t.col(1), vec![2.0, 5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "from_vec")]
+    fn from_vec_wrong_len_panics() {
+        let _ = Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Tensor::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Tensor::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let i = Tensor::eye(2);
+        assert!(a.matmul(&i).approx_eq(&a, 1e-6));
+        assert!(i.matmul(&a).approx_eq(&a, 1e-6));
+    }
+
+    #[test]
+    fn matmul_transposed_variants_agree() {
+        let a = Tensor::from_vec(2, 3, vec![1.0, -2.0, 3.0, 0.5, 5.0, -6.0]);
+        let b = Tensor::from_vec(4, 3, vec![1.0, 0.0, 2.0, -1.0, 3.0, 1.0, 0.0, 1.0, 1.0, 2.0, 2.0, 2.0]);
+        assert!(a.matmul_nt(&b).approx_eq(&a.matmul(&b.transpose()), 1e-5));
+        let c = Tensor::from_vec(2, 4, vec![1.0; 8]);
+        assert!(a.matmul_tn(&c).approx_eq(&a.transpose().matmul(&c), 1e-5));
+    }
+
+    #[test]
+    fn broadcast_add_row() {
+        let a = Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Tensor::row_vector(&[10.0, 20.0]);
+        assert_eq!(a.add_row_broadcast(&b).as_slice(), &[11.0, 22.0, 13.0, 24.0]);
+    }
+
+    #[test]
+    fn reductions() {
+        let t = Tensor::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(t.sum(), 21.0);
+        assert!((t.mean() - 3.5).abs() < 1e-6);
+        assert_eq!(t.sum_rows().as_slice(), &[5.0, 7.0, 9.0]);
+        assert_eq!(t.sum_cols().as_slice(), &[6.0, 15.0]);
+        assert_eq!(t.max(), 6.0);
+        assert_eq!(t.min(), 1.0);
+    }
+
+    #[test]
+    fn concat_and_slice_roundtrip() {
+        let a = Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Tensor::from_vec(2, 1, vec![9.0, 10.0]);
+        let cat = Tensor::concat_cols(&[&a, &b]);
+        assert_eq!(cat.shape(), (2, 3));
+        assert!(cat.slice_cols(0, 2).approx_eq(&a, 0.0));
+        assert!(cat.slice_cols(2, 3).approx_eq(&b, 0.0));
+
+        let v = Tensor::concat_rows(&[&a, &a]);
+        assert_eq!(v.shape(), (4, 2));
+        assert_eq!(v.row(3), a.row(1));
+    }
+
+    #[test]
+    fn gather_rows_duplicates() {
+        let a = Tensor::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let g = a.gather_rows(&[2, 0, 2]);
+        assert_eq!(g.as_slice(), &[5.0, 6.0, 1.0, 2.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Tensor::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert!(a.transpose().transpose().approx_eq(&a, 0.0));
+    }
+
+    #[test]
+    fn axpy_and_scale() {
+        let mut a = Tensor::ones(2, 2);
+        let b = Tensor::full(2, 2, 3.0);
+        a.axpy(2.0, &b);
+        assert_eq!(a.as_slice(), &[7.0; 4]);
+        assert_eq!(a.scale(0.5).as_slice(), &[3.5; 4]);
+    }
+
+    #[test]
+    fn norms_and_dot() {
+        let a = Tensor::from_vec(1, 3, vec![3.0, 0.0, 4.0]);
+        assert!((a.norm() - 5.0).abs() < 1e-6);
+        assert!((a.norm_sq() - 25.0).abs() < 1e-6);
+        let b = Tensor::from_vec(1, 3, vec![1.0, 2.0, 3.0]);
+        assert!((a.dot(&b) - 15.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn non_finite_detection() {
+        let mut a = Tensor::ones(1, 2);
+        assert!(!a.has_non_finite());
+        a.set(0, 1, f32::NAN);
+        assert!(a.has_non_finite());
+    }
+}

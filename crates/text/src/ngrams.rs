@@ -1,0 +1,102 @@
+//! N-gram extraction over token-id sequences — phrase-level features for
+//! content-based spam analysis ("must buy", "stay away" bigrams are far
+//! more discriminative than their unigrams).
+
+use std::collections::HashMap;
+
+/// All contiguous n-grams of a token-id sequence, as fixed-size windows.
+/// Returns an empty vector when the sequence is shorter than `n`.
+///
+/// # Panics
+/// Panics if `n == 0`.
+pub fn ngrams(tokens: &[usize], n: usize) -> Vec<&[usize]> {
+    assert!(n > 0, "ngrams: n must be positive");
+    if tokens.len() < n {
+        return Vec::new();
+    }
+    tokens.windows(n).collect()
+}
+
+/// Counts n-gram frequencies across documents, returning a map from the
+/// n-gram (as an owned vector) to its corpus count.
+pub fn ngram_counts<'a>(docs: impl IntoIterator<Item = &'a [usize]>, n: usize) -> HashMap<Vec<usize>, usize> {
+    let mut counts: HashMap<Vec<usize>, usize> = HashMap::new();
+    for doc in docs {
+        for gram in ngrams(doc, n) {
+            *counts.entry(gram.to_vec()).or_default() += 1;
+        }
+    }
+    counts
+}
+
+/// The `top_k` most frequent n-grams, ties broken by the n-gram's ids for
+/// determinism.
+pub fn top_ngrams(counts: &HashMap<Vec<usize>, usize>, top_k: usize) -> Vec<(Vec<usize>, usize)> {
+    let mut entries: Vec<(Vec<usize>, usize)> = counts.iter().map(|(g, &c)| (g.clone(), c)).collect();
+    entries.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    entries.truncate(top_k);
+    entries
+}
+
+/// Dice coefficient between the bigram multisets of two documents — a
+/// phrase-level similarity, sharper than unigram Jaccard for templated text.
+pub fn bigram_dice(a: &[usize], b: &[usize]) -> f32 {
+    let ga = ngram_counts([a], 2);
+    let gb = ngram_counts([b], 2);
+    let total: usize = ga.values().sum::<usize>() + gb.values().sum::<usize>();
+    if total == 0 {
+        return 0.0;
+    }
+    let overlap: usize = ga
+        .iter()
+        .map(|(g, &ca)| ca.min(gb.get(g).copied().unwrap_or(0)))
+        .sum();
+    2.0 * overlap as f32 / total as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ngram_windows() {
+        let t = [1usize, 2, 3, 4];
+        assert_eq!(ngrams(&t, 2), vec![&[1, 2][..], &[2, 3], &[3, 4]]);
+        assert_eq!(ngrams(&t, 4).len(), 1);
+        assert!(ngrams(&t, 5).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_n_panics() {
+        let _ = ngrams(&[1, 2], 0);
+    }
+
+    #[test]
+    fn counting_and_top() {
+        let d1 = [1usize, 2, 1, 2];
+        let d2 = [1usize, 2, 3];
+        let counts = ngram_counts([&d1[..], &d2[..]], 2);
+        assert_eq!(counts[&vec![1, 2]], 3);
+        assert_eq!(counts[&vec![2, 1]], 1);
+        let top = top_ngrams(&counts, 1);
+        assert_eq!(top[0].0, vec![1, 2]);
+        assert_eq!(top[0].1, 3);
+    }
+
+    #[test]
+    fn dice_extremes() {
+        let a = [1usize, 2, 3];
+        assert!((bigram_dice(&a, &a) - 1.0).abs() < 1e-6);
+        let b = [7usize, 8, 9];
+        assert_eq!(bigram_dice(&a, &b), 0.0);
+        assert_eq!(bigram_dice(&[1], &[1]), 0.0); // too short for bigrams
+    }
+
+    #[test]
+    fn dice_is_symmetric() {
+        let a = [1usize, 2, 3, 4];
+        let b = [2usize, 3, 4, 5];
+        assert!((bigram_dice(&a, &b) - bigram_dice(&b, &a)).abs() < 1e-6);
+    }
+}

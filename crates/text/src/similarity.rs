@@ -1,0 +1,86 @@
+//! Vector and text similarity utilities, used by the content-based fraud
+//! features (templated spam text is detectably self-similar).
+
+use std::collections::HashSet;
+
+/// Cosine similarity of two equal-length vectors; `0.0` if either is zero.
+///
+/// # Panics
+/// Panics on length mismatch.
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "cosine: length mismatch {} vs {}", a.len(), b.len());
+    let mut dot = 0.0;
+    let mut na = 0.0;
+    let mut nb = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        dot += x * y;
+        na += x * x;
+        nb += y * y;
+    }
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na.sqrt() * nb.sqrt())
+    }
+}
+
+/// Jaccard similarity of two token-id sets.
+pub fn jaccard(a: &[usize], b: &[usize]) -> f32 {
+    let sa: HashSet<usize> = a.iter().copied().collect();
+    let sb: HashSet<usize> = b.iter().copied().collect();
+    if sa.is_empty() && sb.is_empty() {
+        return 0.0;
+    }
+    let inter = sa.intersection(&sb).count() as f32;
+    let union = sa.union(&sb).count() as f32;
+    inter / union
+}
+
+/// Mean of a document's word vectors — the cheap sentence embedding used by
+/// similarity features. `dim`-length zero vector for empty/blank docs.
+pub fn mean_vector(ids: &[usize], len: usize, flat_table: &[f32], dim: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; dim];
+    if len == 0 {
+        return out;
+    }
+    for &id in &ids[..len.min(ids.len())] {
+        let row = &flat_table[id * dim..(id + 1) * dim];
+        for (o, &x) in out.iter_mut().zip(row) {
+            *o += x;
+        }
+    }
+    for o in &mut out {
+        *o /= len as f32;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cosine_extremes() {
+        assert!((cosine(&[1.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-6);
+        assert!((cosine(&[1.0, 0.0], &[-1.0, 0.0]) + 1.0).abs() < 1e-6);
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 1.0]), 0.0);
+        assert!(cosine(&[1.0, 0.0], &[0.0, 1.0]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn jaccard_known_values() {
+        assert!((jaccard(&[1, 2, 3], &[2, 3, 4]) - 0.5).abs() < 1e-6);
+        assert_eq!(jaccard(&[], &[]), 0.0);
+        assert!((jaccard(&[1], &[1]) - 1.0).abs() < 1e-6);
+        assert_eq!(jaccard(&[1, 1, 2], &[1, 2]), 1.0);
+    }
+
+    #[test]
+    fn mean_vector_averages_only_real_tokens() {
+        // table: id0 = [0,0], id1 = [2,4], id2 = [4,0]
+        let table = [0.0, 0.0, 2.0, 4.0, 4.0, 0.0];
+        let out = mean_vector(&[1, 2, 0, 0], 2, &table, 2);
+        assert_eq!(out, vec![3.0, 2.0]);
+        assert_eq!(mean_vector(&[0, 0], 0, &table, 2), vec![0.0, 0.0]);
+    }
+}

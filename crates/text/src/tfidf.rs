@@ -1,0 +1,147 @@
+//! TF–IDF document vectors — the classic sparse text representation, used
+//! by the content-similarity diagnostics and available as an alternative
+//! review representation.
+
+use crate::vocab::{Vocab, PAD, UNK};
+use std::collections::HashMap;
+
+/// A fitted TF–IDF model (inverse document frequencies per vocabulary id).
+#[derive(Debug, Clone)]
+pub struct TfIdf {
+    idf: Vec<f32>,
+}
+
+impl TfIdf {
+    /// Fits IDF weights over encoded documents:
+    /// `idf(w) = ln((1 + N) / (1 + df(w))) + 1` (smoothed).
+    pub fn fit(docs: &[Vec<usize>], vocab: &Vocab) -> Self {
+        let n = docs.len() as f32;
+        let mut df = vec![0u32; vocab.len()];
+        for doc in docs {
+            let mut seen = vec![false; vocab.len()];
+            for &id in doc {
+                if id != PAD && id != UNK && !seen[id] {
+                    seen[id] = true;
+                    df[id] += 1;
+                }
+            }
+        }
+        let idf = df
+            .iter()
+            .map(|&d| ((1.0 + n) / (1.0 + d as f32)).ln() + 1.0)
+            .collect();
+        Self { idf }
+    }
+
+    /// Vocabulary size covered.
+    pub fn vocab_len(&self) -> usize {
+        self.idf.len()
+    }
+
+    /// The IDF weight of a word id.
+    pub fn idf(&self, id: usize) -> f32 {
+        self.idf[id]
+    }
+
+    /// The L2-normalised sparse TF–IDF vector of a document, as sorted
+    /// `(word_id, weight)` pairs. PAD/UNK are excluded.
+    pub fn transform(&self, doc: &[usize]) -> Vec<(usize, f32)> {
+        let mut counts: HashMap<usize, f32> = HashMap::new();
+        for &id in doc {
+            if id != PAD && id != UNK && id < self.idf.len() {
+                *counts.entry(id).or_default() += 1.0;
+            }
+        }
+        let mut entries: Vec<(usize, f32)> = counts
+            .into_iter()
+            .map(|(id, tf)| (id, tf * self.idf[id]))
+            .collect();
+        // Sort before normalising: float summation must not depend on the
+        // HashMap's randomised iteration order, or results drift by ULPs
+        // between runs.
+        entries.sort_by_key(|&(id, _)| id);
+        let norm = entries.iter().map(|&(_, w)| w * w).sum::<f32>().sqrt();
+        if norm > 0.0 {
+            for e in &mut entries {
+                e.1 /= norm;
+            }
+        }
+        entries
+    }
+
+    /// Cosine similarity of two sparse TF–IDF vectors from [`TfIdf::transform`]
+    /// (both already L2-normalised, so this is a sparse dot product).
+    pub fn cosine(a: &[(usize, f32)], b: &[(usize, f32)]) -> f32 {
+        let (mut i, mut j, mut dot) = (0usize, 0usize, 0.0f32);
+        while i < a.len() && j < b.len() {
+            match a[i].0.cmp(&b[j].0) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    dot += a[i].1 * b[j].1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        dot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenize;
+
+    fn setup() -> (Vocab, Vec<Vec<usize>>) {
+        let texts = [
+            "pizza pizza great service",
+            "terrible pizza slow service",
+            "wonderful pasta great wine",
+            "the the the filler filler",
+        ];
+        let docs: Vec<Vec<String>> = texts.iter().map(|t| tokenize(t)).collect();
+        let refs: Vec<&[String]> = docs.iter().map(Vec::as_slice).collect();
+        let vocab = Vocab::build(refs, 1);
+        let encoded = docs.iter().map(|d| vocab.encode(d)).collect();
+        (vocab, encoded)
+    }
+
+    #[test]
+    fn rare_words_get_higher_idf() {
+        let (vocab, docs) = setup();
+        let model = TfIdf::fit(&docs, &vocab);
+        assert!(model.idf(vocab.id("pasta")) > model.idf(vocab.id("pizza")));
+        assert!(model.idf(vocab.id("pizza")) > model.idf(vocab.id("service")) - 1e-6);
+    }
+
+    #[test]
+    fn vectors_are_unit_norm() {
+        let (vocab, docs) = setup();
+        let model = TfIdf::fit(&docs, &vocab);
+        for doc in &docs {
+            let v = model.transform(doc);
+            let norm: f32 = v.iter().map(|&(_, w)| w * w).sum::<f32>().sqrt();
+            assert!((norm - 1.0).abs() < 1e-5, "norm {norm}");
+        }
+    }
+
+    #[test]
+    fn similar_documents_score_higher() {
+        let (vocab, docs) = setup();
+        let model = TfIdf::fit(&docs, &vocab);
+        let v: Vec<_> = docs.iter().map(|d| model.transform(d)).collect();
+        let pizza_pair = TfIdf::cosine(&v[0], &v[1]);
+        let pizza_vs_filler = TfIdf::cosine(&v[0], &v[3]);
+        assert!(pizza_pair > pizza_vs_filler);
+        assert!((TfIdf::cosine(&v[0], &v[0]) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn empty_document_transforms_to_empty() {
+        let (vocab, docs) = setup();
+        let model = TfIdf::fit(&docs, &vocab);
+        assert!(model.transform(&[]).is_empty());
+        assert!(model.transform(&[crate::PAD, crate::UNK]).is_empty());
+    }
+}

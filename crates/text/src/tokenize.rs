@@ -1,0 +1,66 @@
+//! Whitespace-and-punctuation tokenizer.
+//!
+//! Reviews in this workspace are plain English-like text; tokenization
+//! lower-cases, splits on anything that is not alphanumeric or an apostrophe,
+//! and drops empty pieces. Deterministic and allocation-light.
+
+/// Splits `text` into lower-cased tokens.
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    for ch in text.chars() {
+        if ch.is_alphanumeric() || ch == '\'' {
+            for lc in ch.to_lowercase() {
+                current.push(lc);
+            }
+        } else if !current.is_empty() {
+            tokens.push(std::mem::take(&mut current));
+        }
+    }
+    if !current.is_empty() {
+        tokens.push(current);
+    }
+    tokens
+}
+
+/// Counts tokens without allocating the token vector.
+pub fn token_count(text: &str) -> usize {
+    let mut count = 0;
+    let mut in_token = false;
+    for ch in text.chars() {
+        let is_word = ch.is_alphanumeric() || ch == '\'';
+        if is_word && !in_token {
+            count += 1;
+        }
+        in_token = is_word;
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_splitting_and_lowercasing() {
+        assert_eq!(tokenize("Great food, GREAT service!"), vec!["great", "food", "great", "service"]);
+    }
+
+    #[test]
+    fn apostrophes_kept_inside_words() {
+        assert_eq!(tokenize("don't stop"), vec!["don't", "stop"]);
+    }
+
+    #[test]
+    fn empty_and_punctuation_only() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("!!! ... ---").is_empty());
+    }
+
+    #[test]
+    fn token_count_matches_tokenize() {
+        for s in ["a b c", "Hello, world!", "", "one-two three's", "x"] {
+            assert_eq!(token_count(s), tokenize(s).len(), "for {s:?}");
+        }
+    }
+}

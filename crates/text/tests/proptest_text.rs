@@ -1,0 +1,75 @@
+//! Property-based tests of the text pipeline.
+
+use proptest::prelude::*;
+use rrre_text::{encode_document, tokenize, Vocab, PAD, UNK};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn tokenize_never_produces_empty_tokens(s in ".{0,200}") {
+        for t in tokenize(&s) {
+            prop_assert!(!t.is_empty());
+            prop_assert!(t.chars().all(|c| c.is_alphanumeric() || c == '\''));
+            prop_assert_eq!(t.clone(), t.to_lowercase());
+        }
+    }
+
+    #[test]
+    fn tokenize_is_idempotent_on_its_output(s in "[a-zA-Z0-9 ,.!?']{0,120}") {
+        let once = tokenize(&s);
+        let rejoined = once.join(" ");
+        let twice = tokenize(&rejoined);
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn vocab_roundtrips_known_words(words in prop::collection::vec("[a-z]{1,8}", 1..30)) {
+        let doc: Vec<String> = words.clone();
+        let vocab = Vocab::build([doc.as_slice()], 1);
+        for w in &words {
+            let id = vocab.id(w);
+            prop_assert_ne!(id, UNK, "word {} fell out of its own vocab", w);
+            prop_assert_eq!(vocab.word(id), w.as_str());
+        }
+    }
+
+    #[test]
+    fn encode_document_always_exact_length(s in "[a-z ]{0,200}", max_len in 1usize..40) {
+        let doc = tokenize("seed words for the vocabulary");
+        let vocab = Vocab::build([doc.as_slice()], 1);
+        let e = encode_document(&s, &vocab, max_len);
+        prop_assert_eq!(e.ids.len(), max_len);
+        prop_assert!(e.len <= max_len);
+        // All padding lies strictly after the real tokens.
+        for (i, &id) in e.ids.iter().enumerate() {
+            if i >= e.len {
+                prop_assert_eq!(id, PAD);
+            }
+        }
+        prop_assert_eq!(e.mask().iter().filter(|&&m| m).count(), e.len);
+    }
+
+    #[test]
+    fn cosine_is_symmetric_and_bounded(
+        a in prop::collection::vec(-5.0f32..5.0, 4),
+        b in prop::collection::vec(-5.0f32..5.0, 4),
+    ) {
+        use rrre_text::similarity::cosine;
+        let ab = cosine(&a, &b);
+        let ba = cosine(&b, &a);
+        prop_assert!((ab - ba).abs() < 1e-6);
+        prop_assert!((-1.0 - 1e-5..=1.0 + 1e-5).contains(&ab));
+    }
+
+    #[test]
+    fn jaccard_bounds_and_identity(ids in prop::collection::vec(0usize..20, 0..30)) {
+        use rrre_text::similarity::jaccard;
+        let j = jaccard(&ids, &ids);
+        if ids.is_empty() {
+            prop_assert_eq!(j, 0.0);
+        } else {
+            prop_assert!((j - 1.0).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Checkpointing: train RRRE, save the weights, restore them into a fresh
+//! model and verify bit-identical predictions — the deployment workflow.
+//!
+//! ```sh
+//! cargo run --release --example checkpointing
+//! ```
+
+use rand::{rngs::StdRng, SeedableRng};
+use rrre::prelude::*;
+
+fn main() {
+    let dataset = generate(&SynthConfig::yelp_chi().scaled(0.08));
+    let corpus = EncodedCorpus::build(&dataset, &CorpusConfig::default());
+    let mut rng = StdRng::seed_from_u64(99);
+    let split = train_test_split(&dataset, 0.3, &mut rng);
+
+    let cfg = RrreConfig { epochs: 6, k: 32, ..Default::default() };
+    println!("training…");
+    let model = Rrre::fit(&dataset, &corpus, &split.train, cfg);
+    println!(
+        "trained model: {} parameters ({} scalars)",
+        model.params().len(),
+        model.params().num_scalars()
+    );
+
+    let path = std::env::temp_dir().join("rrre-demo.rrrp");
+    model.save_weights(&path).expect("save");
+    let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+    println!("checkpoint written: {} ({bytes} bytes)", path.display());
+
+    // A fresh model with a different seed — different weights…
+    println!("training a decoy with a different seed…");
+    let mut restored = Rrre::fit(
+        &dataset,
+        &corpus,
+        &split.train,
+        RrreConfig { seed: cfg.seed ^ 0xBEEF, epochs: 1, ..cfg },
+    );
+    let probe = (dataset.reviews[0].user, dataset.reviews[0].item);
+    let before = restored.predict(&corpus, probe.0, probe.1);
+    // …until the checkpoint restores the original brain.
+    restored.load_weights(&path, &corpus).expect("load");
+    let after = restored.predict(&corpus, probe.0, probe.1);
+    let original = model.predict(&corpus, probe.0, probe.1);
+
+    println!("decoy prediction   : rating {:.4}, reliability {:.4}", before.rating, before.reliability);
+    println!("restored prediction: rating {:.4}, reliability {:.4}", after.rating, after.reliability);
+    println!("original prediction: rating {:.4}, reliability {:.4}", original.rating, original.reliability);
+    assert_eq!(after, original, "restored model must match the original bit-for-bit");
+    println!("restored == original ✓");
+    std::fs::remove_file(&path).ok();
+}

@@ -1,0 +1,35 @@
+//! # rrre
+//!
+//! Facade crate of the RRRE reproduction — *Reliable Recommendation with
+//! Review-level Explanations* (ICDE 2021) — re-exporting the workspace's
+//! public API:
+//!
+//! * [`core`] — the RRRE model, training and the
+//!   recommendation-with-reliable-explanations procedure;
+//! * [`data`] — labelled review datasets, synthetic presets,
+//!   splits, statistics and the shared text pipeline;
+//! * [`baselines`] — PMF, DeepCoNN, NARRE, DER, ICWSM13,
+//!   SpEagle+ and REV2;
+//! * [`metrics`] — bRMSE, AUC, AP, NDCG@k;
+//! * [`tensor`], [`text`], [`graph`] —
+//!   the from-scratch substrates.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+#![warn(missing_docs)]
+
+pub use rrre_baselines as baselines;
+pub use rrre_core as core;
+pub use rrre_data as data;
+pub use rrre_graph as graph;
+pub use rrre_metrics as metrics;
+pub use rrre_tensor as tensor;
+pub use rrre_text as text;
+
+/// Convenience re-exports for the common workflow.
+pub mod prelude {
+    pub use rrre_core::{explain, recommend, EncoderMode, LossVariant, Prediction, Rrre, RrreConfig};
+    pub use rrre_data::synth::{generate, SynthConfig};
+    pub use rrre_data::{train_test_split, CorpusConfig, Dataset, EncodedCorpus, ItemId, Label, UserId};
+    pub use rrre_metrics::{auc, average_precision, brmse, ndcg_at_k, rmse};
+}

@@ -1,0 +1,131 @@
+//! Property-based tests over the public API, spanning crates: metric
+//! invariants, generator invariants and tensor algebra laws.
+
+use proptest::prelude::*;
+use rrre::data::synth::{generate, SynthConfig};
+use rrre::metrics::{auc, average_precision, brmse, ndcg_at_k, rmse};
+use rrre::tensor::Tensor;
+
+/// A strategy producing parallel (scores, labels) vectors.
+fn scored_labels(max_len: usize) -> impl Strategy<Value = (Vec<f32>, Vec<bool>)> {
+    prop::collection::vec((0.0f32..1.0, any::<bool>()), 2..max_len)
+        .prop_map(|pairs| pairs.into_iter().unzip())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn auc_is_invariant_under_monotone_transform((scores, labels) in scored_labels(64)) {
+        let transformed: Vec<f32> = scores.iter().map(|&s| 2.0 * s + 1.0).collect();
+        let a = auc(&scores, &labels);
+        let b = auc(&transformed, &labels);
+        prop_assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn auc_of_inverted_scores_is_complement((scores, labels) in scored_labels(64)) {
+        let n_pos = labels.iter().filter(|&&l| l).count();
+        prop_assume!(n_pos > 0 && n_pos < labels.len());
+        let inverted: Vec<f32> = scores.iter().map(|&s| -s).collect();
+        let a = auc(&scores, &labels);
+        let b = auc(&inverted, &labels);
+        prop_assert!((a + b - 1.0).abs() < 1e-6, "{a} + {b} != 1");
+    }
+
+    #[test]
+    fn metrics_are_bounded((scores, labels) in scored_labels(64)) {
+        let a = auc(&scores, &labels);
+        prop_assert!((0.0..=1.0).contains(&a));
+        let ap = average_precision(&scores, &labels);
+        prop_assert!((0.0..=1.0).contains(&ap));
+        for k in [1usize, 5, scores.len()] {
+            let n = ndcg_at_k(&scores, &labels, k);
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&n), "ndcg@{k} = {n}");
+        }
+    }
+
+    #[test]
+    fn brmse_reduces_to_rmse_with_unit_weights(
+        pairs in prop::collection::vec((1.0f32..5.0, 1.0f32..5.0), 1..40)
+    ) {
+        let (preds, targets): (Vec<f32>, Vec<f32>) = pairs.into_iter().unzip();
+        let ones = vec![1.0f32; preds.len()];
+        prop_assert!((brmse(&preds, &targets, &ones) - rmse(&preds, &targets)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn brmse_never_exceeds_worst_benign_error(
+        pairs in prop::collection::vec((1.0f32..5.0, 1.0f32..5.0, any::<bool>()), 1..40)
+    ) {
+        let preds: Vec<f32> = pairs.iter().map(|p| p.0).collect();
+        let targets: Vec<f32> = pairs.iter().map(|p| p.1).collect();
+        let weights: Vec<f32> = pairs.iter().map(|p| if p.2 { 1.0 } else { 0.0 }).collect();
+        let worst = pairs
+            .iter()
+            .filter(|p| p.2)
+            .map(|p| (p.0 - p.1).abs() as f64)
+            .fold(0.0, f64::max);
+        prop_assert!(brmse(&preds, &targets, &weights) <= worst + 1e-6);
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        seed in 0u64..1000,
+    ) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = rrre::tensor::init::normal(&mut rng, 3, 4, 0.0, 1.0);
+        let b = rrre::tensor::init::normal(&mut rng, 4, 2, 0.0, 1.0);
+        let c = rrre::tensor::init::normal(&mut rng, 4, 2, 0.0, 1.0);
+        let lhs = a.matmul(&b.add(&c));
+        let rhs = a.matmul(&b).add(&a.matmul(&c));
+        prop_assert!(lhs.approx_eq(&rhs, 1e-3));
+    }
+
+    #[test]
+    fn concat_then_slice_is_identity(cols_a in 1usize..6, cols_b in 1usize..6, rows in 1usize..5) {
+        let a = Tensor::full(rows, cols_a, 1.5);
+        let b = Tensor::full(rows, cols_b, -2.5);
+        let cat = Tensor::concat_cols(&[&a, &b]);
+        prop_assert!(cat.slice_cols(0, cols_a).approx_eq(&a, 0.0));
+        prop_assert!(cat.slice_cols(cols_a, cols_a + cols_b).approx_eq(&b, 0.0));
+    }
+}
+
+proptest! {
+    // Generator properties are slower; fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn generator_invariants_hold_for_random_configs(
+        seed in 0u64..1_000_000,
+        fake_fraction in 0.05f64..0.4,
+        // Scales below ~0.05 can leave a single item in the pool, where the
+        // benign quota saturates on distinct (user, item) pairs and the fake
+        // fraction legitimately overshoots; the ratio guarantee below is
+        // only meaningful with a non-degenerate item pool.
+        scale in 0.05f64..0.12,
+    ) {
+        let cfg = SynthConfig {
+            fake_fraction,
+            seed,
+            ..SynthConfig::yelp_chi()
+        }
+        .scaled(scale);
+        let ds = generate(&cfg);
+        prop_assert!(!ds.is_empty());
+        // All ratings are integer stars in range; ids dense; text non-empty.
+        for r in &ds.reviews {
+            prop_assert!((1.0..=5.0).contains(&r.rating));
+            prop_assert_eq!(r.rating.fract(), 0.0);
+            prop_assert!(r.user.index() < ds.n_users);
+            prop_assert!(r.item.index() < ds.n_items);
+            prop_assert!(!r.text.is_empty());
+        }
+        // Fake fraction lands near target (generation clamps at pair
+        // exhaustion, so only an upper bound plus slack is guaranteed).
+        let measured = ds.fake_fraction();
+        prop_assert!(measured <= fake_fraction + 0.05, "measured {measured} vs target {fake_fraction}");
+    }
+}

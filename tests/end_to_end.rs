@@ -1,0 +1,110 @@
+//! End-to-end integration: dataset generation → text pipeline → split →
+//! RRRE training → joint evaluation → recommendation with reliable
+//! explanations, across crate boundaries.
+
+use rand::{rngs::StdRng, SeedableRng};
+use rrre::core::{explain, recommend, Rrre, RrreConfig};
+use rrre::data::synth::{generate, SynthConfig};
+use rrre::data::{train_test_split, CorpusConfig, EncodedCorpus};
+use rrre::metrics::{auc, brmse, ndcg_at_k};
+use rrre::text::word2vec::Word2VecConfig;
+
+fn small_corpus_cfg() -> CorpusConfig {
+    CorpusConfig {
+        max_len: 20,
+        word2vec: Word2VecConfig { dim: 16, epochs: 2, ..Default::default() },
+        ..Default::default()
+    }
+}
+
+#[test]
+fn full_pipeline_learns_and_explains() {
+    let dataset = generate(&SynthConfig::yelp_chi().scaled(0.15));
+    let corpus = EncodedCorpus::build(&dataset, &small_corpus_cfg());
+    let mut rng = StdRng::seed_from_u64(1);
+    let split = train_test_split(&dataset, 0.3, &mut rng);
+
+    let cfg = RrreConfig { k: 32, s_u: 7, s_i: 8, ..Default::default() };
+    let model = Rrre::fit(&dataset, &corpus, &split.train, cfg);
+
+    let preds = model.predict_reviews(&dataset, &corpus, &split.test);
+    let ratings: Vec<f32> = preds.iter().map(|p| p.rating).collect();
+    let reliabilities: Vec<f32> = preds.iter().map(|p| p.reliability).collect();
+    let targets: Vec<f32> = split.test.iter().map(|&i| dataset.reviews[i].rating).collect();
+    let weights: Vec<f32> = split.test.iter().map(|&i| dataset.reviews[i].label.as_f32()).collect();
+    let labels: Vec<bool> = split.test.iter().map(|&i| dataset.reviews[i].label.is_benign()).collect();
+
+    // Rating: beats predicting the train mean on benign reviews.
+    let mean = split.train.iter().map(|&i| dataset.reviews[i].rating).sum::<f32>() / split.train.len() as f32;
+    let model_brmse = brmse(&ratings, &targets, &weights);
+    let mean_brmse = brmse(&vec![mean; targets.len()], &targets, &weights);
+    assert!(model_brmse < mean_brmse, "bRMSE {model_brmse} vs mean-predictor {mean_brmse}");
+
+    // Reliability: better than chance, and the NDCG ranking is high.
+    let rel_auc = auc(&reliabilities, &labels);
+    assert!(rel_auc > 0.6, "reliability AUC {rel_auc}");
+    let ndcg = ndcg_at_k(&reliabilities, &labels, 50.min(labels.len()));
+    assert!(ndcg > 0.7, "NDCG@50 {ndcg}");
+
+    // Recommendation + explanation pipeline produces consistent artefacts.
+    let user = dataset.reviews[split.test[0]].user;
+    let recs = recommend(&model, &dataset, &corpus, user, 3);
+    assert_eq!(recs.len(), 3.min(dataset.n_items));
+    for pair in recs.windows(2) {
+        assert!(pair[0].reliability >= pair[1].reliability);
+    }
+    let exps = explain(&model, &dataset, &corpus, recs[0].item, 2);
+    assert!(!exps.is_empty());
+    for e in &exps {
+        assert!((1.0..=5.0).contains(&e.rating));
+        assert!((0.0..=1.0).contains(&e.reliability));
+        assert_eq!(dataset.reviews[e.review_idx].item, recs[0].item);
+    }
+}
+
+#[test]
+fn biased_loss_beats_plain_loss_on_fraud_heavy_data() {
+    // The paper's core claim (RRRE vs RRRE⁻, Table III): with fakes in the
+    // training set, gating the rating loss by reliability improves bRMSE.
+    // Use the fraud-heaviest preset to make the effect robust at test size.
+    let dataset = generate(&SynthConfig::musics().scaled(0.12));
+    let corpus = EncodedCorpus::build(&dataset, &small_corpus_cfg());
+    let mut rng = StdRng::seed_from_u64(3);
+    let split = train_test_split(&dataset, 0.3, &mut rng);
+    let targets: Vec<f32> = split.test.iter().map(|&i| dataset.reviews[i].rating).collect();
+    let weights: Vec<f32> = split.test.iter().map(|&i| dataset.reviews[i].label.as_f32()).collect();
+
+    let cfg = RrreConfig { epochs: 8, k: 16, id_dim: 8, attn_dim: 8, fm_factors: 4, s_u: 5, s_i: 6, ..Default::default() };
+    let evaluate = |cfg: RrreConfig| {
+        let model = Rrre::fit(&dataset, &corpus, &split.train, cfg);
+        let preds = model.predict_reviews(&dataset, &corpus, &split.test);
+        let ratings: Vec<f32> = preds.iter().map(|p| p.rating).collect();
+        brmse(&ratings, &targets, &weights)
+    };
+    let biased = evaluate(cfg);
+    let plain = evaluate(cfg.minus());
+    assert!(
+        biased < plain + 0.02,
+        "biased loss should not be worse: RRRE {biased} vs RRRE- {plain}"
+    );
+}
+
+#[test]
+fn dataset_persistence_roundtrips_through_the_pipeline() {
+    let dataset = generate(&SynthConfig::cds().scaled(0.03));
+    let dir = std::env::temp_dir().join("rrre-e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("ds.json");
+    rrre::data::io::save_json(&dataset, &path).unwrap();
+    let loaded = rrre::data::io::load_json(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    // The loaded dataset supports the whole downstream pipeline.
+    let corpus = EncodedCorpus::build(&loaded, &small_corpus_cfg());
+    let mut rng = StdRng::seed_from_u64(5);
+    let split = train_test_split(&loaded, 0.3, &mut rng);
+    let cfg = RrreConfig { epochs: 1, k: 8, id_dim: 4, attn_dim: 4, fm_factors: 2, s_u: 3, s_i: 3, ..Default::default() };
+    let model = Rrre::fit(&loaded, &corpus, &split.train, cfg);
+    let p = model.predict(&corpus, loaded.reviews[0].user, loaded.reviews[0].item);
+    assert!(p.rating.is_finite() && p.reliability.is_finite());
+}

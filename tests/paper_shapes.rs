@@ -1,0 +1,114 @@
+//! Heavy "paper shape" assertions — the headline qualitative claims of the
+//! reproduction, checked end-to-end on small-scale data. These take minutes,
+//! so they are `#[ignore]`d by default:
+//!
+//! ```sh
+//! cargo test --release --test paper_shapes -- --ignored
+//! ```
+
+use rand::{rngs::StdRng, SeedableRng};
+use rrre::baselines::rating::{Pmf, PmfConfig};
+use rrre::baselines::reliability::{Rev2, Rev2Config};
+use rrre::core::Rrre;
+use rrre::prelude::*;
+
+struct Prepared {
+    ds: Dataset,
+    corpus: EncodedCorpus,
+    train: Vec<usize>,
+    test: Vec<usize>,
+}
+
+fn prepare(preset: SynthConfig, scale: f64, seed: u64) -> Prepared {
+    let ds = generate(&preset.scaled(scale));
+    let corpus = EncodedCorpus::build(&ds, &CorpusConfig::default());
+    let split = train_test_split(&ds, 0.3, &mut StdRng::seed_from_u64(seed));
+    Prepared { ds, corpus, train: split.train, test: split.test }
+}
+
+fn test_vectors(p: &Prepared) -> (Vec<f32>, Vec<f32>, Vec<bool>) {
+    let targets = p.test.iter().map(|&i| p.ds.reviews[i].rating).collect();
+    let weights = p.test.iter().map(|&i| p.ds.reviews[i].label.as_f32()).collect();
+    let labels = p.test.iter().map(|&i| p.ds.reviews[i].label.is_benign()).collect();
+    (targets, weights, labels)
+}
+
+/// Table III headline: RRRE beats PMF on bRMSE (YelpChi shape).
+#[test]
+#[ignore = "minutes-long; run with --ignored"]
+fn rrre_beats_pmf_on_yelpchi_shape() {
+    let p = prepare(SynthConfig::yelp_chi(), 0.25, 0x5917);
+    let (targets, weights, _) = test_vectors(&p);
+
+    let cfg = RrreConfig { k: 32, ..Default::default() };
+    let rrre = Rrre::fit(&p.ds, &p.corpus, &p.train, cfg);
+    let rrre_preds: Vec<f32> = rrre.predict_reviews(&p.ds, &p.corpus, &p.test).iter().map(|x| x.rating).collect();
+    let rrre_brmse = brmse(&rrre_preds, &targets, &weights);
+
+    let mut rng = StdRng::seed_from_u64(1);
+    let pmf = Pmf::fit(&p.ds, &p.train, PmfConfig::default(), &mut rng);
+    let pmf_brmse = brmse(&pmf.predict_reviews(&p.ds, &p.test), &targets, &weights);
+
+    assert!(
+        rrre_brmse < pmf_brmse,
+        "RRRE {rrre_brmse:.3} should beat PMF {pmf_brmse:.3}"
+    );
+}
+
+/// Table III ablation headline: the biased loss beats plain MSE where fraud
+/// is concentrated.
+#[test]
+#[ignore = "minutes-long; run with --ignored"]
+fn biased_loss_beats_plain_on_yelpchi_shape() {
+    let p = prepare(SynthConfig::yelp_chi(), 0.25, 0x5917);
+    let (targets, weights, _) = test_vectors(&p);
+    let cfg = RrreConfig { k: 32, ..Default::default() };
+
+    let evaluate = |cfg: RrreConfig| {
+        let m = Rrre::fit(&p.ds, &p.corpus, &p.train, cfg);
+        let preds: Vec<f32> = m.predict_reviews(&p.ds, &p.corpus, &p.test).iter().map(|x| x.rating).collect();
+        brmse(&preds, &targets, &weights)
+    };
+    let biased = evaluate(cfg);
+    let plain = evaluate(cfg.minus());
+    assert!(biased < plain, "RRRE {biased:.3} should beat RRRE- {plain:.3} on YelpChi");
+}
+
+/// Table IV headline: RRRE's reliability AUC clearly beats the graph-only
+/// REV2 on the Amazon shape (where the paper's gap is widest).
+#[test]
+#[ignore = "minutes-long; run with --ignored"]
+fn rrre_beats_rev2_on_amazon_shape() {
+    let p = prepare(SynthConfig::cds(), 0.25, 0x5917);
+    let (_, _, labels) = test_vectors(&p);
+
+    let cfg = RrreConfig { k: 32, ..Default::default() };
+    let rrre = Rrre::fit(&p.ds, &p.corpus, &p.train, cfg);
+    let rrre_scores: Vec<f32> =
+        rrre.predict_reviews(&p.ds, &p.corpus, &p.test).iter().map(|x| x.reliability).collect();
+    let rrre_auc = auc(&rrre_scores, &labels);
+
+    let rev2 = Rev2::run(&p.ds, Rev2Config::default());
+    let rev2_auc = auc(&rev2.score(&p.test), &labels);
+
+    assert!(
+        rrre_auc > rev2_auc + 0.05,
+        "RRRE AUC {rrre_auc:.3} should clearly beat REV2 {rev2_auc:.3} on the Amazon shape"
+    );
+}
+
+/// Fig. 2 headline: k = 32 beats k = 8 on rating quality.
+#[test]
+#[ignore = "minutes-long; run with --ignored"]
+fn larger_embeddings_help_up_to_a_point() {
+    let p = prepare(SynthConfig::yelp_chi(), 0.25, 0x5917);
+    let (targets, weights, _) = test_vectors(&p);
+    let evaluate = |k: usize| {
+        let m = Rrre::fit(&p.ds, &p.corpus, &p.train, RrreConfig { k, ..Default::default() });
+        let preds: Vec<f32> = m.predict_reviews(&p.ds, &p.corpus, &p.test).iter().map(|x| x.rating).collect();
+        brmse(&preds, &targets, &weights)
+    };
+    let small = evaluate(8);
+    let medium = evaluate(32);
+    assert!(medium < small, "k=32 ({medium:.3}) should beat k=8 ({small:.3})");
+}

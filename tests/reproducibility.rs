@@ -1,0 +1,76 @@
+//! Determinism guarantees: every stage of the pipeline is a pure function
+//! of its explicit seeds, so a published experiment reruns bit-identically.
+
+use rand::{rngs::StdRng, SeedableRng};
+use rrre::core::{Rrre, RrreConfig};
+use rrre::data::synth::{generate, SynthConfig};
+use rrre::data::{train_test_split, CorpusConfig, EncodedCorpus};
+use rrre::text::word2vec::Word2VecConfig;
+
+fn corpus_cfg() -> CorpusConfig {
+    CorpusConfig {
+        max_len: 16,
+        word2vec: Word2VecConfig { dim: 8, epochs: 1, ..Default::default() },
+        ..Default::default()
+    }
+}
+
+#[test]
+fn generator_is_seed_deterministic() {
+    let cfg = SynthConfig::yelp_zip().scaled(0.05);
+    let a = generate(&cfg);
+    let b = generate(&cfg);
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.reviews.iter().zip(&b.reviews) {
+        assert_eq!(x.user, y.user);
+        assert_eq!(x.item, y.item);
+        assert_eq!(x.rating, y.rating);
+        assert_eq!(x.text, y.text);
+        assert_eq!(x.timestamp, y.timestamp);
+    }
+}
+
+#[test]
+fn split_is_seed_deterministic() {
+    let ds = generate(&SynthConfig::yelp_chi().scaled(0.05));
+    let a = train_test_split(&ds, 0.3, &mut StdRng::seed_from_u64(9));
+    let b = train_test_split(&ds, 0.3, &mut StdRng::seed_from_u64(9));
+    assert_eq!(a.train, b.train);
+    assert_eq!(a.test, b.test);
+    let c = train_test_split(&ds, 0.3, &mut StdRng::seed_from_u64(10));
+    assert_ne!(a.test, c.test);
+}
+
+#[test]
+fn trained_model_predictions_are_deterministic() {
+    let ds = generate(&SynthConfig::yelp_chi().scaled(0.04));
+    let corpus = EncodedCorpus::build(&ds, &corpus_cfg());
+    let mut rng = StdRng::seed_from_u64(2);
+    let split = train_test_split(&ds, 0.3, &mut rng);
+    let cfg = RrreConfig { epochs: 2, k: 8, id_dim: 4, attn_dim: 4, fm_factors: 2, s_u: 3, s_i: 4, ..Default::default() };
+
+    let run = || {
+        let model = Rrre::fit(&ds, &corpus, &split.train, cfg);
+        model.predict_reviews(&ds, &corpus, &split.test)
+    };
+    let a = run();
+    let b = run();
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.rating, y.rating);
+        assert_eq!(x.reliability, y.reliability);
+    }
+}
+
+#[test]
+fn different_model_seeds_change_predictions() {
+    let ds = generate(&SynthConfig::yelp_chi().scaled(0.04));
+    let corpus = EncodedCorpus::build(&ds, &corpus_cfg());
+    let mut rng = StdRng::seed_from_u64(2);
+    let split = train_test_split(&ds, 0.3, &mut rng);
+    let base = RrreConfig { epochs: 2, k: 8, id_dim: 4, attn_dim: 4, fm_factors: 2, s_u: 3, s_i: 4, ..Default::default() };
+
+    let a = Rrre::fit(&ds, &corpus, &split.train, base).predict_reviews(&ds, &corpus, &split.test);
+    let b = Rrre::fit(&ds, &corpus, &split.train, RrreConfig { seed: base.seed ^ 1, ..base })
+        .predict_reviews(&ds, &corpus, &split.test);
+    assert!(a.iter().zip(&b).any(|(x, y)| x.rating != y.rating));
+}
