@@ -1,0 +1,113 @@
+//! Serving-path throughput: what the tower caches and the micro-batching
+//! queue actually buy.
+//!
+//! * `predict/cold` — every request pays a full UserNet+ItemNet evaluation
+//!   (the pair is invalidated before each predict).
+//! * `predict/warm` — the steady state: two cache lookups + the two heads.
+//! * `burst/max_batch={1,32}` — the same concurrent burst against an engine
+//!   that may not batch vs one that may; the batching engine amortises
+//!   queue wake-ups across the batch.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rrre_core::{Rrre, RrreConfig};
+use rrre_data::synth::{generate, SynthConfig};
+use rrre_data::{CorpusConfig, EncodedCorpus};
+use rrre_serve::{Engine, EngineConfig, ModelArtifact, Request};
+use rrre_text::word2vec::Word2VecConfig;
+use std::hint::black_box;
+use std::time::Duration;
+
+const MIN_COUNT: u64 = 2;
+
+fn build_engine(tag: &str, max_batch: usize, max_wait: Duration) -> Engine {
+    let ds = generate(&SynthConfig::yelp_chi().scaled(0.04));
+    let corpus = EncodedCorpus::build(
+        &ds,
+        &CorpusConfig {
+            max_len: 12,
+            min_count: MIN_COUNT,
+            word2vec: Word2VecConfig { dim: 8, epochs: 1, ..Default::default() },
+            ..Default::default()
+        },
+    );
+    let train: Vec<usize> = (0..ds.len()).collect();
+    let model = Rrre::fit(&ds, &corpus, &train, RrreConfig { epochs: 2, ..RrreConfig::tiny() });
+
+    let dir = std::env::temp_dir().join(format!("rrre-serve-bench-{tag}-{}", std::process::id()));
+    ModelArtifact::save(&dir, &ds, &corpus, &model, MIN_COUNT).unwrap();
+    let artifact = ModelArtifact::load(&dir).unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+
+    Engine::new(
+        artifact,
+        EngineConfig { workers: 4, max_batch, max_wait, cache_shards: 8 },
+    )
+}
+
+/// A concurrent burst: `threads × per_thread` warm predicts racing into the
+/// queue at once, returning once every response has arrived.
+fn burst(engine: &Engine, threads: u32, per_thread: u32, n_users: u32, n_items: u32) {
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            s.spawn(move || {
+                for r in 0..per_thread {
+                    let resp = engine
+                        .submit(Request::predict((t * 3 + r) % n_users, (t + r) % n_items));
+                    assert!(resp.ok, "bench predict failed: {:?}", resp.error);
+                }
+            });
+        }
+    });
+}
+
+fn bench_cache_states(c: &mut Criterion) {
+    let engine = build_engine("cache", 8, Duration::from_micros(200));
+    let mut group = c.benchmark_group("serve");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+
+    group.bench_function("predict/cold", |b| {
+        b.iter(|| {
+            // Evict both tower entries so the next predict recomputes them.
+            engine.submit(Request::invalidate(Some(0), Some(0)));
+            black_box(engine.submit(Request::predict(0, 0)))
+        });
+    });
+
+    // Warm the pair once, then measure the steady state.
+    engine.submit(Request::predict(0, 0));
+    group.bench_function("predict/warm", |b| {
+        b.iter(|| black_box(engine.submit(Request::predict(0, 0))));
+    });
+    group.finish();
+    engine.shutdown();
+}
+
+fn bench_batch_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve/burst");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for max_batch in [1usize, 32] {
+        let engine = build_engine(
+            &format!("batch{max_batch}"),
+            max_batch,
+            // The no-batch engine also gets no collection window.
+            if max_batch == 1 { Duration::ZERO } else { Duration::from_micros(500) },
+        );
+        let (n_users, n_items) = {
+            let m = &engine.artifact().manifest;
+            (m.n_users as u32, m.n_items as u32)
+        };
+        // Warm every pair the burst will touch so both engines measure
+        // queueing, not tower evaluation.
+        burst(&engine, 4, 16, n_users, n_items);
+        group.bench_with_input(
+            BenchmarkId::new("max_batch", max_batch),
+            &max_batch,
+            |b, _| b.iter(|| burst(&engine, 4, 16, n_users, n_items)),
+        );
+        engine.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cache_states, bench_batch_sizes);
+criterion_main!(benches);

@@ -1,7 +1,9 @@
 //! RRRE hyper-parameters (paper §III and §IV-E).
 
+use serde::{Deserialize, Serialize};
+
 /// How the BiLSTM review encoder participates in training.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum EncoderMode {
     /// Encode every review once with the (pretrained-word-vector, fixed-
     /// weight) BiLSTM and train attention + heads on the cached vectors.
@@ -15,7 +17,7 @@ pub enum EncoderMode {
 }
 
 /// How the towers pool the review embeddings (ablation switch).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Pooling {
     /// The paper's fraud-attention mechanism (Eq. 5–7).
     FraudAttention,
@@ -25,7 +27,7 @@ pub enum Pooling {
 }
 
 /// How the `m` input reviews of an entity are selected (ablation switch).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Sampling {
     /// The paper's time-based strategy: the latest `m` reviews.
     Latest,
@@ -34,7 +36,7 @@ pub enum Sampling {
 }
 
 /// Which rating loss the model trains with.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum LossVariant {
     /// The full RRRE biased loss of Eq. (14): squared errors gated by the
     /// reliability ground truth.
@@ -45,7 +47,7 @@ pub enum LossVariant {
 }
 
 /// Full RRRE configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct RrreConfig {
     /// Review-embedding size `k` (Fig. 2); must be even (the BiLSTM
     /// contributes `k/2` per direction).

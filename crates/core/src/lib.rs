@@ -28,5 +28,8 @@ pub use encoder::ReviewEncoder;
 pub use coverage::{pipeline_report, PipelineReport};
 pub use eval::{evaluate, JointEvaluation};
 pub use model::{EpochStats, Prediction, Rrre};
-pub use recommend::{explain, recommend, Explanation, Recommendation, EXPLANATION_RELIABILITY_THRESHOLD};
+pub use recommend::{
+    explain, rank_candidates, recommend, Explanation, Recommendation,
+    EXPLANATION_RELIABILITY_THRESHOLD,
+};
 pub use tower::Tower;

@@ -12,7 +12,7 @@ use rand::{Rng, SeedableRng};
 use rrre_data::repr::ReviewVectors;
 use rrre_data::{Dataset, DatasetIndex, EncodedCorpus, ItemId, UserId};
 use rrre_tensor::nn::{Embedding, FactorizationMachine, Linear};
-use rrre_tensor::{optim::Adam, Params, Tape, Tensor, Var};
+use rrre_tensor::{optim::Adam, ParamId, Params, Tape, Tensor, Var};
 
 /// Joint prediction for one user–item pair.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -56,6 +56,10 @@ pub struct Rrre {
     /// Train-set mean rating; the FM head predicts the residual around it,
     /// which keeps early training on the star scale.
     mean_rating: f32,
+    /// The mean rating mirrored into `params` as a 1×1 tensor so that
+    /// checkpoints are self-contained (a loader must not need the training
+    /// split to reproduce predictions). Never touched by the optimiser.
+    mean_rating_id: ParamId,
     /// Item index of every review (for the per-review attention context).
     input_items_of: Vec<usize>,
     /// User index of every review.
@@ -77,50 +81,14 @@ impl Rrre {
         cfg: RrreConfig,
         mut hook: impl FnMut(EpochStats, &Rrre),
     ) -> Self {
-        cfg.validate();
         assert!(!train.is_empty(), "Rrre::fit: empty training set");
         let mut rng = StdRng::seed_from_u64(cfg.seed);
-        let mut params = Params::new();
-        let encoder = ReviewEncoder::new(&mut params, &mut rng, corpus.embed_dim(), cfg.k);
-        let user_emb = Embedding::new(&mut params, &mut rng, "rrre.user_emb", ds.n_users, cfg.id_dim);
-        let item_emb = Embedding::new(&mut params, &mut rng, "rrre.item_emb", ds.n_items, cfg.id_dim);
-        // Attention context per review slot: the target pair's user and item
-        // ID embeddings (Eq. 5's e^u, e^i) plus the ID embedding of the
-        // review's own counterpart entity ("the item that it written for"),
-        // giving the attention both the fraud context and the means to
-        // locate the target pair's own review among the inputs.
-        let ctx_dim = 3 * cfg.id_dim;
-        let user_tower = Tower::new(&mut params, &mut rng, "rrre.usernet", cfg.k, ctx_dim, cfg.attn_dim, cfg.id_dim);
-        let item_tower = Tower::new(&mut params, &mut rng, "rrre.itemnet", cfg.k, ctx_dim, cfg.attn_dim, cfg.id_dim);
-        let rel_head = Linear::new(&mut params, &mut rng, "rrre.rel_head", 2 * cfg.id_dim, 2);
-        let w_h = Linear::new(&mut params, &mut rng, "rrre.w_h", cfg.id_dim, cfg.id_dim);
-        let w_e = Linear::new(&mut params, &mut rng, "rrre.w_e", cfg.id_dim, cfg.id_dim);
-        let fm = FactorizationMachine::new(&mut params, &mut rng, "rrre.fm", 2 * cfg.id_dim, cfg.fm_factors);
-
-        let cache = match cfg.encoder {
-            EncoderMode::Frozen => Some(ReviewVectors::from_flat(cfg.k, encoder.encode_all(&params, corpus))),
-            EncoderMode::EndToEnd => None,
-        };
-
-        let mean_rating = train.iter().map(|&i| ds.reviews[i].rating).sum::<f32>() / train.len() as f32;
-        let mut model = Self {
-            cfg,
-            params,
-            encoder,
-            user_emb,
-            item_emb,
-            user_tower,
-            item_tower,
-            rel_head,
-            w_h,
-            w_e,
-            fm,
-            cache,
-            index: ds.index(),
-            mean_rating,
-            input_items_of: ds.reviews.iter().map(|r| r.item.index()).collect(),
-            input_users_of: ds.reviews.iter().map(|r| r.user.index()).collect(),
-        };
+        let mut model = Self::new_untrained_with(ds, corpus, cfg, &mut rng);
+        let mean = train.iter().map(|&i| ds.reviews[i].rating).sum::<f32>() / train.len() as f32;
+        model.set_mean_rating(mean);
+        if matches!(cfg.encoder, EncoderMode::Frozen) {
+            model.rebuild_cache(corpus);
+        }
 
         // Semi-supervised masking (paper §V): a deterministic subset of the
         // training reviews keeps its reliability label.
@@ -190,6 +158,11 @@ impl Rrre {
                         *model.params.grad_mut(id) = Tensor::zeros(r_dim, c_dim);
                     }
                 }
+                // The mean rating is a data statistic that rides in `params`
+                // only for checkpoint self-containment; `apply_l2_grad`
+                // above gave it a weight-decay gradient that must not reach
+                // the optimiser.
+                *model.params.grad_mut(model.mean_rating_id) = Tensor::zeros(1, 1);
                 model.params.clip_grad_norm(5.0);
                 opt.step(&mut model.params);
             }
@@ -205,6 +178,120 @@ impl Rrre {
             );
         }
         model
+    }
+
+    /// Architecture construction shared by [`Rrre::fit_with_hook`] and
+    /// [`Rrre::from_checkpoint`]: registers every parameter (randomly
+    /// initialised from `rng`) without training and without encoding the
+    /// corpus. The dataset is required even for inference consumers — it
+    /// provides the review index, the per-review counterpart-entity maps
+    /// that feed the attention context, and the id-space sizes of the
+    /// embedding tables.
+    fn new_untrained_with(
+        ds: &Dataset,
+        corpus: &EncodedCorpus,
+        cfg: RrreConfig,
+        rng: &mut StdRng,
+    ) -> Self {
+        cfg.validate();
+        let mut params = Params::new();
+        let encoder = ReviewEncoder::new(&mut params, rng, corpus.embed_dim(), cfg.k);
+        let user_emb = Embedding::new(&mut params, rng, "rrre.user_emb", ds.n_users, cfg.id_dim);
+        let item_emb = Embedding::new(&mut params, rng, "rrre.item_emb", ds.n_items, cfg.id_dim);
+        // Attention context per review slot: the target pair's user and item
+        // ID embeddings (Eq. 5's e^u, e^i) plus the ID embedding of the
+        // review's own counterpart entity ("the item that it written for"),
+        // giving the attention both the fraud context and the means to
+        // locate the target pair's own review among the inputs.
+        let ctx_dim = 3 * cfg.id_dim;
+        let user_tower = Tower::new(&mut params, rng, "rrre.usernet", cfg.k, ctx_dim, cfg.attn_dim, cfg.id_dim);
+        let item_tower = Tower::new(&mut params, rng, "rrre.itemnet", cfg.k, ctx_dim, cfg.attn_dim, cfg.id_dim);
+        let rel_head = Linear::new(&mut params, rng, "rrre.rel_head", 2 * cfg.id_dim, 2);
+        let w_h = Linear::new(&mut params, rng, "rrre.w_h", cfg.id_dim, cfg.id_dim);
+        let w_e = Linear::new(&mut params, rng, "rrre.w_e", cfg.id_dim, cfg.id_dim);
+        let fm = FactorizationMachine::new(&mut params, rng, "rrre.fm", 2 * cfg.id_dim, cfg.fm_factors);
+        // Registered last so older tooling reading checkpoints by position
+        // sees the architectural parameters first.
+        let mean_rating_id = params.register("rrre.mean_rating", Tensor::zeros(1, 1));
+
+        Self {
+            cfg,
+            params,
+            encoder,
+            user_emb,
+            item_emb,
+            user_tower,
+            item_tower,
+            rel_head,
+            w_h,
+            w_e,
+            fm,
+            cache: None,
+            index: ds.index(),
+            mean_rating: 0.0,
+            mean_rating_id,
+            input_items_of: ds.reviews.iter().map(|r| r.item.index()).collect(),
+            input_users_of: ds.reviews.iter().map(|r| r.user.index()).collect(),
+        }
+    }
+
+    /// Builds the model architecture and restores trained weights from an
+    /// `RRRP` checkpoint — no throwaway [`Rrre::fit`] run required. `cfg`
+    /// and `ds`/`corpus` must match what the checkpoint was trained with
+    /// (parameter names and shapes are validated; mismatches fail with
+    /// `InvalidData`).
+    ///
+    /// In [`EncoderMode::Frozen`] the review-embedding cache is rebuilt from
+    /// the restored encoder weights, so the model is immediately ready for
+    /// tape-free prediction.
+    pub fn from_checkpoint(
+        ds: &Dataset,
+        corpus: &EncodedCorpus,
+        cfg: RrreConfig,
+        path: impl AsRef<std::path::Path>,
+    ) -> std::io::Result<Self> {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut model = Self::new_untrained_with(ds, corpus, cfg, &mut rng);
+        model.load_weights(path, corpus)?;
+        Ok(model)
+    }
+
+    fn set_mean_rating(&mut self, mean: f32) {
+        self.mean_rating = mean;
+        self.params.get_mut(self.mean_rating_id).set(0, 0, mean);
+    }
+
+    fn rebuild_cache(&mut self, corpus: &EncodedCorpus) {
+        self.cache = Some(ReviewVectors::from_flat(
+            self.cfg.k,
+            self.encoder.encode_all(&self.params, corpus),
+        ));
+    }
+
+    /// Ensures the tape-free frozen prediction path is available by
+    /// materialising the review-embedding cache from the current encoder
+    /// weights. A no-op when the cache already exists (frozen-mode models
+    /// have it from construction).
+    ///
+    /// For [`EncoderMode::EndToEnd`] models this pins the encoder output at
+    /// its current weights — exactly what an inference server wants, since
+    /// per-request BiLSTM re-encoding is the cost the serving cache exists
+    /// to avoid.
+    pub fn freeze_for_inference(&mut self, corpus: &EncodedCorpus) {
+        if self.cache.is_none() {
+            self.rebuild_cache(corpus);
+        }
+    }
+
+    /// Whether the tape-free frozen prediction path (and therefore
+    /// [`Rrre::infer_user_tower`] / [`Rrre::infer_item_tower`]) is ready.
+    pub fn has_frozen_cache(&self) -> bool {
+        self.cache.is_some()
+    }
+
+    /// Train-set mean rating (the residual base of the FM rating head).
+    pub fn mean_rating(&self) -> f32 {
+        self.mean_rating
     }
 
     /// The model's configuration.
@@ -227,9 +314,9 @@ impl Rrre {
     /// (parameter names and shapes must match), then refreshes the frozen
     /// review-embedding cache.
     ///
-    /// The intended flow is: construct via [`Rrre::fit`] with `epochs: 0`-
-    /// like cheap settings or a fresh training run, then `load_weights` to
-    /// replace the weights with the checkpointed ones.
+    /// Most callers want [`Rrre::from_checkpoint`], which builds the
+    /// architecture and restores in one step; `load_weights` remains for
+    /// swapping weights into an existing model (e.g. warm restarts).
     pub fn load_weights(
         &mut self,
         path: impl AsRef<std::path::Path>,
@@ -239,11 +326,9 @@ impl Rrre {
         self.params
             .restore_values(&loaded)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
-        if self.cache.is_some() {
-            self.cache = Some(ReviewVectors::from_flat(
-                self.cfg.k,
-                self.encoder.encode_all(&self.params, corpus),
-            ));
+        self.mean_rating = self.params.get(self.mean_rating_id).item();
+        if self.cache.is_some() || matches!(self.cfg.encoder, EncoderMode::Frozen) {
+            self.rebuild_cache(corpus);
         }
         Ok(())
     }
@@ -389,7 +474,7 @@ impl Rrre {
     /// mode; falls back to a throwaway tape in end-to-end mode).
     pub fn predict(&self, corpus: &EncodedCorpus, user: UserId, item: ItemId) -> Prediction {
         match &self.cache {
-            Some(cache) => self.predict_frozen(cache, user, item),
+            Some(_) => self.predict_frozen(user, item),
             None => {
                 let mut tape = Tape::new();
                 let (pred, logits) = self.forward_pair(&mut tape, corpus, user.index(), item.index());
@@ -402,23 +487,60 @@ impl Rrre {
         }
     }
 
-    fn predict_frozen(&self, cache: &ReviewVectors, user: UserId, item: ItemId) -> Prediction {
+    /// Tape-free frozen prediction, decomposed through the public
+    /// tower/head accessors so external consumers (the serving engine)
+    /// reproduce `predict` bit-for-bit from cached tower representations.
+    fn predict_frozen(&self, user: UserId, item: ItemId) -> Prediction {
+        let x_u = self.infer_user_tower(user, item);
+        let y_i = self.infer_item_tower(user, item);
+        self.infer_heads(user, item, &x_u, &y_i)
+    }
+
+    /// The user-tower representation `x_u` (`[1, id_dim]`) for a target
+    /// pair. Pair-dependent, not just user-dependent: the fraud-attention
+    /// context contains the target item's ID embedding (paper §III-D), so a
+    /// cache of these must be keyed by `(user, item)`.
+    ///
+    /// Requires the frozen review cache — call
+    /// [`Rrre::freeze_for_inference`] first on end-to-end models.
+    pub fn infer_user_tower(&self, user: UserId, item: ItemId) -> Tensor {
+        let cache = self.cache.as_ref().expect(
+            "Rrre::infer_user_tower: no frozen review cache; call freeze_for_inference first",
+        );
         let u_revs = self.user_inputs(user.index());
+        let e_u = self.user_emb.infer(&self.params, &[user.index()]);
+        let e_i = self.item_emb.infer(&self.params, &[item.index()]);
+        let (u_matrix, u_mask) = cache.stack_padded(&u_revs, self.cfg.s_u);
+        let u_ctx = self.infer_tower_context(&e_u, &e_i, &u_revs, self.cfg.s_u, true);
+        self.user_tower.infer(&self.params, &u_matrix, &u_mask, &u_ctx, self.cfg.pooling)
+    }
+
+    /// The item-tower representation `y_i` (`[1, id_dim]`) for a target
+    /// pair; pair-dependent for the same reason as
+    /// [`Rrre::infer_user_tower`].
+    pub fn infer_item_tower(&self, user: UserId, item: ItemId) -> Tensor {
+        let cache = self.cache.as_ref().expect(
+            "Rrre::infer_item_tower: no frozen review cache; call freeze_for_inference first",
+        );
         let i_revs = self.item_inputs(item.index());
         let e_u = self.user_emb.infer(&self.params, &[user.index()]);
         let e_i = self.item_emb.infer(&self.params, &[item.index()]);
-
-        let (u_matrix, u_mask) = cache.stack_padded(&u_revs, self.cfg.s_u);
         let (i_matrix, i_mask) = cache.stack_padded(&i_revs, self.cfg.s_i);
-        let u_ctx = self.infer_tower_context(&e_u, &e_i, &u_revs, self.cfg.s_u, true);
         let i_ctx = self.infer_tower_context(&e_u, &e_i, &i_revs, self.cfg.s_i, false);
-        let x_u = self.user_tower.infer(&self.params, &u_matrix, &u_mask, &u_ctx, self.cfg.pooling);
-        let y_i = self.item_tower.infer(&self.params, &i_matrix, &i_mask, &i_ctx, self.cfg.pooling);
+        self.item_tower.infer(&self.params, &i_matrix, &i_mask, &i_ctx, self.cfg.pooling)
+    }
 
-        let joint = Tensor::concat_cols(&[&x_u, &y_i]);
+    /// The reliability and rating heads over precomputed tower
+    /// representations — the cheap half of frozen prediction. Combining
+    /// cached [`Rrre::infer_user_tower`]/[`Rrre::infer_item_tower`] outputs
+    /// with this reproduces [`Rrre::predict`] exactly.
+    pub fn infer_heads(&self, user: UserId, item: ItemId, x_u: &Tensor, y_i: &Tensor) -> Prediction {
+        let e_u = self.user_emb.infer(&self.params, &[user.index()]);
+        let e_i = self.item_emb.infer(&self.params, &[item.index()]);
+        let joint = Tensor::concat_cols(&[x_u, y_i]);
         let z = self.rel_head.infer(&self.params, &joint);
-        let a = e_u.add(&self.w_h.infer(&self.params, &x_u));
-        let b = e_i.add(&self.w_e.infer(&self.params, &y_i));
+        let a = e_u.add(&self.w_h.infer(&self.params, x_u));
+        let b = e_i.add(&self.w_e.infer(&self.params, y_i));
         let fused = Tensor::concat_cols(&[&a, &b]);
         let rating = self.fm.infer(&self.params, &fused).item() + self.mean_rating;
 

@@ -48,6 +48,17 @@ pub struct Explanation {
 /// decision boundary).
 pub const EXPLANATION_RELIABILITY_THRESHOLD: f32 = 0.5;
 
+/// The paper's two-stage ranking (§III-B), shared by [`recommend`],
+/// [`explain`] and the serving engine: keep the top-`k` entries by predicted
+/// rating as the candidate set, then order the candidates by predicted
+/// reliability. Ties break on the entity key ascending so rankings are
+/// deterministic across runs and processes.
+pub fn rank_candidates<T: Ord + Copy>(scored: &mut Vec<(T, Prediction)>, k: usize) {
+    scored.sort_by(|a, b| b.1.rating.total_cmp(&a.1.rating).then(a.0.cmp(&b.0)));
+    scored.truncate(k);
+    scored.sort_by(|a, b| b.1.reliability.total_cmp(&a.1.reliability).then(a.0.cmp(&b.0)));
+}
+
 /// Generates the top-𝒦 recommendations for `user`: candidates by rating,
 /// final order by reliability (§III-B).
 pub fn recommend(model: &Rrre, ds: &Dataset, corpus: &EncodedCorpus, user: UserId, k: usize) -> Vec<Recommendation> {
@@ -57,11 +68,7 @@ pub fn recommend(model: &Rrre, ds: &Dataset, corpus: &EncodedCorpus, user: UserI
             (item, model.predict(corpus, user, item))
         })
         .collect();
-    // Candidate set: top-𝒦 by predicted rating.
-    scored.sort_by(|a, b| b.1.rating.total_cmp(&a.1.rating).then(a.0.cmp(&b.0)));
-    scored.truncate(k);
-    // Final ranking: by predicted reliability.
-    scored.sort_by(|a, b| b.1.reliability.total_cmp(&a.1.reliability).then(a.0.cmp(&b.0)));
+    rank_candidates(&mut scored, k);
     scored
         .into_iter()
         .map(|(item, p)| Recommendation {
@@ -86,9 +93,7 @@ pub fn explain(model: &Rrre, ds: &Dataset, corpus: &EncodedCorpus, item: ItemId,
             (ri, model.predict(corpus, r.user, r.item))
         })
         .collect();
-    scored.sort_by(|a, b| b.1.rating.total_cmp(&a.1.rating).then(a.0.cmp(&b.0)));
-    scored.truncate(k);
-    scored.sort_by(|a, b| b.1.reliability.total_cmp(&a.1.reliability).then(a.0.cmp(&b.0)));
+    rank_candidates(&mut scored, k);
     scored
         .into_iter()
         .map(|(ri, p)| {

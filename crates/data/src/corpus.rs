@@ -62,6 +62,42 @@ impl EncodedCorpus {
         Self { vocab, word_vectors, docs, max_len: cfg.max_len }
     }
 
+    /// Rebuilds a corpus from a dataset plus previously trained word
+    /// vectors, skipping word2vec pretraining entirely. Tokenisation,
+    /// vocabulary construction and document encoding are deterministic
+    /// functions of the review text, so re-running them over the same
+    /// dataset reproduces the exact vocab/docs the vectors were trained
+    /// against — the serving artifact only needs to persist the vector
+    /// table.
+    ///
+    /// Fails (rather than panicking) when the stored table does not match
+    /// the rebuilt vocabulary, which is the signature of a corrupted or
+    /// mismatched artifact.
+    pub fn from_parts(
+        ds: &Dataset,
+        max_len: usize,
+        min_count: u64,
+        word_vectors: WordVectors,
+    ) -> Result<Self, String> {
+        let tokenised: Vec<Vec<String>> = ds.reviews.iter().map(|r| tokenize(&r.text)).collect();
+        let refs: Vec<&[String]> = tokenised.iter().map(Vec::as_slice).collect();
+        let vocab = Vocab::build(refs, min_count);
+        if word_vectors.len() != vocab.len() {
+            return Err(format!(
+                "word-vector table has {} rows but the rebuilt vocabulary has {} words; \
+                 the vectors belong to a different dataset or min_count",
+                word_vectors.len(),
+                vocab.len()
+            ));
+        }
+        let docs = ds
+            .reviews
+            .iter()
+            .map(|r| encode_document(&r.text, &vocab, max_len))
+            .collect();
+        Ok(Self { vocab, word_vectors, docs, max_len })
+    }
+
     /// Word-embedding dimension.
     pub fn embed_dim(&self) -> usize {
         self.word_vectors.dim()

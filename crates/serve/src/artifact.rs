@@ -1,0 +1,196 @@
+//! The on-disk serving bundle.
+//!
+//! An artifact directory is fully self-describing:
+//!
+//! ```text
+//! <dir>/manifest.json   versioned summary + RrreConfig (human-readable)
+//! <dir>/dataset.json    the review dataset (users, items, texts, labels)
+//! <dir>/vectors.rrrp    pretrained word vectors as a single-tensor RRRP file
+//! <dir>/model.rrrp      trained model weights (RRRP checkpoint)
+//! ```
+//!
+//! Tokenisation, vocabulary construction and document encoding are
+//! deterministic functions of the dataset text, so the corpus is *rebuilt*
+//! at load time ([`rrre_data::EncodedCorpus::from_parts`]) rather than
+//! persisted — the artifact stores only what cannot be recomputed: the
+//! trained word vectors and the trained weights.
+//!
+//! Every load cross-checks the manifest against what is actually in the
+//! files (entity counts, vocabulary size, embedding dimension, parameter
+//! shapes); any disagreement fails with `InvalidData` instead of producing
+//! a model that silently serves garbage.
+
+use rrre_core::{Rrre, RrreConfig};
+use rrre_data::{Dataset, DatasetIndex, EncodedCorpus};
+use rrre_tensor::{Params, Tensor};
+use rrre_text::WordVectors;
+use serde::{Deserialize, Serialize};
+use std::io;
+use std::path::Path;
+
+/// Current artifact layout version.
+pub const MANIFEST_VERSION: u32 = 1;
+
+/// File names inside an artifact directory.
+pub const MANIFEST_FILE: &str = "manifest.json";
+/// See [`MANIFEST_FILE`].
+pub const DATASET_FILE: &str = "dataset.json";
+/// See [`MANIFEST_FILE`].
+pub const VECTORS_FILE: &str = "vectors.rrrp";
+/// See [`MANIFEST_FILE`].
+pub const MODEL_FILE: &str = "model.rrrp";
+
+/// Name of the single tensor inside `vectors.rrrp`.
+const VECTORS_PARAM: &str = "corpus.word_vectors";
+
+/// Versioned, human-readable description of an artifact directory.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ArtifactManifest {
+    /// Layout version; loads reject anything but [`MANIFEST_VERSION`].
+    pub version: u32,
+    /// Dataset display name.
+    pub dataset_name: String,
+    /// Distinct users in the dataset.
+    pub n_users: usize,
+    /// Distinct items in the dataset.
+    pub n_items: usize,
+    /// Total reviews in the dataset.
+    pub n_reviews: usize,
+    /// Fixed encoded-document length of the corpus.
+    pub max_len: usize,
+    /// Vocabulary min-count the corpus was built with.
+    pub min_count: u64,
+    /// Word-embedding dimension.
+    pub embed_dim: usize,
+    /// Vocabulary size (= rows of the word-vector table).
+    pub vocab_len: usize,
+    /// The model's full hyper-parameter configuration.
+    pub config: RrreConfig,
+}
+
+/// A loaded serving bundle: dataset + rebuilt corpus + restored model,
+/// plus the review index the explain path needs.
+pub struct ModelArtifact {
+    /// The manifest the bundle was loaded from (or saved with).
+    pub manifest: ArtifactManifest,
+    /// The review dataset.
+    pub dataset: Dataset,
+    /// The encoded corpus (vocab, word vectors, encoded docs).
+    pub corpus: EncodedCorpus,
+    /// The restored model, frozen-cache ready for tape-free inference.
+    pub model: Rrre,
+    /// Per-user / per-item review index over `dataset`.
+    pub index: DatasetIndex,
+}
+
+fn invalid(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+impl ModelArtifact {
+    /// Writes a trained model as an artifact directory (created if absent).
+    ///
+    /// `min_count` must be the vocabulary min-count the corpus was built
+    /// with — it is recorded in the manifest so the load path can rebuild
+    /// the identical vocabulary.
+    pub fn save(
+        dir: impl AsRef<Path>,
+        dataset: &Dataset,
+        corpus: &EncodedCorpus,
+        model: &Rrre,
+        min_count: u64,
+    ) -> io::Result<()> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+
+        let manifest = ArtifactManifest {
+            version: MANIFEST_VERSION,
+            dataset_name: dataset.name.clone(),
+            n_users: dataset.n_users,
+            n_items: dataset.n_items,
+            n_reviews: dataset.len(),
+            max_len: corpus.max_len,
+            min_count,
+            embed_dim: corpus.embed_dim(),
+            vocab_len: corpus.word_vectors.len(),
+            config: *model.config(),
+        };
+        let json = serde_json::to_string_pretty(&manifest).map_err(io::Error::other)?;
+        std::fs::write(dir.join(MANIFEST_FILE), json)?;
+
+        rrre_data::io::save_json(dataset, dir.join(DATASET_FILE))?;
+
+        let mut vectors = Params::new();
+        vectors.register(
+            VECTORS_PARAM,
+            Tensor::from_vec(
+                corpus.word_vectors.len(),
+                corpus.embed_dim(),
+                corpus.word_vectors.as_flat().to_vec(),
+            ),
+        );
+        vectors.save(dir.join(VECTORS_FILE))?;
+
+        model.save_weights(dir.join(MODEL_FILE))
+    }
+
+    /// Loads and validates an artifact directory, restoring the model via
+    /// [`Rrre::from_checkpoint`] — no training pass runs. On success the
+    /// model is frozen-cache ready regardless of its encoder mode.
+    pub fn load(dir: impl AsRef<Path>) -> io::Result<Self> {
+        let dir = dir.as_ref();
+
+        let manifest_json = std::fs::read_to_string(dir.join(MANIFEST_FILE))?;
+        let manifest: ArtifactManifest =
+            serde_json::from_str(&manifest_json).map_err(|e| invalid(format!("bad manifest: {e}")))?;
+        if manifest.version != MANIFEST_VERSION {
+            return Err(invalid(format!(
+                "unsupported artifact version {} (this build reads {MANIFEST_VERSION})",
+                manifest.version
+            )));
+        }
+
+        let dataset = rrre_data::io::load_json(dir.join(DATASET_FILE))?;
+        if dataset.n_users != manifest.n_users
+            || dataset.n_items != manifest.n_items
+            || dataset.len() != manifest.n_reviews
+        {
+            return Err(invalid(format!(
+                "dataset shape ({} users, {} items, {} reviews) disagrees with manifest \
+                 ({}, {}, {})",
+                dataset.n_users,
+                dataset.n_items,
+                dataset.len(),
+                manifest.n_users,
+                manifest.n_items,
+                manifest.n_reviews
+            )));
+        }
+
+        let vectors = Params::load(dir.join(VECTORS_FILE))?;
+        let table = vectors
+            .iter()
+            .find(|(_, name, _)| *name == VECTORS_PARAM)
+            .map(|(_, _, value)| value)
+            .ok_or_else(|| invalid(format!("vectors file has no `{VECTORS_PARAM}` tensor")))?;
+        let (rows, cols) = table.shape();
+        if rows != manifest.vocab_len || cols != manifest.embed_dim {
+            return Err(invalid(format!(
+                "word-vector table is {rows}x{cols} but the manifest declares {}x{}",
+                manifest.vocab_len, manifest.embed_dim
+            )));
+        }
+        let word_vectors = WordVectors::from_flat(cols, table.as_slice().to_vec());
+
+        let corpus =
+            EncodedCorpus::from_parts(&dataset, manifest.max_len, manifest.min_count, word_vectors)
+                .map_err(invalid)?;
+
+        let mut model =
+            Rrre::from_checkpoint(&dataset, &corpus, manifest.config, dir.join(MODEL_FILE))?;
+        model.freeze_for_inference(&corpus);
+
+        let index = dataset.index();
+        Ok(Self { manifest, dataset, corpus, model, index })
+    }
+}

@@ -1,0 +1,162 @@
+//! The micro-batching queue between the front end and the worker pool.
+//!
+//! Workers contend on a single striped point: whoever takes the receiver
+//! lock blocks for the next job, greedily drains everything already queued
+//! (up to `max_batch`), and only if still alone waits up to `max_wait` for
+//! a second job before giving up and serving the singleton. Coalescing is
+//! therefore free under load — queued jobs batch without any added wait —
+//! while an idle engine delays a lone request by at most one `max_wait`
+//! window. The lock is held only while *collecting*: the worker releases
+//! it before processing, so the next worker collects the next batch while
+//! the first one computes.
+
+use crate::protocol::{Request, Response};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// One queued request plus the means to answer it.
+pub struct Job {
+    /// The decoded request.
+    pub request: Request,
+    /// When the job entered the queue (deadline + latency base).
+    pub enqueued: Instant,
+    /// Where the response goes. Send failures are ignored — the client
+    /// gave up on its half of the channel.
+    pub reply: Sender<Response>,
+}
+
+impl Job {
+    /// Wraps a request, stamping the enqueue time now.
+    pub fn new(request: Request, reply: Sender<Response>) -> Self {
+        Self { request, enqueued: Instant::now(), reply }
+    }
+}
+
+/// Batch collection parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchConfig {
+    /// Maximum jobs per drained batch.
+    pub max_batch: usize,
+    /// Maximum time to wait for follow-up jobs after the first.
+    pub max_wait: Duration,
+}
+
+/// The consumer half of the engine queue. Shared by every worker.
+pub struct BatchQueue {
+    rx: Mutex<Receiver<Job>>,
+    cfg: BatchConfig,
+}
+
+impl BatchQueue {
+    /// Creates the queue, returning the producer handle and the queue.
+    pub fn new(cfg: BatchConfig) -> (Sender<Job>, Self) {
+        assert!(cfg.max_batch >= 1, "BatchQueue: max_batch must be ≥ 1");
+        let (tx, rx) = mpsc::channel();
+        (tx, Self { rx: Mutex::new(rx), cfg })
+    }
+
+    /// Blocks for the next batch: one job, everything already queued behind
+    /// it (up to `max_batch`), and — only if that leaves a singleton — up
+    /// to `max_wait` for one straggler plus whatever arrives with it.
+    /// Returns `None` when every producer handle has been dropped — the
+    /// shutdown signal.
+    pub fn next_batch(&self) -> Option<Vec<Job>> {
+        let rx = self.rx.lock().expect("BatchQueue receiver poisoned");
+        let first = rx.recv().ok()?;
+        let mut batch = vec![first];
+        // Free coalescing: drain the backlog without waiting.
+        while batch.len() < self.cfg.max_batch {
+            match rx.try_recv() {
+                Ok(job) => batch.push(job),
+                Err(_) => break,
+            }
+        }
+        // Nothing was queued behind the first job: give followers one
+        // bounded window, then serve whatever exists. Never stall a batch
+        // that already has company — that trades latency for nothing.
+        if batch.len() == 1 && self.cfg.max_batch > 1 && !self.cfg.max_wait.is_zero() {
+            match rx.recv_timeout(self.cfg.max_wait) {
+                Ok(job) => {
+                    batch.push(job);
+                    while batch.len() < self.cfg.max_batch {
+                        match rx.try_recv() {
+                            Ok(job) => batch.push(job),
+                            Err(_) => break,
+                        }
+                    }
+                }
+                // Timeout: serve the singleton. Disconnected: serve it too;
+                // the *next* call returns None and stops the worker.
+                Err(RecvTimeoutError::Timeout | RecvTimeoutError::Disconnected) => {}
+            }
+        }
+        Some(batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::Request;
+
+    fn job(req: Request) -> (Job, Receiver<Response>) {
+        let (tx, rx) = mpsc::channel();
+        (Job::new(req, tx), rx)
+    }
+
+    #[test]
+    fn drains_up_to_max_batch() {
+        let (tx, queue) = BatchQueue::new(BatchConfig {
+            max_batch: 3,
+            max_wait: Duration::from_millis(200),
+        });
+        let mut replies = Vec::new();
+        for i in 0..5 {
+            let (j, r) = job(Request::predict(i, 0));
+            tx.send(j).unwrap();
+            replies.push(r);
+        }
+        let first = queue.next_batch().unwrap();
+        assert_eq!(first.len(), 3);
+        let second = queue.next_batch().unwrap();
+        assert_eq!(second.len(), 2);
+        assert_eq!(first[0].request.user, Some(0));
+        assert_eq!(second[1].request.user, Some(4));
+    }
+
+    #[test]
+    fn lone_job_released_after_window() {
+        let (tx, queue) = BatchQueue::new(BatchConfig {
+            max_batch: 8,
+            max_wait: Duration::from_millis(5),
+        });
+        let (j, _r) = job(Request::stats());
+        tx.send(j).unwrap();
+        let start = Instant::now();
+        let batch = queue.next_batch().unwrap();
+        assert_eq!(batch.len(), 1);
+        assert!(start.elapsed() < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn disconnect_ends_the_queue() {
+        let (tx, queue) = BatchQueue::new(BatchConfig {
+            max_batch: 2,
+            max_wait: Duration::from_millis(1),
+        });
+        drop(tx);
+        assert!(queue.next_batch().is_none());
+    }
+
+    #[test]
+    fn zero_wait_still_delivers() {
+        let (tx, queue) = BatchQueue::new(BatchConfig {
+            max_batch: 4,
+            max_wait: Duration::ZERO,
+        });
+        let (j, _r) = job(Request::stats());
+        tx.send(j).unwrap();
+        assert_eq!(queue.next_batch().unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,232 @@
+//! `rrre-serve` — train, serve and query RRRE artifacts from the shell.
+//!
+//! ```text
+//! rrre-serve demo <dir> [--scale F]          train a small model, save an artifact
+//! rrre-serve serve <dir> [--addr A] [...]    serve an artifact over TCP (NDJSON)
+//! rrre-serve query <addr> <json-line>        send one request line, print the reply
+//! rrre-serve oneshot <dir> <json-line>       answer one request in-process, no server
+//! ```
+
+use rrre_core::{Rrre, RrreConfig};
+use rrre_data::synth::{generate, SynthConfig};
+use rrre_data::{CorpusConfig, EncodedCorpus};
+use rrre_serve::{Engine, EngineConfig, ModelArtifact, Server};
+use rrre_text::word2vec::Word2VecConfig;
+use std::io::{BufRead, BufReader, IsTerminal, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+const USAGE: &str = "\
+rrre-serve: inference serving for the RRRE model
+
+USAGE:
+  rrre-serve demo <dir> [--scale F]
+      Generate a synthetic YelpChi-like dataset (default --scale 0.05),
+      train a small RRRE model and write a serving artifact to <dir>.
+
+  rrre-serve serve <dir> [--addr HOST:PORT] [--workers N]
+                         [--max-batch N] [--max-wait-ms N]
+      Load the artifact in <dir> and serve newline-delimited JSON over TCP
+      (default --addr 127.0.0.1:7878). A `quit` line on stdin stops the
+      server gracefully; on stdin EOF (detached/daemonized) it keeps
+      serving until killed.
+
+  rrre-serve query <addr> <json-line>
+      Send one request line to a running server and print the response.
+
+  rrre-serve oneshot <dir> <json-line>
+      Load the artifact and answer a single request in-process.
+
+PROTOCOL (one JSON object per line):
+  {\"op\":\"Predict\",\"user\":3,\"item\":7}
+  {\"op\":\"Recommend\",\"user\":3,\"k\":5}
+  {\"op\":\"Explain\",\"item\":7,\"k\":3}
+  {\"op\":\"Invalidate\",\"user\":3}
+  {\"op\":\"Stats\"}
+";
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("rrre-serve: {msg}\n\n{USAGE}");
+    ExitCode::FAILURE
+}
+
+/// Operator-facing error: print cleanly, no panic backtrace.
+fn die(msg: impl std::fmt::Display) -> ExitCode {
+    eprintln!("rrre-serve: {msg}");
+    ExitCode::FAILURE
+}
+
+/// Pulls `--flag value` out of `args`, leaving positional arguments.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let pos = args.iter().position(|a| a == flag)?;
+    if pos + 1 >= args.len() {
+        eprintln!("rrre-serve: {flag} needs a value");
+        std::process::exit(2);
+    }
+    let value = args.remove(pos + 1);
+    args.remove(pos);
+    Some(value)
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        return fail("missing subcommand");
+    }
+    let cmd = args.remove(0);
+    match cmd.as_str() {
+        "demo" => cmd_demo(args),
+        "serve" => cmd_serve(args),
+        "query" => cmd_query(args),
+        "oneshot" => cmd_oneshot(args),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        other => fail(&format!("unknown subcommand `{other}`")),
+    }
+}
+
+fn cmd_demo(mut args: Vec<String>) -> ExitCode {
+    let scale: f64 = take_flag(&mut args, "--scale")
+        .map_or(0.05, |s| s.parse().expect("--scale must be a float"));
+    let [dir] = args.as_slice() else {
+        return fail("demo needs exactly one <dir>");
+    };
+
+    eprintln!("generating synthetic dataset (scale {scale})...");
+    let ds = generate(&SynthConfig::yelp_chi().scaled(scale));
+    let corpus_cfg = CorpusConfig {
+        max_len: 16,
+        word2vec: Word2VecConfig { dim: 16, epochs: 2, ..Default::default() },
+        ..Default::default()
+    };
+    let corpus = EncodedCorpus::build(&ds, &corpus_cfg);
+    eprintln!(
+        "training on {} reviews ({} users x {} items)...",
+        ds.len(),
+        ds.n_users,
+        ds.n_items
+    );
+    let train: Vec<usize> = (0..ds.len()).collect();
+    let model = Rrre::fit(&ds, &corpus, &train, RrreConfig { epochs: 5, ..RrreConfig::tiny() });
+    if let Err(e) = ModelArtifact::save(dir, &ds, &corpus, &model, corpus_cfg.min_count) {
+        return die(format!("failed to write artifact to `{dir}`: {e}"));
+    }
+    println!("artifact written to {dir}");
+    println!("next: rrre-serve serve {dir}");
+    println!("then: rrre-serve query 127.0.0.1:7878 '{{\"op\":\"Recommend\",\"user\":0,\"k\":3}}'");
+    ExitCode::SUCCESS
+}
+
+fn cmd_serve(mut args: Vec<String>) -> ExitCode {
+    let addr = take_flag(&mut args, "--addr").unwrap_or_else(|| "127.0.0.1:7878".into());
+    let mut cfg = EngineConfig::default();
+    if let Some(w) = take_flag(&mut args, "--workers") {
+        cfg.workers = w.parse().expect("--workers must be an integer");
+    }
+    if let Some(b) = take_flag(&mut args, "--max-batch") {
+        cfg.max_batch = b.parse().expect("--max-batch must be an integer");
+    }
+    if let Some(ms) = take_flag(&mut args, "--max-wait-ms") {
+        cfg.max_wait = Duration::from_millis(ms.parse().expect("--max-wait-ms must be an integer"));
+    }
+    let [dir] = args.as_slice() else {
+        return fail("serve needs exactly one <dir>");
+    };
+
+    eprintln!("loading artifact from {dir}...");
+    let artifact = match ModelArtifact::load(dir) {
+        Ok(a) => a,
+        Err(e) => return die(format!("failed to load artifact `{dir}`: {e}")),
+    };
+    eprintln!(
+        "serving `{}` ({} users, {} items) with {} workers",
+        artifact.manifest.dataset_name, artifact.manifest.n_users, artifact.manifest.n_items,
+        cfg.workers
+    );
+    let engine = Arc::new(Engine::new(artifact, cfg));
+    let server = match Server::start(Arc::clone(&engine), addr.as_str()) {
+        Ok(s) => s,
+        Err(e) => {
+            engine.shutdown();
+            return die(format!("failed to bind {addr}: {e}"));
+        }
+    };
+    println!("listening on {}", server.local_addr());
+    println!("(a `quit` line on stdin stops the server)");
+
+    let mut got_quit = false;
+    for line in std::io::stdin().lock().lines() {
+        match line {
+            Ok(l) if l.trim() == "quit" => {
+                got_quit = true;
+                break;
+            }
+            Ok(_) => continue,
+            Err(_) => break,
+        }
+    }
+    if !got_quit && !std::io::stdin().is_terminal() {
+        // Stdin hit EOF but isn't a terminal — the server is running
+        // detached (`rrre-serve serve dir &`, a supervisor, /dev/null).
+        // Keep serving until the process is killed; only an interactive
+        // Ctrl-D or a `quit` line shuts it down from stdin.
+        eprintln!("stdin closed; serving until killed");
+        loop {
+            std::thread::park();
+        }
+    }
+    eprintln!("shutting down...");
+    server.stop();
+    engine.shutdown();
+    let stats = engine.stats();
+    eprintln!(
+        "served {} requests ({} errors), cache hit rate {:.1}%",
+        stats.requests,
+        stats.errors,
+        stats.cache_hit_rate * 100.0
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_query(args: Vec<String>) -> ExitCode {
+    let [addr, line] = args.as_slice() else {
+        return fail("query needs <addr> <json-line>");
+    };
+    let stream = match TcpStream::connect(addr.as_str()) {
+        Ok(s) => s,
+        Err(e) => return die(format!("failed to connect to {addr}: {e}")),
+    };
+    let mut writer = stream.try_clone().expect("failed to clone stream");
+    writer.write_all(line.as_bytes()).and_then(|()| writer.write_all(b"\n")).expect("send failed");
+    writer.flush().expect("flush failed");
+    let mut response = String::new();
+    BufReader::new(stream).read_line(&mut response).expect("no response");
+    print!("{response}");
+    ExitCode::SUCCESS
+}
+
+fn cmd_oneshot(args: Vec<String>) -> ExitCode {
+    let [dir, line] = args.as_slice() else {
+        return fail("oneshot needs <dir> <json-line>");
+    };
+    let artifact = match ModelArtifact::load(dir) {
+        Ok(a) => a,
+        Err(e) => return die(format!("failed to load artifact `{dir}`: {e}")),
+    };
+    let engine = Engine::new(
+        artifact,
+        EngineConfig { workers: 1, max_wait: Duration::ZERO, ..EngineConfig::default() },
+    );
+    let response = engine.submit_line(line);
+    println!("{}", rrre_serve::protocol::encode_response(&response));
+    engine.shutdown();
+    if response.ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

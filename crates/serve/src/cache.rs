@@ -1,0 +1,194 @@
+//! Sharded, lock-striped caches of tower representations.
+//!
+//! RRRE's UserNet/ItemNet outputs are *pair*-dependent — the fraud
+//! attention conditions on both the user's and the item's ID embedding
+//! (paper Eq. 5) — so entries are keyed by the `(user, item)` pair, not by
+//! the entity alone. Shard selection, however, uses only the cache's
+//! *invalidation axis* (the user id for the UserNet cache, the item id for
+//! the ItemNet cache): every entry that a new review for entity `e` stales
+//! then lives in exactly one shard, and [`TowerCache::invalidate`] touches
+//! one lock instead of all of them.
+//!
+//! Misses compute under the shard lock. That serialises concurrent misses
+//! *within* a shard (no duplicated tower evaluations, which keeps the
+//! `tower_evals` counter an exact measure of encoder-side work) while
+//! leaving the other shards fully concurrent — lock striping doing its job.
+
+use rrre_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Which entity id invalidates (and therefore shards) a cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CacheAxis {
+    /// Entries stale when the *user* gains a review (UserNet cache).
+    User,
+    /// Entries stale when the *item* gains a review (ItemNet cache).
+    Item,
+}
+
+/// A pair-keyed cache of `[1, id_dim]` tower representations.
+pub struct TowerCache {
+    axis: CacheAxis,
+    shards: Vec<Mutex<HashMap<u64, Tensor>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+fn pair_key(user: u32, item: u32) -> u64 {
+    (u64::from(user) << 32) | u64::from(item)
+}
+
+impl TowerCache {
+    /// Creates an empty cache with `shards` independent lock stripes.
+    pub fn new(axis: CacheAxis, shards: usize) -> Self {
+        assert!(shards > 0, "TowerCache: need at least one shard");
+        Self {
+            axis,
+            shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn entity(&self, user: u32, item: u32) -> u32 {
+        match self.axis {
+            CacheAxis::User => user,
+            CacheAxis::Item => item,
+        }
+    }
+
+    fn shard_index(&self, entity: u32) -> usize {
+        // Fibonacci multiplicative spread so consecutive ids don't pile
+        // into consecutive shards.
+        (entity.wrapping_mul(0x9E37_79B1) as usize) % self.shards.len()
+    }
+
+    /// The cached representation for the pair, computing and storing it on
+    /// a miss. `compute` runs under the pair's shard lock, so each pair is
+    /// evaluated at most once between invalidations.
+    pub fn get_or_compute(
+        &self,
+        user: u32,
+        item: u32,
+        compute: impl FnOnce() -> Tensor,
+    ) -> Tensor {
+        let shard = &self.shards[self.shard_index(self.entity(user, item))];
+        let mut map = shard.lock().expect("TowerCache shard poisoned");
+        match map.get(&pair_key(user, item)) {
+            Some(t) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                t.clone()
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                let t = compute();
+                map.insert(pair_key(user, item), t.clone());
+                t
+            }
+        }
+    }
+
+    /// Drops every entry whose axis entity is `entity` — call when that
+    /// entity gains (or loses) a review. Returns the number of evicted
+    /// entries. Only the entity's own shard is locked.
+    pub fn invalidate(&self, entity: u32) -> usize {
+        let shard = &self.shards[self.shard_index(entity)];
+        let mut map = shard.lock().expect("TowerCache shard poisoned");
+        let before = map.len();
+        match self.axis {
+            CacheAxis::User => map.retain(|k, _| (k >> 32) as u32 != entity),
+            CacheAxis::Item => map.retain(|k, _| *k as u32 != entity),
+        }
+        before - map.len()
+    }
+
+    /// Drops everything (e.g. after a weight reload), without resetting the
+    /// hit/miss counters.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().expect("TowerCache shard poisoned").clear();
+        }
+    }
+
+    /// Total cached entries across all shards.
+    pub fn entries(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("TowerCache shard poisoned").len())
+            .sum()
+    }
+
+    /// Lookups served from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that had to compute.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: f32) -> Tensor {
+        Tensor::from_vec(1, 1, vec![v])
+    }
+
+    #[test]
+    fn hit_after_miss_and_counters() {
+        let cache = TowerCache::new(CacheAxis::User, 4);
+        let a = cache.get_or_compute(1, 2, || t(7.0));
+        let b = cache.get_or_compute(1, 2, || panic!("must be cached"));
+        assert_eq!(a.item(), b.item());
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert_eq!(cache.entries(), 1);
+    }
+
+    #[test]
+    fn pairs_are_distinct_entries() {
+        let cache = TowerCache::new(CacheAxis::User, 4);
+        cache.get_or_compute(1, 2, || t(1.0));
+        cache.get_or_compute(1, 3, || t(2.0));
+        assert_eq!(cache.entries(), 2);
+        assert_eq!(cache.get_or_compute(1, 3, || unreachable!()).item(), 2.0);
+    }
+
+    #[test]
+    fn invalidate_user_axis_drops_all_pairs_of_that_user() {
+        let cache = TowerCache::new(CacheAxis::User, 4);
+        cache.get_or_compute(1, 2, || t(1.0));
+        cache.get_or_compute(1, 3, || t(2.0));
+        cache.get_or_compute(9, 2, || t(3.0));
+        assert_eq!(cache.invalidate(1), 2);
+        assert_eq!(cache.entries(), 1);
+        // The survivor is untouched.
+        assert_eq!(cache.get_or_compute(9, 2, || unreachable!()).item(), 3.0);
+        // The invalidated pair recomputes.
+        assert_eq!(cache.get_or_compute(1, 2, || t(8.0)).item(), 8.0);
+    }
+
+    #[test]
+    fn invalidate_item_axis_uses_the_low_half() {
+        let cache = TowerCache::new(CacheAxis::Item, 3);
+        cache.get_or_compute(1, 2, || t(1.0));
+        cache.get_or_compute(5, 2, || t(2.0));
+        cache.get_or_compute(5, 6, || t(3.0));
+        assert_eq!(cache.invalidate(2), 2);
+        assert_eq!(cache.entries(), 1);
+    }
+
+    #[test]
+    fn clear_keeps_counters() {
+        let cache = TowerCache::new(CacheAxis::Item, 2);
+        cache.get_or_compute(1, 2, || t(1.0));
+        cache.clear();
+        assert_eq!(cache.entries(), 0);
+        assert_eq!(cache.misses(), 1);
+    }
+}

@@ -1,0 +1,312 @@
+//! The request engine: a worker pool over the micro-batch queue.
+//!
+//! Request flow: `submit` wraps the request in a [`Job`] with a private
+//! reply channel and pushes it onto the queue; a worker drains a batch,
+//! answers each job, and sends the responses back. Prediction work runs
+//! through the tower caches, so a warm pair costs two map lookups and two
+//! small head evaluations — the BiLSTM ran once at artifact load and the
+//! towers run once per (pair, invalidation epoch).
+//!
+//! Results are bit-identical to direct `rrre_core` calls: the engine uses
+//! the same `infer_user_tower` / `infer_item_tower` / `infer_heads`
+//! decomposition that `Rrre::predict` uses internally, and the same
+//! [`rrre_core::rank_candidates`] ordering for recommend/explain.
+
+use crate::artifact::ModelArtifact;
+use crate::batch::{BatchConfig, BatchQueue, Job};
+use crate::cache::{CacheAxis, TowerCache};
+use crate::protocol::{Op, Request, Response};
+use crate::stats::{EngineStats, StatsSnapshot};
+use rrre_core::{rank_candidates, Prediction, EXPLANATION_RELIABILITY_THRESHOLD};
+use rrre_data::{ItemId, UserId};
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{self, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Engine sizing knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Worker threads serving the queue.
+    pub workers: usize,
+    /// Maximum jobs per micro-batch.
+    pub max_batch: usize,
+    /// Batch collection window after the first job arrives.
+    pub max_wait: Duration,
+    /// Lock stripes per tower cache.
+    pub cache_shards: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            workers: std::thread::available_parallelism().map_or(2, |n| n.get().min(4)),
+            max_batch: 32,
+            max_wait: Duration::from_millis(2),
+            cache_shards: 16,
+        }
+    }
+}
+
+/// State shared between the engine handle and its workers.
+struct Shared {
+    artifact: ModelArtifact,
+    user_cache: TowerCache,
+    item_cache: TowerCache,
+    stats: EngineStats,
+}
+
+/// A running inference engine. Cheap to share (`&Engine` is `Sync`);
+/// dropped or explicitly [`Engine::shutdown`], it drains and joins its
+/// workers.
+pub struct Engine {
+    shared: Arc<Shared>,
+    tx: Mutex<Option<Sender<Job>>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Engine {
+    /// Spawns the worker pool over a loaded artifact.
+    ///
+    /// # Panics
+    /// Panics if the artifact's model has no frozen cache (loads via
+    /// [`ModelArtifact::load`] always do) or `cfg.workers == 0`.
+    pub fn new(artifact: ModelArtifact, cfg: EngineConfig) -> Self {
+        assert!(cfg.workers >= 1, "Engine: need at least one worker");
+        assert!(
+            artifact.model.has_frozen_cache(),
+            "Engine: artifact model is not frozen for inference"
+        );
+        let shared = Arc::new(Shared {
+            artifact,
+            user_cache: TowerCache::new(CacheAxis::User, cfg.cache_shards),
+            item_cache: TowerCache::new(CacheAxis::Item, cfg.cache_shards),
+            stats: EngineStats::default(),
+        });
+        let (tx, queue) = BatchQueue::new(BatchConfig {
+            max_batch: cfg.max_batch,
+            max_wait: cfg.max_wait,
+        });
+        let queue = Arc::new(queue);
+        let workers = (0..cfg.workers)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                let queue = Arc::clone(&queue);
+                std::thread::Builder::new()
+                    .name(format!("rrre-serve-worker-{w}"))
+                    .spawn(move || worker_loop(&shared, &queue))
+                    .expect("failed to spawn engine worker")
+            })
+            .collect();
+        Self { shared, tx: Mutex::new(Some(tx)), workers: Mutex::new(workers) }
+    }
+
+    /// Submits one request and blocks for its response.
+    pub fn submit(&self, request: Request) -> Response {
+        let id = request.id;
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let sent = {
+            let guard = self.tx.lock().expect("Engine sender poisoned");
+            match guard.as_ref() {
+                Some(tx) => tx.send(Job::new(request, reply_tx)).is_ok(),
+                None => false,
+            }
+        };
+        if !sent {
+            return Response::error(id, "engine is shut down");
+        }
+        reply_rx
+            .recv()
+            .unwrap_or_else(|_| Response::error(id, "engine dropped the request"))
+    }
+
+    /// Parses one protocol line and submits it; parse failures become
+    /// error responses rather than dropped connections.
+    pub fn submit_line(&self, line: &str) -> Response {
+        match crate::protocol::decode_request(line) {
+            Ok(req) => self.submit(req),
+            Err(e) => Response::error(None, e),
+        }
+    }
+
+    /// Point-in-time engine counters (also served by `Op::Stats`).
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.stats.snapshot(&self.shared.user_cache, &self.shared.item_cache)
+    }
+
+    /// The artifact this engine serves.
+    pub fn artifact(&self) -> &ModelArtifact {
+        &self.shared.artifact
+    }
+
+    /// Graceful shutdown: stop accepting, let queued jobs finish, join the
+    /// workers. Idempotent; `Drop` calls it too.
+    pub fn shutdown(&self) {
+        drop(self.tx.lock().expect("Engine sender poisoned").take());
+        let workers = std::mem::take(&mut *self.workers.lock().expect("Engine workers poisoned"));
+        for handle in workers {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(shared: &Shared, queue: &BatchQueue) {
+    while let Some(batch) = queue.next_batch() {
+        shared.stats.record_batch(batch.len());
+        for job in batch {
+            let response = process(shared, &job);
+            shared.stats.latency.record(job.enqueued.elapsed());
+            if !response.ok {
+                shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+            }
+            let _ = job.reply.send(response);
+        }
+    }
+}
+
+/// The cached frozen prediction: tower representations through the caches,
+/// heads recomputed (they depend on nothing cacheable but the pair).
+fn predict_pair(shared: &Shared, user: u32, item: u32) -> Prediction {
+    let model = &shared.artifact.model;
+    let (u, i) = (UserId(user), ItemId(item));
+    let x_u = shared.user_cache.get_or_compute(user, item, || {
+        shared.stats.tower_evals.fetch_add(1, Ordering::Relaxed);
+        model.infer_user_tower(u, i)
+    });
+    let y_i = shared.item_cache.get_or_compute(user, item, || {
+        shared.stats.tower_evals.fetch_add(1, Ordering::Relaxed);
+        model.infer_item_tower(u, i)
+    });
+    model.infer_heads(u, i, &x_u, &y_i)
+}
+
+fn require(field: Option<u32>, name: &str, bound: usize) -> Result<u32, String> {
+    let v = field.ok_or_else(|| format!("missing required field `{name}`"))?;
+    if (v as usize) < bound {
+        Ok(v)
+    } else {
+        Err(format!("{name} {v} out of range (dataset has {bound})"))
+    }
+}
+
+fn process(shared: &Shared, job: &Job) -> Response {
+    shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+    let req = &job.request;
+
+    if let Some(deadline_ms) = req.deadline_ms {
+        if job.enqueued.elapsed() > Duration::from_millis(deadline_ms) {
+            shared.stats.deadline_misses.fetch_add(1, Ordering::Relaxed);
+            return Response::error(req.id, "deadline exceeded while queued");
+        }
+    }
+
+    let ds = &shared.artifact.dataset;
+    match req.op {
+        Op::Predict => {
+            let (user, item) = match (
+                require(req.user, "user", ds.n_users),
+                require(req.item, "item", ds.n_items),
+            ) {
+                (Ok(u), Ok(i)) => (u, i),
+                (Err(e), _) | (_, Err(e)) => return Response::error(req.id, e),
+            };
+            let mut resp = Response::ok(req.id);
+            resp.prediction = Some(predict_pair(shared, user, item).into());
+            resp
+        }
+        Op::Recommend => {
+            let user = match require(req.user, "user", ds.n_users) {
+                Ok(u) => u,
+                Err(e) => return Response::error(req.id, e),
+            };
+            let k = match req.k {
+                Some(k) if k > 0 => k,
+                _ => return Response::error(req.id, "missing or zero field `k`"),
+            };
+            let mut scored: Vec<(ItemId, Prediction)> = (0..ds.n_items)
+                .map(|i| (ItemId(i as u32), predict_pair(shared, user, i as u32)))
+                .collect();
+            rank_candidates(&mut scored, k);
+            let mut resp = Response::ok(req.id);
+            resp.recommendations = Some(
+                scored
+                    .into_iter()
+                    .map(|(item, p)| crate::protocol::RecommendationDto {
+                        item: item.0,
+                        item_name: ds.item_name(item),
+                        rating: p.rating,
+                        reliability: p.reliability,
+                    })
+                    .collect(),
+            );
+            resp
+        }
+        Op::Explain => {
+            let item = match require(req.item, "item", ds.n_items) {
+                Ok(i) => i,
+                Err(e) => return Response::error(req.id, e),
+            };
+            let k = match req.k {
+                Some(k) if k > 0 => k,
+                _ => return Response::error(req.id, "missing or zero field `k`"),
+            };
+            let mut scored: Vec<(usize, Prediction)> = shared
+                .artifact
+                .index
+                .item_reviews(ItemId(item))
+                .iter()
+                .map(|&ri| {
+                    let r = &ds.reviews[ri];
+                    (ri, predict_pair(shared, r.user.0, r.item.0))
+                })
+                .collect();
+            rank_candidates(&mut scored, k);
+            let mut resp = Response::ok(req.id);
+            resp.explanations = Some(
+                scored
+                    .into_iter()
+                    .map(|(ri, p)| {
+                        let r = &ds.reviews[ri];
+                        crate::protocol::ExplanationDto {
+                            review_idx: ri,
+                            user: r.user.0,
+                            user_name: ds.user_name(r.user),
+                            text: r.text.clone(),
+                            rating: p.rating,
+                            reliability: p.reliability,
+                            filtered: p.reliability < EXPLANATION_RELIABILITY_THRESHOLD,
+                        }
+                    })
+                    .collect(),
+            );
+            resp
+        }
+        Op::Stats => {
+            let mut resp = Response::ok(req.id);
+            resp.stats = Some(shared.stats.snapshot(&shared.user_cache, &shared.item_cache));
+            resp
+        }
+        Op::Invalidate => {
+            if req.user.is_none() && req.item.is_none() {
+                return Response::error(req.id, "Invalidate needs `user` and/or `item`");
+            }
+            let mut evicted = 0usize;
+            if let Some(u) = req.user {
+                evicted += shared.user_cache.invalidate(u);
+            }
+            if let Some(i) = req.item {
+                evicted += shared.item_cache.invalidate(i);
+            }
+            let mut resp = Response::ok(req.id);
+            resp.evicted = Some(evicted as u64);
+            resp
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! # rrre-serve
+//!
+//! Inference serving for the RRRE model — the deployment story the paper's
+//! §III-B recommendation procedure implies but never spells out. Four layers,
+//! bottom to top:
+//!
+//! * [`artifact`] — [`ModelArtifact`]: a self-describing on-disk bundle
+//!   (manifest + dataset + word vectors + `RRRP` weights) that restores a
+//!   trained model with [`rrre_core::Rrre::from_checkpoint`], validating
+//!   every shape on the way in.
+//! * [`cache`] — [`TowerCache`]: sharded, lock-striped caches of the
+//!   pair-dependent UserNet/ItemNet representations, with explicit
+//!   invalidation when an entity gains a review. A warm prediction is two
+//!   cache lookups plus the two cheap heads; the BiLSTM never runs on the
+//!   hot path.
+//! * [`engine`] — [`Engine`]: a worker pool fed by a micro-batching queue
+//!   ([`batch::BatchQueue`]) that serves predict / recommend / explain with
+//!   per-request deadlines, engine-wide counters ([`stats`]) and graceful
+//!   shutdown.
+//! * [`protocol`] + [`server`] — newline-delimited JSON over TCP (and a
+//!   single-shot CLI in `src/bin/serve.rs`): one request per line, one
+//!   response per line, stable across process restarts because ranking ties
+//!   break deterministically ([`rrre_core::rank_candidates`]).
+//!
+//! The engine reproduces `rrre_core` predictions *bit for bit*: it calls the
+//! same decomposed inference path (`infer_user_tower` / `infer_item_tower` /
+//! `infer_heads`) that `Rrre::predict` itself uses in frozen mode.
+
+#![warn(missing_docs)]
+
+pub mod artifact;
+pub mod batch;
+pub mod cache;
+pub mod engine;
+pub mod protocol;
+pub mod server;
+pub mod stats;
+
+pub use artifact::{ArtifactManifest, ModelArtifact};
+pub use cache::{CacheAxis, TowerCache};
+pub use engine::{Engine, EngineConfig};
+pub use protocol::{Op, Request, Response};
+pub use server::Server;
+pub use stats::{EngineStats, StatsSnapshot};

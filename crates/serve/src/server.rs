@@ -1,0 +1,99 @@
+//! The TCP front end: newline-delimited JSON over `std::net`.
+//!
+//! One accept thread hands each connection to its own thread; a connection
+//! reads request lines, routes them through [`Engine::submit_line`], and
+//! writes one response line per request. Responses on one connection come
+//! back in request order (the per-request reply channel blocks the
+//! connection thread), so clients may pipeline without correlation ids —
+//! ids are still echoed for clients that want them.
+//!
+//! Shutdown: [`Server::stop`] flips a flag and pokes the listener with a
+//! self-connection so the accept loop observes it, then joins the accept
+//! thread. In-flight connections notice on their next read/write error.
+
+use crate::engine::Engine;
+use crate::protocol::encode_response;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A running TCP front end over an [`Engine`].
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts serving.
+    pub fn start(engine: Arc<Engine>, addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept = {
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("rrre-serve-accept".into())
+                .spawn(move || accept_loop(&listener, &engine, &stop))?
+        };
+        Ok(Self { addr, stop, accept: Some(accept) })
+    }
+
+    /// The bound address (useful with ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting connections and joins the accept thread.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking accept() so it sees the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if let Some(handle) = self.accept.take() {
+            self.stop.store(true, Ordering::SeqCst);
+            let _ = TcpStream::connect(self.addr);
+            let _ = handle.join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, engine: &Arc<Engine>, stop: &Arc<AtomicBool>) {
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let engine = Arc::clone(engine);
+        let _ = std::thread::Builder::new()
+            .name("rrre-serve-conn".into())
+            .spawn(move || {
+                let _ = handle_connection(stream, &engine);
+            });
+    }
+}
+
+fn handle_connection(stream: TcpStream, engine: &Engine) -> std::io::Result<()> {
+    let mut writer = stream.try_clone()?;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = engine.submit_line(&line);
+        writer.write_all(encode_response(&response).as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+    }
+    Ok(())
+}

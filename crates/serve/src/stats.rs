@@ -1,0 +1,190 @@
+//! Engine-wide counters and a log-bucketed latency histogram.
+//!
+//! Everything is lock-free (`AtomicU64` with relaxed ordering): the stats
+//! path must never contend with the serving path. Counters are monotonic
+//! over the engine's lifetime; a snapshot is a consistent-enough point-in-
+//! time read for operational monitoring, not a transaction.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+const BUCKETS: usize = 64;
+
+/// Power-of-two latency histogram: bucket `b` covers `[2^b, 2^(b+1))`
+/// microseconds (bucket 0 is `< 2 µs`). 64 buckets cover any `u64` of
+/// microseconds, so recording never saturates.
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self { buckets: std::array::from_fn(|_| AtomicU64::new(0)) }
+    }
+}
+
+impl LatencyHistogram {
+    fn bucket_of(micros: u64) -> usize {
+        (u64::BITS - micros.max(1).leading_zeros() - 1) as usize
+    }
+
+    /// Records one observation.
+    pub fn record(&self, latency: Duration) {
+        let b = Self::bucket_of(latency.as_micros() as u64);
+        self.buckets[b].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// The upper bound (in µs) of the bucket containing the `q`-quantile
+    /// observation, or 0 with no observations. Resolution is a factor of
+    /// two — honest enough for p50/p99 dashboards, free on the hot path.
+    pub fn quantile_micros(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (b, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                return 1u64 << (b + 1);
+            }
+        }
+        u64::MAX
+    }
+}
+
+/// Monotonic counters for one [`crate::Engine`].
+#[derive(Default)]
+pub struct EngineStats {
+    /// Requests that entered `process` (including ones that errored).
+    pub requests: AtomicU64,
+    /// Requests answered with `ok = false`.
+    pub errors: AtomicU64,
+    /// Batches drained from the micro-batch queue.
+    pub batches: AtomicU64,
+    /// Jobs across all drained batches (mean batch = `batched_jobs/batches`).
+    pub batched_jobs: AtomicU64,
+    /// Largest batch drained so far.
+    pub max_batch: AtomicU64,
+    /// Tower (UserNet/ItemNet) forward passes actually executed — cache
+    /// misses. A warm cache keeps this flat while `requests` grows.
+    pub tower_evals: AtomicU64,
+    /// Requests dropped because their deadline passed while queued.
+    pub deadline_misses: AtomicU64,
+    /// Enqueue-to-reply latency of every request.
+    pub latency: LatencyHistogram,
+}
+
+impl EngineStats {
+    /// Records a drained batch of `n` jobs.
+    pub fn record_batch(&self, n: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_jobs.fetch_add(n as u64, Ordering::Relaxed);
+        self.max_batch.fetch_max(n as u64, Ordering::Relaxed);
+    }
+
+    /// Point-in-time snapshot including the cache counters, which live on
+    /// the caches themselves.
+    pub fn snapshot(
+        &self,
+        user_cache: &crate::TowerCache,
+        item_cache: &crate::TowerCache,
+    ) -> StatsSnapshot {
+        let requests = self.requests.load(Ordering::Relaxed);
+        let batches = self.batches.load(Ordering::Relaxed);
+        let batched_jobs = self.batched_jobs.load(Ordering::Relaxed);
+        let (uh, um) = (user_cache.hits(), user_cache.misses());
+        let (ih, im) = (item_cache.hits(), item_cache.misses());
+        let lookups = uh + um + ih + im;
+        StatsSnapshot {
+            requests,
+            errors: self.errors.load(Ordering::Relaxed),
+            batches,
+            mean_batch: if batches == 0 { 0.0 } else { batched_jobs as f64 / batches as f64 },
+            max_batch: self.max_batch.load(Ordering::Relaxed),
+            user_cache_hits: uh,
+            user_cache_misses: um,
+            item_cache_hits: ih,
+            item_cache_misses: im,
+            cache_hit_rate: if lookups == 0 { 0.0 } else { (uh + ih) as f64 / lookups as f64 },
+            tower_evals: self.tower_evals.load(Ordering::Relaxed),
+            deadline_misses: self.deadline_misses.load(Ordering::Relaxed),
+            p50_latency_us: self.latency.quantile_micros(0.50),
+            p99_latency_us: self.latency.quantile_micros(0.99),
+        }
+    }
+}
+
+/// Wire-serialisable snapshot of [`EngineStats`], returned by the `Stats`
+/// request.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StatsSnapshot {
+    /// Requests processed so far.
+    pub requests: u64,
+    /// Requests answered with an error.
+    pub errors: u64,
+    /// Micro-batches drained.
+    pub batches: u64,
+    /// Mean jobs per drained batch.
+    pub mean_batch: f64,
+    /// Largest batch drained.
+    pub max_batch: u64,
+    /// UserNet cache hits.
+    pub user_cache_hits: u64,
+    /// UserNet cache misses.
+    pub user_cache_misses: u64,
+    /// ItemNet cache hits.
+    pub item_cache_hits: u64,
+    /// ItemNet cache misses.
+    pub item_cache_misses: u64,
+    /// Hits over all lookups, both caches combined.
+    pub cache_hit_rate: f64,
+    /// Tower forward passes executed (== total cache misses).
+    pub tower_evals: u64,
+    /// Requests that missed their deadline while queued.
+    pub deadline_misses: u64,
+    /// Median enqueue-to-reply latency (µs, power-of-two resolution).
+    pub p50_latency_us: u64,
+    /// 99th-percentile enqueue-to-reply latency (µs).
+    pub p99_latency_us: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        let h = LatencyHistogram::default();
+        h.record(Duration::from_micros(1));
+        h.record(Duration::from_micros(1000));
+        h.record(Duration::from_micros(1001));
+        assert_eq!(h.count(), 3);
+        // Two of three observations sit in the ~1ms bucket, so p99 lands
+        // there: upper bound 2^10 = 1024 µs.
+        assert_eq!(h.quantile_micros(0.99), 1024);
+        assert!(h.quantile_micros(0.01) <= 2);
+    }
+
+    #[test]
+    fn empty_histogram_quantile_is_zero() {
+        assert_eq!(LatencyHistogram::default().quantile_micros(0.5), 0);
+    }
+
+    #[test]
+    fn batch_accounting() {
+        let s = EngineStats::default();
+        s.record_batch(3);
+        s.record_batch(5);
+        assert_eq!(s.batches.load(Ordering::Relaxed), 2);
+        assert_eq!(s.batched_jobs.load(Ordering::Relaxed), 8);
+        assert_eq!(s.max_batch.load(Ordering::Relaxed), 5);
+    }
+}

@@ -1,0 +1,125 @@
+//! Artifact save → load must reproduce the trained model bit-for-bit, and
+//! every kind of on-disk damage must be rejected at load time.
+
+mod common;
+
+use common::{artifact_dir, trained_fixture, MIN_COUNT};
+use rrre_data::{ItemId, UserId};
+use rrre_serve::artifact::{DATASET_FILE, MANIFEST_FILE, MODEL_FILE, VECTORS_FILE};
+use rrre_serve::ModelArtifact;
+
+#[test]
+fn roundtrip_is_bit_identical_and_manifest_is_faithful() {
+    let fx = trained_fixture();
+    let dir = artifact_dir("roundtrip");
+    ModelArtifact::save(&dir, &fx.dataset, &fx.corpus, &fx.model, MIN_COUNT).unwrap();
+
+    let art = ModelArtifact::load(&dir).unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+
+    assert_eq!(art.manifest.dataset_name, fx.dataset.name);
+    assert_eq!(art.manifest.n_users, fx.dataset.n_users);
+    assert_eq!(art.manifest.n_items, fx.dataset.n_items);
+    assert_eq!(art.manifest.n_reviews, fx.dataset.len());
+    assert_eq!(art.manifest.vocab_len, fx.corpus.word_vectors.len());
+    assert_eq!(art.manifest.embed_dim, fx.corpus.embed_dim());
+    assert!(art.model.has_frozen_cache());
+
+    // The rebuilt corpus is the one the model was trained on.
+    assert_eq!(art.corpus.docs.len(), fx.corpus.docs.len());
+    assert_eq!(art.corpus.word_vectors.as_flat(), fx.corpus.word_vectors.as_flat());
+
+    for u in 0..fx.dataset.n_users {
+        for i in 0..fx.dataset.n_items {
+            let (user, item) = (UserId(u as u32), ItemId(i as u32));
+            assert_eq!(
+                art.model.predict(&art.corpus, user, item),
+                fx.model.predict(&fx.corpus, user, item),
+                "prediction diverged for pair ({u}, {i})"
+            );
+        }
+    }
+}
+
+#[test]
+fn missing_directory_fails() {
+    assert!(ModelArtifact::load(artifact_dir("never-written")).is_err());
+}
+
+#[test]
+fn wrong_manifest_version_fails() {
+    let fx = trained_fixture();
+    let dir = artifact_dir("bad-version");
+    ModelArtifact::save(&dir, &fx.dataset, &fx.corpus, &fx.model, MIN_COUNT).unwrap();
+
+    let manifest_path = dir.join(MANIFEST_FILE);
+    let json = std::fs::read_to_string(&manifest_path).unwrap();
+    std::fs::write(&manifest_path, json.replacen("\"version\": 1", "\"version\": 999", 1)).unwrap();
+
+    let err = ModelArtifact::load(&dir).err().expect("version 999 must be rejected");
+    std::fs::remove_dir_all(&dir).ok();
+    assert!(err.to_string().contains("version"), "unexpected error: {err}");
+}
+
+#[test]
+fn manifest_dataset_disagreement_fails() {
+    let fx = trained_fixture();
+    let dir = artifact_dir("bad-counts");
+    ModelArtifact::save(&dir, &fx.dataset, &fx.corpus, &fx.model, MIN_COUNT).unwrap();
+
+    let manifest_path = dir.join(MANIFEST_FILE);
+    let json = std::fs::read_to_string(&manifest_path).unwrap();
+    let needle = format!("\"n_users\": {}", fx.dataset.n_users);
+    assert!(json.contains(&needle), "manifest format changed: {json}");
+    std::fs::write(&manifest_path, json.replacen(&needle, "\"n_users\": 12345", 1)).unwrap();
+
+    let err = ModelArtifact::load(&dir).err().expect("count mismatch must be rejected");
+    std::fs::remove_dir_all(&dir).ok();
+    assert!(err.to_string().contains("disagrees"), "unexpected error: {err}");
+}
+
+#[test]
+fn truncated_weights_fail() {
+    let fx = trained_fixture();
+    let dir = artifact_dir("truncated-weights");
+    ModelArtifact::save(&dir, &fx.dataset, &fx.corpus, &fx.model, MIN_COUNT).unwrap();
+
+    let model_path = dir.join(MODEL_FILE);
+    let bytes = std::fs::read(&model_path).unwrap();
+    std::fs::write(&model_path, &bytes[..bytes.len() / 3]).unwrap();
+
+    assert!(ModelArtifact::load(&dir).is_err());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupted_vectors_fail() {
+    let fx = trained_fixture();
+    let dir = artifact_dir("bad-vectors");
+    ModelArtifact::save(&dir, &fx.dataset, &fx.corpus, &fx.model, MIN_COUNT).unwrap();
+
+    // Garbage that is not an RRRP file at all.
+    std::fs::write(dir.join(VECTORS_FILE), b"not a checkpoint").unwrap();
+
+    assert!(ModelArtifact::load(&dir).is_err());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn tampered_dataset_fails_validation() {
+    let fx = trained_fixture();
+    let dir = artifact_dir("tampered-dataset");
+    ModelArtifact::save(&dir, &fx.dataset, &fx.corpus, &fx.model, MIN_COUNT).unwrap();
+
+    // Swap in a dataset with different review text: the rebuilt vocabulary
+    // no longer matches the stored vector table.
+    let mut other = fx.dataset.clone();
+    for r in &mut other.reviews {
+        r.text = "entirely different words everywhere".into();
+    }
+    rrre_data::io::save_json(&other, dir.join(DATASET_FILE)).unwrap();
+
+    let err = ModelArtifact::load(&dir).err().expect("vocab mismatch must be rejected");
+    std::fs::remove_dir_all(&dir).ok();
+    assert!(err.to_string().contains("vocabulary"), "unexpected error: {err}");
+}

@@ -1,0 +1,40 @@
+//! Shared fixture: a small trained model + artifact directory.
+
+use rrre_core::{Rrre, RrreConfig};
+use rrre_data::synth::{generate, SynthConfig};
+use rrre_data::{CorpusConfig, Dataset, EncodedCorpus};
+use rrre_text::word2vec::Word2VecConfig;
+use std::path::PathBuf;
+
+pub const MIN_COUNT: u64 = 2;
+
+pub struct Fixture {
+    pub dataset: Dataset,
+    pub corpus: EncodedCorpus,
+    pub model: Rrre,
+}
+
+pub fn trained_fixture() -> Fixture {
+    let dataset = generate(&SynthConfig::yelp_chi().scaled(0.04));
+    let corpus = EncodedCorpus::build(
+        &dataset,
+        &CorpusConfig {
+            max_len: 12,
+            min_count: MIN_COUNT,
+            word2vec: Word2VecConfig { dim: 8, epochs: 1, ..Default::default() },
+            ..Default::default()
+        },
+    );
+    let train: Vec<usize> = (0..dataset.len()).collect();
+    let model = Rrre::fit(&dataset, &corpus, &train, RrreConfig { epochs: 2, ..RrreConfig::tiny() });
+    Fixture { dataset, corpus, model }
+}
+
+/// A per-test artifact directory under the system temp dir.
+pub fn artifact_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("rrre-serve-tests")
+        .join(format!("{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}

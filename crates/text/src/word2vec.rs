@@ -41,6 +41,22 @@ pub struct WordVectors {
 }
 
 impl WordVectors {
+    /// Reconstructs a table from a flat row-major buffer, e.g. one restored
+    /// from a serving checkpoint.
+    ///
+    /// # Panics
+    /// Panics if `flat` is not a whole number of `dim`-rows.
+    pub fn from_flat(dim: usize, flat: Vec<f32>) -> Self {
+        assert!(dim > 0, "WordVectors::from_flat: dim must be positive");
+        assert!(
+            flat.len() % dim == 0,
+            "WordVectors::from_flat: {} floats is not a whole number of {}-dim rows",
+            flat.len(),
+            dim
+        );
+        Self { dim, data: flat }
+    }
+
     /// Embedding dimension.
     pub fn dim(&self) -> usize {
         self.dim

@@ -1,0 +1,361 @@
+//! Offline stand-in for the subset of `serde` used by this workspace.
+//!
+//! The build environment has no network access, so upstream serde cannot be
+//! downloaded. This crate keeps upstream's *spelling* — `Serialize` /
+//! `Deserialize` traits, a `derive` feature re-exporting derive macros of
+//! the same names — but swaps the internals for a much simpler data model:
+//! every value serializes into a [`Content`] tree (the shape of a JSON
+//! document), and deserializes back out of one. `serde_json` in
+//! `third_party/` is the only consumer of that tree.
+//!
+//! Supported shapes (all this workspace needs):
+//! - named structs ⇄ maps
+//! - newtype structs ⇄ their inner value
+//! - tuple structs ⇄ sequences
+//! - unit-variant enums ⇄ variant-name strings
+//! - primitives, `String`, `Option<T>`, `Vec<T>`
+//!
+//! Known departure from upstream: all numbers travel as `f64`, so integers
+//! above 2^53 lose precision. Nothing in the workspace serializes values
+//! that large (ids, counts, timestamps in days, and hyper-parameters only).
+
+use std::fmt;
+
+/// A parsed/parseable value tree, mirroring the JSON data model.
+///
+/// Maps preserve insertion order (a `Vec` of pairs, not a hash map) so that
+/// serialization round-trips are deterministic and diffs are stable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Any JSON number (see module docs for the f64 caveat).
+    Num(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Seq(Vec<Content>),
+    /// JSON object, in insertion order.
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// The value under `key` if this is a map containing it.
+    pub fn get(&self, key: &str) -> Option<&Content> {
+        match self {
+            Content::Map(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Content::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a `Num`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Content::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as a `u64`, if this is an integral `Num` in range.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Content::Num(n) if n.fract() == 0.0 && *n >= 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is a `Seq`.
+    pub fn as_seq(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The key/value pairs, if this is a `Map`.
+    pub fn as_map(&self) -> Option<&[(String, Content)]> {
+        match self {
+            Content::Map(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    /// Short human label for error messages ("map", "string", …).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::Num(_) => "number",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        }
+    }
+}
+
+/// Deserialization failure: what was expected, what was found.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// Build an error from anything displayable.
+    pub fn msg(m: impl fmt::Display) -> Self {
+        DeError(m.to_string())
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deserialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can render themselves into a [`Content`] tree.
+pub trait Serialize {
+    /// The value as a content tree.
+    fn to_content(&self) -> Content;
+}
+
+/// Types that can rebuild themselves from a [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Parse the value out of a content tree.
+    fn from_content(content: &Content) -> Result<Self, DeError>;
+}
+
+/// Look up a required struct field in a map, with a helpful error.
+///
+/// Used by derive-generated code; not part of upstream serde's API.
+pub fn content_field<'c>(content: &'c Content, name: &str) -> Result<&'c Content, DeError> {
+    match content {
+        Content::Map(_) => content
+            .get(name)
+            .ok_or_else(|| DeError(format!("missing field `{name}`"))),
+        other => Err(DeError(format!(
+            "expected map with field `{name}`, found {}",
+            other.kind()
+        ))),
+    }
+}
+
+/// Look up a struct field in a map, yielding `Null` when the key is absent
+/// so that `Option` fields may be omitted on the wire. Non-map content is
+/// an immediate error.
+///
+/// Used by derive-generated code; not part of upstream serde's API.
+pub fn content_field_or_null<'c>(content: &'c Content, name: &str) -> Result<&'c Content, DeError> {
+    static NULL: Content = Content::Null;
+    match content {
+        Content::Map(_) => Ok(content.get(name).unwrap_or(&NULL)),
+        other => Err(DeError(format!(
+            "expected map with field `{name}`, found {}",
+            other.kind()
+        ))),
+    }
+}
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::Num(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                let n = content
+                    .as_f64()
+                    .ok_or_else(|| DeError(format!(
+                        "expected number, found {}", content.kind()
+                    )))?;
+                if n.fract() != 0.0 {
+                    return Err(DeError(format!("expected integer, found {n}")));
+                }
+                if n < <$t>::MIN as f64 || n > <$t>::MAX as f64 {
+                    return Err(DeError(format!(
+                        "number {n} out of range for {}", stringify!($t)
+                    )));
+                }
+                Ok(n as $t)
+            }
+        }
+    )*};
+}
+impl_serde_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_serde_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::Num(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                content
+                    .as_f64()
+                    .map(|n| n as $t)
+                    .ok_or_else(|| DeError(format!(
+                        "expected number, found {}", content.kind()
+                    )))
+            }
+        }
+    )*};
+}
+impl_serde_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        content
+            .as_bool()
+            .ok_or_else(|| DeError(format!("expected bool, found {}", content.kind())))
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        content
+            .as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| DeError(format!("expected string, found {}", content.kind())))
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        content
+            .as_seq()
+            .ok_or_else(|| DeError(format!("expected sequence, found {}", content.kind())))?
+            .iter()
+            .map(T::from_content)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        T::from_content(content).map(Box::new)
+    }
+}
+
+// A `Content` is trivially its own wire form; this is what lets callers use
+// `serde_json::Value` (an alias for `Content`) with `from_str`/`to_string`.
+impl Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl Deserialize for Content {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        Ok(content.clone())
+    }
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u32::from_content(&42u32.to_content()), Ok(42));
+        assert_eq!(i64::from_content(&(-7i64).to_content()), Ok(-7));
+        assert_eq!(bool::from_content(&true.to_content()), Ok(true));
+        assert_eq!(
+            String::from_content(&"hi".to_string().to_content()),
+            Ok("hi".to_string())
+        );
+        let v = vec![1.5f32, -2.25];
+        assert_eq!(Vec::<f32>::from_content(&v.to_content()), Ok(v));
+        assert_eq!(Option::<u8>::from_content(&Content::Null), Ok(None));
+        assert_eq!(Option::<u8>::from_content(&3u8.to_content()), Ok(Some(3)));
+    }
+
+    #[test]
+    fn type_mismatches_fail_loudly() {
+        assert!(u32::from_content(&Content::Str("x".into())).is_err());
+        assert!(u8::from_content(&Content::Num(300.0)).is_err());
+        assert!(u32::from_content(&Content::Num(1.5)).is_err());
+        assert!(bool::from_content(&Content::Num(1.0)).is_err());
+        assert!(content_field(&Content::Map(vec![]), "absent").is_err());
+        assert!(content_field(&Content::Null, "absent").is_err());
+    }
+}

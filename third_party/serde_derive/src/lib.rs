@@ -1,0 +1,305 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! workspace's offline serde stand-in.
+//!
+//! Upstream serde_derive needs `syn`/`quote`, which cannot be downloaded in
+//! this environment, so this crate parses the item token stream directly
+//! with nothing but the built-in `proc_macro` API. It supports exactly the
+//! shapes the workspace derives on:
+//!
+//! - named-field structs      → JSON-style maps
+//! - one-field tuple structs  → transparent newtypes (inner value)
+//! - n-field tuple structs    → sequences
+//! - unit-variant enums       → variant-name strings
+//!
+//! Generics, lifetimes, payload-carrying enum variants, and serde attributes
+//! are intentionally unsupported and fail the build with a clear message.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    Named(Vec<String>),
+    Tuple(usize),
+    UnitEnum(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+/// Derive `serde::Serialize` (workspace stand-in).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("serde_derive: generated invalid Serialize impl")
+}
+
+/// Derive `serde::Deserialize` (workspace stand-in).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("serde_derive: generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut toks = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut toks);
+
+    let keyword = match toks.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde_derive: expected type name, found {other:?}"),
+    };
+
+    match toks.next() {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            panic!("serde_derive: generic type `{name}` is not supported by the offline stand-in")
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let shape = match keyword.as_str() {
+                "struct" => Shape::Named(parse_named_fields(g.stream())),
+                "enum" => Shape::UnitEnum(parse_unit_variants(g.stream(), &name)),
+                other => panic!("serde_derive: unsupported item kind `{other}`"),
+            };
+            Item { name, shape }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            assert_eq!(keyword, "struct", "serde_derive: parenthesised {keyword}?");
+            Item {
+                name,
+                shape: Shape::Tuple(count_tuple_fields(g.stream())),
+            }
+        }
+        other => panic!("serde_derive: unsupported item body for `{name}`: {other:?}"),
+    }
+}
+
+/// Skip any number of outer attributes (`#[...]`, including doc comments) and
+/// an optional visibility (`pub`, `pub(crate)`, …).
+fn skip_attrs_and_vis(toks: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                match toks.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+                    other => panic!("serde_derive: malformed attribute: {other:?}"),
+                }
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                toks.next();
+                if let Some(TokenTree::Group(g)) = toks.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        toks.next();
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut toks = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut toks);
+        match toks.next() {
+            None => break,
+            Some(TokenTree::Ident(field)) => {
+                fields.push(field.to_string());
+                match toks.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+                    other => panic!("serde_derive: expected `:` after field, found {other:?}"),
+                }
+                // Skip the type: everything up to the next comma that sits at
+                // angle-bracket depth 0.
+                let mut depth = 0i32;
+                loop {
+                    match toks.peek() {
+                        None => break,
+                        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                            depth += 1;
+                            toks.next();
+                        }
+                        Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                            depth -= 1;
+                            toks.next();
+                        }
+                        Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 0 => {
+                            toks.next();
+                            break;
+                        }
+                        Some(_) => {
+                            toks.next();
+                        }
+                    }
+                }
+            }
+            other => panic!("serde_derive: expected field name, found {other:?}"),
+        }
+    }
+    fields
+}
+
+fn parse_unit_variants(stream: TokenStream, enum_name: &str) -> Vec<String> {
+    let mut toks = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut toks);
+        match toks.next() {
+            None => break,
+            Some(TokenTree::Ident(v)) => {
+                variants.push(v.to_string());
+                match toks.next() {
+                    None => break,
+                    Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+                    other => panic!(
+                        "serde_derive: enum `{enum_name}` has a non-unit variant \
+                         `{last}` ({other:?}); only unit variants are supported",
+                        last = variants.last().unwrap()
+                    ),
+                }
+            }
+            other => panic!("serde_derive: expected variant name in `{enum_name}`, found {other:?}"),
+        }
+    }
+    assert!(
+        !variants.is_empty(),
+        "serde_derive: cannot derive for empty enum `{enum_name}`"
+    );
+    variants
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut fields = 0usize;
+    let mut saw_tokens = false;
+    for tok in stream {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                fields += 1;
+                saw_tokens = false;
+            }
+            _ => saw_tokens = true,
+        }
+    }
+    if saw_tokens {
+        fields += 1; // no trailing comma after the last field
+    }
+    assert!(fields > 0, "serde_derive: tuple struct with no fields");
+    fields
+}
+
+// ---------------------------------------------------------------------------
+// Code generation (string-built, then reparsed into a TokenStream)
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let mut pushes = String::new();
+            for f in fields {
+                pushes.push_str(&format!(
+                    "m.push((::std::string::String::from(\"{f}\"), \
+                     ::serde::Serialize::to_content(&self.{f})));\n"
+                ));
+            }
+            format!(
+                "let mut m = ::std::vec::Vec::new();\n{pushes}::serde::Content::Map(m)"
+            )
+        }
+        Shape::Tuple(1) => "::serde::Serialize::to_content(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let mut pushes = String::new();
+            for i in 0..*n {
+                pushes.push_str(&format!(
+                    "s.push(::serde::Serialize::to_content(&self.{i}));\n"
+                ));
+            }
+            format!("let mut s = ::std::vec::Vec::new();\n{pushes}::serde::Content::Seq(s)")
+        }
+        Shape::UnitEnum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => \"{v}\",\n"))
+                .collect();
+            format!(
+                "::serde::Content::Str(::std::string::String::from(match self {{ {arms} }}))"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_content(&self) -> ::serde::Content {{\n{body}\n}}\n}}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            // Absent keys deserialize from `Null`, so `Option` fields may be
+            // omitted on the wire; non-optional fields still fail (with the
+            // field name in the message) because they reject `Null`.
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_content(\
+                         ::serde::content_field_or_null(content, \"{f}\")?)\
+                         .map_err(|e| ::serde::DeError(::std::format!(\
+                         \"field `{f}` of {name}: {{}}\", e.0)))?,\n"
+                    )
+                })
+                .collect();
+            format!("::std::result::Result::Ok({name} {{ {inits} }})")
+        }
+        Shape::Tuple(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_content(content)?))"
+        ),
+        Shape::Tuple(n) => {
+            let elems: String = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_content(&items[{i}])?,\n"))
+                .collect();
+            format!(
+                "let items = content.as_seq().ok_or_else(|| ::serde::DeError(\
+                 ::std::format!(\"expected sequence for {name}, found {{}}\", content.kind())))?;\n\
+                 if items.len() != {n} {{\n\
+                 return ::std::result::Result::Err(::serde::DeError(::std::format!(\
+                 \"expected {n} elements for {name}, found {{}}\", items.len())));\n}}\n\
+                 ::std::result::Result::Ok({name}({elems}))"
+            )
+        }
+        Shape::UnitEnum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    format!("::std::option::Option::Some(\"{v}\") => ::std::result::Result::Ok({name}::{v}),\n")
+                })
+                .collect();
+            format!(
+                "match content.as_str() {{\n{arms}\
+                 ::std::option::Option::Some(other) => ::std::result::Result::Err(\
+                 ::serde::DeError(::std::format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+                 ::std::option::Option::None => ::std::result::Result::Err(\
+                 ::serde::DeError(::std::format!(\"expected string variant for {name}, found {{}}\", content.kind()))),\n}}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_content(content: &::serde::Content) \
+         -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}"
+    )
+}
