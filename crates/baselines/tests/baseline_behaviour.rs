@@ -4,19 +4,13 @@
 use rand::{rngs::StdRng, SeedableRng};
 use rrre_baselines::rating::{Pmf, PmfConfig};
 use rrre_baselines::reliability::{Rev2, Rev2Config, SpEagle, SpEagleConfig};
-use rrre_data::synth::{generate, SynthConfig};
-use rrre_data::{CorpusConfig, Dataset, EncodedCorpus, ItemId, Label, Review, UserId};
-use rrre_text::word2vec::Word2VecConfig;
+use rrre_data::{Dataset, ItemId, Label, Review, UserId};
+use rrre_testkit::{corpus_for, FixtureSpec};
 
-fn corpus_for(ds: &Dataset) -> EncodedCorpus {
-    EncodedCorpus::build(
-        ds,
-        &CorpusConfig {
-            max_len: 16,
-            word2vec: Word2VecConfig { dim: 8, epochs: 1, ..Default::default() },
-            ..Default::default()
-        },
-    )
+/// The corpus hyper-parameters these behavioural tests were tuned on: the
+/// standard spec with a slightly longer document window.
+fn spec() -> FixtureSpec {
+    FixtureSpec { max_len: 16, scale: 0.05, ..FixtureSpec::small() }
 }
 
 /// Builds a two-block dataset: users 0..5 love items 0..3, users 5..10 love
@@ -72,7 +66,7 @@ fn pmf_recovers_planted_block_structure() {
 #[test]
 fn rev2_is_order_invariant() {
     // Shuffling review order must not change the fixed point.
-    let ds = generate(&SynthConfig::yelp_chi().scaled(0.05));
+    let ds = spec().dataset();
     let a = Rev2::run(&ds, Rev2Config::default());
     let mut shuffled = ds.clone();
     shuffled.reviews.reverse();
@@ -110,8 +104,8 @@ fn rev2_smoothing_pulls_singletons_to_prior() {
 #[test]
 fn speagle_scores_respond_to_supervision_direction() {
     // Clamping a review fake must not *raise* its own score.
-    let ds = generate(&SynthConfig::yelp_chi().scaled(0.05));
-    let corpus = corpus_for(&ds);
+    let ds = spec().dataset();
+    let corpus = corpus_for(&ds, &spec());
     let unsup = SpEagle::run(&ds, &corpus, &[], SpEagleConfig::default());
     // Pick an actually fake review and supervise it.
     let fake_idx = ds.reviews.iter().position(|r| r.label == Label::Fake).expect("a fake exists");
@@ -133,7 +127,7 @@ fn speagle_propagates_to_co_reviewers() {
         Review { user: UserId(1), item: ItemId(1), rating: 4.0, label: Label::Benign, timestamp: 3, text: "y".into() },
     ];
     let ds = Dataset::new("pair", 2, 2, reviews);
-    let corpus = corpus_for(&ds);
+    let corpus = corpus_for(&ds, &spec());
     let unsup = SpEagle::run(&ds, &corpus, &[], SpEagleConfig::default());
     let sup = SpEagle::run(&ds, &corpus, &[0], SpEagleConfig::default());
     assert!(

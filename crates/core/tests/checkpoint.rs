@@ -4,56 +4,33 @@
 //! with silently wrong weights.
 
 use rrre_core::{Rrre, RrreConfig};
-use rrre_data::synth::{generate, SynthConfig};
-use rrre_data::{CorpusConfig, Dataset, EncodedCorpus, ItemId, UserId};
-use rrre_text::word2vec::Word2VecConfig;
+use rrre_data::{ItemId, UserId};
+use rrre_testkit::{trained_fixture_with, Fixture, FixtureSpec, TempDir};
 use std::io::ErrorKind;
-use std::path::PathBuf;
 
-fn tiny() -> (Dataset, EncodedCorpus) {
-    let ds = generate(&SynthConfig::yelp_chi().scaled(0.04));
-    let corpus = EncodedCorpus::build(
-        &ds,
-        &CorpusConfig {
-            max_len: 12,
-            word2vec: Word2VecConfig { dim: 8, epochs: 1, ..Default::default() },
-            ..Default::default()
-        },
-    );
-    (ds, corpus)
-}
-
-fn trained(ds: &Dataset, corpus: &EncodedCorpus, cfg: RrreConfig) -> Rrre {
-    let train: Vec<usize> = (0..ds.len()).collect();
-    Rrre::fit(ds, corpus, &train, cfg)
-}
-
-fn temp_path(name: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join("rrre-checkpoint-tests");
-    std::fs::create_dir_all(&dir).unwrap();
-    dir.join(format!("{name}-{}.rrrp", std::process::id()))
+/// A trained small fixture plus a scratch dir holding its saved weights.
+fn saved(tag: &str, epochs: usize) -> (Fixture, TempDir, std::path::PathBuf) {
+    let fx = trained_fixture_with(FixtureSpec::small().with_epochs(epochs));
+    let dir = TempDir::new(&format!("checkpoint-{tag}"));
+    let path = dir.file("weights.rrrp");
+    fx.model.save_weights(&path).unwrap();
+    (fx, dir, path)
 }
 
 #[test]
 fn from_checkpoint_is_bit_identical_without_fit() {
-    let (ds, corpus) = tiny();
-    let cfg = RrreConfig { epochs: 2, ..RrreConfig::tiny() };
-    let model = trained(&ds, &corpus, cfg);
-    let path = temp_path("roundtrip");
-    model.save_weights(&path).unwrap();
-
-    let restored = Rrre::from_checkpoint(&ds, &corpus, cfg, &path).unwrap();
-    std::fs::remove_file(&path).ok();
+    let (fx, _dir, path) = saved("roundtrip", 2);
+    let restored = Rrre::from_checkpoint(&fx.dataset, &fx.corpus, fx.spec.rrre_config(), &path).unwrap();
 
     assert!(restored.has_frozen_cache(), "frozen-mode model must be inference-ready on load");
-    assert_eq!(restored.mean_rating(), model.mean_rating());
+    assert_eq!(restored.mean_rating(), fx.model.mean_rating());
     // Every user×item pair — not a sample — must agree exactly: the serving
     // engine relies on checkpoint restoration being a pure weight copy.
-    for u in 0..ds.n_users {
-        for i in 0..ds.n_items {
+    for u in 0..fx.dataset.n_users {
+        for i in 0..fx.dataset.n_items {
             let (user, item) = (UserId(u as u32), ItemId(i as u32));
-            let a = model.predict(&corpus, user, item);
-            let b = restored.predict(&corpus, user, item);
+            let a = fx.model.predict(&fx.corpus, user, item);
+            let b = restored.predict(&fx.corpus, user, item);
             assert_eq!(a, b, "prediction diverged for pair ({u}, {i})");
         }
     }
@@ -61,49 +38,39 @@ fn from_checkpoint_is_bit_identical_without_fit() {
 
 #[test]
 fn decomposed_inference_matches_predict() {
-    let (ds, corpus) = tiny();
-    let cfg = RrreConfig { epochs: 2, ..RrreConfig::tiny() };
-    let model = trained(&ds, &corpus, cfg);
-    for r in ds.reviews.iter().take(20) {
-        let x_u = model.infer_user_tower(r.user, r.item);
-        let y_i = model.infer_item_tower(r.user, r.item);
-        let via_parts = model.infer_heads(r.user, r.item, &x_u, &y_i);
-        let direct = model.predict(&corpus, r.user, r.item);
+    let fx = trained_fixture_with(FixtureSpec::small());
+    for r in fx.dataset.reviews.iter().take(20) {
+        let x_u = fx.model.infer_user_tower(r.user, r.item);
+        let y_i = fx.model.infer_item_tower(r.user, r.item);
+        let via_parts = fx.model.infer_heads(r.user, r.item, &x_u, &y_i);
+        let direct = fx.model.predict(&fx.corpus, r.user, r.item);
         assert_eq!(via_parts, direct);
     }
 }
 
 #[test]
 fn corrupted_magic_is_rejected() {
-    let (ds, corpus) = tiny();
-    let cfg = RrreConfig { epochs: 1, ..RrreConfig::tiny() };
-    let model = trained(&ds, &corpus, cfg);
-    let path = temp_path("corrupt-magic");
-    model.save_weights(&path).unwrap();
-
+    let (fx, _dir, path) = saved("corrupt-magic", 1);
     let mut bytes = std::fs::read(&path).unwrap();
     bytes[..4].copy_from_slice(b"XXXX");
     std::fs::write(&path, &bytes).unwrap();
 
-    let err = Rrre::from_checkpoint(&ds, &corpus, cfg, &path).err().expect("corrupted magic must not load");
-    std::fs::remove_file(&path).ok();
+    let err = Rrre::from_checkpoint(&fx.dataset, &fx.corpus, fx.spec.rrre_config(), &path)
+        .err()
+        .expect("corrupted magic must not load");
     assert_eq!(err.kind(), ErrorKind::InvalidData);
     assert!(err.to_string().contains("RRRP"), "unexpected error: {err}");
 }
 
 #[test]
 fn truncated_checkpoint_is_rejected() {
-    let (ds, corpus) = tiny();
-    let cfg = RrreConfig { epochs: 1, ..RrreConfig::tiny() };
-    let model = trained(&ds, &corpus, cfg);
-    let path = temp_path("truncated");
-    model.save_weights(&path).unwrap();
-
+    let (fx, _dir, path) = saved("truncated", 1);
     let bytes = std::fs::read(&path).unwrap();
     std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
 
-    let err = Rrre::from_checkpoint(&ds, &corpus, cfg, &path).err().expect("truncated checkpoint must not load");
-    std::fs::remove_file(&path).ok();
+    let err = Rrre::from_checkpoint(&fx.dataset, &fx.corpus, fx.spec.rrre_config(), &path)
+        .err()
+        .expect("truncated checkpoint must not load");
     // Truncation surfaces as UnexpectedEof from the reader; either way it
     // must be an error, never a silently short model.
     assert!(
@@ -115,25 +82,23 @@ fn truncated_checkpoint_is_rejected() {
 
 #[test]
 fn wrong_architecture_is_rejected() {
-    let (ds, corpus) = tiny();
-    let cfg = RrreConfig { epochs: 1, ..RrreConfig::tiny() };
-    let model = trained(&ds, &corpus, cfg);
-    let path = temp_path("wrong-shape");
-    model.save_weights(&path).unwrap();
-
+    let (fx, _dir, path) = saved("wrong-shape", 1);
     // Same dataset, different tower width: parameter shapes disagree.
+    let cfg = fx.spec.rrre_config();
     let wrong = RrreConfig { id_dim: cfg.id_dim * 2, ..cfg };
-    let err = Rrre::from_checkpoint(&ds, &corpus, wrong, &path).err().expect("shape mismatch must not load");
-    std::fs::remove_file(&path).ok();
+    let err = Rrre::from_checkpoint(&fx.dataset, &fx.corpus, wrong, &path)
+        .err()
+        .expect("shape mismatch must not load");
     assert_eq!(err.kind(), ErrorKind::InvalidData);
     assert!(err.to_string().contains("mismatch"), "unexpected error: {err}");
 }
 
 #[test]
 fn missing_file_is_not_found() {
-    let (ds, corpus) = tiny();
-    let cfg = RrreConfig::tiny();
-    let err = Rrre::from_checkpoint(&ds, &corpus, cfg, temp_path("does-not-exist-ever"))
+    let spec = FixtureSpec::micro();
+    let (ds, corpus) = spec.corpus();
+    let dir = TempDir::new("checkpoint-missing");
+    let err = Rrre::from_checkpoint(&ds, &corpus, spec.rrre_config(), dir.file("does-not-exist.rrrp"))
         .err()
         .expect("missing file must not load");
     assert_eq!(err.kind(), ErrorKind::NotFound);

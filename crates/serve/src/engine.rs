@@ -201,7 +201,9 @@ fn process(shared: &Shared, job: &Job) -> Response {
     let req = &job.request;
 
     if let Some(deadline_ms) = req.deadline_ms {
-        if job.enqueued.elapsed() > Duration::from_millis(deadline_ms) {
+        // `>=` so a zero deadline is expired by definition — tests can
+        // exercise the miss path without sleeping to outrun the clock.
+        if job.enqueued.elapsed() >= Duration::from_millis(deadline_ms) {
             shared.stats.deadline_misses.fetch_add(1, Ordering::Relaxed);
             return Response::error(req.id, "deadline exceeded while queued");
         }

@@ -22,6 +22,16 @@ use crate::stats::StatsSnapshot;
 use rrre_core::{Explanation, Prediction, Recommendation};
 use serde::{Deserialize, Serialize};
 
+/// Hard cap on one request line's byte length. Lines past this bound are
+/// answered with a structured error and discarded instead of being
+/// buffered without limit — a single client cannot balloon server memory.
+pub const MAX_LINE_BYTES: usize = 16 * 1024;
+
+/// The exhaustive set of accepted request fields. `decode_request` rejects
+/// anything else: a typo like `"deadine_ms"` must fail loudly instead of
+/// being silently dropped and serving with no deadline at all.
+const REQUEST_FIELDS: [&str; 6] = ["id", "op", "user", "item", "k", "deadline_ms"];
+
 /// Request discriminator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Op {
@@ -209,8 +219,25 @@ pub fn encode_response(resp: &Response) -> String {
 }
 
 /// Decodes one request line.
+///
+/// Rejects, with a structured message: lines over [`MAX_LINE_BYTES`],
+/// non-object documents, unknown fields, and anything `Request`'s own
+/// deserializer refuses (missing/mistyped `op`, wrong value types).
 pub fn decode_request(line: &str) -> Result<Request, String> {
-    serde_json::from_str(line.trim()).map_err(|e| format!("bad request: {e}"))
+    let line = line.trim();
+    if line.len() > MAX_LINE_BYTES {
+        return Err(format!("request line exceeds {MAX_LINE_BYTES} bytes ({} bytes)", line.len()));
+    }
+    let value: serde_json::Value = serde_json::from_str(line).map_err(|e| format!("bad request: {e}"))?;
+    let serde_json::Value::Map(fields) = &value else {
+        return Err("bad request: expected a JSON object".into());
+    };
+    for (key, _) in fields {
+        if !REQUEST_FIELDS.contains(&key.as_str()) {
+            return Err(format!("bad request: unknown field `{key}`"));
+        }
+    }
+    serde_json::from_value(&value).map_err(|e| format!("bad request: {e}"))
 }
 
 #[cfg(test)]
@@ -239,6 +266,26 @@ mod tests {
     fn malformed_json_is_an_error() {
         assert!(decode_request("{not json").is_err());
         assert!(decode_request("").is_err());
+    }
+
+    #[test]
+    fn unknown_fields_are_rejected_not_ignored() {
+        let err = decode_request(r#"{"op":"Predict","user":3,"item":7,"deadine_ms":50}"#).unwrap_err();
+        assert!(err.contains("deadine_ms"), "unhelpful error: {err}");
+    }
+
+    #[test]
+    fn non_object_documents_are_rejected() {
+        assert!(decode_request("[1,2,3]").unwrap_err().contains("object"));
+        assert!(decode_request("42").unwrap_err().contains("object"));
+        assert!(decode_request(r#""Predict""#).unwrap_err().contains("object"));
+    }
+
+    #[test]
+    fn oversized_lines_are_rejected_with_the_limit_in_the_message() {
+        let line = format!(r#"{{"op":"Stats{}"}}"#, " ".repeat(MAX_LINE_BYTES));
+        let err = decode_request(&line).unwrap_err();
+        assert!(err.contains(&MAX_LINE_BYTES.to_string()), "unhelpful error: {err}");
     }
 
     #[test]

@@ -12,8 +12,8 @@
 //! thread. In-flight connections notice on their next read/write error.
 
 use crate::engine::Engine;
-use crate::protocol::encode_response;
-use std::io::{BufRead, BufReader, Write};
+use crate::protocol::{encode_response, Response, MAX_LINE_BYTES};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -84,16 +84,56 @@ fn accept_loop(listener: &TcpListener, engine: &Arc<Engine>, stop: &Arc<AtomicBo
 
 fn handle_connection(stream: TcpStream, engine: &Engine) -> std::io::Result<()> {
     let mut writer = stream.try_clone()?;
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let line = line?;
-        if line.trim().is_empty() {
+    let mut reader = BufReader::new(stream);
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        buf.clear();
+        // Bounded read: never buffer more than MAX_LINE_BYTES (+1 sentinel
+        // byte to tell "exactly at the limit" from "past it") per line.
+        let n = reader.by_ref().take(MAX_LINE_BYTES as u64 + 1).read_until(b'\n', &mut buf)?;
+        if n == 0 {
+            break; // clean EOF between lines
+        }
+        let complete = buf.last() == Some(&b'\n');
+        if !complete && buf.len() > MAX_LINE_BYTES {
+            // Oversized line: structured error, then discard the rest of
+            // the line so the connection stays usable.
+            let resp = Response::error(None, format!("request line exceeds {MAX_LINE_BYTES} bytes"));
+            write_response(&mut writer, &resp)?;
+            drain_line(&mut reader)?;
             continue;
         }
-        let response = engine.submit_line(&line);
-        writer.write_all(encode_response(&response).as_bytes())?;
-        writer.write_all(b"\n")?;
-        writer.flush()?;
+        let text = String::from_utf8_lossy(&buf);
+        if text.trim().is_empty() {
+            continue;
+        }
+        // A partial line at EOF (client died or shut down mid-write) still
+        // gets a best-effort response — usually a parse error — instead of
+        // a silent close.
+        let response = engine.submit_line(&text);
+        write_response(&mut writer, &response)?;
+        if !complete {
+            break;
+        }
     }
     Ok(())
+}
+
+fn write_response(writer: &mut TcpStream, resp: &Response) -> std::io::Result<()> {
+    writer.write_all(encode_response(resp).as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}
+
+/// Reads and discards up to the end of the current line (or EOF), in
+/// bounded chunks so an adversarial mega-line cannot grow server memory.
+fn drain_line(reader: &mut BufReader<TcpStream>) -> std::io::Result<()> {
+    let mut chunk = Vec::with_capacity(4096);
+    loop {
+        chunk.clear();
+        let n = reader.by_ref().take(4096).read_until(b'\n', &mut chunk)?;
+        if n == 0 || chunk.last() == Some(&b'\n') {
+            return Ok(());
+        }
+    }
 }

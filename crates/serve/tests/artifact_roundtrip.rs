@@ -1,21 +1,23 @@
 //! Artifact save → load must reproduce the trained model bit-for-bit, and
 //! every kind of on-disk damage must be rejected at load time.
 
-mod common;
-
-use common::{artifact_dir, trained_fixture, MIN_COUNT};
 use rrre_data::{ItemId, UserId};
 use rrre_serve::artifact::{DATASET_FILE, MANIFEST_FILE, MODEL_FILE, VECTORS_FILE};
 use rrre_serve::ModelArtifact;
+use rrre_testkit::fault::{flip_byte, truncate_file};
+use rrre_testkit::{trained_fixture, Fixture, TempDir};
+
+fn saved_fixture(tag: &str) -> (Fixture, TempDir) {
+    let fx = trained_fixture();
+    let dir = TempDir::new(tag);
+    ModelArtifact::save(dir.path(), &fx.dataset, &fx.corpus, &fx.model, fx.min_count()).unwrap();
+    (fx, dir)
+}
 
 #[test]
 fn roundtrip_is_bit_identical_and_manifest_is_faithful() {
-    let fx = trained_fixture();
-    let dir = artifact_dir("roundtrip");
-    ModelArtifact::save(&dir, &fx.dataset, &fx.corpus, &fx.model, MIN_COUNT).unwrap();
-
-    let art = ModelArtifact::load(&dir).unwrap();
-    std::fs::remove_dir_all(&dir).ok();
+    let (fx, dir) = saved_fixture("roundtrip");
+    let art = ModelArtifact::load(dir.path()).unwrap();
 
     assert_eq!(art.manifest.dataset_name, fx.dataset.name);
     assert_eq!(art.manifest.n_users, fx.dataset.n_users);
@@ -43,73 +45,81 @@ fn roundtrip_is_bit_identical_and_manifest_is_faithful() {
 
 #[test]
 fn missing_directory_fails() {
-    assert!(ModelArtifact::load(artifact_dir("never-written")).is_err());
+    let dir = TempDir::new("never-written");
+    assert!(ModelArtifact::load(dir.file("absent")).is_err());
 }
 
 #[test]
 fn wrong_manifest_version_fails() {
-    let fx = trained_fixture();
-    let dir = artifact_dir("bad-version");
-    ModelArtifact::save(&dir, &fx.dataset, &fx.corpus, &fx.model, MIN_COUNT).unwrap();
+    let (_fx, dir) = saved_fixture("bad-version");
 
-    let manifest_path = dir.join(MANIFEST_FILE);
+    let manifest_path = dir.file(MANIFEST_FILE);
     let json = std::fs::read_to_string(&manifest_path).unwrap();
     std::fs::write(&manifest_path, json.replacen("\"version\": 1", "\"version\": 999", 1)).unwrap();
 
-    let err = ModelArtifact::load(&dir).err().expect("version 999 must be rejected");
-    std::fs::remove_dir_all(&dir).ok();
+    let err = ModelArtifact::load(dir.path()).err().expect("version 999 must be rejected");
     assert!(err.to_string().contains("version"), "unexpected error: {err}");
 }
 
 #[test]
 fn manifest_dataset_disagreement_fails() {
-    let fx = trained_fixture();
-    let dir = artifact_dir("bad-counts");
-    ModelArtifact::save(&dir, &fx.dataset, &fx.corpus, &fx.model, MIN_COUNT).unwrap();
+    let (fx, dir) = saved_fixture("bad-counts");
 
-    let manifest_path = dir.join(MANIFEST_FILE);
+    let manifest_path = dir.file(MANIFEST_FILE);
     let json = std::fs::read_to_string(&manifest_path).unwrap();
     let needle = format!("\"n_users\": {}", fx.dataset.n_users);
     assert!(json.contains(&needle), "manifest format changed: {json}");
     std::fs::write(&manifest_path, json.replacen(&needle, "\"n_users\": 12345", 1)).unwrap();
 
-    let err = ModelArtifact::load(&dir).err().expect("count mismatch must be rejected");
-    std::fs::remove_dir_all(&dir).ok();
+    let err = ModelArtifact::load(dir.path()).err().expect("count mismatch must be rejected");
     assert!(err.to_string().contains("disagrees"), "unexpected error: {err}");
 }
 
 #[test]
 fn truncated_weights_fail() {
-    let fx = trained_fixture();
-    let dir = artifact_dir("truncated-weights");
-    ModelArtifact::save(&dir, &fx.dataset, &fx.corpus, &fx.model, MIN_COUNT).unwrap();
+    let (_fx, dir) = saved_fixture("truncated-weights");
+    let model_path = dir.file(MODEL_FILE);
+    let len = std::fs::metadata(&model_path).unwrap().len();
+    truncate_file(&model_path, len / 3).unwrap();
+    assert!(ModelArtifact::load(dir.path()).is_err());
+}
 
-    let model_path = dir.join(MODEL_FILE);
-    let bytes = std::fs::read(&model_path).unwrap();
-    std::fs::write(&model_path, &bytes[..bytes.len() / 3]).unwrap();
+#[test]
+fn flipped_weight_bytes_fail_or_change_nothing_silently_never() {
+    let (fx, dir) = saved_fixture("flipped-weights");
+    // Flip a byte in the middle of the tensor payload (past any header).
+    let model_path = dir.file(MODEL_FILE);
+    let len = std::fs::metadata(&model_path).unwrap().len() as usize;
+    flip_byte(&model_path, len / 2).unwrap();
 
-    assert!(ModelArtifact::load(&dir).is_err());
-    std::fs::remove_dir_all(&dir).ok();
+    // Either the load rejects the damage outright, or the file still parses
+    // — but then the damage landed in a weight and the model must disagree
+    // with the original somewhere. What must never happen is a clean load
+    // that serves the original predictions from corrupted bytes.
+    if let Ok(art) = ModelArtifact::load(dir.path()) {
+        let diverged = (0..fx.dataset.n_users).any(|u| {
+            (0..fx.dataset.n_items).any(|i| {
+                let (user, item) = (UserId(u as u32), ItemId(i as u32));
+                art.model.predict(&art.corpus, user, item) != fx.model.predict(&fx.corpus, user, item)
+            })
+        });
+        assert!(diverged, "a flipped payload byte loaded cleanly AND predicted identically");
+    }
 }
 
 #[test]
 fn corrupted_vectors_fail() {
-    let fx = trained_fixture();
-    let dir = artifact_dir("bad-vectors");
-    ModelArtifact::save(&dir, &fx.dataset, &fx.corpus, &fx.model, MIN_COUNT).unwrap();
+    let (_fx, dir) = saved_fixture("bad-vectors");
 
     // Garbage that is not an RRRP file at all.
-    std::fs::write(dir.join(VECTORS_FILE), b"not a checkpoint").unwrap();
+    std::fs::write(dir.file(VECTORS_FILE), b"not a checkpoint").unwrap();
 
-    assert!(ModelArtifact::load(&dir).is_err());
-    std::fs::remove_dir_all(&dir).ok();
+    assert!(ModelArtifact::load(dir.path()).is_err());
 }
 
 #[test]
 fn tampered_dataset_fails_validation() {
-    let fx = trained_fixture();
-    let dir = artifact_dir("tampered-dataset");
-    ModelArtifact::save(&dir, &fx.dataset, &fx.corpus, &fx.model, MIN_COUNT).unwrap();
+    let (fx, dir) = saved_fixture("tampered-dataset");
 
     // Swap in a dataset with different review text: the rebuilt vocabulary
     // no longer matches the stored vector table.
@@ -117,9 +127,8 @@ fn tampered_dataset_fails_validation() {
     for r in &mut other.reviews {
         r.text = "entirely different words everywhere".into();
     }
-    rrre_data::io::save_json(&other, dir.join(DATASET_FILE)).unwrap();
+    rrre_data::io::save_json(&other, dir.file(DATASET_FILE)).unwrap();
 
-    let err = ModelArtifact::load(&dir).err().expect("vocab mismatch must be rejected");
-    std::fs::remove_dir_all(&dir).ok();
+    let err = ModelArtifact::load(dir.path()).err().expect("vocab mismatch must be rejected");
     assert!(err.to_string().contains("vocabulary"), "unexpected error: {err}");
 }

@@ -3,12 +3,10 @@
 //! the wire protocol → every answer matches direct `rrre_core` calls, and
 //! the cache counters prove warm predictions skip the towers.
 
-mod common;
-
-use common::{artifact_dir, trained_fixture, MIN_COUNT};
 use rrre_data::{ItemId, UserId};
 use rrre_serve::protocol::Response;
 use rrre_serve::{Engine, EngineConfig, ModelArtifact, Server};
+use rrre_testkit::{trained_fixture, TempDir};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::sync::Arc;
@@ -34,10 +32,10 @@ fn connect(addr: std::net::SocketAddr) -> (TcpStream, BufReader<TcpStream>) {
 fn full_pipeline_train_checkpoint_serve_query() {
     // Train → artifact on disk → fresh process-equivalent load.
     let fx = trained_fixture();
-    let dir = artifact_dir("e2e");
-    ModelArtifact::save(&dir, &fx.dataset, &fx.corpus, &fx.model, MIN_COUNT).unwrap();
-    let artifact = ModelArtifact::load(&dir).unwrap();
-    std::fs::remove_dir_all(&dir).ok();
+    let dir = TempDir::new("e2e");
+    ModelArtifact::save(dir.path(), &fx.dataset, &fx.corpus, &fx.model, fx.min_count()).unwrap();
+    let artifact = ModelArtifact::load(dir.path()).unwrap();
+    drop(dir);
 
     let engine = Arc::new(Engine::new(
         artifact,

@@ -2,21 +2,24 @@
 //! prediction matches the single-threaded reference exactly, the cache
 //! counters reconcile, and a warm cache serves predictions without
 //! re-running the towers.
+//!
+//! All fan-out goes through `rrre_testkit::sync::run_concurrently`, which
+//! releases the worker threads from a barrier — contention is guaranteed by
+//! construction, not by hoping the spawns overlap — and the deadline test
+//! uses a by-definition-expired deadline instead of sleeping.
 
-mod common;
-
-use common::{artifact_dir, trained_fixture, MIN_COUNT};
 use rrre_data::{ItemId, UserId};
 use rrre_serve::{Engine, EngineConfig, ModelArtifact, Request};
+use rrre_testkit::sync::{run_concurrently, EXPIRED_DEADLINE_MS};
+use rrre_testkit::{trained_fixture, Fixture, TempDir};
 use std::sync::Arc;
 use std::time::Duration;
 
-fn engine_over_fixture(tag: &str) -> (Engine, common::Fixture) {
+fn engine_over_fixture(tag: &str) -> (Engine, Fixture) {
     let fx = trained_fixture();
-    let dir = artifact_dir(tag);
-    ModelArtifact::save(&dir, &fx.dataset, &fx.corpus, &fx.model, MIN_COUNT).unwrap();
-    let artifact = ModelArtifact::load(&dir).unwrap();
-    std::fs::remove_dir_all(&dir).ok();
+    let dir = TempDir::new(tag);
+    ModelArtifact::save(dir.path(), &fx.dataset, &fx.corpus, &fx.model, fx.min_count()).unwrap();
+    let artifact = ModelArtifact::load(dir.path()).unwrap();
     let engine = Engine::new(
         artifact,
         EngineConfig {
@@ -36,32 +39,31 @@ fn concurrent_predicts_match_reference_and_counters_reconcile() {
     let n_users = fx.dataset.n_users as u32;
     let n_items = fx.dataset.n_items as u32;
 
-    const THREADS: u32 = 8;
+    const THREADS: usize = 8;
     const REQUESTS: u32 = 40;
 
-    let handles: Vec<_> = (0..THREADS)
-        .map(|t| {
-            let engine = Arc::clone(&engine);
-            std::thread::spawn(move || {
-                let mut out = Vec::new();
-                for r in 0..REQUESTS {
-                    // Deterministic pair mix with deliberate cross-thread
-                    // collisions so the cache sees hits *and* misses.
-                    let user = (t * 7 + r) % n_users;
-                    let item = (t + r * 3) % n_items;
-                    let resp = engine.submit(Request::predict(user, item).with_id(u64::from(r)));
-                    assert!(resp.ok, "predict failed: {:?}", resp.error);
-                    assert_eq!(resp.id, Some(u64::from(r)), "response id mismatch");
-                    out.push((user, item, resp.prediction.expect("missing payload")));
-                }
-                out
-            })
+    let per_thread = {
+        let engine = Arc::clone(&engine);
+        run_concurrently(THREADS, move |t| {
+            let t = t as u32;
+            let mut out = Vec::new();
+            for r in 0..REQUESTS {
+                // Deterministic pair mix with deliberate cross-thread
+                // collisions so the cache sees hits *and* misses.
+                let user = (t * 7 + r) % n_users;
+                let item = (t + r * 3) % n_items;
+                let resp = engine.submit(Request::predict(user, item).with_id(u64::from(r)));
+                assert!(resp.ok, "predict failed: {:?}", resp.error);
+                assert_eq!(resp.id, Some(u64::from(r)), "response id mismatch");
+                out.push((user, item, resp.prediction.expect("missing payload")));
+            }
+            out
         })
-        .collect();
+    };
 
     let mut total = 0u64;
-    for handle in handles {
-        for (user, item, dto) in handle.join().expect("worker thread panicked") {
+    for out in per_thread {
+        for (user, item, dto) in out {
             total += 1;
             let reference = fx.model.predict(&fx.corpus, UserId(user), ItemId(item));
             assert_eq!(dto.rating, reference.rating, "rating diverged for ({user}, {item})");
@@ -71,7 +73,7 @@ fn concurrent_predicts_match_reference_and_counters_reconcile() {
             );
         }
     }
-    assert_eq!(total, u64::from(THREADS * REQUESTS), "lost responses");
+    assert_eq!(total, THREADS as u64 * u64::from(REQUESTS), "lost responses");
 
     let stats = engine.stats();
     assert_eq!(stats.requests, total);
@@ -156,12 +158,41 @@ fn errors_are_responses_not_hangs() {
 #[test]
 fn expired_deadline_is_rejected_not_served() {
     let (engine, _fx) = engine_over_fixture("deadline");
-    // Pre-expired deadline: 0 ms elapses before any worker can pick the
-    // job up, so the engine must refuse to serve it.
-    let resp = engine.submit(Request { deadline_ms: Some(0), ..Request::predict(0, 0) });
+    // A zero deadline has expired the instant the job is enqueued — the
+    // engine's `elapsed >= deadline` check refuses it deterministically,
+    // with no race against worker pickup speed.
+    let resp = engine.submit(Request { deadline_ms: Some(EXPIRED_DEADLINE_MS), ..Request::predict(0, 0) });
     assert!(!resp.ok);
     assert!(resp.error.unwrap().contains("deadline"));
     assert_eq!(engine.stats().deadline_misses, 1);
+}
+
+#[test]
+fn concurrent_invalidation_never_corrupts_answers() {
+    let (engine, fx) = engine_over_fixture("race-invalidate");
+    let engine = Arc::new(engine);
+    let reference = fx.model.predict(&fx.corpus, UserId(0), ItemId(0));
+
+    // Half the threads hammer predict(0,0), half invalidate the pair;
+    // whatever the interleaving, every served answer must equal the
+    // single-threaded reference (weights never change).
+    let results = {
+        let engine = Arc::clone(&engine);
+        run_concurrently(8, move |idx| {
+            for _ in 0..20 {
+                if idx % 2 == 0 {
+                    let resp = engine.submit(Request::predict(0, 0));
+                    assert!(resp.ok, "predict failed: {:?}", resp.error);
+                    let dto = resp.prediction.unwrap();
+                    assert_eq!((dto.rating, dto.reliability), (reference.rating, reference.reliability));
+                } else {
+                    assert!(engine.submit(Request::invalidate(Some(0), Some(0))).ok);
+                }
+            }
+        })
+    };
+    assert_eq!(results.len(), 8);
+    assert_eq!(engine.stats().errors, 0);
 }
 
 #[test]

@@ -102,3 +102,37 @@ proptest! {
         prop_assert_eq!(random_network_gradcheck(seed), 0);
     }
 }
+
+/// The committed `.proptest-regressions` sibling of this file must be
+/// found and honoured: its recorded case replays before any novel case on
+/// every run of the properties above.
+#[test]
+fn committed_regression_file_is_discovered_and_replayed() {
+    let path = proptest::regressions::locate(file!(), env!("CARGO_MANIFEST_DIR"))
+        .expect("regression file must be locatable from file!() + CARGO_MANIFEST_DIR");
+    assert!(path.is_file(), "expected committed file at {}", path.display());
+    assert!(path.ends_with("proptest_tensor.proptest-regressions"), "{}", path.display());
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    let states = proptest::regressions::parse(&text);
+    assert_eq!(states.len(), 1, "the committed file records one case: {text}");
+
+    // Run one of this file's properties through the same entry point the
+    // macro uses and observe the recorded state sampling first.
+    let recorded = states[0];
+    let mut first_state = None;
+    proptest::run_property_with_source(
+        "proptest_tensor::committed_regression_probe",
+        file!(),
+        env!("CARGO_MANIFEST_DIR"),
+        &ProptestConfig::with_cases(2),
+        |rng| {
+            if first_state.is_none() {
+                first_state = Some(rng.state());
+            }
+            prop_assert_eq!(random_network_gradcheck(rng.next_u64() % 10_000), 0);
+            Ok(())
+        },
+    );
+    assert_eq!(first_state, Some(recorded), "the recorded case must replay first");
+}

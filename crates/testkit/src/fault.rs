@@ -1,0 +1,94 @@
+//! Fault injection for serve robustness tests.
+//!
+//! Helpers that deliberately damage artifacts on disk or misbehave on the
+//! wire so tests can assert the serve stack degrades with *structured*
+//! errors instead of panics or silent connection drops.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::Path;
+use std::time::Duration;
+
+/// Truncates a file to `len` bytes (must be shorter than the file).
+pub fn truncate_file(path: impl AsRef<Path>, len: u64) -> std::io::Result<()> {
+    let path = path.as_ref();
+    let meta = std::fs::metadata(path)?;
+    assert!(len < meta.len(), "truncate_file: {len} does not shorten {} ({} bytes)", path.display(), meta.len());
+    let file = std::fs::OpenOptions::new().write(true).open(path)?;
+    file.set_len(len)
+}
+
+/// Flips every bit of the byte at `offset` (XOR `0xFF`), rewriting the file
+/// in place. Returns the original byte so tests can assert it changed.
+pub fn flip_byte(path: impl AsRef<Path>, offset: usize) -> std::io::Result<u8> {
+    let path = path.as_ref();
+    let mut bytes = std::fs::read(path)?;
+    assert!(offset < bytes.len(), "flip_byte: offset {offset} past end of {} ({} bytes)", path.display(), bytes.len());
+    let original = bytes[offset];
+    bytes[offset] ^= 0xFF;
+    std::fs::write(path, bytes)?;
+    Ok(original)
+}
+
+/// A syntactically valid NDJSON request line padded with spaces to exceed
+/// `limit` bytes — for testing the server's line-length bound.
+pub fn oversized_line(limit: usize) -> String {
+    let body = r#"{"op": "stats"#;
+    let tail = r#""}"#;
+    let pad = limit.saturating_sub(body.len() + tail.len()) + 2;
+    format!("{body}{}{tail}", " ".repeat(pad))
+}
+
+/// Connects, writes only the first `bytes` bytes of `line` (no trailing
+/// newline) and immediately shuts the write half — a mid-stream disconnect
+/// with a partial request on the wire. Returns whatever the server sends
+/// back before closing (possibly empty).
+pub fn send_partial_line(addr: SocketAddr, line: &str, bytes: usize) -> std::io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    let cut = bytes.min(line.len());
+    stream.write_all(&line.as_bytes()[..cut])?;
+    stream.shutdown(std::net::Shutdown::Write)?;
+    let mut reply = String::new();
+    stream.read_to_string(&mut reply)?;
+    Ok(reply)
+}
+
+/// Sends one complete request line and reads one NDJSON response line.
+/// The connection is dropped on return (another mid-stream disconnect from
+/// the server's point of view if it expected more requests).
+pub fn roundtrip_line(addr: SocketAddr, line: &str) -> std::io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.write_all(line.as_bytes())?;
+    stream.write_all(b"\n")?;
+    let mut reader = BufReader::new(stream);
+    let mut reply = String::new();
+    reader.read_line(&mut reply)?;
+    Ok(reply)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::TempDir;
+
+    #[test]
+    fn truncate_and_flip_damage_files() {
+        let dir = TempDir::new("fault-files");
+        let path = dir.file("blob.bin");
+        std::fs::write(&path, [1u8, 2, 3, 4, 5, 6, 7, 8]).unwrap();
+        let original = flip_byte(&path, 3).unwrap();
+        assert_eq!(original, 4);
+        assert_eq!(std::fs::read(&path).unwrap()[3], 4 ^ 0xFF);
+        truncate_file(&path, 2).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), vec![1, 2]);
+    }
+
+    #[test]
+    fn oversized_line_exceeds_limit_and_stays_one_line() {
+        let line = oversized_line(256);
+        assert!(line.len() > 256);
+        assert!(!line.contains('\n'));
+    }
+}

@@ -1,0 +1,38 @@
+//! # rrre-testkit
+//!
+//! The workspace's shared correctness layer. Every crate's tests build on
+//! the same four pillars instead of re-growing ad-hoc setup per test file:
+//!
+//! * [`fixtures`] — seeded, deterministic fixture builders: tiny synthetic
+//!   corpora and pre-trained mini-models with fixed hyper-parameters. Two
+//!   calls with the same [`fixtures::FixtureSpec`] produce bit-identical
+//!   datasets, corpora and models, in this process or the next one.
+//! * [`golden`] — the golden-trace regression harness: training traces
+//!   (per-epoch `loss`/`loss1`/`loss2`, eval metrics, final head outputs)
+//!   are compared against committed JSON files under tolerance bands and
+//!   regenerated with `RRRE_UPDATE_GOLDENS=1`.
+//! * [`parity`] — differential oracles asserting that `Rrre::predict`,
+//!   the decomposed frozen inference path and the serving engine agree
+//!   bit-for-bit, including through the checkpoint → artifact → engine
+//!   round trip.
+//! * [`fault`] — fault injection: artifact byte corruption, partial
+//!   protocol writes, oversized lines and mid-stream disconnects for
+//!   serve robustness tests.
+//! * [`sync`] — deterministic concurrency helpers (barrier-started thread
+//!   fan-out, pre-expired deadlines) that replace wall-clock sleeps in
+//!   concurrency tests.
+//!
+//! The crate is a *dev-dependency* everywhere it is used; production crates
+//! never link it.
+
+#![warn(missing_docs)]
+
+pub mod fault;
+pub mod fixtures;
+pub mod golden;
+pub mod parity;
+pub mod sync;
+
+pub use fixtures::{corpus_for, trained_fixture, trained_fixture_with, Fixture, FixtureSpec, TempDir};
+pub use golden::{check_golden, compare, GoldenTolerance, GoldenTrace};
+pub use parity::{assert_model_parity, assert_serve_parity, deterministic_pairs};

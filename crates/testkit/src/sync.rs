@@ -1,0 +1,74 @@
+//! Deterministic concurrency helpers.
+//!
+//! Concurrency tests that coordinate with `thread::sleep` are flaky by
+//! construction: the sleep is either too short on a loaded CI box or pure
+//! wasted wall-clock everywhere else. These helpers replace sleeps with
+//! barriers (every thread *provably* started before any proceeds) and with
+//! deadlines that are expired by value rather than by waiting.
+
+use std::sync::{Arc, Barrier};
+use std::thread;
+
+/// Runs `threads` copies of `work` concurrently, released together by a
+/// barrier so the fan-out genuinely contends instead of trickling in as
+/// threads spawn. Returns each thread's result in thread-index order.
+///
+/// Panics propagate: if any worker panics, the join panics the caller with
+/// that worker's index.
+pub fn run_concurrently<T, F>(threads: usize, work: F) -> Vec<T>
+where
+    T: Send + 'static,
+    F: Fn(usize) -> T + Send + Sync + 'static,
+{
+    assert!(threads > 0, "run_concurrently: zero threads");
+    let barrier = Arc::new(Barrier::new(threads));
+    let work = Arc::new(work);
+    let handles: Vec<_> = (0..threads)
+        .map(|idx| {
+            let barrier = Arc::clone(&barrier);
+            let work = Arc::clone(&work);
+            thread::spawn(move || {
+                barrier.wait();
+                work(idx)
+            })
+        })
+        .collect();
+    handles
+        .into_iter()
+        .enumerate()
+        .map(|(idx, h)| h.join().unwrap_or_else(|_| panic!("run_concurrently: worker {idx} panicked")))
+        .collect()
+}
+
+/// A deadline that is expired the moment the request is enqueued, with no
+/// sleeping: zero milliseconds have *always* already elapsed. Pairs with
+/// the engine's `elapsed >= deadline` comparison.
+pub const EXPIRED_DEADLINE_MS: u64 = 0;
+
+/// A deadline far enough out that no sane test run can cross it — for
+/// requests that must *not* expire.
+pub const GENEROUS_DEADLINE_MS: u64 = 60_000;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn all_threads_run_and_results_keep_order() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&counter);
+        let results = run_concurrently(8, move |idx| {
+            c.fetch_add(1, Ordering::SeqCst);
+            idx * 2
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+        assert_eq!(results, (0..8).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "worker 0 panicked")]
+    fn worker_panic_propagates() {
+        run_concurrently(1, |_| panic!("boom"));
+    }
+}

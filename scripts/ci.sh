@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Full local CI gate: everything must build in release, every workspace
+# test must pass, and the Criterion benches must at least compile.
+# Run from anywhere; operates on the repo this script lives in.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "==> cargo build --benches"
+cargo build --benches
+
+echo "==> CI gate passed"

@@ -1,0 +1,63 @@
+//! Golden-trace regression gate (tier 1): the standard fixture's training
+//! run — loss curve, eval metrics and final head outputs — must reproduce
+//! the committed `tests/goldens/train_trace.json` within tight tolerance
+//! bands. Any change to the data generator, corpus pipeline, initialiser,
+//! optimiser or heads shows up here as a named out-of-band value.
+//!
+//! Intended changes: `RRRE_UPDATE_GOLDENS=1 cargo test -q` rewrites the
+//! file; commit the diff.
+
+use rrre_testkit::golden::{capture, check_golden, compare, GoldenTolerance, GoldenTrace};
+use rrre_testkit::FixtureSpec;
+use std::path::PathBuf;
+
+const HEAD_PROBES: usize = 8;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/goldens/train_trace.json")
+}
+
+#[test]
+fn training_trace_matches_committed_golden() {
+    let (trace, fixture) = capture(FixtureSpec::small(), HEAD_PROBES);
+    assert_eq!(trace.epochs.len(), fixture.spec.epochs, "one record per epoch");
+    assert_eq!(trace.heads.len(), HEAD_PROBES);
+    check_golden(golden_path(), &trace, GoldenTolerance::default());
+}
+
+#[test]
+fn capture_is_bit_deterministic_within_a_process() {
+    let spec = FixtureSpec::small().with_epochs(1);
+    let (a, _) = capture(spec, 4);
+    let (b, _) = capture(spec, 4);
+    assert_eq!(a, b, "two captures of the same spec must be bit-identical");
+}
+
+#[test]
+fn harness_rejects_one_milli_perturbations_of_the_committed_golden() {
+    let raw = std::fs::read_to_string(golden_path())
+        .expect("golden file must be committed (regenerate with RRRE_UPDATE_GOLDENS=1)");
+    let golden: GoldenTrace = serde_json::from_str(&raw).unwrap();
+    let tol = GoldenTolerance::default();
+
+    for sign in [1.0f64, -1.0] {
+        let mut bad = golden.clone();
+        bad.epochs[0].loss += sign * 1e-3;
+        assert!(compare(&golden, &bad, tol).is_err(), "±1e-3 on loss must fail");
+
+        let mut bad = golden.clone();
+        bad.epochs.last_mut().unwrap().loss2 += sign * 1e-3;
+        assert!(compare(&golden, &bad, tol).is_err(), "±1e-3 on loss2 must fail");
+
+        let mut bad = golden.clone();
+        bad.eval.auc += sign * 1e-3;
+        assert!(compare(&golden, &bad, tol).is_err(), "±1e-3 on AUC must fail");
+
+        let mut bad = golden.clone();
+        bad.heads[0].reliability += sign * 1e-3;
+        assert!(compare(&golden, &bad, tol).is_err(), "±1e-3 on a head output must fail");
+    }
+
+    // And the unperturbed golden trivially agrees with itself.
+    assert!(compare(&golden, &golden, tol).is_ok());
+}

@@ -66,6 +66,18 @@ pub mod test_runner {
             TestRng { state: h | 1 }
         }
 
+        /// Resume from a raw state previously read with [`TestRng::state`] —
+        /// the replay path for persisted regression cases.
+        pub fn from_state(state: u64) -> Self {
+            TestRng { state }
+        }
+
+        /// The current raw state. Captured *before* a case is sampled, it
+        /// pins that case exactly: `from_state(s)` resamples it verbatim.
+        pub fn state(&self) -> u64 {
+            self.state
+        }
+
         /// Next 64 random bits.
         pub fn next_u64(&mut self) -> u64 {
             self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -428,18 +440,153 @@ pub mod prelude {
     }
 }
 
+/// Regression-file plumbing: `<source>.proptest-regressions` siblings of
+/// the test source, in upstream's line format (`cc <hex> # shrinks to …`).
+pub mod regressions {
+    use std::path::{Path, PathBuf};
+
+    /// Parses the states recorded in one regression file.
+    ///
+    /// This stub records its own 64-bit [`TestRng`](crate::test_runner::TestRng)
+    /// states as 16 hex digits. Longer digests (upstream proptest persists
+    /// 256-bit RNG seeds) cannot be mapped back to the upstream case, so
+    /// they are FNV-folded into a deterministic 64-bit state: the recorded
+    /// line still replays first on every run, just not upstream's exact
+    /// sample.
+    pub fn parse(text: &str) -> Vec<u64> {
+        text.lines()
+            .filter_map(|line| {
+                let token = line.trim().strip_prefix("cc ")?.split_whitespace().next()?;
+                if token.is_empty() || !token.chars().all(|c| c.is_ascii_hexdigit()) {
+                    return None;
+                }
+                if token.len() == 16 {
+                    u64::from_str_radix(token, 16).ok()
+                } else {
+                    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+                    for b in token.bytes() {
+                        h ^= b as u64;
+                        h = h.wrapping_mul(0x1000_0000_01b3);
+                    }
+                    Some(h | 1)
+                }
+            })
+            .collect()
+    }
+
+    /// Resolves the regression file next to a test source file.
+    ///
+    /// `file` is the test's `file!()` — relative to the directory cargo
+    /// compiled from — and `manifest_dir` its `CARGO_MANIFEST_DIR`; the
+    /// relationship between the two differs between the workspace-root
+    /// package and member crates, so several joinings are tried:
+    /// the manifest-relative path, the path as-is (cwd is the manifest dir
+    /// under `cargo test`), and the subpath from the `tests`/`src`
+    /// component rejoined to the manifest dir.
+    ///
+    /// Returns the first candidate that exists, else the first whose parent
+    /// directory exists (the path a new failure would be persisted to).
+    pub fn locate(file: &str, manifest_dir: &str) -> Option<PathBuf> {
+        let src = Path::new(file);
+        let manifest = Path::new(manifest_dir);
+        let mut candidates: Vec<PathBuf> = vec![manifest.join(src), src.to_path_buf()];
+        if let Some(pos) = src.components().position(|c| {
+            matches!(c.as_os_str().to_str(), Some("tests") | Some("src"))
+        }) {
+            let sub: PathBuf = src.components().skip(pos).collect();
+            candidates.push(manifest.join(sub));
+        }
+        for c in &mut candidates {
+            c.set_extension("proptest-regressions");
+        }
+        if let Some(hit) = candidates.iter().find(|c| c.is_file()) {
+            return Some(hit.clone());
+        }
+        candidates.into_iter().find(|c| c.parent().is_some_and(Path::is_dir))
+    }
+
+    /// Appends one failing state to the regression file, creating it with
+    /// upstream's explanatory header if absent. Best-effort: persistence
+    /// must never mask the test failure itself, so errors are swallowed.
+    pub fn persist(path: &Path, name: &str, state: u64, message: &str) {
+        let mut text = match std::fs::read_to_string(path) {
+            Ok(existing) => existing,
+            Err(_) => "# Seeds for failure cases proptest has generated in the past. It is\n\
+                       # automatically read and these particular cases re-run before any\n\
+                       # novel cases are generated.\n\
+                       #\n\
+                       # It is recommended to check this file in to source control so that\n\
+                       # everyone who runs the test benefits from these saved cases.\n"
+                .to_string(),
+        };
+        let line = format!("cc {state:016x} # {name}: {}\n", message.lines().next().unwrap_or(""));
+        if text.contains(&format!("cc {state:016x}")) {
+            return;
+        }
+        text.push_str(&line);
+        let _ = std::fs::write(path, text);
+    }
+}
+
 /// Run the property loop for one test. Called by the [`proptest!`] macro;
 /// not part of upstream's public API.
-pub fn run_property<F>(name: &str, config: &test_runner::Config, mut case: F)
+pub fn run_property<F>(name: &str, config: &test_runner::Config, case: F)
 where
     F: FnMut(&mut test_runner::TestRng) -> Result<(), test_runner::TestCaseError>,
 {
+    run_property_inner(name, None, config, case);
+}
+
+/// [`run_property`] plus regression-file handling: recorded states from the
+/// source file's `.proptest-regressions` sibling replay *before* any novel
+/// case, and new failures are persisted there best-effort. Called by the
+/// [`proptest!`] macro with `file!()` and `CARGO_MANIFEST_DIR`.
+pub fn run_property_with_source<F>(
+    name: &str,
+    file: &str,
+    manifest_dir: &str,
+    config: &test_runner::Config,
+    case: F,
+) where
+    F: FnMut(&mut test_runner::TestRng) -> Result<(), test_runner::TestCaseError>,
+{
+    run_property_inner(name, regressions::locate(file, manifest_dir).as_deref(), config, case);
+}
+
+fn run_property_inner<F>(
+    name: &str,
+    regression_file: Option<&std::path::Path>,
+    config: &test_runner::Config,
+    mut case: F,
+) where
+    F: FnMut(&mut test_runner::TestRng) -> Result<(), test_runner::TestCaseError>,
+{
     use test_runner::{TestCaseError, TestRng};
+
+    // Persisted regressions replay first: a case that failed once must be
+    // the first thing a fix is checked against.
+    if let Some(path) = regression_file {
+        if let Ok(text) = std::fs::read_to_string(path) {
+            for state in regressions::parse(&text) {
+                let mut rng = TestRng::from_state(state);
+                match case(&mut rng) {
+                    Ok(()) | Err(TestCaseError::Reject(_)) => {}
+                    Err(TestCaseError::Fail(msg)) => panic!(
+                        "proptest `{name}`: persisted regression cc {state:016x} \
+                         (from {}) still fails: {msg}",
+                        path.display()
+                    ),
+                }
+            }
+        }
+    }
+
     let mut rng = TestRng::from_name(name);
     let mut passed: u32 = 0;
     let mut rejected: u32 = 0;
     let max_rejects = config.cases.saturating_mul(16).saturating_add(1024);
     while passed < config.cases {
+        let start_state = rng.state();
         match case(&mut rng) {
             Ok(()) => passed += 1,
             Err(TestCaseError::Reject(_)) => {
@@ -452,7 +599,13 @@ where
                 }
             }
             Err(TestCaseError::Fail(msg)) => {
-                panic!("proptest `{name}` failed after {passed} passing cases: {msg}");
+                if let Some(path) = regression_file {
+                    regressions::persist(path, name, start_state, &msg);
+                }
+                panic!(
+                    "proptest `{name}` failed after {passed} passing cases \
+                     (replay state cc {start_state:016x}): {msg}"
+                );
             }
         }
     }
@@ -473,8 +626,10 @@ macro_rules! proptest {
             $(#[$meta])*
             fn $name() {
                 let config: $crate::test_runner::Config = $config;
-                $crate::run_property(
+                $crate::run_property_with_source(
                     concat!(module_path!(), "::", stringify!($name)),
+                    file!(),
+                    env!("CARGO_MANIFEST_DIR"),
                     &config,
                     |proptest_rng| {
                         $(
@@ -651,6 +806,93 @@ mod tests {
         });
         let err = *result.unwrap_err().downcast::<String>().unwrap();
         assert!(err.contains("one is not two"), "got: {err}");
+    }
+
+    #[test]
+    fn regression_lines_parse_both_formats() {
+        let text = "# header comment\n\
+                    \n\
+                    cc 00000000000022bc # shrinks to seed = 8892\n\
+                    cc 0a0f7d71f8099b60b36e01241330840a79ae4f271a90469912c4dfd503464b1a # upstream digest\n\
+                    not a cc line\n\
+                    cc nothex # ignored\n";
+        let states = crate::regressions::parse(text);
+        assert_eq!(states.len(), 2);
+        assert_eq!(states[0], 0x22bc, "16-hex tokens are exact states");
+        assert_ne!(states[1], 0, "long digests fold to a non-zero state");
+        // Folding is deterministic run-to-run.
+        assert_eq!(states, crate::regressions::parse(text));
+    }
+
+    #[test]
+    fn recorded_state_replays_before_novel_cases() {
+        use std::sync::{Arc, Mutex};
+
+        let dir = std::env::temp_dir().join(format!("proptest-stub-replay-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("replay_first.proptest-regressions");
+        let recorded: u64 = 0xDEAD_BEEF_0000_0001;
+        std::fs::write(&path, format!("# header\ncc {recorded:016x} # shrinks to x = 7\n")).unwrap();
+
+        // Record the sampling order: the persisted state must come first,
+        // producing exactly the sample that state pins.
+        let seen: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+        let seen2 = Arc::clone(&seen);
+        crate::run_property_inner(
+            "replay_first",
+            Some(&path),
+            &crate::test_runner::Config::with_cases(3),
+            move |rng| {
+                seen2.lock().unwrap().push(rng.state());
+                let _ = rng.next_u64();
+                Ok(())
+            },
+        );
+        std::fs::remove_dir_all(&dir).ok();
+
+        let seen = seen.lock().unwrap();
+        assert_eq!(seen.len(), 4, "1 replayed + 3 novel cases");
+        assert_eq!(seen[0], recorded, "the persisted case must run first");
+        let expected = crate::test_runner::TestRng::from_name("replay_first").state();
+        assert_eq!(seen[1], expected, "novel cases start from the name seed as before");
+    }
+
+    #[test]
+    fn new_failures_are_persisted_and_still_fail_on_replay() {
+        let dir = std::env::temp_dir().join(format!("proptest-stub-persist-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("persisting.proptest-regressions");
+
+        let run = |path: &std::path::Path| {
+            let path = path.to_path_buf();
+            std::panic::catch_unwind(move || {
+                crate::run_property_inner(
+                    "persisting",
+                    Some(&path),
+                    &crate::test_runner::Config::with_cases(5),
+                    |rng| {
+                        let v = rng.next_u64() % 4;
+                        crate::prop_assert!(v != 3, "hit the bad value");
+                        Ok(())
+                    },
+                );
+            })
+        };
+
+        assert!(run(&path).is_err(), "the property must fail within 5 cases");
+        let text = std::fs::read_to_string(&path).expect("failure must be persisted");
+        assert_eq!(crate::regressions::parse(&text).len(), 1, "exactly one cc line: {text}");
+        assert!(text.starts_with("# Seeds for failure cases"), "header written: {text}");
+
+        // Second run replays the persisted case first and reports it as such.
+        let err = run(&path).unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("persisted regression"), "got: {msg}");
+
+        // Re-failing must not duplicate the line.
+        let text2 = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(crate::regressions::parse(&text2).len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
