@@ -40,7 +40,7 @@ fn build_engine(tag: &str, max_batch: usize, max_wait: Duration) -> Engine {
 
     Engine::new(
         artifact,
-        EngineConfig { workers: 4, max_batch, max_wait, cache_shards: 8 },
+        EngineConfig { workers: 4, max_batch, max_wait, cache_shards: 8, ..EngineConfig::default() },
     )
 }
 
@@ -93,7 +93,7 @@ fn bench_batch_sizes(c: &mut Criterion) {
             if max_batch == 1 { Duration::ZERO } else { Duration::from_micros(500) },
         );
         let (n_users, n_items) = {
-            let m = &engine.artifact().manifest;
+            let m = &engine.generation().artifact.manifest;
             (m.n_users as u32, m.n_items as u32)
         };
         // Warm every pair the burst will touch so both engines measure

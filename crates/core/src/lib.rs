@@ -15,6 +15,7 @@
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 mod config;
 pub mod coverage;
 mod encoder;
@@ -23,6 +24,7 @@ mod model;
 mod recommend;
 mod tower;
 
+pub use checkpoint::{CheckpointConfig, FitOutcome};
 pub use config::{EncoderMode, LossVariant, Pooling, RrreConfig, Sampling};
 pub use encoder::ReviewEncoder;
 pub use coverage::{pipeline_report, PipelineReport};

@@ -81,6 +81,30 @@ impl Rrre {
         cfg: RrreConfig,
         mut hook: impl FnMut(EpochStats, &Rrre),
     ) -> Self {
+        let (mut model, mut rng, labeled) = Self::training_setup(ds, corpus, train, cfg);
+        let mut opt = Adam::new(cfg.lr);
+        let mut order: Vec<usize> = (0..train.len()).collect();
+        for epoch in 0..cfg.epochs {
+            let stats = model.train_epoch(ds, corpus, train, &labeled, &mut order, &mut rng, &mut opt, epoch);
+            hook(stats, &model);
+        }
+        model
+    }
+
+    /// Everything that happens before the first epoch: seed the RNG, build
+    /// and initialise the architecture, pin the train-mean rating, build
+    /// the frozen review cache, and draw the semi-supervised label mask.
+    ///
+    /// Split out (and the per-epoch body into [`Rrre::train_epoch`]) so the
+    /// crash-safe checkpointing driver in `checkpoint.rs` replays *exactly*
+    /// the [`Rrre::fit_with_hook`] sequence — resumed runs stay
+    /// bit-identical to uninterrupted ones.
+    pub(crate) fn training_setup(
+        ds: &Dataset,
+        corpus: &EncodedCorpus,
+        train: &[usize],
+        cfg: RrreConfig,
+    ) -> (Self, StdRng, Vec<bool>) {
         assert!(!train.is_empty(), "Rrre::fit: empty training set");
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let mut model = Self::new_untrained_with(ds, corpus, cfg, &mut rng);
@@ -97,87 +121,96 @@ impl Rrre {
         } else {
             train.iter().map(|_| rng.gen::<f32>() < cfg.labeled_fraction).collect()
         };
+        (model, rng, labeled)
+    }
 
-        let mut opt = Adam::new(cfg.lr);
-        let mut order: Vec<usize> = (0..train.len()).collect();
-        for epoch in 0..cfg.epochs {
-            for i in (1..order.len()).rev() {
-                order.swap(i, rng.gen_range(0..=i));
-            }
-            let (mut sum_l, mut sum_l1, mut sum_l2) = (0.0f64, 0.0f64, 0.0f64);
-            for chunk in order.chunks(cfg.batch_size) {
-                model.params.zero_grads();
-                for &pos in chunk {
-                    let ri = train[pos];
-                    let has_label = labeled[pos];
-                    let r = &ds.reviews[ri];
-                    let mut tape = Tape::new();
-                    let (pred, logits) = model.forward_pair(&mut tape, corpus, r.user.index(), r.item.index());
-
-                    // loss1 only where the label is available.
-                    let loss1 = tape.softmax_cross_entropy(
-                        logits,
-                        &[r.label.class_index()],
-                        Some(&[if has_label { 1.0 } else { 0.0 }]),
-                    );
-                    // loss2 weight: the label when available; otherwise the
-                    // model's current reliability estimate (self-training).
-                    let weight = match (model.cfg.variant, has_label) {
-                        (LossVariant::Unbiased, _) => 1.0,
-                        (LossVariant::Biased, true) => r.label.as_f32(),
-                        (LossVariant::Biased, false) => {
-                            let z = tape.value(logits);
-                            softmax2(z.get(0, 0), z.get(0, 1))
-                        }
-                    };
-                    let loss2 = tape.weighted_mse(pred, &[r.rating], &[weight]);
-                    let l1_scaled = tape.scale(loss1, model.cfg.lambda);
-                    let l2_scaled = tape.scale(loss2, 1.0 - model.cfg.lambda);
-                    let joint = tape.add(l1_scaled, l2_scaled);
-                    let scaled = tape.scale(joint, 1.0 / chunk.len() as f32);
-                    tape.backward(scaled, &mut model.params);
-
-                    sum_l += tape.value(scaled).item() as f64 * chunk.len() as f64;
-                    sum_l1 += tape.value(loss1).item() as f64;
-                    sum_l2 += tape.value(loss2).item() as f64;
-                }
-                model.params.apply_l2_grad(model.cfg.gamma);
-                // Extra shrinkage on the per-entity embedding tables.
-                if model.cfg.gamma_emb > 0.0 {
-                    for id in [model.user_emb.table(), model.item_emb.table()] {
-                        let value = model.params.get(id).clone();
-                        model.params.grad_mut(id).axpy(2.0 * model.cfg.gamma_emb, &value);
-                    }
-                }
-                // Frozen means frozen: the cached review embeddings must
-                // stay consistent with the encoder weights, so no update
-                // (not even weight decay) may touch them.
-                if matches!(model.cfg.encoder, EncoderMode::Frozen) {
-                    for id in model.encoder.param_ids() {
-                        let (r_dim, c_dim) = model.params.grad(id).shape();
-                        *model.params.grad_mut(id) = Tensor::zeros(r_dim, c_dim);
-                    }
-                }
-                // The mean rating is a data statistic that rides in `params`
-                // only for checkpoint self-containment; `apply_l2_grad`
-                // above gave it a weight-decay gradient that must not reach
-                // the optimiser.
-                *model.params.grad_mut(model.mean_rating_id) = Tensor::zeros(1, 1);
-                model.params.clip_grad_norm(5.0);
-                opt.step(&mut model.params);
-            }
-            let n = order.len().max(1) as f64;
-            hook(
-                EpochStats {
-                    epoch,
-                    loss: (sum_l / n) as f32,
-                    loss1: (sum_l1 / n) as f32,
-                    loss2: (sum_l2 / n) as f32,
-                },
-                &model,
-            );
+    /// One training epoch: in-place shuffle of `order` (epoch N+1's order
+    /// depends on epoch N's — `order` is training state, not scratch), then
+    /// the per-chunk forward/backward/step sweep.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn train_epoch(
+        &mut self,
+        ds: &Dataset,
+        corpus: &EncodedCorpus,
+        train: &[usize],
+        labeled: &[bool],
+        order: &mut [usize],
+        rng: &mut StdRng,
+        opt: &mut Adam,
+        epoch: usize,
+    ) -> EpochStats {
+        for i in (1..order.len()).rev() {
+            order.swap(i, rng.gen_range(0..=i));
         }
-        model
+        let (mut sum_l, mut sum_l1, mut sum_l2) = (0.0f64, 0.0f64, 0.0f64);
+        for chunk in order.chunks(self.cfg.batch_size) {
+            self.params.zero_grads();
+            for &pos in chunk {
+                let ri = train[pos];
+                let has_label = labeled[pos];
+                let r = &ds.reviews[ri];
+                let mut tape = Tape::new();
+                let (pred, logits) = self.forward_pair(&mut tape, corpus, r.user.index(), r.item.index());
+
+                // loss1 only where the label is available.
+                let loss1 = tape.softmax_cross_entropy(
+                    logits,
+                    &[r.label.class_index()],
+                    Some(&[if has_label { 1.0 } else { 0.0 }]),
+                );
+                // loss2 weight: the label when available; otherwise the
+                // model's current reliability estimate (self-training).
+                let weight = match (self.cfg.variant, has_label) {
+                    (LossVariant::Unbiased, _) => 1.0,
+                    (LossVariant::Biased, true) => r.label.as_f32(),
+                    (LossVariant::Biased, false) => {
+                        let z = tape.value(logits);
+                        softmax2(z.get(0, 0), z.get(0, 1))
+                    }
+                };
+                let loss2 = tape.weighted_mse(pred, &[r.rating], &[weight]);
+                let l1_scaled = tape.scale(loss1, self.cfg.lambda);
+                let l2_scaled = tape.scale(loss2, 1.0 - self.cfg.lambda);
+                let joint = tape.add(l1_scaled, l2_scaled);
+                let scaled = tape.scale(joint, 1.0 / chunk.len() as f32);
+                tape.backward(scaled, &mut self.params);
+
+                sum_l += tape.value(scaled).item() as f64 * chunk.len() as f64;
+                sum_l1 += tape.value(loss1).item() as f64;
+                sum_l2 += tape.value(loss2).item() as f64;
+            }
+            self.params.apply_l2_grad(self.cfg.gamma);
+            // Extra shrinkage on the per-entity embedding tables.
+            if self.cfg.gamma_emb > 0.0 {
+                for id in [self.user_emb.table(), self.item_emb.table()] {
+                    let value = self.params.get(id).clone();
+                    self.params.grad_mut(id).axpy(2.0 * self.cfg.gamma_emb, &value);
+                }
+            }
+            // Frozen means frozen: the cached review embeddings must
+            // stay consistent with the encoder weights, so no update
+            // (not even weight decay) may touch them.
+            if matches!(self.cfg.encoder, EncoderMode::Frozen) {
+                for id in self.encoder.param_ids() {
+                    let (r_dim, c_dim) = self.params.grad(id).shape();
+                    *self.params.grad_mut(id) = Tensor::zeros(r_dim, c_dim);
+                }
+            }
+            // The mean rating is a data statistic that rides in `params`
+            // only for checkpoint self-containment; `apply_l2_grad`
+            // above gave it a weight-decay gradient that must not reach
+            // the optimiser.
+            *self.params.grad_mut(self.mean_rating_id) = Tensor::zeros(1, 1);
+            self.params.clip_grad_norm(5.0);
+            opt.step(&mut self.params);
+        }
+        let n = order.len().max(1) as f64;
+        EpochStats {
+            epoch,
+            loss: (sum_l / n) as f32,
+            loss1: (sum_l1 / n) as f32,
+            loss2: (sum_l2 / n) as f32,
+        }
     }
 
     /// Architecture construction shared by [`Rrre::fit_with_hook`] and
@@ -302,6 +335,12 @@ impl Rrre {
     /// The trained parameter store (read access, e.g. for checkpoint size).
     pub fn params(&self) -> &Params {
         &self.params
+    }
+
+    /// Mutable parameter access for the checkpoint driver (grad hygiene
+    /// after a divergence rollback).
+    pub(crate) fn params_mut(&mut self) -> &mut Params {
+        &mut self.params
     }
 
     /// Saves the trained weights as an `RRRP` checkpoint file.

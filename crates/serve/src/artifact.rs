@@ -26,10 +26,11 @@ use rrre_tensor::{Params, Tensor};
 use rrre_text::WordVectors;
 use serde::{Deserialize, Serialize};
 use std::io;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
-/// Current artifact layout version.
-pub const MANIFEST_VERSION: u32 = 1;
+/// Current artifact layout version. Version 2 added per-file FNV-1a
+/// checksums; version-1 artifacts are rejected (re-save to upgrade).
+pub const MANIFEST_VERSION: u32 = 2;
 
 /// File names inside an artifact directory.
 pub const MANIFEST_FILE: &str = "manifest.json";
@@ -66,6 +67,37 @@ pub struct ArtifactManifest {
     pub vocab_len: usize,
     /// The model's full hyper-parameter configuration.
     pub config: RrreConfig,
+    /// FNV-1a 64 digest of every payload file, recorded at save time. The
+    /// load path re-hashes each file before parsing it, so a bit-flip that
+    /// would survive structural validation (e.g. inside a weight tensor)
+    /// still fails the load instead of silently serving a corrupt model.
+    pub checksums: Vec<FileChecksum>,
+}
+
+/// One payload file's digest. The hash rides as a hex string because JSON
+/// numbers pass through `f64`, which cannot carry a full-range `u64`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FileChecksum {
+    /// File name relative to the artifact directory.
+    pub file: String,
+    /// FNV-1a 64 of the file bytes, lowercase hex.
+    pub fnv1a: String,
+}
+
+/// FNV-1a 64 of `bytes` as the lowercase hex string the manifest records.
+/// Public so tests and tooling can recompute a file's expected digest.
+pub fn file_digest(bytes: &[u8]) -> String {
+    format!("{:016x}", fnv1a(bytes))
+}
+
+/// FNV-1a 64 over a byte slice.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
 }
 
 /// A loaded serving bundle: dataset + rebuilt corpus + restored model,
@@ -81,6 +113,9 @@ pub struct ModelArtifact {
     pub model: Rrre,
     /// Per-user / per-item review index over `dataset`.
     pub index: DatasetIndex,
+    /// The directory this artifact was loaded from — the hot-reload path
+    /// re-loads from here.
+    pub source_dir: PathBuf,
 }
 
 fn invalid(msg: impl Into<String>) -> io::Error {
@@ -103,21 +138,9 @@ impl ModelArtifact {
         let dir = dir.as_ref();
         std::fs::create_dir_all(dir)?;
 
-        let manifest = ArtifactManifest {
-            version: MANIFEST_VERSION,
-            dataset_name: dataset.name.clone(),
-            n_users: dataset.n_users,
-            n_items: dataset.n_items,
-            n_reviews: dataset.len(),
-            max_len: corpus.max_len,
-            min_count,
-            embed_dim: corpus.embed_dim(),
-            vocab_len: corpus.word_vectors.len(),
-            config: *model.config(),
-        };
-        let json = serde_json::to_string_pretty(&manifest).map_err(io::Error::other)?;
-        std::fs::write(dir.join(MANIFEST_FILE), json)?;
-
+        // Payloads first; the checksummed manifest goes last so a crash
+        // mid-save leaves a directory the load path rejects (missing or
+        // stale manifest) rather than one that looks complete.
         rrre_data::io::save_json(dataset, dir.join(DATASET_FILE))?;
 
         let mut vectors = Params::new();
@@ -131,7 +154,29 @@ impl ModelArtifact {
         );
         vectors.save(dir.join(VECTORS_FILE))?;
 
-        model.save_weights(dir.join(MODEL_FILE))
+        model.save_weights(dir.join(MODEL_FILE))?;
+
+        let mut checksums = Vec::new();
+        for file in [DATASET_FILE, VECTORS_FILE, MODEL_FILE] {
+            let bytes = std::fs::read(dir.join(file))?;
+            checksums.push(FileChecksum { file: file.to_string(), fnv1a: file_digest(&bytes) });
+        }
+
+        let manifest = ArtifactManifest {
+            version: MANIFEST_VERSION,
+            dataset_name: dataset.name.clone(),
+            n_users: dataset.n_users,
+            n_items: dataset.n_items,
+            n_reviews: dataset.len(),
+            max_len: corpus.max_len,
+            min_count,
+            embed_dim: corpus.embed_dim(),
+            vocab_len: corpus.word_vectors.len(),
+            config: *model.config(),
+            checksums,
+        };
+        let json = serde_json::to_string_pretty(&manifest).map_err(io::Error::other)?;
+        std::fs::write(dir.join(MANIFEST_FILE), json)
     }
 
     /// Loads and validates an artifact directory, restoring the model via
@@ -148,6 +193,25 @@ impl ModelArtifact {
                 "unsupported artifact version {} (this build reads {MANIFEST_VERSION})",
                 manifest.version
             )));
+        }
+
+        // Verify every payload digest before parsing anything: structural
+        // validation cannot see a flipped bit inside a weight value.
+        for file in [DATASET_FILE, VECTORS_FILE, MODEL_FILE] {
+            let recorded = manifest
+                .checksums
+                .iter()
+                .find(|c| c.file == file)
+                .ok_or_else(|| invalid(format!("manifest records no checksum for {file}")))?;
+            let bytes = std::fs::read(dir.join(file))?;
+            let actual = file_digest(&bytes);
+            if actual != recorded.fnv1a {
+                return Err(invalid(format!(
+                    "{file} checksum mismatch: manifest says {}, file hashes to {actual} \
+                     (truncated or corrupted artifact)",
+                    recorded.fnv1a
+                )));
+            }
         }
 
         let dataset = rrre_data::io::load_json(dir.join(DATASET_FILE))?;
@@ -191,6 +255,6 @@ impl ModelArtifact {
         model.freeze_for_inference(&corpus);
 
         let index = dataset.index();
-        Ok(Self { manifest, dataset, corpus, model, index })
+        Ok(Self { manifest, dataset, corpus, model, index, source_dir: dir.to_path_buf() })
     }
 }

@@ -11,9 +11,36 @@
 //! the first one computes.
 
 use crate::protocol::{Request, Response};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+/// A slot in the bounded submission queue, held for the job's lifetime.
+/// Dropping it — on reply, on shed, or mid-unwind if a worker panics with
+/// the job in hand — releases the slot, so the depth counter can never
+/// leak and wedge the queue shut.
+pub struct QueuePermit {
+    depth: Arc<AtomicUsize>,
+}
+
+impl QueuePermit {
+    /// Claims a slot, or returns `None` when `cap` jobs are already queued
+    /// (the caller sheds the request).
+    pub fn acquire(depth: &Arc<AtomicUsize>, cap: usize) -> Option<Self> {
+        if depth.fetch_add(1, Ordering::AcqRel) >= cap {
+            depth.fetch_sub(1, Ordering::AcqRel);
+            return None;
+        }
+        Some(Self { depth: Arc::clone(depth) })
+    }
+}
+
+impl Drop for QueuePermit {
+    fn drop(&mut self) {
+        self.depth.fetch_sub(1, Ordering::AcqRel);
+    }
+}
 
 /// One queued request plus the means to answer it.
 pub struct Job {
@@ -24,12 +51,19 @@ pub struct Job {
     /// Where the response goes. Send failures are ignored — the client
     /// gave up on its half of the channel.
     pub reply: Sender<Response>,
+    /// The queue slot this job occupies (absent for unbounded callers).
+    pub permit: Option<QueuePermit>,
 }
 
 impl Job {
     /// Wraps a request, stamping the enqueue time now.
     pub fn new(request: Request, reply: Sender<Response>) -> Self {
-        Self { request, enqueued: Instant::now(), reply }
+        Self { request, enqueued: Instant::now(), reply, permit: None }
+    }
+
+    /// Wraps a request that holds a bounded-queue slot.
+    pub fn with_permit(request: Request, reply: Sender<Response>, permit: QueuePermit) -> Self {
+        Self { permit: Some(permit), ..Self::new(request, reply) }
     }
 }
 
@@ -62,7 +96,9 @@ impl BatchQueue {
     /// Returns `None` when every producer handle has been dropped — the
     /// shutdown signal.
     pub fn next_batch(&self) -> Option<Vec<Job>> {
-        let rx = self.rx.lock().expect("BatchQueue receiver poisoned");
+        // A poisoned receiver lock only means another worker panicked while
+        // collecting; the receiver itself is still valid.
+        let rx = self.rx.lock().unwrap_or_else(|e| e.into_inner());
         let first = rx.recv().ok()?;
         let mut batch = vec![first];
         // Free coalescing: drain the backlog without waiting.

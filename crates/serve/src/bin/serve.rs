@@ -2,18 +2,20 @@
 //!
 //! ```text
 //! rrre-serve demo <dir> [--scale F]          train a small model, save an artifact
+//! rrre-serve train <dir> [...]               crash-safe training with checkpoints
 //! rrre-serve serve <dir> [--addr A] [...]    serve an artifact over TCP (NDJSON)
 //! rrre-serve query <addr> <json-line>        send one request line, print the reply
 //! rrre-serve oneshot <dir> <json-line>       answer one request in-process, no server
 //! ```
 
-use rrre_core::{Rrre, RrreConfig};
+use rrre_core::{CheckpointConfig, EpochStats, Rrre, RrreConfig};
 use rrre_data::synth::{generate, SynthConfig};
-use rrre_data::{CorpusConfig, EncodedCorpus};
-use rrre_serve::{Engine, EngineConfig, ModelArtifact, Server};
+use rrre_data::{CorpusConfig, Dataset, EncodedCorpus};
+use rrre_serve::{Engine, EngineConfig, ModelArtifact, Server, ServerConfig};
 use rrre_text::word2vec::Word2VecConfig;
 use std::io::{BufRead, BufReader, IsTerminal, Write};
 use std::net::TcpStream;
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
@@ -26,11 +28,22 @@ USAGE:
       Generate a synthetic YelpChi-like dataset (default --scale 0.05),
       train a small RRRE model and write a serving artifact to <dir>.
 
+  rrre-serve train <dir> [--scale F] [--epochs N] [--every N]
+                         [--resume] [--abort-after-epoch N]
+      Crash-safe training over the same synthetic dataset: atomic
+      checkpoints into <dir> every --every epochs (default 1). --resume
+      continues from the newest checkpoint in <dir>, bit-identically to an
+      uninterrupted run. --abort-after-epoch N exits with status 137 right
+      after epoch N's checkpoint lands — a scripted SIGKILL for crash
+      drills. The final stdout line carries the exact loss bits.
+
   rrre-serve serve <dir> [--addr HOST:PORT] [--workers N]
-                         [--max-batch N] [--max-wait-ms N]
+                         [--max-batch N] [--max-wait-ms N] [--queue-cap N]
+                         [--max-conns N] [--read-timeout-ms N] [--drain-ms N]
       Load the artifact in <dir> and serve newline-delimited JSON over TCP
-      (default --addr 127.0.0.1:7878). A `quit` line on stdin stops the
-      server gracefully; on stdin EOF (detached/daemonized) it keeps
+      (default --addr 127.0.0.1:7878). Stdin verbs: `quit` stops the server
+      gracefully, `reload` hot-swaps the artifact from <dir>, `stats`
+      prints the counters. On stdin EOF (detached/daemonized) it keeps
       serving until killed.
 
   rrre-serve query <addr> <json-line>
@@ -44,6 +57,7 @@ PROTOCOL (one JSON object per line):
   {\"op\":\"Recommend\",\"user\":3,\"k\":5}
   {\"op\":\"Explain\",\"item\":7,\"k\":3}
   {\"op\":\"Invalidate\",\"user\":3}
+  {\"op\":\"Reload\"}
   {\"op\":\"Stats\"}
 ";
 
@@ -70,6 +84,28 @@ fn take_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
     Some(value)
 }
 
+/// Pulls a bare `--flag` out of `args`, returning whether it was present.
+fn take_switch(args: &mut Vec<String>, flag: &str) -> bool {
+    match args.iter().position(|a| a == flag) {
+        Some(pos) => {
+            args.remove(pos);
+            true
+        }
+        None => false,
+    }
+}
+
+/// Parses a flag value, or exits with a clean message instead of a panic.
+fn parse_flag<T: std::str::FromStr>(value: Option<String>, flag: &str, default: T) -> T {
+    match value {
+        None => default,
+        Some(s) => s.parse().unwrap_or_else(|_| {
+            eprintln!("rrre-serve: {flag} got `{s}`, which does not parse");
+            std::process::exit(2);
+        }),
+    }
+}
+
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
@@ -78,6 +114,7 @@ fn main() -> ExitCode {
     let cmd = args.remove(0);
     match cmd.as_str() {
         "demo" => cmd_demo(args),
+        "train" => cmd_train(args),
         "serve" => cmd_serve(args),
         "query" => cmd_query(args),
         "oneshot" => cmd_oneshot(args),
@@ -89,21 +126,27 @@ fn main() -> ExitCode {
     }
 }
 
+/// The deterministic synthetic training setup shared by `demo` and `train`
+/// — both runs of a crash drill must see the identical dataset and corpus.
+fn synth_corpus(scale: f64, max_len: usize, dim: usize, w2v_epochs: usize) -> (Dataset, EncodedCorpus, u64) {
+    let ds = generate(&SynthConfig::yelp_chi().scaled(scale));
+    let corpus_cfg = CorpusConfig {
+        max_len,
+        word2vec: Word2VecConfig { dim, epochs: w2v_epochs, ..Default::default() },
+        ..Default::default()
+    };
+    let corpus = EncodedCorpus::build(&ds, &corpus_cfg);
+    (ds, corpus, corpus_cfg.min_count)
+}
+
 fn cmd_demo(mut args: Vec<String>) -> ExitCode {
-    let scale: f64 = take_flag(&mut args, "--scale")
-        .map_or(0.05, |s| s.parse().expect("--scale must be a float"));
+    let scale: f64 = parse_flag(take_flag(&mut args, "--scale"), "--scale", 0.05);
     let [dir] = args.as_slice() else {
         return fail("demo needs exactly one <dir>");
     };
 
     eprintln!("generating synthetic dataset (scale {scale})...");
-    let ds = generate(&SynthConfig::yelp_chi().scaled(scale));
-    let corpus_cfg = CorpusConfig {
-        max_len: 16,
-        word2vec: Word2VecConfig { dim: 16, epochs: 2, ..Default::default() },
-        ..Default::default()
-    };
-    let corpus = EncodedCorpus::build(&ds, &corpus_cfg);
+    let (ds, corpus, min_count) = synth_corpus(scale, 16, 16, 2);
     eprintln!(
         "training on {} reviews ({} users x {} items)...",
         ds.len(),
@@ -112,7 +155,7 @@ fn cmd_demo(mut args: Vec<String>) -> ExitCode {
     );
     let train: Vec<usize> = (0..ds.len()).collect();
     let model = Rrre::fit(&ds, &corpus, &train, RrreConfig { epochs: 5, ..RrreConfig::tiny() });
-    if let Err(e) = ModelArtifact::save(dir, &ds, &corpus, &model, corpus_cfg.min_count) {
+    if let Err(e) = ModelArtifact::save(dir, &ds, &corpus, &model, min_count) {
         return die(format!("failed to write artifact to `{dir}`: {e}"));
     }
     println!("artifact written to {dir}");
@@ -121,17 +164,77 @@ fn cmd_demo(mut args: Vec<String>) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn cmd_train(mut args: Vec<String>) -> ExitCode {
+    let scale: f64 = parse_flag(take_flag(&mut args, "--scale"), "--scale", 0.04);
+    let epochs: usize = parse_flag(take_flag(&mut args, "--epochs"), "--epochs", 4);
+    let every: usize = parse_flag(take_flag(&mut args, "--every"), "--every", 1);
+    let abort_after: Option<usize> =
+        take_flag(&mut args, "--abort-after-epoch").map(|s| parse_flag(Some(s), "--abort-after-epoch", 0));
+    let resume = take_switch(&mut args, "--resume");
+    let [dir] = args.as_slice() else {
+        return fail("train needs exactly one <dir>");
+    };
+
+    eprintln!("generating synthetic dataset (scale {scale})...");
+    let (ds, corpus, _) = synth_corpus(scale, 12, 8, 1);
+    let train: Vec<usize> = (0..ds.len()).collect();
+    let cfg = RrreConfig { epochs, ..RrreConfig::tiny() };
+    let ckpt = CheckpointConfig { dir: PathBuf::from(dir), every, keep: 3 };
+
+    let mut last: Option<EpochStats> = None;
+    // The hook runs *after* the epoch's checkpoint (if any) is on disk, so
+    // exiting here is a faithful stand-in for a SIGKILL between epochs.
+    let hook = |stats: EpochStats, _model: &Rrre| {
+        eprintln!("epoch {} loss {:.6}", stats.epoch, stats.loss);
+        last = Some(stats);
+        if abort_after == Some(stats.epoch + 1) {
+            eprintln!("aborting after epoch {} (checkpoint is on disk)", stats.epoch + 1);
+            std::process::exit(137);
+        }
+    };
+    let outcome = if resume {
+        Rrre::resume(&ds, &corpus, &train, cfg, &ckpt, hook)
+    } else {
+        Rrre::fit_checkpointed(&ds, &corpus, &train, cfg, &ckpt, hook)
+    };
+    match outcome {
+        Ok(out) => {
+            if let Some(from) = out.resumed_from {
+                eprintln!("resumed from checkpoint at {from} completed epochs");
+            }
+            if let Some(at) = out.diverged_at {
+                eprintln!(
+                    "training diverged at epoch {at}; rolled back to the checkpoint at {} epochs",
+                    out.completed_epochs
+                );
+            }
+            // `bits` pins the exact f32, so crash-drill scripts can compare
+            // runs without any float-formatting slack.
+            let (loss, bits) = last.map_or((f32::NAN, 0), |s| (s.loss, s.loss.to_bits()));
+            println!("final epochs={} loss={loss:.6} bits={bits:08x}", out.completed_epochs);
+            ExitCode::SUCCESS
+        }
+        Err(e) => die(format!("training failed: {e}")),
+    }
+}
+
 fn cmd_serve(mut args: Vec<String>) -> ExitCode {
     let addr = take_flag(&mut args, "--addr").unwrap_or_else(|| "127.0.0.1:7878".into());
     let mut cfg = EngineConfig::default();
-    if let Some(w) = take_flag(&mut args, "--workers") {
-        cfg.workers = w.parse().expect("--workers must be an integer");
-    }
-    if let Some(b) = take_flag(&mut args, "--max-batch") {
-        cfg.max_batch = b.parse().expect("--max-batch must be an integer");
-    }
+    cfg.workers = parse_flag(take_flag(&mut args, "--workers"), "--workers", cfg.workers);
+    cfg.max_batch = parse_flag(take_flag(&mut args, "--max-batch"), "--max-batch", cfg.max_batch);
     if let Some(ms) = take_flag(&mut args, "--max-wait-ms") {
-        cfg.max_wait = Duration::from_millis(ms.parse().expect("--max-wait-ms must be an integer"));
+        cfg.max_wait = Duration::from_millis(parse_flag(Some(ms), "--max-wait-ms", 2));
+    }
+    cfg.queue_cap = parse_flag(take_flag(&mut args, "--queue-cap"), "--queue-cap", cfg.queue_cap);
+    let mut server_cfg = ServerConfig::default();
+    server_cfg.max_connections =
+        parse_flag(take_flag(&mut args, "--max-conns"), "--max-conns", server_cfg.max_connections);
+    if let Some(ms) = take_flag(&mut args, "--read-timeout-ms") {
+        server_cfg.read_timeout = Duration::from_millis(parse_flag(Some(ms), "--read-timeout-ms", 100));
+    }
+    if let Some(ms) = take_flag(&mut args, "--drain-ms") {
+        server_cfg.drain_deadline = Duration::from_millis(parse_flag(Some(ms), "--drain-ms", 2000));
     }
     let [dir] = args.as_slice() else {
         return fail("serve needs exactly one <dir>");
@@ -148,7 +251,7 @@ fn cmd_serve(mut args: Vec<String>) -> ExitCode {
         cfg.workers
     );
     let engine = Arc::new(Engine::new(artifact, cfg));
-    let server = match Server::start(Arc::clone(&engine), addr.as_str()) {
+    let mut server = match Server::start_with(Arc::clone(&engine), addr.as_str(), server_cfg) {
         Ok(s) => s,
         Err(e) => {
             engine.shutdown();
@@ -156,7 +259,7 @@ fn cmd_serve(mut args: Vec<String>) -> ExitCode {
         }
     };
     println!("listening on {}", server.local_addr());
-    println!("(a `quit` line on stdin stops the server)");
+    println!("(stdin verbs: quit, reload, stats)");
 
     let mut got_quit = false;
     for line in std::io::stdin().lock().lines() {
@@ -164,6 +267,29 @@ fn cmd_serve(mut args: Vec<String>) -> ExitCode {
             Ok(l) if l.trim() == "quit" => {
                 got_quit = true;
                 break;
+            }
+            Ok(l) if l.trim() == "reload" => {
+                match engine.reload() {
+                    Ok(generation) => eprintln!("reloaded: now serving generation {generation}"),
+                    Err(e) => eprintln!("reload failed: {e}"),
+                }
+            }
+            Ok(l) if l.trim() == "stats" => {
+                let s = engine.stats();
+                eprintln!(
+                    "generation={} requests={} errors={} shed={} reloads={} \
+                     reload_failures={} worker_panics={} breaker_open={} \
+                     cache_hit_rate={:.3}",
+                    s.generation,
+                    s.requests,
+                    s.errors,
+                    s.shed,
+                    s.reloads,
+                    s.reload_failures,
+                    s.worker_panics,
+                    s.breaker_open,
+                    s.cache_hit_rate
+                );
             }
             Ok(_) => continue,
             Err(_) => break,
@@ -184,9 +310,10 @@ fn cmd_serve(mut args: Vec<String>) -> ExitCode {
     engine.shutdown();
     let stats = engine.stats();
     eprintln!(
-        "served {} requests ({} errors), cache hit rate {:.1}%",
+        "served {} requests ({} errors, {} shed), cache hit rate {:.1}%",
         stats.requests,
         stats.errors,
+        stats.shed,
         stats.cache_hit_rate * 100.0
     );
     ExitCode::SUCCESS
@@ -200,13 +327,26 @@ fn cmd_query(args: Vec<String>) -> ExitCode {
         Ok(s) => s,
         Err(e) => return die(format!("failed to connect to {addr}: {e}")),
     };
-    let mut writer = stream.try_clone().expect("failed to clone stream");
-    writer.write_all(line.as_bytes()).and_then(|()| writer.write_all(b"\n")).expect("send failed");
-    writer.flush().expect("flush failed");
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(e) => return die(format!("failed to clone the connection: {e}")),
+    };
+    if let Err(e) = writer
+        .write_all(line.as_bytes())
+        .and_then(|()| writer.write_all(b"\n"))
+        .and_then(|()| writer.flush())
+    {
+        return die(format!("send failed: {e}"));
+    }
     let mut response = String::new();
-    BufReader::new(stream).read_line(&mut response).expect("no response");
-    print!("{response}");
-    ExitCode::SUCCESS
+    match BufReader::new(stream).read_line(&mut response) {
+        Ok(0) => die("server closed the connection without responding"),
+        Ok(_) => {
+            print!("{response}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => die(format!("no response: {e}")),
+    }
 }
 
 fn cmd_oneshot(args: Vec<String>) -> ExitCode {

@@ -76,7 +76,7 @@ impl TowerCache {
         compute: impl FnOnce() -> Tensor,
     ) -> Tensor {
         let shard = &self.shards[self.shard_index(self.entity(user, item))];
-        let mut map = shard.lock().expect("TowerCache shard poisoned");
+        let mut map = shard.lock().unwrap_or_else(|e| e.into_inner());
         match map.get(&pair_key(user, item)) {
             Some(t) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -96,7 +96,7 @@ impl TowerCache {
     /// entries. Only the entity's own shard is locked.
     pub fn invalidate(&self, entity: u32) -> usize {
         let shard = &self.shards[self.shard_index(entity)];
-        let mut map = shard.lock().expect("TowerCache shard poisoned");
+        let mut map = shard.lock().unwrap_or_else(|e| e.into_inner());
         let before = map.len();
         match self.axis {
             CacheAxis::User => map.retain(|k, _| (k >> 32) as u32 != entity),
@@ -109,7 +109,7 @@ impl TowerCache {
     /// hit/miss counters.
     pub fn clear(&self) {
         for shard in &self.shards {
-            shard.lock().expect("TowerCache shard poisoned").clear();
+            shard.lock().unwrap_or_else(|e| e.into_inner()).clear();
         }
     }
 
@@ -117,7 +117,7 @@ impl TowerCache {
     pub fn entries(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().expect("TowerCache shard poisoned").len())
+            .map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).len())
             .sum()
     }
 

@@ -1,11 +1,29 @@
-//! The request engine: a worker pool over the micro-batch queue.
+//! The request engine: a supervised worker pool over a bounded micro-batch
+//! queue, serving generation-swapped artifacts.
 //!
-//! Request flow: `submit` wraps the request in a [`Job`] with a private
-//! reply channel and pushes it onto the queue; a worker drains a batch,
-//! answers each job, and sends the responses back. Prediction work runs
-//! through the tower caches, so a warm pair costs two map lookups and two
-//! small head evaluations — the BiLSTM ran once at artifact load and the
-//! towers run once per (pair, invalidation epoch).
+//! Request flow: `submit` claims a slot in the bounded queue (refusing with
+//! a structured `overloaded` response when full, or `unavailable` while the
+//! panic circuit breaker is open), wraps the request in a [`Job`] with a
+//! private reply channel, and pushes it onto the queue; a worker drains a
+//! batch, answers each job against the *current generation*, and sends the
+//! responses back.
+//!
+//! **Generations.** The serving state — artifact plus its tower caches —
+//! lives in an `Arc<Generation>` behind an `RwLock`. Workers take the read
+//! lock only long enough to clone the `Arc`, so a hot reload
+//! ([`Engine::reload`] or the `Reload` protocol verb) fully loads and
+//! validates the *next* generation off to the side, then swaps the pointer:
+//! in-flight requests finish on the generation they started on and no
+//! request ever observes a torn or partially validated artifact. A failed
+//! load leaves the current generation serving and only bumps the
+//! `reload_failures` counter.
+//!
+//! **Supervision.** Each job runs under `catch_unwind`: a panic becomes a
+//! structured `internal` error for that client, feeds the circuit breaker,
+//! and backs the worker off briefly. If the breaker sees
+//! `breaker_threshold` panics within `breaker_window`, `submit` answers
+//! `unavailable` until the window slides past — clients get fast, honest
+//! refusals instead of hung connections, and the breaker closes on its own.
 //!
 //! Results are bit-identical to direct `rrre_core` calls: the engine uses
 //! the same `infer_user_tower` / `infer_item_tower` / `infer_heads`
@@ -13,19 +31,20 @@
 //! [`rrre_core::rank_candidates`] ordering for recommend/explain.
 
 use crate::artifact::ModelArtifact;
-use crate::batch::{BatchConfig, BatchQueue, Job};
+use crate::batch::{BatchConfig, BatchQueue, Job, QueuePermit};
 use crate::cache::{CacheAxis, TowerCache};
-use crate::protocol::{Op, Request, Response};
+use crate::protocol::{ErrorKind, Op, Request, Response};
 use crate::stats::{EngineStats, StatsSnapshot};
 use rrre_core::{rank_candidates, Prediction, EXPLANATION_RELIABILITY_THRESHOLD};
 use rrre_data::{ItemId, UserId};
-use std::sync::atomic::Ordering;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-/// Engine sizing knobs.
+/// Engine sizing and fault-tolerance knobs.
 #[derive(Debug, Clone, Copy)]
 pub struct EngineConfig {
     /// Worker threads serving the queue.
@@ -36,6 +55,22 @@ pub struct EngineConfig {
     pub max_wait: Duration,
     /// Lock stripes per tower cache.
     pub cache_shards: usize,
+    /// Maximum queued-but-unserved jobs before `submit` sheds with a
+    /// structured `overloaded` response.
+    pub queue_cap: usize,
+    /// Worker panics within [`EngineConfig::breaker_window`] that trip the
+    /// circuit breaker.
+    pub breaker_threshold: usize,
+    /// Sliding window the breaker counts panics over; it closes again once
+    /// the panics age out.
+    pub breaker_window: Duration,
+    /// How long a worker sleeps after catching a panic before taking the
+    /// next batch (damps crash loops from poison-pill request streams).
+    pub panic_backoff: Duration,
+    /// Accept the `Crash` protocol verb (deliberate worker panic) — for
+    /// supervision drills and tests only. Defaults to off: production
+    /// engines refuse the verb.
+    pub fault_injection: bool,
 }
 
 impl Default for EngineConfig {
@@ -45,16 +80,59 @@ impl Default for EngineConfig {
             max_batch: 32,
             max_wait: Duration::from_millis(2),
             cache_shards: 16,
+            queue_cap: 1024,
+            breaker_threshold: 5,
+            breaker_window: Duration::from_secs(10),
+            panic_backoff: Duration::from_millis(10),
+            fault_injection: false,
         }
     }
 }
 
+/// One immutable serving state: an artifact and the tower caches built
+/// against it. Swapped wholesale on reload — caches never outlive the
+/// weights they were computed from.
+pub struct Generation {
+    /// Monotonic generation number (the first load is generation 1).
+    pub id: u64,
+    /// The artifact this generation serves.
+    pub artifact: ModelArtifact,
+    pub(crate) user_cache: TowerCache,
+    pub(crate) item_cache: TowerCache,
+}
+
 /// State shared between the engine handle and its workers.
 struct Shared {
-    artifact: ModelArtifact,
-    user_cache: TowerCache,
-    item_cache: TowerCache,
+    current: RwLock<Arc<Generation>>,
     stats: EngineStats,
+    cfg: EngineConfig,
+    queue_depth: Arc<AtomicUsize>,
+    next_generation: AtomicU64,
+    /// Timestamps of recent worker panics (pruned to `breaker_window`).
+    breaker: Mutex<Vec<Instant>>,
+}
+
+impl Shared {
+    /// Clones the current generation pointer (the only read-lock hold).
+    fn generation(&self) -> Arc<Generation> {
+        Arc::clone(&self.current.read().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    fn record_panic(&self) {
+        let now = Instant::now();
+        let mut panics = self.breaker.lock().unwrap_or_else(|e| e.into_inner());
+        panics.push(now);
+        let window = self.cfg.breaker_window;
+        panics.retain(|&t| now.duration_since(t) <= window);
+    }
+
+    fn breaker_open(&self) -> bool {
+        let now = Instant::now();
+        let mut panics = self.breaker.lock().unwrap_or_else(|e| e.into_inner());
+        let window = self.cfg.breaker_window;
+        panics.retain(|&t| now.duration_since(t) <= window);
+        panics.len() >= self.cfg.breaker_threshold
+    }
 }
 
 /// A running inference engine. Cheap to share (`&Engine` is `Sync`);
@@ -74,15 +152,25 @@ impl Engine {
     /// [`ModelArtifact::load`] always do) or `cfg.workers == 0`.
     pub fn new(artifact: ModelArtifact, cfg: EngineConfig) -> Self {
         assert!(cfg.workers >= 1, "Engine: need at least one worker");
+        assert!(cfg.queue_cap >= 1, "Engine: queue_cap must be ≥ 1");
+        assert!(cfg.breaker_threshold >= 1, "Engine: breaker_threshold must be ≥ 1");
         assert!(
             artifact.model.has_frozen_cache(),
             "Engine: artifact model is not frozen for inference"
         );
-        let shared = Arc::new(Shared {
+        let generation = Arc::new(Generation {
+            id: 1,
             artifact,
             user_cache: TowerCache::new(CacheAxis::User, cfg.cache_shards),
             item_cache: TowerCache::new(CacheAxis::Item, cfg.cache_shards),
+        });
+        let shared = Arc::new(Shared {
+            current: RwLock::new(generation),
             stats: EngineStats::default(),
+            cfg,
+            queue_depth: Arc::new(AtomicUsize::new(0)),
+            next_generation: AtomicU64::new(2),
+            breaker: Mutex::new(Vec::new()),
         });
         let (tx, queue) = BatchQueue::new(BatchConfig {
             max_batch: cfg.max_batch,
@@ -95,30 +183,44 @@ impl Engine {
                 let queue = Arc::clone(&queue);
                 std::thread::Builder::new()
                     .name(format!("rrre-serve-worker-{w}"))
-                    .spawn(move || worker_loop(&shared, &queue))
+                    .spawn(move || supervised_worker(&shared, &queue))
                     .expect("failed to spawn engine worker")
             })
             .collect();
         Self { shared, tx: Mutex::new(Some(tx)), workers: Mutex::new(workers) }
     }
 
-    /// Submits one request and blocks for its response.
+    /// Submits one request and blocks for its response. Never hangs: a full
+    /// queue sheds immediately, an open breaker refuses immediately, and a
+    /// worker panic mid-request still produces a structured reply.
     pub fn submit(&self, request: Request) -> Response {
         let id = request.id;
+        if self.shared.breaker_open() {
+            self.shared.stats.shed.fetch_add(1, Ordering::Relaxed);
+            return Response::unavailable(
+                id,
+                "circuit breaker open after repeated worker panics, retry with backoff",
+            );
+        }
+        let Some(permit) = QueuePermit::acquire(&self.shared.queue_depth, self.shared.cfg.queue_cap)
+        else {
+            self.shared.stats.shed.fetch_add(1, Ordering::Relaxed);
+            return Response::overloaded(id);
+        };
         let (reply_tx, reply_rx) = mpsc::channel();
         let sent = {
-            let guard = self.tx.lock().expect("Engine sender poisoned");
+            let guard = self.tx.lock().unwrap_or_else(|e| e.into_inner());
             match guard.as_ref() {
-                Some(tx) => tx.send(Job::new(request, reply_tx)).is_ok(),
+                Some(tx) => tx.send(Job::with_permit(request, reply_tx, permit)).is_ok(),
                 None => false,
             }
         };
         if !sent {
-            return Response::error(id, "engine is shut down");
+            return Response::unavailable(id, "engine is shut down");
         }
         reply_rx
             .recv()
-            .unwrap_or_else(|_| Response::error(id, "engine dropped the request"))
+            .unwrap_or_else(|_| Response::internal(id, "engine dropped the request"))
     }
 
     /// Parses one protocol line and submits it; parse failures become
@@ -126,25 +228,38 @@ impl Engine {
     pub fn submit_line(&self, line: &str) -> Response {
         match crate::protocol::decode_request(line) {
             Ok(req) => self.submit(req),
-            Err(e) => Response::error(None, e),
+            Err(e) => Response::error_kind(None, ErrorKind::BadRequest, e),
         }
     }
 
     /// Point-in-time engine counters (also served by `Op::Stats`).
     pub fn stats(&self) -> StatsSnapshot {
-        self.shared.stats.snapshot(&self.shared.user_cache, &self.shared.item_cache)
+        snapshot(&self.shared)
     }
 
-    /// The artifact this engine serves.
-    pub fn artifact(&self) -> &ModelArtifact {
-        &self.shared.artifact
+    /// The generation currently serving (artifact + caches). In-flight
+    /// requests may still be finishing on an older generation for a moment
+    /// after a reload.
+    pub fn generation(&self) -> Arc<Generation> {
+        self.shared.generation()
+    }
+
+    /// Re-loads the artifact from the directory the current generation was
+    /// loaded from and atomically swaps it in. The load runs to completion
+    /// — checksums, manifest cross-checks, model restore — before the swap,
+    /// so a corrupt artifact on disk never serves; the old generation keeps
+    /// serving and the error is returned (and counted in
+    /// `reload_failures`).
+    pub fn reload(&self) -> Result<u64, String> {
+        do_reload(&self.shared)
     }
 
     /// Graceful shutdown: stop accepting, let queued jobs finish, join the
     /// workers. Idempotent; `Drop` calls it too.
     pub fn shutdown(&self) {
-        drop(self.tx.lock().expect("Engine sender poisoned").take());
-        let workers = std::mem::take(&mut *self.workers.lock().expect("Engine workers poisoned"));
+        drop(self.tx.lock().unwrap_or_else(|e| e.into_inner()).take());
+        let workers =
+            std::mem::take(&mut *self.workers.lock().unwrap_or_else(|e| e.into_inner()));
         for handle in workers {
             let _ = handle.join();
         }
@@ -157,31 +272,114 @@ impl Drop for Engine {
     }
 }
 
-fn worker_loop(shared: &Shared, queue: &BatchQueue) {
-    while let Some(batch) = queue.next_batch() {
-        shared.stats.record_batch(batch.len());
-        for job in batch {
-            let response = process(shared, &job);
-            shared.stats.latency.record(job.enqueued.elapsed());
-            if !response.ok {
-                shared.stats.errors.fetch_add(1, Ordering::Relaxed);
-            }
-            let _ = job.reply.send(response);
+/// Loads the next generation off to the side and swaps it in, or keeps the
+/// current one on any failure. Shared by [`Engine::reload`] and the
+/// `Reload` protocol verb.
+fn do_reload(shared: &Shared) -> Result<u64, String> {
+    shared.stats.reloads.fetch_add(1, Ordering::Relaxed);
+    let (dir, current_id) = {
+        let current = shared.generation();
+        (current.artifact.source_dir.clone(), current.id)
+    };
+    // Full staging-area validation: `ModelArtifact::load` verifies every
+    // checksum and cross-check before we ever touch the serving pointer.
+    match ModelArtifact::load(&dir) {
+        Ok(artifact) => {
+            let id = shared.next_generation.fetch_add(1, Ordering::Relaxed);
+            let generation = Arc::new(Generation {
+                id,
+                artifact,
+                user_cache: TowerCache::new(CacheAxis::User, shared.cfg.cache_shards),
+                item_cache: TowerCache::new(CacheAxis::Item, shared.cfg.cache_shards),
+            });
+            *shared.current.write().unwrap_or_else(|e| e.into_inner()) = generation;
+            Ok(id)
+        }
+        Err(e) => {
+            shared.stats.reload_failures.fetch_add(1, Ordering::Relaxed);
+            Err(format!(
+                "reload from {} failed ({e}); generation {current_id} keeps serving",
+                dir.display()
+            ))
         }
     }
 }
 
-/// The cached frozen prediction: tower representations through the caches,
-/// heads recomputed (they depend on nothing cacheable but the pair).
-fn predict_pair(shared: &Shared, user: u32, item: u32) -> Prediction {
-    let model = &shared.artifact.model;
+fn snapshot(shared: &Shared) -> StatsSnapshot {
+    let generation = shared.generation();
+    shared.stats.snapshot(
+        &generation.user_cache,
+        &generation.item_cache,
+        generation.id,
+        shared.breaker_open(),
+    )
+}
+
+/// Outer supervision shell: respawns the worker loop if it ever panics
+/// outside the per-job guard (queue bookkeeping, batch accounting). A clean
+/// return means the queue disconnected — normal shutdown.
+fn supervised_worker(shared: &Shared, queue: &BatchQueue) {
+    loop {
+        match catch_unwind(AssertUnwindSafe(|| worker_loop(shared, queue))) {
+            Ok(()) => break,
+            Err(_) => {
+                shared.stats.worker_panics.fetch_add(1, Ordering::Relaxed);
+                shared.record_panic();
+                std::thread::sleep(shared.cfg.panic_backoff);
+            }
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, queue: &BatchQueue) {
+    while let Some(batch) = queue.next_batch() {
+        shared.stats.record_batch(batch.len());
+        let mut panicked = false;
+        for mut job in batch {
+            // Pin the generation per job: a reload mid-batch must not mix
+            // weights between jobs, let alone within one.
+            let generation = shared.generation();
+            let response =
+                match catch_unwind(AssertUnwindSafe(|| process(shared, &generation, &job))) {
+                    Ok(response) => response,
+                    Err(_) => {
+                        panicked = true;
+                        shared.stats.worker_panics.fetch_add(1, Ordering::Relaxed);
+                        shared.record_panic();
+                        Response::internal(
+                            job.request.id,
+                            "worker panicked while processing this request",
+                        )
+                    }
+                };
+            shared.stats.latency.record(job.enqueued.elapsed());
+            if !response.ok {
+                shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+            }
+            // Release the queue slot *before* replying: a client that has
+            // seen its response must be able to resubmit immediately
+            // without racing the permit drop for its own old slot.
+            drop(job.permit.take());
+            let _ = job.reply.send(response);
+        }
+        if panicked {
+            std::thread::sleep(shared.cfg.panic_backoff);
+        }
+    }
+}
+
+/// The cached frozen prediction: tower representations through the
+/// generation's caches, heads recomputed (they depend on nothing cacheable
+/// but the pair).
+fn predict_pair(stats: &EngineStats, generation: &Generation, user: u32, item: u32) -> Prediction {
+    let model = &generation.artifact.model;
     let (u, i) = (UserId(user), ItemId(item));
-    let x_u = shared.user_cache.get_or_compute(user, item, || {
-        shared.stats.tower_evals.fetch_add(1, Ordering::Relaxed);
+    let x_u = generation.user_cache.get_or_compute(user, item, || {
+        stats.tower_evals.fetch_add(1, Ordering::Relaxed);
         model.infer_user_tower(u, i)
     });
-    let y_i = shared.item_cache.get_or_compute(user, item, || {
-        shared.stats.tower_evals.fetch_add(1, Ordering::Relaxed);
+    let y_i = generation.item_cache.get_or_compute(user, item, || {
+        stats.tower_evals.fetch_add(1, Ordering::Relaxed);
         model.infer_item_tower(u, i)
     });
     model.infer_heads(u, i, &x_u, &y_i)
@@ -196,7 +394,11 @@ fn require(field: Option<u32>, name: &str, bound: usize) -> Result<u32, String> 
     }
 }
 
-fn process(shared: &Shared, job: &Job) -> Response {
+fn bad_request(id: Option<u64>, message: impl Into<String>) -> Response {
+    Response::error_kind(id, ErrorKind::BadRequest, message)
+}
+
+fn process(shared: &Shared, generation: &Generation, job: &Job) -> Response {
     shared.stats.requests.fetch_add(1, Ordering::Relaxed);
     let req = &job.request;
 
@@ -205,35 +407,41 @@ fn process(shared: &Shared, job: &Job) -> Response {
         // exercise the miss path without sleeping to outrun the clock.
         if job.enqueued.elapsed() >= Duration::from_millis(deadline_ms) {
             shared.stats.deadline_misses.fetch_add(1, Ordering::Relaxed);
-            return Response::error(req.id, "deadline exceeded while queued");
+            return Response::error_kind(
+                req.id,
+                ErrorKind::DeadlineExceeded,
+                "deadline exceeded while queued",
+            );
         }
     }
 
-    let ds = &shared.artifact.dataset;
-    match req.op {
+    let ds = &generation.artifact.dataset;
+    let mut response = match req.op {
         Op::Predict => {
             let (user, item) = match (
                 require(req.user, "user", ds.n_users),
                 require(req.item, "item", ds.n_items),
             ) {
                 (Ok(u), Ok(i)) => (u, i),
-                (Err(e), _) | (_, Err(e)) => return Response::error(req.id, e),
+                (Err(e), _) | (_, Err(e)) => return bad_request(req.id, e),
             };
             let mut resp = Response::ok(req.id);
-            resp.prediction = Some(predict_pair(shared, user, item).into());
+            resp.prediction = Some(predict_pair(&shared.stats, generation, user, item).into());
             resp
         }
         Op::Recommend => {
             let user = match require(req.user, "user", ds.n_users) {
                 Ok(u) => u,
-                Err(e) => return Response::error(req.id, e),
+                Err(e) => return bad_request(req.id, e),
             };
             let k = match req.k {
                 Some(k) if k > 0 => k,
-                _ => return Response::error(req.id, "missing or zero field `k`"),
+                _ => return bad_request(req.id, "missing or zero field `k`"),
             };
             let mut scored: Vec<(ItemId, Prediction)> = (0..ds.n_items)
-                .map(|i| (ItemId(i as u32), predict_pair(shared, user, i as u32)))
+                .map(|i| {
+                    (ItemId(i as u32), predict_pair(&shared.stats, generation, user, i as u32))
+                })
                 .collect();
             rank_candidates(&mut scored, k);
             let mut resp = Response::ok(req.id);
@@ -253,20 +461,20 @@ fn process(shared: &Shared, job: &Job) -> Response {
         Op::Explain => {
             let item = match require(req.item, "item", ds.n_items) {
                 Ok(i) => i,
-                Err(e) => return Response::error(req.id, e),
+                Err(e) => return bad_request(req.id, e),
             };
             let k = match req.k {
                 Some(k) if k > 0 => k,
-                _ => return Response::error(req.id, "missing or zero field `k`"),
+                _ => return bad_request(req.id, "missing or zero field `k`"),
             };
-            let mut scored: Vec<(usize, Prediction)> = shared
+            let mut scored: Vec<(usize, Prediction)> = generation
                 .artifact
                 .index
                 .item_reviews(ItemId(item))
                 .iter()
                 .map(|&ri| {
                     let r = &ds.reviews[ri];
-                    (ri, predict_pair(shared, r.user.0, r.item.0))
+                    (ri, predict_pair(&shared.stats, generation, r.user.0, r.item.0))
                 })
                 .collect();
             rank_candidates(&mut scored, k);
@@ -292,23 +500,42 @@ fn process(shared: &Shared, job: &Job) -> Response {
         }
         Op::Stats => {
             let mut resp = Response::ok(req.id);
-            resp.stats = Some(shared.stats.snapshot(&shared.user_cache, &shared.item_cache));
+            resp.stats = Some(snapshot(shared));
             resp
         }
         Op::Invalidate => {
             if req.user.is_none() && req.item.is_none() {
-                return Response::error(req.id, "Invalidate needs `user` and/or `item`");
+                return bad_request(req.id, "Invalidate needs `user` and/or `item`");
             }
             let mut evicted = 0usize;
             if let Some(u) = req.user {
-                evicted += shared.user_cache.invalidate(u);
+                evicted += generation.user_cache.invalidate(u);
             }
             if let Some(i) = req.item {
-                evicted += shared.item_cache.invalidate(i);
+                evicted += generation.item_cache.invalidate(i);
             }
             let mut resp = Response::ok(req.id);
             resp.evicted = Some(evicted as u64);
             resp
         }
-    }
+        Op::Reload => match do_reload(shared) {
+            Ok(new_id) => {
+                let mut resp = Response::ok(req.id);
+                resp.generation = Some(new_id);
+                return resp;
+            }
+            Err(e) => return Response::internal(req.id, e),
+        },
+        Op::Crash => {
+            if !shared.cfg.fault_injection {
+                return bad_request(
+                    req.id,
+                    "Crash is a drill verb; enable EngineConfig.fault_injection to use it",
+                );
+            }
+            panic!("deliberate panic requested by the Crash protocol verb");
+        }
+    };
+    response.generation = Some(generation.id);
+    response
 }

@@ -36,9 +36,9 @@ pub mod protocol;
 pub mod server;
 pub mod stats;
 
-pub use artifact::{ArtifactManifest, ModelArtifact};
+pub use artifact::{ArtifactManifest, FileChecksum, ModelArtifact};
 pub use cache::{CacheAxis, TowerCache};
-pub use engine::{Engine, EngineConfig};
-pub use protocol::{Op, Request, Response};
-pub use server::Server;
+pub use engine::{Engine, EngineConfig, Generation};
+pub use protocol::{ErrorKind, Op, Request, Response};
+pub use server::{Server, ServerConfig};
 pub use stats::{EngineStats, StatsSnapshot};

@@ -46,6 +46,14 @@ pub enum Op {
     /// Drop cached tower representations for `user` and/or `item` — call
     /// after an entity gains a review.
     Invalidate,
+    /// Re-load the artifact from its source directory and, if it validates,
+    /// atomically swap it in as the next generation. A failed load leaves
+    /// the current generation serving untouched.
+    Reload,
+    /// Deliberately panic inside the worker (supervision/breaker drills).
+    /// Refused unless the engine was built with
+    /// [`crate::EngineConfig::fault_injection`].
+    Crash,
 }
 
 /// One request line.
@@ -89,6 +97,11 @@ impl Request {
     /// A `Stats` request.
     pub fn stats() -> Self {
         Self::bare(Op::Stats)
+    }
+
+    /// A `Reload` request.
+    pub fn reload() -> Self {
+        Self::bare(Op::Reload)
     }
 
     /// An `Invalidate` request for a user and/or an item.
@@ -170,6 +183,25 @@ impl From<Explanation> for ExplanationDto {
     }
 }
 
+/// Machine-readable classification of a refused request, so clients can
+/// implement retry policy without parsing error strings: `Overloaded` and
+/// `Unavailable` are retryable after backoff, the rest are not.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ErrorKind {
+    /// The request itself is malformed or references unknown entities.
+    BadRequest,
+    /// Shed before processing: the submission queue was full.
+    Overloaded,
+    /// The circuit breaker is open (or the server is at its connection
+    /// cap); the engine is protecting itself.
+    Unavailable,
+    /// The worker failed while processing this request (e.g. a caught
+    /// panic); the request may or may not be safe to retry.
+    Internal,
+    /// The request's deadline passed while it was queued.
+    DeadlineExceeded,
+}
+
 /// One response line. Exactly one payload field is populated on success;
 /// all are `null` on error.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -180,6 +212,11 @@ pub struct Response {
     pub ok: bool,
     /// Error description when `ok` is false.
     pub error: Option<String>,
+    /// Error classification when `ok` is false (absent on legacy paths
+    /// that predate the taxonomy).
+    pub kind: Option<ErrorKind>,
+    /// Artifact generation that served this request (success paths only).
+    pub generation: Option<u64>,
     /// `Predict` payload.
     pub prediction: Option<PredictionDto>,
     /// `Recommend` payload.
@@ -199,6 +236,8 @@ impl Response {
             id,
             ok: true,
             error: None,
+            kind: None,
+            generation: None,
             prediction: None,
             recommendations: None,
             explanations: None,
@@ -207,9 +246,31 @@ impl Response {
         }
     }
 
-    /// An error response.
+    /// An error response (no machine-readable kind; prefer the dedicated
+    /// constructors on new code paths).
     pub fn error(id: Option<u64>, message: impl Into<String>) -> Self {
         Self { ok: false, error: Some(message.into()), ..Self::ok(id) }
+    }
+
+    /// An error response with an explicit [`ErrorKind`].
+    pub fn error_kind(id: Option<u64>, kind: ErrorKind, message: impl Into<String>) -> Self {
+        Self { kind: Some(kind), ..Self::error(id, message) }
+    }
+
+    /// The structured shed response for a full submission queue.
+    pub fn overloaded(id: Option<u64>) -> Self {
+        Self::error_kind(id, ErrorKind::Overloaded, "overloaded: submission queue is full, retry with backoff")
+    }
+
+    /// The structured refusal for an open circuit breaker or a saturated
+    /// connection cap.
+    pub fn unavailable(id: Option<u64>, why: impl Into<String>) -> Self {
+        Self::error_kind(id, ErrorKind::Unavailable, why)
+    }
+
+    /// The structured reply for a worker-side failure.
+    pub fn internal(id: Option<u64>, why: impl Into<String>) -> Self {
+        Self::error_kind(id, ErrorKind::Internal, why)
     }
 }
 

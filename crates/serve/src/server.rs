@@ -1,23 +1,63 @@
 //! The TCP front end: newline-delimited JSON over `std::net`.
 //!
-//! One accept thread hands each connection to its own thread; a connection
-//! reads request lines, routes them through [`Engine::submit_line`], and
-//! writes one response line per request. Responses on one connection come
-//! back in request order (the per-request reply channel blocks the
-//! connection thread), so clients may pipeline without correlation ids —
-//! ids are still echoed for clients that want them.
+//! A nonblocking accept loop hands each connection to its own thread; a
+//! connection reads request lines, routes them through
+//! [`Engine::submit_line`], and writes one response line per request.
+//! Responses on one connection come back in request order (the per-request
+//! reply channel blocks the connection thread), so clients may pipeline
+//! without correlation ids — ids are still echoed for clients that want
+//! them.
 //!
-//! Shutdown: [`Server::stop`] flips a flag and pokes the listener with a
-//! self-connection so the accept loop observes it, then joins the accept
-//! thread. In-flight connections notice on their next read/write error.
+//! Overload and shutdown are both deadline-driven, with no self-connect
+//! tricks:
+//!
+//! * the accept loop polls a nonblocking listener, so it observes the stop
+//!   flag within one poll interval no matter how quiet the socket is;
+//! * connections past [`ServerConfig::max_connections`] get one structured
+//!   `unavailable` response and are closed — the thread count is bounded;
+//! * every connection reads with [`ServerConfig::read_timeout`], so idle
+//!   connections also observe the stop flag promptly (partial lines
+//!   survive timeouts — the buffer is only cleared on a complete line);
+//! * [`Server::stop`] is idempotent, flips the flag, and waits up to
+//!   [`ServerConfig::drain_deadline`] for in-flight connections to finish
+//!   before returning.
 
 use crate::engine::Engine;
-use crate::protocol::{encode_response, Response, MAX_LINE_BYTES};
+use crate::protocol::{encode_response, ErrorKind, Response, MAX_LINE_BYTES};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Front-end limits and shutdown pacing.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Concurrent connections served; excess connections receive one
+    /// structured `unavailable` response and are closed.
+    pub max_connections: usize,
+    /// Socket read timeout — the interval at which idle connections check
+    /// the stop flag. Short enough for prompt shutdown, long enough to
+    /// stay off the syscall hot path.
+    pub read_timeout: Duration,
+    /// How long [`Server::stop`] waits for in-flight connections to drain
+    /// before returning anyway.
+    pub drain_deadline: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            max_connections: 256,
+            read_timeout: Duration::from_millis(100),
+            drain_deadline: Duration::from_secs(2),
+        }
+    }
+}
+
+/// How often the accept loop re-polls a quiet listener.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
 
 /// A running TCP front end over an [`Engine`].
 pub struct Server {
@@ -26,17 +66,40 @@ pub struct Server {
     accept: Option<JoinHandle<()>>,
 }
 
+/// Decrements the live-connection count when a connection thread exits,
+/// however it exits.
+struct ConnGuard(Arc<AtomicUsize>);
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
 impl Server {
-    /// Binds `addr` (use port 0 for an ephemeral port) and starts serving.
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts serving
+    /// with default [`ServerConfig`] limits.
     pub fn start(engine: Arc<Engine>, addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        Self::start_with(engine, addr, ServerConfig::default())
+    }
+
+    /// [`Server::start`] with explicit limits.
+    pub fn start_with(
+        engine: Arc<Engine>,
+        addr: impl ToSocketAddrs,
+        cfg: ServerConfig,
+    ) -> std::io::Result<Self> {
+        assert!(cfg.max_connections >= 1, "Server: max_connections must be ≥ 1");
+        assert!(!cfg.read_timeout.is_zero(), "Server: read_timeout must be non-zero");
         let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let accept = {
             let stop = Arc::clone(&stop);
             std::thread::Builder::new()
                 .name("rrre-serve-accept".into())
-                .spawn(move || accept_loop(&listener, &engine, &stop))?
+                .spawn(move || accept_loop(&listener, &engine, &stop, cfg))?
         };
         Ok(Self { addr, stop, accept: Some(accept) })
     }
@@ -46,11 +109,11 @@ impl Server {
         self.addr
     }
 
-    /// Stops accepting connections and joins the accept thread.
-    pub fn stop(mut self) {
+    /// Stops accepting, waits up to the drain deadline for in-flight
+    /// connections, and joins the accept thread. Idempotent — repeated
+    /// calls (or a call followed by `Drop`) are no-ops.
+    pub fn stop(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
-        // Wake the blocking accept() so it sees the flag.
-        let _ = TcpStream::connect(self.addr);
         if let Some(handle) = self.accept.take() {
             let _ = handle.join();
         }
@@ -59,62 +122,126 @@ impl Server {
 
 impl Drop for Server {
     fn drop(&mut self) {
-        if let Some(handle) = self.accept.take() {
-            self.stop.store(true, Ordering::SeqCst);
-            let _ = TcpStream::connect(self.addr);
-            let _ = handle.join();
-        }
+        self.stop();
     }
 }
 
-fn accept_loop(listener: &TcpListener, engine: &Arc<Engine>, stop: &Arc<AtomicBool>) {
-    for stream in listener.incoming() {
-        if stop.load(Ordering::SeqCst) {
-            break;
+fn accept_loop(
+    listener: &TcpListener,
+    engine: &Arc<Engine>,
+    stop: &Arc<AtomicBool>,
+    cfg: ServerConfig,
+) {
+    let active = Arc::new(AtomicUsize::new(0));
+    while !stop.load(Ordering::SeqCst) {
+        let (stream, _) = match listener.accept() {
+            Ok(conn) => conn,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+                continue;
+            }
+            Err(_) => continue,
+        };
+        // The listener is nonblocking; accepted sockets inherit flags on
+        // some platforms, and the connection loop wants timeout-driven
+        // blocking reads.
+        if stream.set_nonblocking(false).is_err() {
+            continue;
         }
-        let Ok(stream) = stream else { continue };
+        if active.fetch_add(1, Ordering::AcqRel) >= cfg.max_connections {
+            active.fetch_sub(1, Ordering::AcqRel);
+            // One honest refusal beats a silent close: the client learns
+            // this is load, not a crash.
+            let mut stream = stream;
+            let resp = Response::unavailable(None, "server is at its connection cap, retry later");
+            let _ = write_response(&mut stream, &resp);
+            continue;
+        }
+        let guard = ConnGuard(Arc::clone(&active));
         let engine = Arc::clone(engine);
-        let _ = std::thread::Builder::new()
-            .name("rrre-serve-conn".into())
-            .spawn(move || {
-                let _ = handle_connection(stream, &engine);
-            });
+        let stop = Arc::clone(stop);
+        let spawned = std::thread::Builder::new().name("rrre-serve-conn".into()).spawn(move || {
+            let _guard = guard;
+            let _ = handle_connection(stream, &engine, &stop, cfg);
+        });
+        // Spawn failure: the guard moved into the closure that never ran,
+        // but the closure is dropped with the error, releasing the slot.
+        drop(spawned);
+    }
+    // Drain: give in-flight connections (which see the stop flag within
+    // one read timeout) a bounded window to finish their current requests.
+    let deadline = Instant::now() + cfg.drain_deadline;
+    while active.load(Ordering::Acquire) > 0 && Instant::now() < deadline {
+        std::thread::sleep(ACCEPT_POLL);
     }
 }
 
-fn handle_connection(stream: TcpStream, engine: &Engine) -> std::io::Result<()> {
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(e.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut)
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    engine: &Engine,
+    stop: &AtomicBool,
+    cfg: ServerConfig,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(cfg.read_timeout))?;
     let mut writer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
+    // Accumulates one line across timeout-interrupted reads. Cleared only
+    // when a line completes (or is discarded as oversized) — a timeout
+    // mid-line must not lose the prefix already read.
     let mut buf: Vec<u8> = Vec::new();
     loop {
-        buf.clear();
         // Bounded read: never buffer more than MAX_LINE_BYTES (+1 sentinel
         // byte to tell "exactly at the limit" from "past it") per line.
-        let n = reader.by_ref().take(MAX_LINE_BYTES as u64 + 1).read_until(b'\n', &mut buf)?;
-        if n == 0 {
-            break; // clean EOF between lines
+        let budget = (MAX_LINE_BYTES + 1).saturating_sub(buf.len());
+        let n = match reader.by_ref().take(budget as u64).read_until(b'\n', &mut buf) {
+            Ok(n) => n,
+            Err(e) if is_timeout(&e) => {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+        if buf.last() == Some(&b'\n') {
+            let text = String::from_utf8_lossy(&buf);
+            if !text.trim().is_empty() {
+                let response = engine.submit_line(&text);
+                write_response(&mut writer, &response)?;
+            }
+            buf.clear();
+            continue;
         }
-        let complete = buf.last() == Some(&b'\n');
-        if !complete && buf.len() > MAX_LINE_BYTES {
+        if buf.len() > MAX_LINE_BYTES {
             // Oversized line: structured error, then discard the rest of
             // the line so the connection stays usable.
-            let resp = Response::error(None, format!("request line exceeds {MAX_LINE_BYTES} bytes"));
+            let resp = Response::error_kind(
+                None,
+                ErrorKind::BadRequest,
+                format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+            );
             write_response(&mut writer, &resp)?;
-            drain_line(&mut reader)?;
+            drain_line(&mut reader, stop)?;
+            buf.clear();
             continue;
         }
-        let text = String::from_utf8_lossy(&buf);
-        if text.trim().is_empty() {
-            continue;
-        }
-        // A partial line at EOF (client died or shut down mid-write) still
-        // gets a best-effort response — usually a parse error — instead of
-        // a silent close.
-        let response = engine.submit_line(&text);
-        write_response(&mut writer, &response)?;
-        if !complete {
+        if n == 0 {
+            // EOF. A partial line (client died or shut down mid-write)
+            // still gets a best-effort response — usually a parse error —
+            // instead of a silent close.
+            let text = String::from_utf8_lossy(&buf);
+            if !text.trim().is_empty() {
+                let response = engine.submit_line(&text);
+                let _ = write_response(&mut writer, &response);
+            }
             break;
         }
+        // n > 0 without a delimiter and under the limit: the socket hit
+        // EOF mid-line; the next read returns 0 and lands above.
     }
     Ok(())
 }
@@ -127,13 +254,21 @@ fn write_response(writer: &mut TcpStream, resp: &Response) -> std::io::Result<()
 
 /// Reads and discards up to the end of the current line (or EOF), in
 /// bounded chunks so an adversarial mega-line cannot grow server memory.
-fn drain_line(reader: &mut BufReader<TcpStream>) -> std::io::Result<()> {
+/// Timeouts re-check the stop flag like the main read loop does.
+fn drain_line(reader: &mut BufReader<TcpStream>, stop: &AtomicBool) -> std::io::Result<()> {
     let mut chunk = Vec::with_capacity(4096);
     loop {
         chunk.clear();
-        let n = reader.by_ref().take(4096).read_until(b'\n', &mut chunk)?;
-        if n == 0 || chunk.last() == Some(&b'\n') {
-            return Ok(());
+        match reader.by_ref().take(4096).read_until(b'\n', &mut chunk) {
+            Ok(0) => return Ok(()),
+            Ok(_) if chunk.last() == Some(&b'\n') => return Ok(()),
+            Ok(_) => {}
+            Err(e) if is_timeout(&e) => {
+                if stop.load(Ordering::SeqCst) {
+                    return Ok(());
+                }
+            }
+            Err(e) => return Err(e),
         }
     }
 }

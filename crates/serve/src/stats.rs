@@ -78,6 +78,18 @@ pub struct EngineStats {
     pub tower_evals: AtomicU64,
     /// Requests dropped because their deadline passed while queued.
     pub deadline_misses: AtomicU64,
+    /// Requests shed at submission because the queue (or the circuit
+    /// breaker) refused them. Shed requests never enter `process`, so they
+    /// are *not* counted in `requests` or `errors`.
+    pub shed: AtomicU64,
+    /// Hot-reload attempts (successful or not).
+    pub reloads: AtomicU64,
+    /// Hot-reload attempts that failed validation; the previous generation
+    /// kept serving.
+    pub reload_failures: AtomicU64,
+    /// Worker panics caught by the supervisor (each one feeds the circuit
+    /// breaker and restarts the worker loop after backoff).
+    pub worker_panics: AtomicU64,
     /// Enqueue-to-reply latency of every request.
     pub latency: LatencyHistogram,
 }
@@ -96,6 +108,8 @@ impl EngineStats {
         &self,
         user_cache: &crate::TowerCache,
         item_cache: &crate::TowerCache,
+        generation: u64,
+        breaker_open: bool,
     ) -> StatsSnapshot {
         let requests = self.requests.load(Ordering::Relaxed);
         let batches = self.batches.load(Ordering::Relaxed);
@@ -116,6 +130,12 @@ impl EngineStats {
             cache_hit_rate: if lookups == 0 { 0.0 } else { (uh + ih) as f64 / lookups as f64 },
             tower_evals: self.tower_evals.load(Ordering::Relaxed),
             deadline_misses: self.deadline_misses.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            reloads: self.reloads.load(Ordering::Relaxed),
+            reload_failures: self.reload_failures.load(Ordering::Relaxed),
+            worker_panics: self.worker_panics.load(Ordering::Relaxed),
+            generation,
+            breaker_open,
             p50_latency_us: self.latency.quantile_micros(0.50),
             p99_latency_us: self.latency.quantile_micros(0.99),
         }
@@ -150,6 +170,19 @@ pub struct StatsSnapshot {
     pub tower_evals: u64,
     /// Requests that missed their deadline while queued.
     pub deadline_misses: u64,
+    /// Requests shed at submission (queue full or breaker open).
+    pub shed: u64,
+    /// Hot-reload attempts.
+    pub reloads: u64,
+    /// Hot-reload attempts that failed (old generation kept serving).
+    pub reload_failures: u64,
+    /// Worker panics caught and recovered by the supervisor.
+    pub worker_panics: u64,
+    /// Artifact generation currently serving (starts at 1, +1 per
+    /// successful reload).
+    pub generation: u64,
+    /// Whether the panic circuit breaker is currently open.
+    pub breaker_open: bool,
     /// Median enqueue-to-reply latency (µs, power-of-two resolution).
     pub p50_latency_us: u64,
     /// 99th-percentile enqueue-to-reply latency (µs).

@@ -2,7 +2,9 @@
 //! every kind of on-disk damage must be rejected at load time.
 
 use rrre_data::{ItemId, UserId};
-use rrre_serve::artifact::{DATASET_FILE, MANIFEST_FILE, MODEL_FILE, VECTORS_FILE};
+use rrre_serve::artifact::{
+    file_digest, DATASET_FILE, MANIFEST_FILE, MANIFEST_VERSION, MODEL_FILE, VECTORS_FILE,
+};
 use rrre_serve::ModelArtifact;
 use rrre_testkit::fault::{flip_byte, truncate_file};
 use rrre_testkit::{trained_fixture, Fixture, TempDir};
@@ -55,7 +57,9 @@ fn wrong_manifest_version_fails() {
 
     let manifest_path = dir.file(MANIFEST_FILE);
     let json = std::fs::read_to_string(&manifest_path).unwrap();
-    std::fs::write(&manifest_path, json.replacen("\"version\": 1", "\"version\": 999", 1)).unwrap();
+    let needle = format!("\"version\": {MANIFEST_VERSION}");
+    assert!(json.contains(&needle), "manifest format changed: {json}");
+    std::fs::write(&manifest_path, json.replacen(&needle, "\"version\": 999", 1)).unwrap();
 
     let err = ModelArtifact::load(dir.path()).err().expect("version 999 must be rejected");
     assert!(err.to_string().contains("version"), "unexpected error: {err}");
@@ -121,13 +125,29 @@ fn corrupted_vectors_fail() {
 fn tampered_dataset_fails_validation() {
     let (fx, dir) = saved_fixture("tampered-dataset");
 
-    // Swap in a dataset with different review text: the rebuilt vocabulary
-    // no longer matches the stored vector table.
+    // Swap in a dataset with different review text. The checksum layer
+    // sees the swap first — the file no longer hashes to what the manifest
+    // recorded at save time.
+    let original = std::fs::read(dir.file(DATASET_FILE)).unwrap();
     let mut other = fx.dataset.clone();
     for r in &mut other.reviews {
         r.text = "entirely different words everywhere".into();
     }
     rrre_data::io::save_json(&other, dir.file(DATASET_FILE)).unwrap();
+
+    let err = ModelArtifact::load(dir.path()).err().expect("tampered dataset must be rejected");
+    assert!(err.to_string().contains("checksum"), "unexpected error: {err}");
+
+    // Re-hash the tampered file into the manifest (an attacker who can edit
+    // both files, or an honest re-export of a different dataset): the deeper
+    // semantic check still refuses, because the rebuilt vocabulary no longer
+    // matches the stored vector table.
+    let tampered = std::fs::read(dir.file(DATASET_FILE)).unwrap();
+    let manifest_path = dir.file(MANIFEST_FILE);
+    let json = std::fs::read_to_string(&manifest_path).unwrap();
+    let patched = json.replacen(&file_digest(&original), &file_digest(&tampered), 1);
+    assert_ne!(patched, json, "manifest did not record the original dataset digest");
+    std::fs::write(&manifest_path, patched).unwrap();
 
     let err = ModelArtifact::load(dir.path()).err().expect("vocab mismatch must be rejected");
     assert!(err.to_string().contains("vocabulary"), "unexpected error: {err}");

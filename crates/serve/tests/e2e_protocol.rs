@@ -44,9 +44,10 @@ fn full_pipeline_train_checkpoint_serve_query() {
             max_batch: 8,
             max_wait: Duration::from_micros(500),
             cache_shards: 8,
+            ..EngineConfig::default()
         },
     ));
-    let server = Server::start(Arc::clone(&engine), "127.0.0.1:0").unwrap();
+    let mut server = Server::start(Arc::clone(&engine), "127.0.0.1:0").unwrap();
     let addr = server.local_addr();
 
     // --- Concurrent clients over real sockets -------------------------------

@@ -27,6 +27,7 @@ fn engine_over_fixture(tag: &str) -> (Engine, Fixture) {
             max_batch: 8,
             max_wait: Duration::from_micros(500),
             cache_shards: 4,
+            ..EngineConfig::default()
         },
     );
     (engine, fx)

@@ -19,9 +19,9 @@ fn served_engine(tag: &str) -> (Arc<Engine>, Server) {
     let artifact = ModelArtifact::load(dir.path()).unwrap();
     let engine = Arc::new(Engine::new(
         artifact,
-        EngineConfig { workers: 2, max_batch: 4, max_wait: Duration::from_micros(500), cache_shards: 2 },
+        EngineConfig { workers: 2, max_batch: 4, max_wait: Duration::from_micros(500), cache_shards: 2, ..EngineConfig::default() },
     ));
-    let server = Server::start(Arc::clone(&engine), "127.0.0.1:0").unwrap();
+    let mut server = Server::start(Arc::clone(&engine), "127.0.0.1:0").unwrap();
     (engine, server)
 }
 
@@ -31,7 +31,7 @@ fn parse(reply: &str) -> Response {
 
 #[test]
 fn oversized_line_gets_error_and_connection_survives() {
-    let (_engine, server) = served_engine("oversized");
+    let (_engine, mut server) = served_engine("oversized");
     let addr = server.local_addr();
 
     let mut stream = TcpStream::connect(addr).unwrap();
@@ -64,7 +64,7 @@ fn oversized_line_gets_error_and_connection_survives() {
 
 #[test]
 fn partial_line_at_disconnect_gets_best_effort_error() {
-    let (_engine, server) = served_engine("partial");
+    let (_engine, mut server) = served_engine("partial");
     let addr = server.local_addr();
 
     // Client dies mid-request: 12 bytes of a valid predict line, no
@@ -88,7 +88,7 @@ fn partial_line_at_disconnect_gets_best_effort_error() {
 
 #[test]
 fn unknown_fields_and_malformed_json_get_structured_errors() {
-    let (_engine, server) = served_engine("unknown-fields");
+    let (_engine, mut server) = served_engine("unknown-fields");
     let addr = server.local_addr();
 
     let resp = parse(&roundtrip_line(addr, r#"{"op":"Predict","user":0,"item":0,"speed":"max"}"#).unwrap());
@@ -107,7 +107,7 @@ fn unknown_fields_and_malformed_json_get_structured_errors() {
 
 #[test]
 fn abrupt_disconnects_do_not_poison_the_server() {
-    let (engine, server) = served_engine("disconnect");
+    let (engine, mut server) = served_engine("disconnect");
     let addr = server.local_addr();
 
     // A batch of clients that connect, maybe write a fragment, and vanish.

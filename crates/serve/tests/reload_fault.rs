@@ -1,0 +1,175 @@
+//! Hot-reload fault drills: every way the artifact on disk can be damaged
+//! must make [`Engine::reload`] fail *closed* — the old generation keeps
+//! serving bit-identical answers, the failure is visible in stats, and
+//! clients hammering the engine while corrupted reloads are attempted see
+//! zero failed requests.
+
+use rrre_serve::artifact::{DATASET_FILE, MANIFEST_FILE, MODEL_FILE, VECTORS_FILE};
+use rrre_serve::protocol::PredictionDto;
+use rrre_serve::{Engine, EngineConfig, ModelArtifact, Request};
+use rrre_testkit::fault::{flip_byte, truncate_file};
+use rrre_testkit::sync::run_concurrently;
+use rrre_testkit::{trained_fixture, TempDir};
+use std::sync::Arc;
+
+fn served_artifact(tag: &str) -> (TempDir, Engine) {
+    let fx = trained_fixture();
+    let dir = TempDir::new(tag);
+    ModelArtifact::save(dir.path(), &fx.dataset, &fx.corpus, &fx.model, fx.min_count()).unwrap();
+    let artifact = ModelArtifact::load(dir.path()).unwrap();
+    let engine = Engine::new(artifact, EngineConfig { workers: 2, ..EngineConfig::default() });
+    (dir, engine)
+}
+
+/// A deterministic probe set: predictions for a small grid of pairs.
+fn probe(engine: &Engine) -> Vec<(u32, u32, PredictionDto)> {
+    let generation = engine.generation();
+    let (n_users, n_items) =
+        (generation.artifact.dataset.n_users, generation.artifact.dataset.n_items);
+    drop(generation);
+    let mut out = Vec::new();
+    for u in 0..n_users.min(4) as u32 {
+        for i in 0..n_items.min(4) as u32 {
+            let resp = engine.submit(Request::predict(u, i));
+            assert!(resp.ok, "probe predict failed: {:?}", resp.error);
+            out.push((u, i, resp.prediction.expect("ok predict carries a prediction")));
+        }
+    }
+    out
+}
+
+#[test]
+fn every_corruption_fails_closed_and_restore_recovers() {
+    let (dir, engine) = served_artifact("reload-fault");
+    let baseline = probe(&engine);
+    assert_eq!(engine.stats().generation, 1);
+
+    // Payload files get truncated AND bit-flipped (the checksum layer must
+    // catch both); the manifest gets truncated (a mid-write torn manifest).
+    // A flipped manifest byte can land in an unvalidated field like the
+    // dataset display name, so it is not a guaranteed-rejection drill.
+    let mut expected_failures = 0u64;
+    let corruptions: Vec<(&str, bool)> = vec![
+        (DATASET_FILE, true),
+        (VECTORS_FILE, true),
+        (MODEL_FILE, true),
+        (MANIFEST_FILE, false),
+    ];
+    for (file, also_flip) in corruptions {
+        let path = dir.file(file);
+        let pristine = std::fs::read(&path).unwrap();
+
+        let mut drills: Vec<(&str, Box<dyn Fn()>)> = Vec::new();
+        {
+            let p = path.clone();
+            let len = pristine.len() as u64;
+            drills.push(("truncate", Box::new(move || truncate_file(&p, len / 3).unwrap())));
+        }
+        if also_flip {
+            let p = path.clone();
+            let mid = pristine.len() / 2;
+            drills.push(("flip", Box::new(move || {
+                flip_byte(&p, mid).unwrap();
+            })));
+        }
+
+        for (what, corrupt) in drills {
+            corrupt();
+            let err = engine
+                .reload()
+                .expect_err(&format!("{what} of {file} must fail the reload"));
+            assert!(
+                err.contains("keeps serving"),
+                "reload error must name the surviving generation: {err}"
+            );
+            expected_failures += 1;
+
+            let stats = engine.stats();
+            assert_eq!(stats.generation, 1, "generation must not advance on a failed reload");
+            assert_eq!(stats.reload_failures, expected_failures);
+            assert_eq!(
+                probe(&engine),
+                baseline,
+                "old generation must serve bit-identical predictions after {what} of {file}"
+            );
+            std::fs::write(&path, &pristine).unwrap();
+        }
+    }
+
+    // Pristine artifact again: the reload goes through and bumps the
+    // generation, with fresh (cold) caches.
+    let new_id = engine.reload().expect("reload of the restored artifact must succeed");
+    assert_eq!(new_id, 2);
+    let stats = engine.stats();
+    assert_eq!(stats.generation, 2);
+    assert_eq!(stats.reloads, expected_failures + 1);
+    assert_eq!(stats.reload_failures, expected_failures);
+    assert_eq!(probe(&engine), baseline, "reloaded weights are the same weights");
+}
+
+#[test]
+fn reload_protocol_verb_swaps_and_reports_the_new_generation() {
+    let (_dir, engine) = served_artifact("reload-verb");
+    let resp = engine.submit(Request::reload().with_id(7));
+    assert!(resp.ok, "Reload verb failed: {:?}", resp.error);
+    assert_eq!(resp.id, Some(7));
+    assert_eq!(resp.generation, Some(2));
+    assert_eq!(engine.stats().generation, 2);
+}
+
+#[test]
+fn concurrent_clients_see_zero_failures_during_corrupted_reloads() {
+    let (dir, engine) = served_artifact("reload-storm");
+    let engine = Arc::new(engine);
+    let baseline = probe(&engine);
+
+    let model_path = dir.file(MODEL_FILE);
+    let pristine = std::fs::read(&model_path).unwrap();
+    let len = std::fs::metadata(&model_path).unwrap().len();
+    truncate_file(&model_path, len / 3).unwrap();
+
+    // Thread 0 hammers reloads of the corrupted artifact; the rest serve
+    // traffic. Not one client request may fail while reloads are failing.
+    const CLIENTS: usize = 6;
+    const REQUESTS: usize = 25;
+    const RELOADS: usize = 5;
+    let (n_users, n_items) = {
+        let generation = engine.generation();
+        (generation.artifact.dataset.n_users as u32, generation.artifact.dataset.n_items as u32)
+    };
+    let shared = Arc::clone(&engine);
+    let failures = run_concurrently(CLIENTS + 1, move |idx| {
+        if idx == 0 {
+            let mut failed_reloads = 0usize;
+            for _ in 0..RELOADS {
+                if shared.reload().is_err() {
+                    failed_reloads += 1;
+                }
+            }
+            assert_eq!(failed_reloads, RELOADS, "corrupted artifact must never reload");
+            0usize
+        } else {
+            (0..REQUESTS)
+                .filter(|&r| {
+                    let u = (idx - 1) as u32 % n_users;
+                    let resp = shared.submit(Request::predict(u, r as u32 % n_items));
+                    !resp.ok || resp.generation != Some(1)
+                })
+                .count()
+        }
+    });
+    assert_eq!(
+        failures.iter().sum::<usize>(),
+        0,
+        "every client request during corrupted reloads must succeed on generation 1"
+    );
+
+    let stats = engine.stats();
+    assert_eq!(stats.reload_failures, RELOADS as u64);
+    assert_eq!(stats.generation, 1);
+
+    // Repair and verify a clean swap still works afterwards.
+    std::fs::write(&model_path, &pristine).unwrap();
+    assert_eq!(engine.reload().unwrap(), 2);
+    assert_eq!(probe(&engine), baseline);
+}

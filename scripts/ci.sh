@@ -14,4 +14,32 @@ cargo test --workspace -q
 echo "==> cargo build --benches"
 cargo build --benches
 
+echo "==> crash-recovery smoke (train -> abort -> resume)"
+SMOKE="$(mktemp -d)"
+trap 'rm -rf "$SMOKE"' EXIT
+SERVE=target/release/rrre-serve
+
+full="$("$SERVE" train "$SMOKE/full" --epochs 4 2>/dev/null | tail -n 1)"
+echo "    uninterrupted: $full"
+
+# The abort flag exits 137 right after epoch 2's checkpoint lands — the
+# scripted stand-in for a SIGKILL between epochs.
+set +e
+"$SERVE" train "$SMOKE/ckpt" --epochs 4 --abort-after-epoch 2 >/dev/null 2>&1
+status=$?
+set -e
+if [ "$status" -ne 137 ]; then
+  echo "    FAIL: aborted run exited $status, expected 137" >&2
+  exit 1
+fi
+
+resumed="$("$SERVE" train "$SMOKE/ckpt" --epochs 4 --resume 2>/dev/null | tail -n 1)"
+echo "    resumed:       $resumed"
+if [ "$full" != "$resumed" ]; then
+  echo "    FAIL: resumed run does not reproduce the uninterrupted run" >&2
+  echo "      full:    $full" >&2
+  echo "      resumed: $resumed" >&2
+  exit 1
+fi
+
 echo "==> CI gate passed"

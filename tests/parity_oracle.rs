@@ -36,7 +36,7 @@ fn harnesses() -> &'static [Harness] {
                 let artifact = ModelArtifact::load(dir.path()).unwrap();
                 let engine = Engine::new(
                     artifact,
-                    EngineConfig { workers: 2, max_batch: 8, max_wait: Duration::from_micros(500), cache_shards: 4 },
+                    EngineConfig { workers: 2, max_batch: 8, max_wait: Duration::from_micros(500), cache_shards: 4, ..EngineConfig::default() },
                 );
                 Harness { fixture, engine }
             })

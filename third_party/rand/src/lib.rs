@@ -209,6 +209,25 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// The generator's raw internal state, for exact persistence (e.g.
+        /// resumable training checkpoints). Restoring with
+        /// [`StdRng::from_state`] continues the identical stream.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a state captured by [`StdRng::state`].
+        ///
+        /// # Panics
+        /// Panics on the all-zero state, which xoshiro256++ cannot leave
+        /// (and [`SeedableRng::seed_from_u64`] can never produce).
+        pub fn from_state(s: [u64; 4]) -> Self {
+            assert!(s.iter().any(|&w| w != 0), "StdRng::from_state: all-zero state");
+            StdRng { s }
+        }
+    }
+
     impl RngCore for StdRng {
         fn next_u32(&mut self) -> u32 {
             (self.next_u64() >> 32) as u32
@@ -331,6 +350,18 @@ mod tests {
         sorted.sort_unstable();
         assert_eq!(sorted, (0..100).collect::<Vec<_>>());
         assert_ne!(v, sorted, "shuffle left the identity order");
+    }
+
+    #[test]
+    fn state_roundtrip_continues_the_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        for _ in 0..17 {
+            a.gen::<u64>();
+        }
+        let mut b = StdRng::from_state(a.state());
+        for _ in 0..64 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
     }
 
     #[test]
