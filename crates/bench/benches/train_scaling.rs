@@ -1,0 +1,77 @@
+//! Data-parallel training throughput: samples/sec of one training epoch at
+//! 1/2/4/8 worker threads over the default bench fixture.
+//!
+//! Because every thread count is bit-identical (see `rrre_core::parallel`
+//! and `tests/parallel_parity.rs`), this bench measures a pure throughput
+//! knob: on an N-core machine the 4-thread row should reach ≥ 2× the
+//! serial samples/sec (shards are coarse enough that pool overhead stays
+//! under a few percent of an epoch). On a single-core box the rows simply
+//! document the pool overhead — a printed samples/sec summary accompanies
+//! the Criterion timings so the scaling curve is visible either way.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rrre_core::{Rrre, RrreConfig};
+use rrre_data::synth::{generate, SynthConfig};
+use rrre_data::{CorpusConfig, Dataset, EncodedCorpus};
+use rrre_text::word2vec::Word2VecConfig;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const EPOCHS: usize = 1;
+
+fn fixture() -> (Dataset, EncodedCorpus, Vec<usize>) {
+    let ds = generate(&SynthConfig::yelp_chi().scaled(0.08));
+    let corpus = EncodedCorpus::build(
+        &ds,
+        &CorpusConfig {
+            max_len: 12,
+            min_count: 2,
+            word2vec: Word2VecConfig { dim: 8, epochs: 1, ..Default::default() },
+            ..Default::default()
+        },
+    );
+    let train: Vec<usize> = (0..ds.len()).collect();
+    (ds, corpus, train)
+}
+
+fn train_once(ds: &Dataset, corpus: &EncodedCorpus, train: &[usize], threads: usize) -> Rrre {
+    Rrre::fit(ds, corpus, train, RrreConfig { epochs: EPOCHS, threads, ..RrreConfig::tiny() })
+}
+
+fn bench_train_scaling(c: &mut Criterion) {
+    let (ds, corpus, train) = fixture();
+    let samples_per_run = (train.len() * EPOCHS) as f64;
+
+    // Samples/sec summary (median of 3) alongside the Criterion rows.
+    println!("train_scaling: {} training examples per epoch", train.len());
+    let mut serial_rate = None;
+    for threads in THREAD_COUNTS {
+        let mut times: Vec<f64> = (0..3)
+            .map(|_| {
+                let t0 = Instant::now();
+                black_box(train_once(&ds, &corpus, &train, threads));
+                t0.elapsed().as_secs_f64()
+            })
+            .collect();
+        times.sort_by(f64::total_cmp);
+        let rate = samples_per_run / times[1];
+        let speedup = serial_rate.map_or(1.0, |s: f64| rate / s);
+        if threads == 1 {
+            serial_rate = Some(rate);
+        }
+        println!("train_scaling: threads={threads:<2} {rate:>10.0} samples/sec ({speedup:.2}x vs serial)");
+    }
+
+    let mut group = c.benchmark_group("train_scaling");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for threads in THREAD_COUNTS {
+        group.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, &t| {
+            b.iter(|| black_box(train_once(&ds, &corpus, &train, t)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_train_scaling);
+criterion_main!(benches);

@@ -91,6 +91,10 @@ pub struct RrreConfig {
     pub labeled_fraction: f32,
     /// RNG seed for initialisation and shuffling.
     pub seed: u64,
+    /// Training worker threads (calling thread included); `1` is serial.
+    /// Any value produces bit-identical models — see `rrre_core::parallel`
+    /// for the determinism contract — so this is purely a throughput knob.
+    pub threads: usize,
 }
 
 impl Default for RrreConfig {
@@ -114,6 +118,7 @@ impl Default for RrreConfig {
             sampling: Sampling::Latest,
             labeled_fraction: 1.0,
             seed: 0x44E5,
+            threads: 1,
         }
     }
 }
@@ -137,6 +142,20 @@ impl RrreConfig {
             "RrreConfig: labeled_fraction {} outside [0,1]",
             self.labeled_fraction
         );
+        assert!(self.threads >= 1, "RrreConfig: threads must be ≥ 1");
+    }
+
+    /// This configuration with `threads` training workers.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The `RRRE_THREADS` environment override used by the CI thread-matrix
+    /// smoke: `Some(n)` when the variable holds a positive integer, `None`
+    /// otherwise.
+    pub fn env_threads() -> Option<usize> {
+        std::env::var("RRRE_THREADS").ok()?.trim().parse().ok().filter(|&n| n >= 1)
     }
 
     /// A small configuration for tests and smoke benchmarks.
@@ -190,5 +209,19 @@ mod tests {
     #[should_panic(expected = "lambda")]
     fn bad_lambda_rejected() {
         RrreConfig { lambda: 1.5, ..Default::default() }.validate();
+    }
+
+    #[test]
+    fn threads_default_is_serial_and_zero_is_rejected() {
+        assert_eq!(RrreConfig::default().threads, 1);
+        let cfg = RrreConfig::tiny().with_threads(4);
+        cfg.validate();
+        assert_eq!(cfg.threads, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "threads")]
+    fn zero_threads_rejected() {
+        RrreConfig { threads: 0, ..Default::default() }.validate();
     }
 }

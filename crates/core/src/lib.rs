@@ -21,6 +21,7 @@ pub mod coverage;
 mod encoder;
 pub mod eval;
 mod model;
+pub mod parallel;
 mod recommend;
 mod tower;
 

@@ -6,13 +6,16 @@
 
 use crate::config::{EncoderMode, LossVariant, RrreConfig, Sampling};
 use crate::encoder::ReviewEncoder;
+use crate::parallel::{self, GradShard, Pool};
 use crate::tower::Tower;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rrre_data::repr::ReviewVectors;
 use rrre_data::{Dataset, DatasetIndex, EncodedCorpus, ItemId, UserId};
 use rrre_tensor::nn::{Embedding, FactorizationMachine, Linear};
-use rrre_tensor::{optim::Adam, ParamId, Params, Tape, Tensor, Var};
+use rrre_tensor::{optim::Adam, GradStore, ParamId, Params, Tape, Tensor, Var};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Joint prediction for one user–item pair.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -83,9 +86,11 @@ impl Rrre {
     ) -> Self {
         let (mut model, mut rng, labeled) = Self::training_setup(ds, corpus, train, cfg);
         let mut opt = Adam::new(cfg.lr);
+        let pool = Pool::new(cfg.threads);
         let mut order: Vec<usize> = (0..train.len()).collect();
         for epoch in 0..cfg.epochs {
-            let stats = model.train_epoch(ds, corpus, train, &labeled, &mut order, &mut rng, &mut opt, epoch);
+            let stats =
+                model.train_epoch(ds, corpus, train, &labeled, &mut order, &mut rng, &mut opt, epoch, &pool);
             hook(stats, &model);
         }
         model
@@ -126,7 +131,15 @@ impl Rrre {
 
     /// One training epoch: in-place shuffle of `order` (epoch N+1's order
     /// depends on epoch N's — `order` is training state, not scratch), then
-    /// the per-chunk forward/backward/step sweep.
+    /// the per-chunk sweep, data-parallel over the `pool`'s workers.
+    ///
+    /// Determinism contract (see [`crate::parallel`]): every chunk is split
+    /// into fixed-grain shards, workers claim shards off a counter and fill
+    /// each shard's own [`GradShard`] in position order, and the shards are
+    /// combined by a fixed-order pairwise tree before a *single* thread
+    /// applies regularisation, clipping and the Adam step. The resulting
+    /// bits — gradients, loss statistics, final weights — are identical for
+    /// every thread count.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn train_epoch(
         &mut self,
@@ -138,47 +151,61 @@ impl Rrre {
         rng: &mut StdRng,
         opt: &mut Adam,
         epoch: usize,
+        pool: &Pool,
     ) -> EpochStats {
         for i in (1..order.len()).rev() {
             order.swap(i, rng.gen_range(0..=i));
         }
         let (mut sum_l, mut sum_l1, mut sum_l2) = (0.0f64, 0.0f64, 0.0f64);
+        // Shard buffers are allocated once and reused across chunks.
+        let mut shards: Vec<GradShard> = Vec::new();
         for chunk in order.chunks(self.cfg.batch_size) {
             self.params.zero_grads();
-            for &pos in chunk {
-                let ri = train[pos];
-                let has_label = labeled[pos];
-                let r = &ds.reviews[ri];
-                let mut tape = Tape::new();
-                let (pred, logits) = self.forward_pair(&mut tape, corpus, r.user.index(), r.item.index());
-
-                // loss1 only where the label is available.
-                let loss1 = tape.softmax_cross_entropy(
-                    logits,
-                    &[r.label.class_index()],
-                    Some(&[if has_label { 1.0 } else { 0.0 }]),
-                );
-                // loss2 weight: the label when available; otherwise the
-                // model's current reliability estimate (self-training).
-                let weight = match (self.cfg.variant, has_label) {
-                    (LossVariant::Unbiased, _) => 1.0,
-                    (LossVariant::Biased, true) => r.label.as_f32(),
-                    (LossVariant::Biased, false) => {
-                        let z = tape.value(logits);
-                        softmax2(z.get(0, 0), z.get(0, 1))
-                    }
-                };
-                let loss2 = tape.weighted_mse(pred, &[r.rating], &[weight]);
-                let l1_scaled = tape.scale(loss1, self.cfg.lambda);
-                let l2_scaled = tape.scale(loss2, 1.0 - self.cfg.lambda);
-                let joint = tape.add(l1_scaled, l2_scaled);
-                let scaled = tape.scale(joint, 1.0 / chunk.len() as f32);
-                tape.backward(scaled, &mut self.params);
-
-                sum_l += tape.value(scaled).item() as f64 * chunk.len() as f64;
-                sum_l1 += tape.value(loss1).item() as f64;
-                sum_l2 += tape.value(loss2).item() as f64;
+            let n_shards = parallel::shard_count(chunk.len());
+            while shards.len() < n_shards {
+                shards.push(GradShard::new(&self.params));
             }
+            for shard in &mut shards[..n_shards] {
+                shard.reset();
+            }
+            {
+                let model = &*self;
+                let next = AtomicUsize::new(0);
+                // Hand each shard slot to exactly one worker: the claim
+                // counter guarantees a single owner, the Mutex proves it to
+                // the borrow checker without any unsafe.
+                let slots: Vec<Mutex<&mut GradShard>> =
+                    shards[..n_shards].iter_mut().map(Mutex::new).collect();
+                pool.run(&|_worker| loop {
+                    let s = next.fetch_add(1, Ordering::Relaxed);
+                    if s >= n_shards {
+                        break;
+                    }
+                    let mut shard = slots[s].lock().unwrap();
+                    for chunk_pos in parallel::shard_range(s, chunk.len()) {
+                        let pos = chunk[chunk_pos];
+                        let (l, l1, l2) = model.example_pass(
+                            ds,
+                            corpus,
+                            train[pos],
+                            labeled[pos],
+                            chunk.len(),
+                            &mut shard.grads,
+                        );
+                        shard.loss += l;
+                        shard.loss1 += l1;
+                        shard.loss2 += l2;
+                    }
+                });
+            }
+            // Single-threaded from here on: fixed-order reduction, then the
+            // same regularise/clip/step sequence the serial loop always ran.
+            parallel::tree_reduce(&mut shards[..n_shards]);
+            let root = &shards[0];
+            sum_l += root.loss;
+            sum_l1 += root.loss1;
+            sum_l2 += root.loss2;
+            self.params.absorb(&root.grads);
             self.params.apply_l2_grad(self.cfg.gamma);
             // Extra shrinkage on the per-entity embedding tables.
             if self.cfg.gamma_emb > 0.0 {
@@ -211,6 +238,55 @@ impl Rrre {
             loss1: (sum_l1 / n) as f32,
             loss2: (sum_l2 / n) as f32,
         }
+    }
+
+    /// One example's forward + backward — the shard-worker body. Takes `&self`
+    /// (the model is shared read-only across workers) and accumulates the
+    /// parameter gradients into `sink`; returns the `(joint, loss1, loss2)`
+    /// loss contributions for the epoch statistics. The op sequence is the
+    /// historical serial one, byte for byte, so a given example produces the
+    /// same gradient bits no matter which worker (or how many) runs it.
+    fn example_pass(
+        &self,
+        ds: &Dataset,
+        corpus: &EncodedCorpus,
+        review: usize,
+        has_label: bool,
+        chunk_len: usize,
+        sink: &mut GradStore,
+    ) -> (f64, f64, f64) {
+        let r = &ds.reviews[review];
+        let mut tape = Tape::new();
+        let (pred, logits) = self.forward_pair(&mut tape, corpus, r.user.index(), r.item.index());
+
+        // loss1 only where the label is available.
+        let loss1 = tape.softmax_cross_entropy(
+            logits,
+            &[r.label.class_index()],
+            Some(&[if has_label { 1.0 } else { 0.0 }]),
+        );
+        // loss2 weight: the label when available; otherwise the model's
+        // current reliability estimate (self-training).
+        let weight = match (self.cfg.variant, has_label) {
+            (LossVariant::Unbiased, _) => 1.0,
+            (LossVariant::Biased, true) => r.label.as_f32(),
+            (LossVariant::Biased, false) => {
+                let z = tape.value(logits);
+                softmax2(z.get(0, 0), z.get(0, 1))
+            }
+        };
+        let loss2 = tape.weighted_mse(pred, &[r.rating], &[weight]);
+        let l1_scaled = tape.scale(loss1, self.cfg.lambda);
+        let l2_scaled = tape.scale(loss2, 1.0 - self.cfg.lambda);
+        let joint = tape.add(l1_scaled, l2_scaled);
+        let scaled = tape.scale(joint, 1.0 / chunk_len as f32);
+        tape.backward_into(scaled, sink);
+
+        (
+            tape.value(scaled).item() as f64 * chunk_len as f64,
+            tape.value(loss1).item() as f64,
+            tape.value(loss2).item() as f64,
+        )
     }
 
     /// Architecture construction shared by [`Rrre::fit_with_hook`] and

@@ -28,14 +28,17 @@ USAGE:
       Generate a synthetic YelpChi-like dataset (default --scale 0.05),
       train a small RRRE model and write a serving artifact to <dir>.
 
-  rrre-serve train <dir> [--scale F] [--epochs N] [--every N]
+  rrre-serve train <dir> [--scale F] [--epochs N] [--every N] [--threads N]
                          [--resume] [--abort-after-epoch N]
       Crash-safe training over the same synthetic dataset: atomic
       checkpoints into <dir> every --every epochs (default 1). --resume
       continues from the newest checkpoint in <dir>, bit-identically to an
       uninterrupted run. --abort-after-epoch N exits with status 137 right
       after epoch N's checkpoint lands — a scripted SIGKILL for crash
-      drills. The final stdout line carries the exact loss bits.
+      drills. --threads N (default $RRRE_THREADS, else 1) trains
+      data-parallel; every thread count yields the same bits, so a run may
+      resume with a different count. The final stdout line carries the
+      exact loss bits.
 
   rrre-serve serve <dir> [--addr HOST:PORT] [--workers N]
                          [--max-batch N] [--max-wait-ms N] [--queue-cap N]
@@ -170,15 +173,23 @@ fn cmd_train(mut args: Vec<String>) -> ExitCode {
     let every: usize = parse_flag(take_flag(&mut args, "--every"), "--every", 1);
     let abort_after: Option<usize> =
         take_flag(&mut args, "--abort-after-epoch").map(|s| parse_flag(Some(s), "--abort-after-epoch", 0));
+    let threads: usize = parse_flag(
+        take_flag(&mut args, "--threads"),
+        "--threads",
+        RrreConfig::env_threads().unwrap_or(1),
+    );
     let resume = take_switch(&mut args, "--resume");
     let [dir] = args.as_slice() else {
         return fail("train needs exactly one <dir>");
     };
+    if threads == 0 {
+        return fail("--threads must be ≥ 1");
+    }
 
     eprintln!("generating synthetic dataset (scale {scale})...");
     let (ds, corpus, _) = synth_corpus(scale, 12, 8, 1);
     let train: Vec<usize> = (0..ds.len()).collect();
-    let cfg = RrreConfig { epochs, ..RrreConfig::tiny() };
+    let cfg = RrreConfig { epochs, threads, ..RrreConfig::tiny() };
     let ckpt = CheckpointConfig { dir: PathBuf::from(dir), every, keep: 3 };
 
     let mut last: Option<EpochStats> = None;

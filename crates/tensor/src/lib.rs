@@ -51,6 +51,6 @@ mod serialize;
 mod tape;
 mod tensor;
 
-pub use params::{ParamId, Params};
+pub use params::{GradSink, GradStore, ParamId, Params};
 pub use tape::{Tape, Var};
 pub use tensor::Tensor;

@@ -133,6 +133,107 @@ impl Params {
     pub fn has_non_finite(&self) -> bool {
         self.values.iter().chain(&self.grads).any(Tensor::has_non_finite)
     }
+
+    /// A detached, zeroed gradient accumulator with one slot per registered
+    /// parameter. Workers fill their own store while the `Params` values are
+    /// only borrowed immutably — the split-borrow that makes data-parallel
+    /// backward passes possible.
+    pub fn grad_store(&self) -> GradStore {
+        GradStore {
+            grads: self.values.iter().map(|v| Tensor::zeros(v.rows(), v.cols())).collect(),
+        }
+    }
+
+    /// Adds every accumulator in `store` onto this store's gradients,
+    /// parameter by parameter — the single-threaded absorption step after a
+    /// parallel reduction.
+    pub fn absorb(&mut self, store: &GradStore) {
+        assert_eq!(self.grads.len(), store.grads.len(), "absorb: parameter count mismatch");
+        for (g, s) in self.grads.iter_mut().zip(&store.grads) {
+            g.add_assign(s);
+        }
+    }
+}
+
+/// Destination for parameter gradients produced by a backward pass.
+///
+/// [`Params`] is the classic sink (gradients land next to the weights);
+/// [`GradStore`] is the detached sink used by data-parallel training, where
+/// each worker accumulates into its own store before a deterministic
+/// reduction.
+pub trait GradSink {
+    /// Adds `delta` onto the accumulator for `id`.
+    fn accumulate_grad(&mut self, id: ParamId, delta: &Tensor);
+}
+
+impl GradSink for Params {
+    fn accumulate_grad(&mut self, id: ParamId, delta: &Tensor) {
+        self.grads[id.0].add_assign(delta);
+    }
+}
+
+/// A gradient accumulator detached from its [`Params`] store: one zeroed
+/// tensor per parameter, created by [`Params::grad_store`].
+///
+/// Stores are combined with [`GradStore::add_assign`]; because each
+/// `add_assign` is an element-wise `a[i] += b[i]` in parameter order, a
+/// reduction over stores is bit-determined entirely by the order the stores
+/// are combined in — which is what the fixed-order tree reduction in
+/// `rrre-core` pins down.
+#[derive(Debug, Clone)]
+pub struct GradStore {
+    grads: Vec<Tensor>,
+}
+
+impl GradStore {
+    /// Number of parameter slots.
+    pub fn len(&self) -> usize {
+        self.grads.len()
+    }
+
+    /// Whether the store has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.grads.is_empty()
+    }
+
+    /// Immutable access to the accumulator for `id`.
+    pub fn grad(&self, id: ParamId) -> &Tensor {
+        &self.grads[id.0]
+    }
+
+    /// Mutable access to the accumulator for `id`.
+    pub fn grad_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.grads[id.0]
+    }
+
+    /// Resets every accumulator to zero in place (shapes are kept, no
+    /// reallocation — stores are meant to be reused across minibatches).
+    pub fn zero(&mut self) {
+        for g in &mut self.grads {
+            g.map_inplace(|_| 0.0);
+        }
+    }
+
+    /// Adds every accumulator of `other` onto this store: the pairwise
+    /// reduction step. Panics if the two stores came from differently shaped
+    /// `Params`.
+    pub fn add_assign(&mut self, other: &GradStore) {
+        assert_eq!(self.grads.len(), other.grads.len(), "add_assign: parameter count mismatch");
+        for (g, o) in self.grads.iter_mut().zip(&other.grads) {
+            g.add_assign(o);
+        }
+    }
+
+    /// Sum of all accumulator entries — a cheap fingerprint for tests.
+    pub fn sum(&self) -> f32 {
+        self.grads.iter().map(Tensor::sum).sum()
+    }
+}
+
+impl GradSink for GradStore {
+    fn accumulate_grad(&mut self, id: ParamId, delta: &Tensor) {
+        self.grads[id.0].add_assign(delta);
+    }
 }
 
 #[cfg(test)]
@@ -169,6 +270,45 @@ mod tests {
         p.apply_l2_grad(0.5);
         // grad = 2*gamma*w = [3, 4]
         assert!(p.grad(w).approx_eq(&Tensor::from_vec(1, 2, vec![3.0, 4.0]), 1e-6));
+    }
+
+    #[test]
+    fn grad_store_is_detached_and_absorbable() {
+        let mut p = Params::new();
+        let w = p.register("w", Tensor::from_vec(1, 2, vec![1.0, 2.0]));
+        let mut s = p.grad_store();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.grad(w).shape(), (1, 2));
+        s.accumulate_grad(w, &Tensor::from_vec(1, 2, vec![0.5, 0.25]));
+        // Filling the store leaves the Params gradients untouched…
+        assert_eq!(p.grad(w).sum(), 0.0);
+        // …until they are explicitly absorbed.
+        p.absorb(&s);
+        assert!(p.grad(w).approx_eq(&Tensor::from_vec(1, 2, vec![0.5, 0.25]), 1e-6));
+        s.zero();
+        assert_eq!(s.sum(), 0.0);
+    }
+
+    #[test]
+    fn grad_store_add_assign_reduces_pairwise() {
+        let mut p = Params::new();
+        let w = p.register("w", Tensor::zeros(1, 2));
+        let mut a = p.grad_store();
+        let mut b = p.grad_store();
+        a.accumulate_grad(w, &Tensor::from_vec(1, 2, vec![1.0, 2.0]));
+        b.accumulate_grad(w, &Tensor::from_vec(1, 2, vec![10.0, 20.0]));
+        a.add_assign(&b);
+        assert!(a.grad(w).approx_eq(&Tensor::from_vec(1, 2, vec![11.0, 22.0]), 1e-6));
+    }
+
+    #[test]
+    fn params_grad_sink_matches_grad_mut_add_assign() {
+        let mut p = Params::new();
+        let w = p.register("w", Tensor::zeros(2, 2));
+        let delta = Tensor::ones(2, 2);
+        p.accumulate_grad(w, &delta);
+        p.accumulate_grad(w, &delta);
+        assert_eq!(p.grad(w).sum(), 8.0);
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! `Vec` push per op — which keeps the design free of interior mutability and
 //! reference cycles.
 
-use crate::{ParamId, Params, Tensor};
+use crate::{GradSink, ParamId, Params, Tensor};
 
 /// Handle to a node on a [`Tape`]. Only valid for the tape that created it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -144,6 +144,15 @@ impl Tape {
     /// # Panics
     /// Panics if `loss` is not scalar-shaped.
     pub fn backward(&mut self, loss: Var, params: &mut Params) {
+        self.backward_into(loss, params);
+    }
+
+    /// Like [`Tape::backward`], but accumulates parameter gradients into an
+    /// arbitrary [`GradSink`] — e.g. a detached [`crate::GradStore`] owned by
+    /// one worker of a data-parallel training step. The sweep itself is
+    /// identical to `backward`, so for a given tape the deltas written to the
+    /// sink are bit-identical regardless of which sink receives them.
+    pub fn backward_into(&mut self, loss: Var, sink: &mut dyn GradSink) {
         assert_eq!(
             self.nodes[loss.0].value.shape(),
             (1, 1),
@@ -155,19 +164,19 @@ impl Tape {
 
         for idx in (0..=loss.0).rev() {
             let Some(grad) = grads[idx].take() else { continue };
-            self.backward_node(idx, &grad, &mut grads, params);
+            self.backward_node(idx, &grad, &mut grads, sink);
             grads[idx] = Some(grad);
         }
         self.grads = grads;
     }
 
     /// Propagates the adjoint `g` of node `idx` into its parents.
-    fn backward_node(&self, idx: usize, g: &Tensor, grads: &mut [Option<Tensor>], params: &mut Params) {
+    fn backward_node(&self, idx: usize, g: &Tensor, grads: &mut [Option<Tensor>], sink: &mut dyn GradSink) {
         let node = &self.nodes[idx];
         match &node.op {
             Op::Leaf { param } => {
                 if let Some(id) = param {
-                    params.grad_mut(*id).add_assign(g);
+                    sink.accumulate_grad(*id, g);
                 }
             }
             Op::Add(a, b) => {

@@ -31,13 +31,27 @@ pub struct FixtureSpec {
     pub min_count: u64,
     /// RRRE training epochs.
     pub epochs: usize,
+    /// Training worker threads; `0` defers to the `RRRE_THREADS` environment
+    /// override (the CI thread-matrix smoke), falling back to serial.
+    /// Training is bit-identical at every thread count, so this never
+    /// changes what a fixture *is* — only how fast it is built.
+    pub threads: usize,
 }
 
 impl FixtureSpec {
     /// The standard small fixture: big enough for meaningful metrics,
     /// small enough to train in well under a second.
     pub fn small() -> Self {
-        Self { seed: 0x5EED, scale: 0.04, max_len: 12, embed_dim: 8, w2v_epochs: 1, min_count: 2, epochs: 2 }
+        Self {
+            seed: 0x5EED,
+            scale: 0.04,
+            max_len: 12,
+            embed_dim: 8,
+            w2v_epochs: 1,
+            min_count: 2,
+            epochs: 2,
+            threads: 0,
+        }
     }
 
     /// A barely-there fixture for tests that only need shapes to line up.
@@ -57,6 +71,13 @@ impl FixtureSpec {
         self
     }
 
+    /// The same spec trained on an explicit number of worker threads
+    /// (bypassing the `RRRE_THREADS` environment default).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
     /// The synthetic-data configuration this spec pins.
     pub fn synth_config(&self) -> SynthConfig {
         SynthConfig::yelp_chi().scaled(self.scale).with_seed(self.seed)
@@ -73,8 +94,15 @@ impl FixtureSpec {
     }
 
     /// The model configuration this spec pins (tiny architecture).
+    /// Precedence for the thread count: explicit [`FixtureSpec::with_threads`]
+    /// beats the `RRRE_THREADS` environment variable beats serial.
     pub fn rrre_config(&self) -> RrreConfig {
-        RrreConfig { epochs: self.epochs, seed: self.seed, ..RrreConfig::tiny() }
+        let threads = if self.threads > 0 {
+            self.threads
+        } else {
+            RrreConfig::env_threads().unwrap_or(1)
+        };
+        RrreConfig { epochs: self.epochs, seed: self.seed, threads, ..RrreConfig::tiny() }
     }
 
     /// Generates the dataset alone.

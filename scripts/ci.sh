@@ -5,14 +5,28 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> cargo build --release"
-cargo build --release
+echo "==> cargo build --release --workspace"
+# --workspace so the rrre-serve binary the smoke drills below exercise is
+# rebuilt too (a bare `cargo build` only covers the root package).
+cargo build --release --workspace
 
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
 echo "==> cargo build --benches"
 cargo build --benches
+
+# Thread-matrix smoke: the tier-1 root suite must pass with the training
+# thread count forced through the RRRE_THREADS override — the fixtures every
+# root test trains are bit-identical at any thread count, so a failure here
+# is a determinism regression in the parallel engine.
+for t in 1 4; do
+  echo "==> tier-1 suite under RRRE_THREADS=$t"
+  RRRE_THREADS="$t" cargo test -q
+done
+
+echo "==> parallel parity oracles (explicit thread counts)"
+cargo test -q --test parallel_parity --test golden_trace --test resume_parity
 
 echo "==> crash-recovery smoke (train -> abort -> resume)"
 SMOKE="$(mktemp -d)"
@@ -33,7 +47,8 @@ if [ "$status" -ne 137 ]; then
   exit 1
 fi
 
-resumed="$("$SERVE" train "$SMOKE/ckpt" --epochs 4 --resume 2>/dev/null | tail -n 1)"
+# Resuming on a different thread count must not change a single bit.
+resumed="$("$SERVE" train "$SMOKE/ckpt" --epochs 4 --resume --threads 3 2>/dev/null | tail -n 1)"
 echo "    resumed:       $resumed"
 if [ "$full" != "$resumed" ]; then
   echo "    FAIL: resumed run does not reproduce the uninterrupted run" >&2
@@ -41,5 +56,19 @@ if [ "$full" != "$resumed" ]; then
   echo "      resumed: $resumed" >&2
   exit 1
 fi
+
+echo "==> parallel determinism drill (loss bits across thread counts)"
+# The stdout line carries the exact loss bits; any drift between thread
+# counts fails the gate.
+for t in 2 4; do
+  par="$("$SERVE" train "$SMOKE/par$t" --epochs 4 --threads "$t" 2>/dev/null | tail -n 1)"
+  echo "    threads=$t:     $par"
+  if [ "$full" != "$par" ]; then
+    echo "    FAIL: loss bits at --threads $t differ from serial" >&2
+    echo "      serial:    $full" >&2
+    echo "      threads=$t: $par" >&2
+    exit 1
+  fi
+done
 
 echo "==> CI gate passed"

@@ -25,6 +25,29 @@ fn training_trace_matches_committed_golden() {
     check_golden(golden_path(), &trace, GoldenTolerance::default());
 }
 
+/// The committed golden was recorded serially; the data-parallel path must
+/// replay it inside the very same tolerance bands — no regeneration, no
+/// widened tolerances. Deliberately reads the committed file directly (not
+/// through `check_golden`) so this test can never rewrite it.
+#[test]
+fn committed_golden_replays_bit_identically_under_four_threads() {
+    let (trace, _) = capture(FixtureSpec::small().with_threads(4), HEAD_PROBES);
+    let raw = std::fs::read_to_string(golden_path())
+        .expect("golden file must be committed (regenerate with RRRE_UPDATE_GOLDENS=1)");
+    let golden: GoldenTrace = serde_json::from_str(&raw).unwrap();
+    if let Err(errors) = compare(&golden, &trace, GoldenTolerance::default()) {
+        panic!(
+            "threads=4 replay leaves the committed golden's bands ({} violation(s)):\n  {}",
+            errors.len(),
+            errors.join("\n  ")
+        );
+    }
+    // Stronger than the bands: the parallel capture carries the *bits* of a
+    // serial capture of the same spec.
+    let (serial, _) = capture(FixtureSpec::small().with_threads(1), HEAD_PROBES);
+    assert_eq!(trace, serial, "threads=4 capture must be bit-identical to serial");
+}
+
 #[test]
 fn capture_is_bit_deterministic_within_a_process() {
     let spec = FixtureSpec::small().with_epochs(1);

@@ -5,9 +5,10 @@
 //! as a composite-loss mismatch.
 
 use rand::{rngs::StdRng, SeedableRng};
-use rrre::tensor::gradcheck::assert_gradients_ok;
+use rrre::core::parallel::{shard_count, shard_range, tree_reduce, GradShard};
+use rrre::tensor::gradcheck::{assert_gradients_ok, GradCheck};
 use rrre::tensor::nn::{AttentionPool, BiLstm, Embedding, FactorizationMachine, Linear, Lstm};
-use rrre::tensor::{init, Params, Tensor};
+use rrre::tensor::{init, Params, Tape, Tensor};
 
 #[test]
 fn embedding_layer_passes_gradcheck() {
@@ -126,6 +127,82 @@ fn fraud_attention_pool_passes_gradcheck() {
         let sq = tape.square(pooled);
         tape.mean_all(sq)
     });
+}
+
+/// The data-parallel backward — per-example tapes accumulating into
+/// positional `GradShard`s, combined by the fixed-order tree reduction —
+/// audited directly against central finite differences of the *total*
+/// minibatch loss. This closes the loop `tests/parallel_parity.rs` leaves
+/// open: parity proves parallel ≡ serial, this proves the shared path is
+/// the true gradient.
+#[test]
+fn parallel_backward_matches_finite_differences() {
+    let mut rng = StdRng::seed_from_u64(0x9A7);
+    let mut params = Params::new();
+    let lin1 = Linear::new(&mut params, &mut rng, "lin1", 4, 3);
+    let lin2 = Linear::new(&mut params, &mut rng, "lin2", 3, 1);
+    // 8 fixed "examples" — enough for two full shards plus the tree.
+    let examples: Vec<Tensor> = (0..8).map(|_| init::normal(&mut rng, 1, 4, 0.0, 1.0)).collect();
+    let n = examples.len();
+
+    // One example's loss node: mean contribution of a tiny two-layer MLP.
+    let example_loss = |p: &Params, tape: &mut Tape, x: &Tensor| {
+        let xv = tape.constant(x.clone());
+        let h = lin1.forward(tape, p, xv);
+        let a = tape.tanh(h);
+        let y = lin2.forward(tape, p, a);
+        let sq = tape.square(y);
+        let l = tape.mean_all(sq);
+        tape.scale(l, 1.0 / n as f32)
+    };
+
+    // Analytic gradient via the parallel machinery: positional shards,
+    // per-example `backward_into`, fixed-order tree reduction.
+    let mut shards: Vec<GradShard> =
+        (0..shard_count(n)).map(|_| GradShard::new(&params)).collect();
+    for (s, shard) in shards.iter_mut().enumerate() {
+        for e in shard_range(s, n) {
+            let mut tape = Tape::new();
+            let loss = example_loss(&params, &mut tape, &examples[e]);
+            tape.backward_into(loss, &mut shard.grads);
+        }
+    }
+    tree_reduce(&mut shards);
+    let analytic: Vec<Vec<f32>> =
+        params.ids().map(|id| shards[0].grads.grad(id).as_slice().to_vec()).collect();
+
+    // Central finite differences of the total loss, per scalar.
+    let total_loss = |p: &Params| -> f32 {
+        examples
+            .iter()
+            .map(|x| {
+                let mut tape = Tape::new();
+                let l = example_loss(p, &mut tape, x);
+                tape.value(l).item()
+            })
+            .sum()
+    };
+    let cfg = GradCheck::default();
+    let ids: Vec<_> = params.ids().collect();
+    for (pi, id) in ids.iter().enumerate() {
+        for i in 0..params.get(*id).len() {
+            let orig = params.get(*id).as_slice()[i];
+            params.get_mut(*id).as_mut_slice()[i] = orig + cfg.epsilon;
+            let f_plus = total_loss(&params);
+            params.get_mut(*id).as_mut_slice()[i] = orig - cfg.epsilon;
+            let f_minus = total_loss(&params);
+            params.get_mut(*id).as_mut_slice()[i] = orig;
+
+            let numeric = (f_plus - f_minus) / (2.0 * cfg.epsilon);
+            let a = analytic[pi][i];
+            let tol = cfg.atol + cfg.rtol * a.abs().max(numeric.abs());
+            assert!(
+                (a - numeric).abs() <= tol,
+                "parallel backward off at {}[{i}]: analytic {a:.6} vs numeric {numeric:.6}",
+                params.name(*id)
+            );
+        }
+    }
 }
 
 #[test]

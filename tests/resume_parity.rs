@@ -118,3 +118,73 @@ fn interrupted_and_resumed_run_matches_the_uninterrupted_golden_trace() {
         );
     }
 }
+
+/// Crash-and-resume under *parallel* training: interrupt a 2-thread run
+/// mid-way, resume it with a different thread count (3), and demand the
+/// pieced-together run reproduce an uninterrupted **serial** run bit for
+/// bit — loss curve and final weights. Thread count is not checkpoint
+/// state, so a crashed 16-core job may legally finish on a laptop.
+#[test]
+fn parallel_crash_resume_with_different_thread_count_is_bit_identical() {
+    let spec = FixtureSpec::small().with_epochs(EPOCHS);
+    let (dataset, corpus) = spec.corpus();
+    let train: Vec<usize> = (0..dataset.len()).collect();
+
+    // Serial, uninterrupted reference.
+    let mut serial_stats = Vec::new();
+    let serial = Rrre::fit_with_hook(
+        &dataset,
+        &corpus,
+        &train,
+        spec.rrre_config().with_threads(1),
+        |s, _| serial_stats.push(s),
+    );
+
+    let scratch = TempDir::new("resume-parity-parallel");
+    let ckpt = CheckpointConfig { dir: scratch.path().to_path_buf(), every: 1, keep: 3 };
+
+    // First leg on 2 threads, "crashing" after the interrupt epoch.
+    let mut pieced_stats: Vec<EpochStats> = Vec::new();
+    let first_leg =
+        RrreConfig { epochs: INTERRUPT_AFTER, ..spec.rrre_config().with_threads(2) };
+    let out = Rrre::fit_checkpointed(&dataset, &corpus, &train, first_leg, &ckpt, |s, _| {
+        pieced_stats.push(s)
+    })
+    .expect("first parallel training leg");
+    assert_eq!(out.completed_epochs, INTERRUPT_AFTER);
+    drop(out); // the crash: only the checkpoint directory survives
+
+    // Resume on 3 threads.
+    let out = Rrre::resume(
+        &dataset,
+        &corpus,
+        &train,
+        spec.rrre_config().with_threads(3),
+        &ckpt,
+        |s, _| pieced_stats.push(s),
+    )
+    .expect("resume with a different thread count");
+    assert_eq!(out.resumed_from, Some(INTERRUPT_AFTER));
+    assert_eq!(out.completed_epochs, EPOCHS);
+    let resumed = out.model;
+
+    assert_eq!(
+        stats_bits(&pieced_stats),
+        stats_bits(&serial_stats),
+        "2-thread leg + 3-thread resume must reproduce the serial loss curve bit-for-bit"
+    );
+    let serial_params: Vec<u32> = serial
+        .params()
+        .iter()
+        .flat_map(|(_, _, t)| t.as_slice().iter().map(|v| v.to_bits()))
+        .collect();
+    let resumed_params: Vec<u32> = resumed
+        .params()
+        .iter()
+        .flat_map(|(_, _, t)| t.as_slice().iter().map(|v| v.to_bits()))
+        .collect();
+    assert_eq!(
+        serial_params, resumed_params,
+        "final weights must be bit-identical across the thread-count switch"
+    );
+}
