@@ -1,0 +1,228 @@
+//! Per-replica sliding-window circuit breaker.
+//!
+//! Outcome-driven, not panic-driven (unlike the server-side breaker in
+//! `rrre-serve`): every attempt against a replica records success or
+//! failure into a fixed-size window of the most recent outcomes. When the
+//! window holds `threshold` failures the breaker opens and the replica
+//! stops being selected. Recovery is two-path:
+//!
+//! * **half-open trial** — after `cooldown`, exactly one request is
+//!   allowed through ([`Breaker::try_acquire`]); success closes the
+//!   breaker, failure re-opens it with a fresh cooldown;
+//! * **probe override** — a successful out-of-band health probe closes
+//!   the breaker immediately ([`Breaker::probe_success`]), and a failed
+//!   probe while open pushes the next half-open trial out, so request
+//!   traffic never has to test a replica the prober already knows is
+//!   dead.
+
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Closed,
+    /// Open since the instant; no traffic until the cooldown elapses.
+    Open(Instant),
+    /// One in-flight trial request; everyone else keeps waiting.
+    HalfOpen,
+}
+
+/// One replica's breaker. Not thread-safe by itself — callers wrap it in a
+/// mutex next to the rest of the replica state.
+#[derive(Debug)]
+pub struct Breaker {
+    window: usize,
+    threshold: usize,
+    cooldown: Duration,
+    /// Most recent outcomes, `true` = failure, newest at the back.
+    outcomes: VecDeque<bool>,
+    state: State,
+    opens: u64,
+}
+
+impl Breaker {
+    /// A closed breaker that opens on `threshold` failures within the last
+    /// `window` outcomes and allows a half-open trial after `cooldown`.
+    pub fn new(window: usize, threshold: usize, cooldown: Duration) -> Self {
+        assert!(window >= 1 && threshold >= 1, "Breaker: window and threshold must be ≥ 1");
+        assert!(threshold <= window, "Breaker: threshold cannot exceed the window");
+        Self {
+            window,
+            threshold,
+            cooldown,
+            outcomes: VecDeque::with_capacity(window),
+            state: State::Closed,
+            opens: 0,
+        }
+    }
+
+    fn push(&mut self, failure: bool) {
+        if self.outcomes.len() == self.window {
+            self.outcomes.pop_front();
+        }
+        self.outcomes.push_back(failure);
+    }
+
+    fn failures(&self) -> usize {
+        self.outcomes.iter().filter(|&&f| f).count()
+    }
+
+    /// Whether a request may be routed here right now. An open breaker
+    /// past its cooldown converts to half-open and admits exactly one
+    /// trial; while that trial is in flight everyone else is refused.
+    pub fn try_acquire(&mut self, now: Instant) -> bool {
+        match self.state {
+            State::Closed => true,
+            State::HalfOpen => false,
+            State::Open(since) => {
+                if now.duration_since(since) >= self.cooldown {
+                    self.state = State::HalfOpen;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Records a successful attempt (closes a half-open breaker).
+    pub fn record_success(&mut self) {
+        self.push(false);
+        if self.state != State::Closed {
+            self.state = State::Closed;
+            self.outcomes.clear();
+        }
+    }
+
+    /// Records a failed attempt; opens the breaker when the window crosses
+    /// the threshold (or instantly re-opens a half-open one).
+    pub fn record_failure(&mut self, now: Instant) {
+        self.push(true);
+        match self.state {
+            State::HalfOpen => {
+                self.state = State::Open(now);
+                self.opens += 1;
+            }
+            State::Closed if self.failures() >= self.threshold => {
+                self.state = State::Open(now);
+                self.opens += 1;
+            }
+            _ => {}
+        }
+    }
+
+    /// An out-of-band health probe succeeded: close immediately, whatever
+    /// state we were in — the replica is demonstrably back.
+    pub fn probe_success(&mut self) {
+        self.state = State::Closed;
+        self.outcomes.clear();
+    }
+
+    /// An out-of-band health probe failed. While open, push the half-open
+    /// trial out (the prober just confirmed the replica is still dead, so
+    /// burning a real request on it would be pure waste); while closed it
+    /// counts like any other failure.
+    pub fn probe_failure(&mut self, now: Instant) {
+        match self.state {
+            State::Open(_) | State::HalfOpen => {
+                self.state = State::Open(now);
+            }
+            State::Closed => self.record_failure(now),
+        }
+    }
+
+    /// Whether the breaker is currently open or half-open (i.e. not
+    /// serving normally).
+    pub fn is_open(&self) -> bool {
+        self.state != State::Closed
+    }
+
+    /// How many times this breaker has transitioned closed/half-open →
+    /// open over its lifetime.
+    pub fn opens(&self) -> u64 {
+        self.opens
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker() -> Breaker {
+        Breaker::new(8, 3, Duration::from_millis(50))
+    }
+
+    #[test]
+    fn opens_after_threshold_failures_in_window() {
+        let now = Instant::now();
+        let mut b = breaker();
+        b.record_failure(now);
+        b.record_failure(now);
+        assert!(!b.is_open(), "under threshold must stay closed");
+        b.record_failure(now);
+        assert!(b.is_open());
+        assert_eq!(b.opens(), 1);
+        assert!(!b.try_acquire(now), "no traffic inside the cooldown");
+    }
+
+    #[test]
+    fn successes_age_failures_out_of_the_window() {
+        let now = Instant::now();
+        let mut b = breaker();
+        b.record_failure(now);
+        b.record_failure(now);
+        for _ in 0..8 {
+            b.record_success();
+        }
+        b.record_failure(now);
+        b.record_failure(now);
+        assert!(!b.is_open(), "old failures must have slid out of the window");
+    }
+
+    #[test]
+    fn half_open_admits_exactly_one_trial() {
+        let now = Instant::now();
+        let mut b = breaker();
+        for _ in 0..3 {
+            b.record_failure(now);
+        }
+        let later = now + Duration::from_millis(60);
+        assert!(b.try_acquire(later), "cooldown elapsed: one trial allowed");
+        assert!(!b.try_acquire(later), "second caller must wait for the trial");
+        b.record_success();
+        assert!(!b.is_open());
+        assert!(b.try_acquire(later), "closed again after a good trial");
+    }
+
+    #[test]
+    fn failed_trial_reopens_with_fresh_cooldown() {
+        let now = Instant::now();
+        let mut b = breaker();
+        for _ in 0..3 {
+            b.record_failure(now);
+        }
+        let later = now + Duration::from_millis(60);
+        assert!(b.try_acquire(later));
+        b.record_failure(later);
+        assert_eq!(b.opens(), 2);
+        assert!(!b.try_acquire(later + Duration::from_millis(10)), "cooldown restarted");
+        assert!(b.try_acquire(later + Duration::from_millis(60)));
+    }
+
+    #[test]
+    fn probe_success_closes_and_probe_failure_postpones() {
+        let now = Instant::now();
+        let mut b = breaker();
+        for _ in 0..3 {
+            b.record_failure(now);
+        }
+        // Probe keeps confirming death: the half-open trial keeps moving.
+        let t1 = now + Duration::from_millis(60);
+        b.probe_failure(t1);
+        assert!(!b.try_acquire(t1 + Duration::from_millis(10)));
+        // Probe sees recovery: closed instantly, no trial needed.
+        b.probe_success();
+        assert!(!b.is_open());
+        assert!(b.try_acquire(t1));
+    }
+}

@@ -4,17 +4,19 @@
 //! rrre-serve demo <dir> [--scale F]          train a small model, save an artifact
 //! rrre-serve train <dir> [...]               crash-safe training with checkpoints
 //! rrre-serve serve <dir> [--addr A] [...]    serve an artifact over TCP (NDJSON)
-//! rrre-serve query <addr> <json-line>        send one request line, print the reply
+//! rrre-serve query <addr> <json-line>        send one request, resiliently
 //! rrre-serve oneshot <dir> <json-line>       answer one request in-process, no server
+//! rrre-serve burst --replicas a,b,c [...]    drive a request burst through the client
 //! ```
 
+use rrre_client::{Client, ClientConfig};
 use rrre_core::{CheckpointConfig, EpochStats, Rrre, RrreConfig};
 use rrre_data::synth::{generate, SynthConfig};
 use rrre_data::{CorpusConfig, Dataset, EncodedCorpus};
+use rrre_serve::protocol::{decode_request, encode_response};
 use rrre_serve::{Engine, EngineConfig, ModelArtifact, Server, ServerConfig};
 use rrre_text::word2vec::Word2VecConfig;
-use std::io::{BufRead, BufReader, IsTerminal, Write};
-use std::net::TcpStream;
+use std::io::{BufRead, IsTerminal};
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -46,14 +48,35 @@ USAGE:
       Load the artifact in <dir> and serve newline-delimited JSON over TCP
       (default --addr 127.0.0.1:7878). Stdin verbs: `quit` stops the server
       gracefully, `reload` hot-swaps the artifact from <dir>, `stats`
-      prints the counters. On stdin EOF (detached/daemonized) it keeps
-      serving until killed.
+      prints the counters, `health` prints liveness/readiness. On stdin
+      EOF (detached/daemonized) it keeps serving until killed.
 
-  rrre-serve query <addr> <json-line>
-      Send one request line to a running server and print the response.
+  rrre-serve query <addr> <json-line> [CLIENT FLAGS]
+  rrre-serve query --replicas a,b,c <json-line> [CLIENT FLAGS]
+      Send one request through the resilient client (retries, failover,
+      breakers) and print the response. With --replicas, the request fails
+      over across all listed endpoints instead of targeting one <addr>.
 
   rrre-serve oneshot <dir> <json-line>
-      Load the artifact and answer a single request in-process.
+  rrre-serve oneshot --replicas a,b,c <json-line> [CLIENT FLAGS]
+      Answer a single request: in-process from the artifact in <dir>, or —
+      with --replicas — over the network through the resilient client.
+
+  rrre-serve burst --replicas a,b,c [--requests N] [--gap-ms N]
+                   [--users N] [--items N] [--probe-interval-ms N]
+                   [CLIENT FLAGS]
+      Drive N Predict requests (default 100, users/items cycling under
+      --users/--items) through the resilient client, then print per-replica
+      attempt/failure/breaker lines and a final `burst ...` summary. Exits
+      nonzero if any request failed client-visibly. Health probes are on
+      by default (100 ms) so killed replicas are detected and recovered.
+
+  CLIENT FLAGS (query/oneshot/burst):
+      --replicas a,b,c      comma-separated replica endpoints
+      --retries N           extra attempts per request (default 2)
+      --timeout-ms N        per-attempt timeout, also sent as deadline_ms
+      --hedge-after-ms N    hedge idempotent requests after this latency
+      --seed N              jitter-RNG seed (fixed seed = fixed schedule)
 
 PROTOCOL (one JSON object per line):
   {\"op\":\"Predict\",\"user\":3,\"item\":7}
@@ -62,6 +85,7 @@ PROTOCOL (one JSON object per line):
   {\"op\":\"Invalidate\",\"user\":3}
   {\"op\":\"Reload\"}
   {\"op\":\"Stats\"}
+  {\"op\":\"Health\"}
 ";
 
 fn fail(msg: &str) -> ExitCode {
@@ -121,6 +145,7 @@ fn main() -> ExitCode {
         "serve" => cmd_serve(args),
         "query" => cmd_query(args),
         "oneshot" => cmd_oneshot(args),
+        "burst" => cmd_burst(args),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             ExitCode::SUCCESS
@@ -270,7 +295,7 @@ fn cmd_serve(mut args: Vec<String>) -> ExitCode {
         }
     };
     println!("listening on {}", server.local_addr());
-    println!("(stdin verbs: quit, reload, stats)");
+    println!("(stdin verbs: quit, reload, stats, health)");
 
     let mut got_quit = false;
     for line in std::io::stdin().lock().lines() {
@@ -284,6 +309,13 @@ fn cmd_serve(mut args: Vec<String>) -> ExitCode {
                     Ok(generation) => eprintln!("reloaded: now serving generation {generation}"),
                     Err(e) => eprintln!("reload failed: {e}"),
                 }
+            }
+            Ok(l) if l.trim() == "health" => {
+                let h = engine.health();
+                eprintln!(
+                    "live={} ready={} draining={} breaker_open={} generation={}",
+                    h.live, h.ready, h.draining, h.breaker_open, h.generation
+                );
             }
             Ok(l) if l.trim() == "stats" => {
                 let s = engine.stats();
@@ -330,37 +362,73 @@ fn cmd_serve(mut args: Vec<String>) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn cmd_query(args: Vec<String>) -> ExitCode {
-    let [addr, line] = args.as_slice() else {
-        return fail("query needs <addr> <json-line>");
-    };
-    let stream = match TcpStream::connect(addr.as_str()) {
-        Ok(s) => s,
-        Err(e) => return die(format!("failed to connect to {addr}: {e}")),
-    };
-    let mut writer = match stream.try_clone() {
-        Ok(w) => w,
-        Err(e) => return die(format!("failed to clone the connection: {e}")),
-    };
-    if let Err(e) = writer
-        .write_all(line.as_bytes())
-        .and_then(|()| writer.write_all(b"\n"))
-        .and_then(|()| writer.flush())
-    {
-        return die(format!("send failed: {e}"));
-    }
-    let mut response = String::new();
-    match BufReader::new(stream).read_line(&mut response) {
-        Ok(0) => die("server closed the connection without responding"),
-        Ok(_) => {
-            print!("{response}");
-            ExitCode::SUCCESS
+/// Pulls the shared resilient-client flags (`--replicas`, `--retries`,
+/// `--timeout-ms`, `--hedge-after-ms`, `--seed`) out of `args`.
+fn client_flags(args: &mut Vec<String>) -> (Option<Vec<String>>, ClientConfig) {
+    let replicas = take_flag(args, "--replicas").map(|s| {
+        let list: Vec<String> =
+            s.split(',').map(|x| x.trim().to_string()).filter(|x| !x.is_empty()).collect();
+        if list.is_empty() {
+            eprintln!("rrre-serve: --replicas got an empty list");
+            std::process::exit(2);
         }
-        Err(e) => die(format!("no response: {e}")),
+        list
+    });
+    let mut cfg = ClientConfig::default();
+    cfg.retries = parse_flag(take_flag(args, "--retries"), "--retries", cfg.retries);
+    if let Some(ms) = take_flag(args, "--timeout-ms") {
+        cfg.request_timeout = Duration::from_millis(parse_flag(Some(ms), "--timeout-ms", 2000));
+    }
+    if let Some(ms) = take_flag(args, "--hedge-after-ms") {
+        cfg.hedge_after = Some(Duration::from_millis(parse_flag(Some(ms), "--hedge-after-ms", 50)));
+    }
+    cfg.seed = parse_flag(take_flag(args, "--seed"), "--seed", cfg.seed);
+    (replicas, cfg)
+}
+
+/// Sends one decoded request through the resilient client and prints the
+/// response line; the exit code reflects the response's `ok`.
+fn client_roundtrip(endpoints: Vec<String>, cfg: ClientConfig, line: &str) -> ExitCode {
+    let request = match decode_request(line) {
+        Ok(r) => r,
+        Err(e) => return die(format!("request line does not parse: {e}")),
+    };
+    let client = Client::new(endpoints, cfg);
+    let outcome = client.request(request);
+    client.shutdown();
+    match outcome {
+        Ok(resp) => {
+            println!("{}", encode_response(&resp));
+            if resp.ok {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => die(format!("request failed: {e}")),
     }
 }
 
-fn cmd_oneshot(args: Vec<String>) -> ExitCode {
+fn cmd_query(mut args: Vec<String>) -> ExitCode {
+    let (replicas, cfg) = client_flags(&mut args);
+    let (endpoints, line) = match (replicas, args.as_slice()) {
+        (Some(reps), [line]) => (reps, line.clone()),
+        (None, [addr, line]) => (vec![addr.clone()], line.clone()),
+        (Some(_), _) => return fail("query with --replicas needs exactly one <json-line>"),
+        (None, _) => return fail("query needs <addr> <json-line>"),
+    };
+    client_roundtrip(endpoints, cfg, &line)
+}
+
+fn cmd_oneshot(mut args: Vec<String>) -> ExitCode {
+    let (replicas, cfg) = client_flags(&mut args);
+    if let Some(endpoints) = replicas {
+        // Network one-shot: same client machinery as `query`.
+        let [line] = args.as_slice() else {
+            return fail("oneshot with --replicas needs exactly one <json-line>");
+        };
+        return client_roundtrip(endpoints, cfg, line);
+    }
     let [dir, line] = args.as_slice() else {
         return fail("oneshot needs <dir> <json-line>");
     };
@@ -376,6 +444,63 @@ fn cmd_oneshot(args: Vec<String>) -> ExitCode {
     println!("{}", rrre_serve::protocol::encode_response(&response));
     engine.shutdown();
     if response.ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_burst(mut args: Vec<String>) -> ExitCode {
+    let (replicas, mut cfg) = client_flags(&mut args);
+    let Some(endpoints) = replicas else {
+        return fail("burst needs --replicas a,b,c");
+    };
+    let requests: usize = parse_flag(take_flag(&mut args, "--requests"), "--requests", 100);
+    let gap_ms: u64 = parse_flag(take_flag(&mut args, "--gap-ms"), "--gap-ms", 2);
+    let users: u32 = parse_flag(take_flag(&mut args, "--users"), "--users", 2);
+    let items: u32 = parse_flag(take_flag(&mut args, "--items"), "--items", 2);
+    let probe_ms: u64 =
+        parse_flag(take_flag(&mut args, "--probe-interval-ms"), "--probe-interval-ms", 100);
+    cfg.probe_interval = if probe_ms == 0 { None } else { Some(Duration::from_millis(probe_ms)) };
+    if !args.is_empty() {
+        return fail(&format!("burst got unrecognised arguments: {args:?}"));
+    }
+    if users == 0 || items == 0 {
+        return fail("burst needs --users and --items ≥ 1");
+    }
+
+    let client = Client::new(endpoints, cfg);
+    let (mut ok, mut failed) = (0usize, 0usize);
+    for i in 0..requests {
+        let req = rrre_serve::Request::predict(i as u32 % users, i as u32 % items);
+        match client.request(req) {
+            Ok(resp) if resp.ok => ok += 1,
+            Ok(resp) => {
+                failed += 1;
+                eprintln!("request {i} refused: {:?}: {:?}", resp.kind, resp.error);
+            }
+            Err(e) => {
+                failed += 1;
+                eprintln!("request {i} failed: {e}");
+            }
+        }
+        if gap_ms > 0 {
+            std::thread::sleep(Duration::from_millis(gap_ms));
+        }
+    }
+    let snap = client.snapshot();
+    for r in &snap.replicas {
+        println!(
+            "replica {} attempts={} failures={} hedges={} breaker_opens={} breaker_open={} probe_ready={}",
+            r.addr, r.attempts, r.failures, r.hedges, r.breaker_opens, r.breaker_open, r.probe_ready
+        );
+    }
+    println!(
+        "burst requests={requests} ok={ok} failed={failed} retries={} hedges={}",
+        snap.retries, snap.hedges
+    );
+    client.shutdown();
+    if failed == 0 {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

@@ -33,12 +33,12 @@
 use crate::artifact::ModelArtifact;
 use crate::batch::{BatchConfig, BatchQueue, Job, QueuePermit};
 use crate::cache::{CacheAxis, TowerCache};
-use crate::protocol::{ErrorKind, Op, Request, Response};
+use crate::protocol::{ErrorKind, HealthDto, Op, Request, Response};
 use crate::stats::{EngineStats, StatsSnapshot};
 use rrre_core::{rank_candidates, Prediction, EXPLANATION_RELIABILITY_THRESHOLD};
 use rrre_data::{ItemId, UserId};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Sender};
 use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
@@ -110,6 +110,10 @@ struct Shared {
     next_generation: AtomicU64,
     /// Timestamps of recent worker panics (pruned to `breaker_window`).
     breaker: Mutex<Vec<Instant>>,
+    /// Set when the front end begins draining for shutdown: the engine
+    /// keeps answering (in-flight and pipelined requests finish) but
+    /// reports not-ready so health-aware clients route elsewhere.
+    draining: AtomicBool,
 }
 
 impl Shared {
@@ -171,6 +175,7 @@ impl Engine {
             queue_depth: Arc::new(AtomicUsize::new(0)),
             next_generation: AtomicU64::new(2),
             breaker: Mutex::new(Vec::new()),
+            draining: AtomicBool::new(false),
         });
         let (tx, queue) = BatchQueue::new(BatchConfig {
             max_batch: cfg.max_batch,
@@ -195,6 +200,16 @@ impl Engine {
     /// worker panic mid-request still produces a structured reply.
     pub fn submit(&self, request: Request) -> Response {
         let id = request.id;
+        // Health bypasses the queue, the shed gate and the breaker: a
+        // replica must stay observable precisely when it is refusing
+        // work, and the answer is a handful of atomic loads.
+        if request.op == Op::Health {
+            let mut resp = Response::ok(id);
+            let health = self.health();
+            resp.generation = Some(health.generation);
+            resp.health = Some(health);
+            return resp;
+        }
         if self.shared.breaker_open() {
             self.shared.stats.shed.fetch_add(1, Ordering::Relaxed);
             return Response::unavailable(
@@ -228,8 +243,38 @@ impl Engine {
     pub fn submit_line(&self, line: &str) -> Response {
         match crate::protocol::decode_request(line) {
             Ok(req) => self.submit(req),
-            Err(e) => Response::error_kind(None, ErrorKind::BadRequest, e),
+            // Even an undecodable request should correlate its error when
+            // possible: pipelining clients match replies by id, and a
+            // `null`-id error desynchronises their whole window.
+            Err(e) => Response::error_kind(
+                crate::protocol::extract_id(line),
+                ErrorKind::BadRequest,
+                e,
+            ),
         }
+    }
+
+    /// The liveness/readiness split (also served by `Op::Health`): ready
+    /// means not draining and breaker closed, with a validated generation
+    /// loaded. A *failed* reload never clears readiness — the previous
+    /// generation keeps serving unimpaired.
+    pub fn health(&self) -> HealthDto {
+        let draining = self.shared.draining.load(Ordering::SeqCst);
+        let breaker_open = self.shared.breaker_open();
+        HealthDto {
+            live: true,
+            ready: !draining && !breaker_open,
+            draining,
+            breaker_open,
+            generation: self.shared.generation().id,
+        }
+    }
+
+    /// Marks the engine as draining (or not). Set by the TCP front end
+    /// when shutdown begins so health probes steer traffic away before
+    /// the listener disappears.
+    pub fn set_draining(&self, draining: bool) {
+        self.shared.draining.store(draining, Ordering::SeqCst);
     }
 
     /// Point-in-time engine counters (also served by `Op::Stats`).
@@ -312,6 +357,7 @@ fn snapshot(shared: &Shared) -> StatsSnapshot {
         &generation.item_cache,
         generation.id,
         shared.breaker_open(),
+        shared.draining.load(Ordering::SeqCst),
     )
 }
 
@@ -501,6 +547,21 @@ fn process(shared: &Shared, generation: &Generation, job: &Job) -> Response {
         Op::Stats => {
             let mut resp = Response::ok(req.id);
             resp.stats = Some(snapshot(shared));
+            resp
+        }
+        Op::Health => {
+            // Normally intercepted in `submit` before queueing; answered
+            // here too so a directly-processed job is never unreachable.
+            let breaker_open = shared.breaker_open();
+            let draining = shared.draining.load(Ordering::SeqCst);
+            let mut resp = Response::ok(req.id);
+            resp.health = Some(HealthDto {
+                live: true,
+                ready: !draining && !breaker_open,
+                draining,
+                breaker_open,
+                generation: generation.id,
+            });
             resp
         }
         Op::Invalidate => {

@@ -39,6 +39,6 @@ pub mod stats;
 pub use artifact::{ArtifactManifest, FileChecksum, ModelArtifact};
 pub use cache::{CacheAxis, TowerCache};
 pub use engine::{Engine, EngineConfig, Generation};
-pub use protocol::{ErrorKind, Op, Request, Response};
+pub use protocol::{ErrorKind, HealthDto, Op, Request, Response};
 pub use server::{Server, ServerConfig};
 pub use stats::{EngineStats, StatsSnapshot};

@@ -1,382 +1,9 @@
-//! The wire protocol: newline-delimited JSON, one request per line, one
-//! response per line.
+//! The wire protocol — re-exported from [`rrre_wire`].
 //!
-//! Requests are flat maps — an `op` discriminator plus optional operand
-//! fields — rather than tagged unions, so any language's JSON library can
-//! speak the protocol with one object literal:
-//!
-//! ```text
-//! {"op":"Predict","user":3,"item":7}
-//! {"op":"Recommend","user":3,"k":5,"deadline_ms":50,"id":42}
-//! {"op":"Explain","item":7,"k":3}
-//! {"op":"Invalidate","user":3,"item":7}
-//! {"op":"Stats"}
-//! ```
-//!
-//! Responses echo the optional client-chosen `id`, carry `ok`/`error`, and
-//! populate exactly one payload field per op. `serde_json` in this
-//! workspace never emits raw newlines inside a document (control characters
-//! are always escaped), so one encoded response is always one line.
+//! The request/response types moved to their own crate so the resilient
+//! client (`rrre-client`) can speak the protocol without linking the
+//! serving stack; every path that used to live here
+//! (`rrre_serve::protocol::Request`, …) keeps working through this
+//! re-export.
 
-use crate::stats::StatsSnapshot;
-use rrre_core::{Explanation, Prediction, Recommendation};
-use serde::{Deserialize, Serialize};
-
-/// Hard cap on one request line's byte length. Lines past this bound are
-/// answered with a structured error and discarded instead of being
-/// buffered without limit — a single client cannot balloon server memory.
-pub const MAX_LINE_BYTES: usize = 16 * 1024;
-
-/// The exhaustive set of accepted request fields. `decode_request` rejects
-/// anything else: a typo like `"deadine_ms"` must fail loudly instead of
-/// being silently dropped and serving with no deadline at all.
-const REQUEST_FIELDS: [&str; 6] = ["id", "op", "user", "item", "k", "deadline_ms"];
-
-/// Request discriminator.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum Op {
-    /// Rating + reliability for one `(user, item)` pair.
-    Predict,
-    /// Top-`k` items for `user` (§III-B two-stage ranking).
-    Recommend,
-    /// Up to `k` reliable explanation reviews for `item`.
-    Explain,
-    /// Engine counters.
-    Stats,
-    /// Drop cached tower representations for `user` and/or `item` — call
-    /// after an entity gains a review.
-    Invalidate,
-    /// Re-load the artifact from its source directory and, if it validates,
-    /// atomically swap it in as the next generation. A failed load leaves
-    /// the current generation serving untouched.
-    Reload,
-    /// Deliberately panic inside the worker (supervision/breaker drills).
-    /// Refused unless the engine was built with
-    /// [`crate::EngineConfig::fault_injection`].
-    Crash,
-}
-
-/// One request line.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct Request {
-    /// Client-chosen correlation id, echoed verbatim in the response.
-    pub id: Option<u64>,
-    /// What to do.
-    pub op: Op,
-    /// Target user (`Predict`, `Recommend`, `Invalidate`).
-    pub user: Option<u32>,
-    /// Target item (`Predict`, `Explain`, `Invalidate`).
-    pub item: Option<u32>,
-    /// Result count (`Recommend`, `Explain`).
-    pub k: Option<usize>,
-    /// Per-request deadline, measured from enqueue. A request still queued
-    /// when it expires is answered with an error instead of being served.
-    pub deadline_ms: Option<u64>,
-}
-
-impl Request {
-    fn bare(op: Op) -> Self {
-        Self { id: None, op, user: None, item: None, k: None, deadline_ms: None }
-    }
-
-    /// A `Predict` request.
-    pub fn predict(user: u32, item: u32) -> Self {
-        Self { user: Some(user), item: Some(item), ..Self::bare(Op::Predict) }
-    }
-
-    /// A `Recommend` request.
-    pub fn recommend(user: u32, k: usize) -> Self {
-        Self { user: Some(user), k: Some(k), ..Self::bare(Op::Recommend) }
-    }
-
-    /// An `Explain` request.
-    pub fn explain(item: u32, k: usize) -> Self {
-        Self { item: Some(item), k: Some(k), ..Self::bare(Op::Explain) }
-    }
-
-    /// A `Stats` request.
-    pub fn stats() -> Self {
-        Self::bare(Op::Stats)
-    }
-
-    /// A `Reload` request.
-    pub fn reload() -> Self {
-        Self::bare(Op::Reload)
-    }
-
-    /// An `Invalidate` request for a user and/or an item.
-    pub fn invalidate(user: Option<u32>, item: Option<u32>) -> Self {
-        Self { user, item, ..Self::bare(Op::Invalidate) }
-    }
-
-    /// Returns the request with a correlation id attached.
-    pub fn with_id(mut self, id: u64) -> Self {
-        self.id = Some(id);
-        self
-    }
-}
-
-/// `Predict` payload.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct PredictionDto {
-    /// Predicted rating `r̂ ∈ [1, 5]`.
-    pub rating: f32,
-    /// Predicted reliability `l̂ ∈ [0, 1]`.
-    pub reliability: f32,
-}
-
-impl From<Prediction> for PredictionDto {
-    fn from(p: Prediction) -> Self {
-        Self { rating: p.rating, reliability: p.reliability }
-    }
-}
-
-/// One `Recommend` result row.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct RecommendationDto {
-    /// Recommended item id.
-    pub item: u32,
-    /// Item display name.
-    pub item_name: String,
-    /// Predicted rating.
-    pub rating: f32,
-    /// Predicted reliability.
-    pub reliability: f32,
-}
-
-impl From<Recommendation> for RecommendationDto {
-    fn from(r: Recommendation) -> Self {
-        Self { item: r.item.0, item_name: r.item_name, rating: r.rating, reliability: r.reliability }
-    }
-}
-
-/// One `Explain` result row.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct ExplanationDto {
-    /// Index of the review in the dataset.
-    pub review_idx: usize,
-    /// Authoring user id.
-    pub user: u32,
-    /// Author display name.
-    pub user_name: String,
-    /// Review text.
-    pub text: String,
-    /// Predicted rating of the pair.
-    pub rating: f32,
-    /// Predicted reliability of the review.
-    pub reliability: f32,
-    /// Whether the §IV-F pipeline filters this review for low reliability.
-    pub filtered: bool,
-}
-
-impl From<Explanation> for ExplanationDto {
-    fn from(e: Explanation) -> Self {
-        Self {
-            review_idx: e.review_idx,
-            user: e.user.0,
-            user_name: e.user_name,
-            text: e.text,
-            rating: e.rating,
-            reliability: e.reliability,
-            filtered: e.filtered,
-        }
-    }
-}
-
-/// Machine-readable classification of a refused request, so clients can
-/// implement retry policy without parsing error strings: `Overloaded` and
-/// `Unavailable` are retryable after backoff, the rest are not.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum ErrorKind {
-    /// The request itself is malformed or references unknown entities.
-    BadRequest,
-    /// Shed before processing: the submission queue was full.
-    Overloaded,
-    /// The circuit breaker is open (or the server is at its connection
-    /// cap); the engine is protecting itself.
-    Unavailable,
-    /// The worker failed while processing this request (e.g. a caught
-    /// panic); the request may or may not be safe to retry.
-    Internal,
-    /// The request's deadline passed while it was queued.
-    DeadlineExceeded,
-}
-
-/// One response line. Exactly one payload field is populated on success;
-/// all are `null` on error.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct Response {
-    /// Correlation id echoed from the request (absent for parse errors).
-    pub id: Option<u64>,
-    /// Whether the request succeeded.
-    pub ok: bool,
-    /// Error description when `ok` is false.
-    pub error: Option<String>,
-    /// Error classification when `ok` is false (absent on legacy paths
-    /// that predate the taxonomy).
-    pub kind: Option<ErrorKind>,
-    /// Artifact generation that served this request (success paths only).
-    pub generation: Option<u64>,
-    /// `Predict` payload.
-    pub prediction: Option<PredictionDto>,
-    /// `Recommend` payload.
-    pub recommendations: Option<Vec<RecommendationDto>>,
-    /// `Explain` payload.
-    pub explanations: Option<Vec<ExplanationDto>>,
-    /// `Stats` payload.
-    pub stats: Option<StatsSnapshot>,
-    /// `Invalidate` payload: number of cache entries evicted.
-    pub evicted: Option<u64>,
-}
-
-impl Response {
-    /// An empty success response (payload to be filled by the caller).
-    pub fn ok(id: Option<u64>) -> Self {
-        Self {
-            id,
-            ok: true,
-            error: None,
-            kind: None,
-            generation: None,
-            prediction: None,
-            recommendations: None,
-            explanations: None,
-            stats: None,
-            evicted: None,
-        }
-    }
-
-    /// An error response (no machine-readable kind; prefer the dedicated
-    /// constructors on new code paths).
-    pub fn error(id: Option<u64>, message: impl Into<String>) -> Self {
-        Self { ok: false, error: Some(message.into()), ..Self::ok(id) }
-    }
-
-    /// An error response with an explicit [`ErrorKind`].
-    pub fn error_kind(id: Option<u64>, kind: ErrorKind, message: impl Into<String>) -> Self {
-        Self { kind: Some(kind), ..Self::error(id, message) }
-    }
-
-    /// The structured shed response for a full submission queue.
-    pub fn overloaded(id: Option<u64>) -> Self {
-        Self::error_kind(id, ErrorKind::Overloaded, "overloaded: submission queue is full, retry with backoff")
-    }
-
-    /// The structured refusal for an open circuit breaker or a saturated
-    /// connection cap.
-    pub fn unavailable(id: Option<u64>, why: impl Into<String>) -> Self {
-        Self::error_kind(id, ErrorKind::Unavailable, why)
-    }
-
-    /// The structured reply for a worker-side failure.
-    pub fn internal(id: Option<u64>, why: impl Into<String>) -> Self {
-        Self::error_kind(id, ErrorKind::Internal, why)
-    }
-}
-
-/// Encodes a response as one protocol line (no trailing newline).
-pub fn encode_response(resp: &Response) -> String {
-    serde_json::to_string(resp).expect("Response serialisation cannot fail")
-}
-
-/// Decodes one request line.
-///
-/// Rejects, with a structured message: lines over [`MAX_LINE_BYTES`],
-/// non-object documents, unknown fields, and anything `Request`'s own
-/// deserializer refuses (missing/mistyped `op`, wrong value types).
-pub fn decode_request(line: &str) -> Result<Request, String> {
-    let line = line.trim();
-    if line.len() > MAX_LINE_BYTES {
-        return Err(format!("request line exceeds {MAX_LINE_BYTES} bytes ({} bytes)", line.len()));
-    }
-    let value: serde_json::Value = serde_json::from_str(line).map_err(|e| format!("bad request: {e}"))?;
-    let serde_json::Value::Map(fields) = &value else {
-        return Err("bad request: expected a JSON object".into());
-    };
-    for (key, _) in fields {
-        if !REQUEST_FIELDS.contains(&key.as_str()) {
-            return Err(format!("bad request: unknown field `{key}`"));
-        }
-    }
-    serde_json::from_value(&value).map_err(|e| format!("bad request: {e}"))
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn minimal_request_lines_parse() {
-        let r = decode_request(r#"{"op":"Predict","user":3,"item":7}"#).unwrap();
-        assert_eq!(r.op, Op::Predict);
-        assert_eq!((r.user, r.item), (Some(3), Some(7)));
-        assert_eq!(r.id, None);
-        assert_eq!(r.deadline_ms, None);
-
-        let r = decode_request(r#"{"op":"Stats"}"#).unwrap();
-        assert_eq!(r.op, Op::Stats);
-    }
-
-    #[test]
-    fn unknown_op_is_an_error() {
-        let err = decode_request(r#"{"op":"Frobnicate"}"#).unwrap_err();
-        assert!(err.contains("Frobnicate"), "unhelpful error: {err}");
-    }
-
-    #[test]
-    fn malformed_json_is_an_error() {
-        assert!(decode_request("{not json").is_err());
-        assert!(decode_request("").is_err());
-    }
-
-    #[test]
-    fn unknown_fields_are_rejected_not_ignored() {
-        let err = decode_request(r#"{"op":"Predict","user":3,"item":7,"deadine_ms":50}"#).unwrap_err();
-        assert!(err.contains("deadine_ms"), "unhelpful error: {err}");
-    }
-
-    #[test]
-    fn non_object_documents_are_rejected() {
-        assert!(decode_request("[1,2,3]").unwrap_err().contains("object"));
-        assert!(decode_request("42").unwrap_err().contains("object"));
-        assert!(decode_request(r#""Predict""#).unwrap_err().contains("object"));
-    }
-
-    #[test]
-    fn oversized_lines_are_rejected_with_the_limit_in_the_message() {
-        let line = format!(r#"{{"op":"Stats{}"}}"#, " ".repeat(MAX_LINE_BYTES));
-        let err = decode_request(&line).unwrap_err();
-        assert!(err.contains(&MAX_LINE_BYTES.to_string()), "unhelpful error: {err}");
-    }
-
-    #[test]
-    fn request_roundtrips() {
-        let r = Request::recommend(5, 10).with_id(99);
-        let line = serde_json::to_string(&r).unwrap();
-        assert!(!line.contains('\n'), "protocol lines must be single-line");
-        let back = decode_request(&line).unwrap();
-        assert_eq!(back.op, Op::Recommend);
-        assert_eq!((back.user, back.k, back.id), (Some(5), Some(10), Some(99)));
-    }
-
-    #[test]
-    fn response_roundtrips_with_payload() {
-        let mut resp = Response::ok(Some(7));
-        resp.prediction = Some(PredictionDto { rating: 4.25, reliability: 0.5 });
-        let line = encode_response(&resp);
-        assert!(!line.contains('\n'));
-        let back: Response = serde_json::from_str(&line).unwrap();
-        assert!(back.ok);
-        assert_eq!(back.id, Some(7));
-        assert_eq!(back.prediction.unwrap(), PredictionDto { rating: 4.25, reliability: 0.5 });
-    }
-
-    #[test]
-    fn error_responses_carry_the_message() {
-        let resp = Response::error(None, "deadline exceeded");
-        let back: Response = serde_json::from_str(&encode_response(&resp)).unwrap();
-        assert!(!back.ok);
-        assert_eq!(back.error.as_deref(), Some("deadline exceeded"));
-        assert!(back.prediction.is_none());
-    }
-}
+pub use rrre_wire::*;

@@ -64,6 +64,10 @@ pub struct Server {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     accept: Option<JoinHandle<()>>,
+    /// Kept so [`Server::stop`] can flip the engine's draining flag the
+    /// moment shutdown begins — health probes see not-ready while
+    /// in-flight connections are still finishing.
+    engine: Arc<Engine>,
 }
 
 /// Decrements the live-connection count when a connection thread exits,
@@ -97,11 +101,12 @@ impl Server {
         let stop = Arc::new(AtomicBool::new(false));
         let accept = {
             let stop = Arc::clone(&stop);
+            let engine = Arc::clone(&engine);
             std::thread::Builder::new()
                 .name("rrre-serve-accept".into())
                 .spawn(move || accept_loop(&listener, &engine, &stop, cfg))?
         };
-        Ok(Self { addr, stop, accept: Some(accept) })
+        Ok(Self { addr, stop, accept: Some(accept), engine })
     }
 
     /// The bound address (useful with ephemeral ports).
@@ -113,6 +118,7 @@ impl Server {
     /// connections, and joins the accept thread. Idempotent — repeated
     /// calls (or a call followed by `Drop`) are no-ops.
     pub fn stop(&mut self) {
+        self.engine.set_draining(true);
         self.stop.store(true, Ordering::SeqCst);
         if let Some(handle) = self.accept.take() {
             let _ = handle.join();
@@ -176,8 +182,17 @@ fn accept_loop(
     }
 }
 
-fn is_timeout(e: &std::io::Error) -> bool {
-    matches!(e.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut)
+/// Read errors that do not end the connection: timeouts (the stop-flag
+/// polling interval) and `Interrupted` (a signal landed mid-syscall — the
+/// read is simply retried; killing the connection for an `EINTR` would
+/// drop a healthy client on every stray `SIGCHLD`/profiler tick).
+fn is_retryable(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock
+            | std::io::ErrorKind::TimedOut
+            | std::io::ErrorKind::Interrupted
+    )
 }
 
 fn handle_connection(
@@ -199,7 +214,7 @@ fn handle_connection(
         let budget = (MAX_LINE_BYTES + 1).saturating_sub(buf.len());
         let n = match reader.by_ref().take(budget as u64).read_until(b'\n', &mut buf) {
             Ok(n) => n,
-            Err(e) if is_timeout(&e) => {
+            Err(e) if is_retryable(&e) => {
                 if stop.load(Ordering::SeqCst) {
                     break;
                 }
@@ -263,7 +278,7 @@ fn drain_line(reader: &mut BufReader<TcpStream>, stop: &AtomicBool) -> std::io::
             Ok(0) => return Ok(()),
             Ok(_) if chunk.last() == Some(&b'\n') => return Ok(()),
             Ok(_) => {}
-            Err(e) if is_timeout(&e) => {
+            Err(e) if is_retryable(&e) => {
                 if stop.load(Ordering::SeqCst) {
                     return Ok(());
                 }

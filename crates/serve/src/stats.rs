@@ -5,9 +5,10 @@
 //! over the engine's lifetime; a snapshot is a consistent-enough point-in-
 //! time read for operational monitoring, not a transaction.
 
-use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
+
+pub use rrre_wire::StatsSnapshot;
 
 const BUCKETS: usize = 64;
 
@@ -103,13 +104,15 @@ impl EngineStats {
     }
 
     /// Point-in-time snapshot including the cache counters, which live on
-    /// the caches themselves.
+    /// the caches themselves. `draining` comes from the engine's shutdown
+    /// flag; readiness is derived — not draining and breaker closed.
     pub fn snapshot(
         &self,
         user_cache: &crate::TowerCache,
         item_cache: &crate::TowerCache,
         generation: u64,
         breaker_open: bool,
+        draining: bool,
     ) -> StatsSnapshot {
         let requests = self.requests.load(Ordering::Relaxed);
         let batches = self.batches.load(Ordering::Relaxed);
@@ -136,57 +139,12 @@ impl EngineStats {
             worker_panics: self.worker_panics.load(Ordering::Relaxed),
             generation,
             breaker_open,
+            draining,
+            ready: !draining && !breaker_open,
             p50_latency_us: self.latency.quantile_micros(0.50),
             p99_latency_us: self.latency.quantile_micros(0.99),
         }
     }
-}
-
-/// Wire-serialisable snapshot of [`EngineStats`], returned by the `Stats`
-/// request.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct StatsSnapshot {
-    /// Requests processed so far.
-    pub requests: u64,
-    /// Requests answered with an error.
-    pub errors: u64,
-    /// Micro-batches drained.
-    pub batches: u64,
-    /// Mean jobs per drained batch.
-    pub mean_batch: f64,
-    /// Largest batch drained.
-    pub max_batch: u64,
-    /// UserNet cache hits.
-    pub user_cache_hits: u64,
-    /// UserNet cache misses.
-    pub user_cache_misses: u64,
-    /// ItemNet cache hits.
-    pub item_cache_hits: u64,
-    /// ItemNet cache misses.
-    pub item_cache_misses: u64,
-    /// Hits over all lookups, both caches combined.
-    pub cache_hit_rate: f64,
-    /// Tower forward passes executed (== total cache misses).
-    pub tower_evals: u64,
-    /// Requests that missed their deadline while queued.
-    pub deadline_misses: u64,
-    /// Requests shed at submission (queue full or breaker open).
-    pub shed: u64,
-    /// Hot-reload attempts.
-    pub reloads: u64,
-    /// Hot-reload attempts that failed (old generation kept serving).
-    pub reload_failures: u64,
-    /// Worker panics caught and recovered by the supervisor.
-    pub worker_panics: u64,
-    /// Artifact generation currently serving (starts at 1, +1 per
-    /// successful reload).
-    pub generation: u64,
-    /// Whether the panic circuit breaker is currently open.
-    pub breaker_open: bool,
-    /// Median enqueue-to-reply latency (µs, power-of-two resolution).
-    pub p50_latency_us: u64,
-    /// 99th-percentile enqueue-to-reply latency (µs).
-    pub p99_latency_us: u64,
 }
 
 #[cfg(test)]

@@ -1,0 +1,109 @@
+//! `rrre-chaos-proxy` — standalone chaos proxy for shell-driven drills.
+//!
+//! Binds a listen address in front of one upstream replica and injects
+//! faults from a seeded schedule, exactly like the in-process
+//! [`rrre_testkit::chaos::ChaosProxy`] (it *is* that proxy, with flags).
+//! Prints `listening on ADDR` on stdout so scripts can scrape the bound
+//! port, then runs until stdin reaches EOF (or the process is killed).
+//!
+//! ```text
+//! rrre-chaos-proxy --upstream 127.0.0.1:7000 [--listen 127.0.0.1:0]
+//!                  [--seed N] [--reset-prob P] [--blackhole-prob P]
+//!                  [--corrupt-prob P] [--delay-prob P] [--max-delay-ms N]
+//! ```
+
+use rrre_testkit::chaos::{ChaosConfig, ChaosProxy};
+use std::io::Read;
+
+fn take_flag(args: &mut Vec<String>, name: &str) -> Option<String> {
+    let pos = args.iter().position(|a| a == name)?;
+    if pos + 1 >= args.len() {
+        eprintln!("error: {name} requires a value");
+        std::process::exit(2);
+    }
+    args.remove(pos);
+    Some(args.remove(pos))
+}
+
+fn parse<T: std::str::FromStr>(name: &str, value: String) -> T {
+    value.parse().unwrap_or_else(|_| {
+        eprintln!("error: {name} got an unparsable value `{value}`");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = ChaosConfig::default();
+    let listen = take_flag(&mut args, "--listen").unwrap_or_else(|| "127.0.0.1:0".into());
+    let upstream = take_flag(&mut args, "--upstream").unwrap_or_else(|| {
+        eprintln!("error: --upstream HOST:PORT is required");
+        std::process::exit(2);
+    });
+    if let Some(v) = take_flag(&mut args, "--seed") {
+        cfg.seed = parse("--seed", v);
+    }
+    if let Some(v) = take_flag(&mut args, "--reset-prob") {
+        cfg.reset_prob = parse("--reset-prob", v);
+    }
+    if let Some(v) = take_flag(&mut args, "--blackhole-prob") {
+        cfg.blackhole_prob = parse("--blackhole-prob", v);
+    }
+    if let Some(v) = take_flag(&mut args, "--corrupt-prob") {
+        cfg.corrupt_prob = parse("--corrupt-prob", v);
+    }
+    if let Some(v) = take_flag(&mut args, "--delay-prob") {
+        cfg.delay_prob = parse("--delay-prob", v);
+    }
+    if let Some(v) = take_flag(&mut args, "--max-delay-ms") {
+        cfg.max_delay_ms = parse("--max-delay-ms", v);
+    }
+    if !args.is_empty() {
+        eprintln!("error: unrecognised arguments: {args:?}");
+        std::process::exit(2);
+    }
+
+    let mut proxy = match ChaosProxy::start_on(listen.as_str(), upstream.as_str(), cfg) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: cannot bind {listen}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("listening on {}", proxy.local_addr());
+    eprintln!(
+        "chaos-proxy: {} -> {} seed={} reset={} blackhole={} corrupt={} delay={} max_delay_ms={}",
+        proxy.local_addr(),
+        upstream,
+        cfg.seed,
+        cfg.reset_prob,
+        cfg.blackhole_prob,
+        cfg.corrupt_prob,
+        cfg.delay_prob,
+        cfg.max_delay_ms
+    );
+
+    // Park on stdin: the proxy runs until stdin hits EOF or errors, so a
+    // driving script controls the lifetime by holding the pipe open (and
+    // must NOT redirect from /dev/null, which is instant EOF).
+    let mut sink = [0u8; 256];
+    loop {
+        match std::io::stdin().read(&mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+    let stats = proxy.stats();
+    eprintln!(
+        "chaos-proxy: done connections={} resets={} blackholed={} delayed={} corrupted={} truncated_req={} truncated_resp={} swallowed={}",
+        stats.connections,
+        stats.resets,
+        stats.blackholed,
+        stats.delayed,
+        stats.corrupted,
+        stats.truncated_requests,
+        stats.truncated_responses,
+        stats.swallowed
+    );
+    proxy.stop();
+}

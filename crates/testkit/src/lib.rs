@@ -21,18 +21,24 @@
 //! * [`sync`] — deterministic concurrency helpers (barrier-started thread
 //!   fan-out, pre-expired deadlines) that replace wall-clock sleeps in
 //!   concurrency tests.
+//! * [`chaos`] — a deterministic, seeded TCP chaos proxy
+//!   ([`chaos::ChaosProxy`]) that interposes between a client and a
+//!   replica, injecting latency, resets, truncations, corruption and
+//!   black holes from a reproducible schedule.
 //!
 //! The crate is a *dev-dependency* everywhere it is used; production crates
 //! never link it.
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod fault;
 pub mod fixtures;
 pub mod golden;
 pub mod parity;
 pub mod sync;
 
+pub use chaos::{ChaosConfig, ChaosProxy, ChaosStats, Fault};
 pub use fixtures::{corpus_for, trained_fixture, trained_fixture_with, Fixture, FixtureSpec, TempDir};
 pub use golden::{check_golden, compare, GoldenTolerance, GoldenTrace};
 pub use parity::{assert_model_parity, assert_serve_parity, deterministic_pairs};

@@ -1,0 +1,552 @@
+//! # rrre-wire
+//!
+//! The serving wire protocol: newline-delimited JSON, one request per line,
+//! one response per line. Extracted from `rrre-serve` so that the server
+//! and the resilient client ([`rrre-client`]) share one set of types
+//! without the client linking the whole serving stack.
+//!
+//! Requests are flat maps — an `op` discriminator plus optional operand
+//! fields — rather than tagged unions, so any language's JSON library can
+//! speak the protocol with one object literal:
+//!
+//! ```text
+//! {"op":"Predict","user":3,"item":7}
+//! {"op":"Recommend","user":3,"k":5,"deadline_ms":50,"id":42}
+//! {"op":"Explain","item":7,"k":3}
+//! {"op":"Invalidate","user":3,"item":7}
+//! {"op":"Health"}
+//! {"op":"Stats"}
+//! ```
+//!
+//! Responses echo the optional client-chosen `id`, carry `ok`/`error`, and
+//! populate exactly one payload field per op. `serde_json` in this
+//! workspace never emits raw newlines inside a document (control characters
+//! are always escaped), so one encoded response is always one line.
+
+#![warn(missing_docs)]
+
+use rrre_core::{Explanation, Prediction, Recommendation};
+use serde::{Deserialize, Serialize};
+
+/// Hard cap on one request line's byte length. Lines past this bound are
+/// answered with a structured error and discarded instead of being
+/// buffered without limit — a single client cannot balloon server memory.
+pub const MAX_LINE_BYTES: usize = 16 * 1024;
+
+/// The exhaustive set of accepted request fields. `decode_request` rejects
+/// anything else: a typo like `"deadine_ms"` must fail loudly instead of
+/// being silently dropped and serving with no deadline at all.
+const REQUEST_FIELDS: [&str; 6] = ["id", "op", "user", "item", "k", "deadline_ms"];
+
+/// Request discriminator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Op {
+    /// Rating + reliability for one `(user, item)` pair.
+    Predict,
+    /// Top-`k` items for `user` (§III-B two-stage ranking).
+    Recommend,
+    /// Up to `k` reliable explanation reviews for `item`.
+    Explain,
+    /// Engine counters.
+    Stats,
+    /// Liveness/readiness probe. Answered synchronously from counters —
+    /// never queued, never shed — so health stays observable under
+    /// overload and while the circuit breaker is open.
+    Health,
+    /// Drop cached tower representations for `user` and/or `item` — call
+    /// after an entity gains a review.
+    Invalidate,
+    /// Re-load the artifact from its source directory and, if it validates,
+    /// atomically swap it in as the next generation. A failed load leaves
+    /// the current generation serving untouched.
+    Reload,
+    /// Deliberately panic inside the worker (supervision/breaker drills).
+    /// Refused unless the engine was built with fault injection enabled.
+    Crash,
+}
+
+impl Op {
+    /// Whether retrying this op after an ambiguous transport failure is
+    /// safe — i.e. a duplicate execution has no observable side effect.
+    /// Reads (`Predict`/`Recommend`/`Explain`/`Stats`/`Health`) and cache
+    /// eviction (`Invalidate` — evicting twice converges to the same
+    /// state) are idempotent; `Reload` bumps the generation and `Crash`
+    /// burns a worker, so neither may be blindly resent.
+    pub fn is_idempotent(self) -> bool {
+        !matches!(self, Op::Reload | Op::Crash)
+    }
+}
+
+/// One request line.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed verbatim in the response.
+    pub id: Option<u64>,
+    /// What to do.
+    pub op: Op,
+    /// Target user (`Predict`, `Recommend`, `Invalidate`).
+    pub user: Option<u32>,
+    /// Target item (`Predict`, `Explain`, `Invalidate`).
+    pub item: Option<u32>,
+    /// Result count (`Recommend`, `Explain`).
+    pub k: Option<usize>,
+    /// Per-request deadline, measured from enqueue. A request still queued
+    /// when it expires is answered with an error instead of being served.
+    pub deadline_ms: Option<u64>,
+}
+
+impl Request {
+    fn bare(op: Op) -> Self {
+        Self { id: None, op, user: None, item: None, k: None, deadline_ms: None }
+    }
+
+    /// A `Predict` request.
+    pub fn predict(user: u32, item: u32) -> Self {
+        Self { user: Some(user), item: Some(item), ..Self::bare(Op::Predict) }
+    }
+
+    /// A `Recommend` request.
+    pub fn recommend(user: u32, k: usize) -> Self {
+        Self { user: Some(user), k: Some(k), ..Self::bare(Op::Recommend) }
+    }
+
+    /// An `Explain` request.
+    pub fn explain(item: u32, k: usize) -> Self {
+        Self { item: Some(item), k: Some(k), ..Self::bare(Op::Explain) }
+    }
+
+    /// A `Stats` request.
+    pub fn stats() -> Self {
+        Self::bare(Op::Stats)
+    }
+
+    /// A `Health` request.
+    pub fn health() -> Self {
+        Self::bare(Op::Health)
+    }
+
+    /// A `Reload` request.
+    pub fn reload() -> Self {
+        Self::bare(Op::Reload)
+    }
+
+    /// An `Invalidate` request for a user and/or an item.
+    pub fn invalidate(user: Option<u32>, item: Option<u32>) -> Self {
+        Self { user, item, ..Self::bare(Op::Invalidate) }
+    }
+
+    /// Returns the request with a correlation id attached.
+    pub fn with_id(mut self, id: u64) -> Self {
+        self.id = Some(id);
+        self
+    }
+
+    /// Returns the request with a deadline attached.
+    pub fn with_deadline_ms(mut self, deadline_ms: u64) -> Self {
+        self.deadline_ms = Some(deadline_ms);
+        self
+    }
+}
+
+/// `Predict` payload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PredictionDto {
+    /// Predicted rating `r̂ ∈ [1, 5]`.
+    pub rating: f32,
+    /// Predicted reliability `l̂ ∈ [0, 1]`.
+    pub reliability: f32,
+}
+
+impl From<Prediction> for PredictionDto {
+    fn from(p: Prediction) -> Self {
+        Self { rating: p.rating, reliability: p.reliability }
+    }
+}
+
+/// One `Recommend` result row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RecommendationDto {
+    /// Recommended item id.
+    pub item: u32,
+    /// Item display name.
+    pub item_name: String,
+    /// Predicted rating.
+    pub rating: f32,
+    /// Predicted reliability.
+    pub reliability: f32,
+}
+
+impl From<Recommendation> for RecommendationDto {
+    fn from(r: Recommendation) -> Self {
+        Self { item: r.item.0, item_name: r.item_name, rating: r.rating, reliability: r.reliability }
+    }
+}
+
+/// One `Explain` result row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExplanationDto {
+    /// Index of the review in the dataset.
+    pub review_idx: usize,
+    /// Authoring user id.
+    pub user: u32,
+    /// Author display name.
+    pub user_name: String,
+    /// Review text.
+    pub text: String,
+    /// Predicted rating of the pair.
+    pub rating: f32,
+    /// Predicted reliability of the review.
+    pub reliability: f32,
+    /// Whether the §IV-F pipeline filters this review for low reliability.
+    pub filtered: bool,
+}
+
+impl From<Explanation> for ExplanationDto {
+    fn from(e: Explanation) -> Self {
+        Self {
+            review_idx: e.review_idx,
+            user: e.user.0,
+            user_name: e.user_name,
+            text: e.text,
+            rating: e.rating,
+            reliability: e.reliability,
+            filtered: e.filtered,
+        }
+    }
+}
+
+/// `Health` payload: the liveness/readiness split.
+///
+/// *Liveness* is implied by the response arriving at all — the process is
+/// up, the socket accepts, the protocol parses. *Readiness* is the
+/// operational claim: the engine is willing and able to serve traffic
+/// right now. A replica that is draining for shutdown or sitting behind an
+/// open circuit breaker is alive but **not** ready, and load balancers /
+/// resilient clients should drain traffic away from it until it recovers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HealthDto {
+    /// The process answered — always `true` in a response you received.
+    pub live: bool,
+    /// Accepting traffic: not draining, breaker closed, a validated
+    /// generation loaded. A failed reload does *not* clear readiness —
+    /// the previous generation keeps serving unimpaired.
+    pub ready: bool,
+    /// The server has begun draining for shutdown.
+    pub draining: bool,
+    /// The panic circuit breaker is currently open.
+    pub breaker_open: bool,
+    /// Artifact generation currently serving.
+    pub generation: u64,
+}
+
+/// Machine-readable classification of a refused request, so clients can
+/// implement retry policy without parsing error strings: `Overloaded` and
+/// `Unavailable` are retryable after backoff, the rest are not.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ErrorKind {
+    /// The request itself is malformed or references unknown entities.
+    BadRequest,
+    /// Shed before processing: the submission queue was full.
+    Overloaded,
+    /// The circuit breaker is open (or the server is at its connection
+    /// cap); the engine is protecting itself.
+    Unavailable,
+    /// The worker failed while processing this request (e.g. a caught
+    /// panic); the request may or may not be safe to retry.
+    Internal,
+    /// The request's deadline passed while it was queued.
+    DeadlineExceeded,
+}
+
+/// One response line. Exactly one payload field is populated on success;
+/// all are `null` on error.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Response {
+    /// Correlation id echoed from the request (absent only when the line
+    /// was too mangled to recover an `id` from).
+    pub id: Option<u64>,
+    /// Whether the request succeeded.
+    pub ok: bool,
+    /// Error description when `ok` is false.
+    pub error: Option<String>,
+    /// Error classification when `ok` is false (absent on legacy paths
+    /// that predate the taxonomy).
+    pub kind: Option<ErrorKind>,
+    /// Artifact generation that served this request (success paths only).
+    pub generation: Option<u64>,
+    /// `Predict` payload.
+    pub prediction: Option<PredictionDto>,
+    /// `Recommend` payload.
+    pub recommendations: Option<Vec<RecommendationDto>>,
+    /// `Explain` payload.
+    pub explanations: Option<Vec<ExplanationDto>>,
+    /// `Stats` payload.
+    pub stats: Option<StatsSnapshot>,
+    /// `Health` payload.
+    pub health: Option<HealthDto>,
+    /// `Invalidate` payload: number of cache entries evicted.
+    pub evicted: Option<u64>,
+}
+
+impl Response {
+    /// An empty success response (payload to be filled by the caller).
+    pub fn ok(id: Option<u64>) -> Self {
+        Self {
+            id,
+            ok: true,
+            error: None,
+            kind: None,
+            generation: None,
+            prediction: None,
+            recommendations: None,
+            explanations: None,
+            stats: None,
+            health: None,
+            evicted: None,
+        }
+    }
+
+    /// An error response (no machine-readable kind; prefer the dedicated
+    /// constructors on new code paths).
+    pub fn error(id: Option<u64>, message: impl Into<String>) -> Self {
+        Self { ok: false, error: Some(message.into()), ..Self::ok(id) }
+    }
+
+    /// An error response with an explicit [`ErrorKind`].
+    pub fn error_kind(id: Option<u64>, kind: ErrorKind, message: impl Into<String>) -> Self {
+        Self { kind: Some(kind), ..Self::error(id, message) }
+    }
+
+    /// The structured shed response for a full submission queue.
+    pub fn overloaded(id: Option<u64>) -> Self {
+        Self::error_kind(id, ErrorKind::Overloaded, "overloaded: submission queue is full, retry with backoff")
+    }
+
+    /// The structured refusal for an open circuit breaker or a saturated
+    /// connection cap.
+    pub fn unavailable(id: Option<u64>, why: impl Into<String>) -> Self {
+        Self::error_kind(id, ErrorKind::Unavailable, why)
+    }
+
+    /// The structured reply for a worker-side failure.
+    pub fn internal(id: Option<u64>, why: impl Into<String>) -> Self {
+        Self::error_kind(id, ErrorKind::Internal, why)
+    }
+
+    /// Whether a client may safely resubmit after this error. Only the
+    /// load-protection refusals qualify; `BadRequest` will fail again,
+    /// `Internal`/`DeadlineExceeded` need the caller's judgment.
+    pub fn is_retryable_error(&self) -> bool {
+        matches!(self.kind, Some(ErrorKind::Overloaded | ErrorKind::Unavailable))
+    }
+}
+
+/// Wire-serialisable snapshot of the engine's counters, returned by the
+/// `Stats` request.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StatsSnapshot {
+    /// Requests processed so far.
+    pub requests: u64,
+    /// Requests answered with an error.
+    pub errors: u64,
+    /// Micro-batches drained.
+    pub batches: u64,
+    /// Mean jobs per drained batch.
+    pub mean_batch: f64,
+    /// Largest batch drained.
+    pub max_batch: u64,
+    /// UserNet cache hits.
+    pub user_cache_hits: u64,
+    /// UserNet cache misses.
+    pub user_cache_misses: u64,
+    /// ItemNet cache hits.
+    pub item_cache_hits: u64,
+    /// ItemNet cache misses.
+    pub item_cache_misses: u64,
+    /// Hits over all lookups, both caches combined.
+    pub cache_hit_rate: f64,
+    /// Tower forward passes executed (== total cache misses).
+    pub tower_evals: u64,
+    /// Requests that missed their deadline while queued.
+    pub deadline_misses: u64,
+    /// Requests shed at submission (queue full or breaker open).
+    pub shed: u64,
+    /// Hot-reload attempts.
+    pub reloads: u64,
+    /// Hot-reload attempts that failed (old generation kept serving).
+    pub reload_failures: u64,
+    /// Worker panics caught and recovered by the supervisor.
+    pub worker_panics: u64,
+    /// Artifact generation currently serving (starts at 1, +1 per
+    /// successful reload).
+    pub generation: u64,
+    /// Whether the panic circuit breaker is currently open.
+    pub breaker_open: bool,
+    /// Whether the server has begun draining for shutdown.
+    pub draining: bool,
+    /// Readiness: not draining and breaker closed (see [`HealthDto`]).
+    pub ready: bool,
+    /// Median enqueue-to-reply latency (µs, power-of-two resolution).
+    pub p50_latency_us: u64,
+    /// 99th-percentile enqueue-to-reply latency (µs).
+    pub p99_latency_us: u64,
+}
+
+/// Encodes a response as one protocol line (no trailing newline).
+pub fn encode_response(resp: &Response) -> String {
+    serde_json::to_string(resp).expect("Response serialisation cannot fail")
+}
+
+/// Best-effort correlation-id recovery from a request line that failed
+/// full decoding. If the line parses as a JSON object with an integral
+/// `id`, that id is returned so the error response can still be matched to
+/// its request under pipelining; anything less intact yields `None`.
+pub fn extract_id(line: &str) -> Option<u64> {
+    let value: serde_json::Value = serde_json::from_str(line.trim()).ok()?;
+    value.get("id")?.as_u64()
+}
+
+/// Decodes one request line.
+///
+/// Rejects, with a structured message: lines over [`MAX_LINE_BYTES`],
+/// non-object documents, unknown fields, and anything `Request`'s own
+/// deserializer refuses (missing/mistyped `op`, wrong value types).
+pub fn decode_request(line: &str) -> Result<Request, String> {
+    let line = line.trim();
+    if line.len() > MAX_LINE_BYTES {
+        return Err(format!("request line exceeds {MAX_LINE_BYTES} bytes ({} bytes)", line.len()));
+    }
+    let value: serde_json::Value = serde_json::from_str(line).map_err(|e| format!("bad request: {e}"))?;
+    let serde_json::Value::Map(fields) = &value else {
+        return Err("bad request: expected a JSON object".into());
+    };
+    for (key, _) in fields {
+        if !REQUEST_FIELDS.contains(&key.as_str()) {
+            return Err(format!("bad request: unknown field `{key}`"));
+        }
+    }
+    serde_json::from_value(&value).map_err(|e| format!("bad request: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_request_lines_parse() {
+        let r = decode_request(r#"{"op":"Predict","user":3,"item":7}"#).unwrap();
+        assert_eq!(r.op, Op::Predict);
+        assert_eq!((r.user, r.item), (Some(3), Some(7)));
+        assert_eq!(r.id, None);
+        assert_eq!(r.deadline_ms, None);
+
+        let r = decode_request(r#"{"op":"Stats"}"#).unwrap();
+        assert_eq!(r.op, Op::Stats);
+
+        let r = decode_request(r#"{"op":"Health"}"#).unwrap();
+        assert_eq!(r.op, Op::Health);
+    }
+
+    #[test]
+    fn unknown_op_is_an_error() {
+        let err = decode_request(r#"{"op":"Frobnicate"}"#).unwrap_err();
+        assert!(err.contains("Frobnicate"), "unhelpful error: {err}");
+    }
+
+    #[test]
+    fn malformed_json_is_an_error() {
+        assert!(decode_request("{not json").is_err());
+        assert!(decode_request("").is_err());
+    }
+
+    #[test]
+    fn unknown_fields_are_rejected_not_ignored() {
+        let err = decode_request(r#"{"op":"Predict","user":3,"item":7,"deadine_ms":50}"#).unwrap_err();
+        assert!(err.contains("deadine_ms"), "unhelpful error: {err}");
+    }
+
+    #[test]
+    fn non_object_documents_are_rejected() {
+        assert!(decode_request("[1,2,3]").unwrap_err().contains("object"));
+        assert!(decode_request("42").unwrap_err().contains("object"));
+        assert!(decode_request(r#""Predict""#).unwrap_err().contains("object"));
+    }
+
+    #[test]
+    fn oversized_lines_are_rejected_with_the_limit_in_the_message() {
+        let line = format!(r#"{{"op":"Stats{}"}}"#, " ".repeat(MAX_LINE_BYTES));
+        let err = decode_request(&line).unwrap_err();
+        assert!(err.contains(&MAX_LINE_BYTES.to_string()), "unhelpful error: {err}");
+    }
+
+    #[test]
+    fn request_roundtrips() {
+        let r = Request::recommend(5, 10).with_id(99);
+        let line = serde_json::to_string(&r).unwrap();
+        assert!(!line.contains('\n'), "protocol lines must be single-line");
+        let back = decode_request(&line).unwrap();
+        assert_eq!(back.op, Op::Recommend);
+        assert_eq!((back.user, back.k, back.id), (Some(5), Some(10), Some(99)));
+    }
+
+    #[test]
+    fn response_roundtrips_with_payload() {
+        let mut resp = Response::ok(Some(7));
+        resp.prediction = Some(PredictionDto { rating: 4.25, reliability: 0.5 });
+        let line = encode_response(&resp);
+        assert!(!line.contains('\n'));
+        let back: Response = serde_json::from_str(&line).unwrap();
+        assert!(back.ok);
+        assert_eq!(back.id, Some(7));
+        assert_eq!(back.prediction.unwrap(), PredictionDto { rating: 4.25, reliability: 0.5 });
+    }
+
+    #[test]
+    fn error_responses_carry_the_message() {
+        let resp = Response::error(None, "deadline exceeded");
+        let back: Response = serde_json::from_str(&encode_response(&resp)).unwrap();
+        assert!(!back.ok);
+        assert_eq!(back.error.as_deref(), Some("deadline exceeded"));
+        assert!(back.prediction.is_none());
+    }
+
+    #[test]
+    fn extract_id_recovers_ids_from_undecodable_lines() {
+        // Unknown field: decode fails, but the id is recoverable.
+        assert!(decode_request(r#"{"op":"Predict","id":42,"speed":"max"}"#).is_err());
+        assert_eq!(extract_id(r#"{"op":"Predict","id":42,"speed":"max"}"#), Some(42));
+        // Unknown op: same.
+        assert_eq!(extract_id(r#"{"op":"Frobnicate","id":7}"#), Some(7));
+        // Too mangled, non-object, or non-integral id: nothing to echo.
+        assert_eq!(extract_id("{not json"), None);
+        assert_eq!(extract_id("[1,2,3]"), None);
+        assert_eq!(extract_id(r#"{"id":"forty-two","op":"Stats"}"#), None);
+        assert_eq!(extract_id(r#"{"id":1.5,"op":"Stats"}"#), None);
+    }
+
+    #[test]
+    fn idempotency_classification_protects_side_effects() {
+        for op in [Op::Predict, Op::Recommend, Op::Explain, Op::Stats, Op::Health, Op::Invalidate] {
+            assert!(op.is_idempotent(), "{op:?} must be retryable");
+        }
+        for op in [Op::Reload, Op::Crash] {
+            assert!(!op.is_idempotent(), "{op:?} must never be blindly retried");
+        }
+    }
+
+    #[test]
+    fn health_payload_roundtrips() {
+        let mut resp = Response::ok(Some(3));
+        resp.health = Some(HealthDto {
+            live: true,
+            ready: false,
+            draining: true,
+            breaker_open: false,
+            generation: 4,
+        });
+        let back: Response = serde_json::from_str(&encode_response(&resp)).unwrap();
+        let h = back.health.unwrap();
+        assert!(h.live && !h.ready && h.draining && !h.breaker_open);
+        assert_eq!(h.generation, 4);
+    }
+}

@@ -28,10 +28,22 @@ done
 echo "==> parallel parity oracles (explicit thread counts)"
 cargo test -q --test parallel_parity --test golden_trace --test resume_parity
 
+echo "==> resilience gates (chaos robustness, client failover, retry idempotency)"
+cargo test -q -p rrre-serve --test chaos_robustness
+cargo test -q -p rrre-client --test failover --test retry_idempotency
+
 echo "==> crash-recovery smoke (train -> abort -> resume)"
 SMOKE="$(mktemp -d)"
-trap 'rm -rf "$SMOKE"' EXIT
+SRV_PID=()
+PRX_PID=()
+cleanup() {
+  kill "${SRV_PID[@]:-}" "${PRX_PID[@]:-}" 2>/dev/null || true
+  kill $(jobs -p) 2>/dev/null || true
+  rm -rf "$SMOKE"
+}
+trap cleanup EXIT
 SERVE=target/release/rrre-serve
+CHAOS=target/release/rrre-chaos-proxy
 
 full="$("$SERVE" train "$SMOKE/full" --epochs 4 2>/dev/null | tail -n 1)"
 echo "    uninterrupted: $full"
@@ -70,5 +82,72 @@ for t in 2 4; do
     exit 1
   fi
 done
+
+echo "==> chaos failover smoke (3 replicas, SIGKILL one mid-burst)"
+# Three replicas serve one artifact, each behind a deterministic chaos
+# proxy (transparent here — the proxies exist so the drill exercises the
+# same interposition path the chaos tests use). One replica is SIGKILLed
+# mid-burst; the client must finish with zero visible failures and the
+# killed replica's breaker must be open in the final snapshot.
+"$SERVE" demo "$SMOKE/model" >/dev/null 2>&1
+
+wait_addr() { # <logfile> — scrape the "listening on ADDR" line
+  local log="$1" addr
+  for _ in $(seq 1 100); do
+    addr="$(sed -n 's/^listening on //p' "$log" 2>/dev/null | head -n 1)"
+    if [ -n "$addr" ]; then
+      echo "$addr"
+      return 0
+    fi
+    sleep 0.1
+  done
+  echo "    FAIL: no 'listening on' line in $log" >&2
+  return 1
+}
+
+SRV_ADDR=()
+PRX_ADDR=()
+for i in 0 1 2; do
+  "$SERVE" serve "$SMOKE/model" --addr 127.0.0.1:0 \
+    </dev/null >"$SMOKE/serve$i.log" 2>&1 &
+  SRV_PID[$i]=$!
+done
+for i in 0 1 2; do
+  SRV_ADDR[$i]="$(wait_addr "$SMOKE/serve$i.log")"
+  # The proxy parks on stdin; `tail -f /dev/null` holds the pipe open so
+  # it keeps relaying until we tear the pipeline down.
+  tail -f /dev/null | "$CHAOS" --upstream "${SRV_ADDR[$i]}" --seed $((90 + i)) \
+    >"$SMOKE/proxy$i.log" 2>&1 &
+  PRX_PID[$i]=$!
+done
+for i in 0 1 2; do
+  PRX_ADDR[$i]="$(wait_addr "$SMOKE/proxy$i.log")"
+done
+
+"$SERVE" burst --replicas "${PRX_ADDR[0]},${PRX_ADDR[1]},${PRX_ADDR[2]}" \
+  --requests 80 --gap-ms 10 --users 2 --items 2 \
+  --retries 3 --timeout-ms 800 --seed 7 \
+  >"$SMOKE/burst.log" 2>"$SMOKE/burst.err" &
+BURST_PID=$!
+sleep 0.25
+kill -9 "${SRV_PID[1]}"
+set +e
+wait "$BURST_PID"
+burst_status=$?
+set -e
+sed 's/^/    /' "$SMOKE/burst.log"
+if [ "$burst_status" -ne 0 ]; then
+  echo "    FAIL: burst exited $burst_status (client-visible failures)" >&2
+  sed 's/^/    /' "$SMOKE/burst.err" >&2
+  exit 1
+fi
+if ! grep -q "failed=0" "$SMOKE/burst.log"; then
+  echo "    FAIL: burst summary does not report failed=0" >&2
+  exit 1
+fi
+if ! grep "^replica ${PRX_ADDR[1]} " "$SMOKE/burst.log" | grep -q "breaker_open=true"; then
+  echo "    FAIL: the killed replica's breaker did not open" >&2
+  exit 1
+fi
 
 echo "==> CI gate passed"
