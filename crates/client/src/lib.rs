@@ -41,6 +41,9 @@
 pub mod backoff;
 pub mod breaker;
 mod replica;
+pub mod sharded;
+
+pub use sharded::{ShardedClient, ShardedSnapshot};
 
 use backoff::DecorrelatedJitter;
 use breaker::Breaker;
@@ -260,13 +263,40 @@ impl Client {
     /// are the caller's to inspect via [`Response::ok`]. Returns `Err`
     /// only when the retry budget ran out (or the op was not safe to
     /// retry).
-    pub fn request(&self, mut req: Request) -> Result<Response, ClientError> {
+    pub fn request(&self, req: Request) -> Result<Response, ClientError> {
+        self.run(req, None)
+    }
+
+    /// [`Client::request`] bounded by an *overall* wall-clock deadline
+    /// instead of a per-attempt budget. Every attempt's timeout — and the
+    /// `deadline_ms` written into the request, overwriting any
+    /// caller-supplied value — is the *remaining* budget at that moment
+    /// (capped at [`ClientConfig::request_timeout`]), and backoff sleeps
+    /// are clipped to it, so retries spend down one shared allowance
+    /// rather than granting each attempt a fresh one. Once the deadline
+    /// passes, the request fails with the last attempt's error (or
+    /// [`ErrorClass::Timeout`] if none was made) instead of starting
+    /// another attempt.
+    ///
+    /// This is how the scatter-gather tier splits one caller deadline
+    /// across per-shard sub-requests: each sub-request gets what is *left*
+    /// of the caller's budget, so a slow shard can exhaust only its own
+    /// time, never another shard's.
+    pub fn request_with_deadline(
+        &self,
+        req: Request,
+        deadline: Instant,
+    ) -> Result<Response, ClientError> {
+        self.run(req, Some(deadline))
+    }
+
+    fn run(&self, mut req: Request, deadline: Option<Instant>) -> Result<Response, ClientError> {
         let shared = &self.shared;
         let cfg = &shared.cfg;
         if req.id.is_none() {
             req.id = Some(shared.next_id.fetch_add(1, Ordering::SeqCst));
         }
-        if req.deadline_ms.is_none() {
+        if req.deadline_ms.is_none() && deadline.is_none() {
             req.deadline_ms = Some(cfg.request_timeout.as_millis() as u64);
         }
         shared.requests.fetch_add(1, Ordering::SeqCst);
@@ -275,15 +305,34 @@ impl Client {
         let mut last_err: Option<ClientError> = None;
         let mut last_idx: Option<usize> = None;
         let budget = cfg.retries + 1;
+        // Finer than this and the server would see a 0ms deadline, which
+        // is expired by definition — not worth an attempt.
+        const MIN_BUDGET: Duration = Duration::from_millis(1);
         for attempt in 1..=budget {
             if attempt > 1 {
-                let sleep = {
+                let mut sleep = {
                     let mut rng = shared.rng.lock().unwrap_or_else(|e| e.into_inner());
                     backoff.next(&mut rng)
                 };
+                if let Some(d) = deadline {
+                    sleep = sleep.min(d.saturating_duration_since(Instant::now()));
+                }
                 std::thread::sleep(sleep);
                 shared.retries.fetch_add(1, Ordering::SeqCst);
             }
+            let timeout = match deadline {
+                Some(d) => {
+                    let remaining = d.saturating_duration_since(Instant::now());
+                    if remaining < MIN_BUDGET {
+                        break;
+                    }
+                    // Each attempt sees — and tells the server about — only
+                    // what is left of the overall budget.
+                    req.deadline_ms = Some(remaining.as_millis() as u64);
+                    cfg.request_timeout.min(remaining)
+                }
+                None => cfg.request_timeout,
+            };
             let Some(idx) = shared.pick(last_idx) else {
                 let mut e = ClientError::new(
                     ErrorClass::NoReplica,
@@ -295,9 +344,9 @@ impl Client {
             };
             last_idx = Some(idx);
             let outcome = if idempotent && cfg.hedge_after.is_some() {
-                self.hedged_attempt(idx, &req)
+                self.hedged_attempt(idx, &req, timeout)
             } else {
-                shared.attempt(idx, &req, cfg.request_timeout)
+                shared.attempt(idx, &req, timeout)
             };
             match outcome {
                 Ok(resp) => {
@@ -332,7 +381,16 @@ impl Client {
                 }
             }
         }
-        Err(last_err.unwrap_or_else(|| ClientError::new(ErrorClass::NoReplica, "no attempt was made")))
+        Err(last_err.unwrap_or_else(|| {
+            if deadline.is_some() {
+                ClientError::new(
+                    ErrorClass::Timeout,
+                    "overall deadline exhausted before any attempt completed",
+                )
+            } else {
+                ClientError::new(ErrorClass::NoReplica, "no attempt was made")
+            }
+        }))
     }
 
     /// Convenience: sends a `Health` request to one specific replica
@@ -343,6 +401,11 @@ impl Client {
         let shared = &self.shared;
         let req = Request::health().with_id(shared.next_id.fetch_add(1, Ordering::SeqCst));
         shared.attempt_io(&shared.replicas[replica], &req, shared.cfg.probe_timeout)
+    }
+
+    /// The configuration this client was built with.
+    pub fn config(&self) -> &ClientConfig {
+        &self.shared.cfg
     }
 
     /// Current counters and per-replica state.
@@ -386,7 +449,12 @@ impl Client {
     /// and take the first successful response. A fast *failure* from the
     /// primary returns immediately instead of hedging — hedging is a
     /// latency tool, the outer retry loop owns failure handling.
-    fn hedged_attempt(&self, primary: usize, req: &Request) -> Result<Response, ClientError> {
+    fn hedged_attempt(
+        &self,
+        primary: usize,
+        req: &Request,
+        timeout: Duration,
+    ) -> Result<Response, ClientError> {
         let shared = &self.shared;
         let hedge_after = shared.cfg.hedge_after.expect("hedged_attempt requires hedge_after");
         let (tx, rx) = mpsc::channel::<Result<Response, ClientError>>();
@@ -395,7 +463,7 @@ impl Client {
             let req = req.clone();
             let tx = tx.clone();
             std::thread::spawn(move || {
-                let _ = tx.send(shared.attempt(idx, &req, shared.cfg.request_timeout));
+                let _ = tx.send(shared.attempt(idx, &req, timeout));
             });
         };
         spawn_arm(primary);
@@ -417,9 +485,9 @@ impl Client {
             }
         }
         drop(tx);
-        // Both arms are bounded by connect + request timeouts; the recv
+        // Both arms are bounded by connect + attempt timeouts; the recv
         // deadline below is a backstop, not the mechanism.
-        let deadline = shared.cfg.connect_timeout + shared.cfg.request_timeout * 2;
+        let deadline = shared.cfg.connect_timeout + timeout * 2;
         let started = Instant::now();
         let mut fallback: Option<Result<Response, ClientError>> = None;
         loop {

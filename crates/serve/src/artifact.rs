@@ -24,13 +24,16 @@ use rrre_core::{Rrre, RrreConfig};
 use rrre_data::{Dataset, DatasetIndex, EncodedCorpus};
 use rrre_tensor::{Params, Tensor};
 use rrre_text::WordVectors;
+use rrre_wire::ShardSpec;
 use serde::{Deserialize, Serialize};
 use std::io;
 use std::path::{Path, PathBuf};
 
 /// Current artifact layout version. Version 2 added per-file FNV-1a
-/// checksums; version-1 artifacts are rejected (re-save to upgrade).
-pub const MANIFEST_VERSION: u32 = 2;
+/// checksums; version 3 added the shard spec (consistent-hash topology the
+/// artifact was partitioned for — [`ShardSpec::single`] for whole-model
+/// bundles). Older versions are rejected (re-save to upgrade).
+pub const MANIFEST_VERSION: u32 = 3;
 
 /// File names inside an artifact directory.
 pub const MANIFEST_FILE: &str = "manifest.json";
@@ -67,6 +70,13 @@ pub struct ArtifactManifest {
     pub vocab_len: usize,
     /// The model's full hyper-parameter configuration.
     pub config: RrreConfig,
+    /// The consistent-hash shard topology this artifact is deployed under.
+    /// Carried in the manifest so the map version travels with the
+    /// generation: a hot reload that changes the topology changes the map
+    /// version atomically with the weights, and every replica and client
+    /// that agrees on this spec computes identical entity ownership.
+    /// [`ShardSpec::single`] for whole-model bundles.
+    pub shard_spec: ShardSpec,
     /// FNV-1a 64 digest of every payload file, recorded at save time. The
     /// load path re-hashes each file before parsing it, so a bit-flip that
     /// would survive structural validation (e.g. inside a weight tensor)
@@ -135,6 +145,23 @@ impl ModelArtifact {
         model: &Rrre,
         min_count: u64,
     ) -> io::Result<()> {
+        Self::save_with_shards(dir, dataset, corpus, model, min_count, ShardSpec::single())
+    }
+
+    /// [`ModelArtifact::save`] with an explicit shard topology recorded in
+    /// the manifest. The payload files are identical regardless of the
+    /// spec — every shard's replicas load the same bundle and each engine
+    /// scopes itself to its owned partition at serve time — so one `save`
+    /// provisions the whole deployment.
+    pub fn save_with_shards(
+        dir: impl AsRef<Path>,
+        dataset: &Dataset,
+        corpus: &EncodedCorpus,
+        model: &Rrre,
+        min_count: u64,
+        shard_spec: ShardSpec,
+    ) -> io::Result<()> {
+        shard_spec.validate().map_err(invalid)?;
         let dir = dir.as_ref();
         std::fs::create_dir_all(dir)?;
 
@@ -173,6 +200,7 @@ impl ModelArtifact {
             embed_dim: corpus.embed_dim(),
             vocab_len: corpus.word_vectors.len(),
             config: *model.config(),
+            shard_spec,
             checksums,
         };
         let json = serde_json::to_string_pretty(&manifest).map_err(io::Error::other)?;
@@ -194,6 +222,10 @@ impl ModelArtifact {
                 manifest.version
             )));
         }
+        manifest
+            .shard_spec
+            .validate()
+            .map_err(|e| invalid(format!("bad shard spec in manifest: {e}")))?;
 
         // Verify every payload digest before parsing anything: structural
         // validation cannot see a flipped bit inside a weight value.

@@ -9,26 +9,31 @@
 //! rrre-serve burst --replicas a,b,c [...]    drive a request burst through the client
 //! ```
 
-use rrre_client::{Client, ClientConfig};
+use rrre_client::{Client, ClientConfig, ClientError, ShardedClient};
 use rrre_core::{CheckpointConfig, EpochStats, Rrre, RrreConfig};
 use rrre_data::synth::{generate, SynthConfig};
 use rrre_data::{CorpusConfig, Dataset, EncodedCorpus};
 use rrre_serve::protocol::{decode_request, encode_response};
 use rrre_serve::{Engine, EngineConfig, ModelArtifact, Server, ServerConfig};
+use rrre_shard::ShardTopology;
 use rrre_text::word2vec::Word2VecConfig;
+use rrre_wire::{Request, Response, ShardSpec};
 use std::io::{BufRead, IsTerminal};
 use std::path::PathBuf;
 use std::process::ExitCode;
-use std::sync::Arc;
-use std::time::Duration;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 const USAGE: &str = "\
 rrre-serve: inference serving for the RRRE model
 
 USAGE:
-  rrre-serve demo <dir> [--scale F]
+  rrre-serve demo <dir> [--scale F] [--shards N]
       Generate a synthetic YelpChi-like dataset (default --scale 0.05),
       train a small RRRE model and write a serving artifact to <dir>.
+      --shards N (default 1) records an N-way consistent-hash shard spec
+      in the manifest; every shard's replicas serve from this one artifact.
 
   rrre-serve train <dir> [--scale F] [--epochs N] [--every N] [--threads N]
                          [--resume] [--abort-after-epoch N]
@@ -42,14 +47,24 @@ USAGE:
       resume with a different count. The final stdout line carries the
       exact loss bits.
 
-  rrre-serve serve <dir> [--addr HOST:PORT] [--workers N]
+  rrre-serve serve <dir> [--addr HOST:PORT] [--shard-id N] [--workers N]
                          [--max-batch N] [--max-wait-ms N] [--queue-cap N]
                          [--max-conns N] [--read-timeout-ms N] [--drain-ms N]
       Load the artifact in <dir> and serve newline-delimited JSON over TCP
-      (default --addr 127.0.0.1:7878). Stdin verbs: `quit` stops the server
-      gracefully, `reload` hot-swaps the artifact from <dir>, `stats`
-      prints the counters, `health` prints liveness/readiness. On stdin
-      EOF (detached/daemonized) it keeps serving until killed.
+      (default --addr 127.0.0.1:7878). --shard-id N scopes this replica to
+      shard N of the manifest's shard map: it answers only for entities it
+      owns (WrongShard otherwise) and scores only its own catalog slice on
+      Recommend; omit it for the whole-model fallback. Stdin verbs: `quit`
+      stops the server gracefully, `reload` hot-swaps the artifact from
+      <dir>, `stats` prints the counters, `health` prints liveness/
+      readiness. On stdin EOF (detached/daemonized) it keeps serving until
+      killed.
+
+  rrre-serve shardmap <dir> --replicas \"a,b;c,d;e,f\"
+      Print a shard-topology JSON document (for --shard-map) binding the
+      artifact's shard spec to replica endpoints: shard lists separated by
+      `;`, replicas within a shard by `,`. The list count must match the
+      manifest's shard count.
 
   rrre-serve query <addr> <json-line> [CLIENT FLAGS]
   rrre-serve query --replicas a,b,c <json-line> [CLIENT FLAGS]
@@ -62,19 +77,29 @@ USAGE:
       Answer a single request: in-process from the artifact in <dir>, or —
       with --replicas — over the network through the resilient client.
 
-  rrre-serve burst --replicas a,b,c [--requests N] [--gap-ms N]
-                   [--users N] [--items N] [--probe-interval-ms N]
-                   [CLIENT FLAGS]
-      Drive N Predict requests (default 100, users/items cycling under
-      --users/--items) through the resilient client, then print per-replica
-      attempt/failure/breaker lines and a final `burst ...` summary. Exits
-      nonzero if any request failed client-visibly. Health probes are on
-      by default (100 ms) so killed replicas are detected and recovered.
+  rrre-serve burst (--replicas a,b,c | --shard-map FILE)
+                   [--requests N] [--gap-ms N] [--users N] [--items N]
+                   [--recommend-k K] [--open-loop] [--rate R]
+                   [--concurrency N] [--json]
+                   [--probe-interval-ms N] [CLIENT FLAGS]
+      Drive N requests (default 100; Predicts cycling under --users/--items,
+      or Recommends with --recommend-k K) through the resilient client —
+      flat with --replicas, shard-routed scatter-gather with --shard-map.
+      Default is closed-loop (--gap-ms between completions); --open-loop
+      fires on a fixed schedule of --rate req/s (default 200) from
+      --concurrency workers (default 8), which keeps arrival times honest
+      under slow replicas. Prints per-replica lines, p50/p99 latency and
+      throughput; --json emits one machine-readable summary line. Exits
+      nonzero if any request failed client-visibly (degraded answers are
+      not failures). Health probes are on by default (100 ms).
 
   CLIENT FLAGS (query/oneshot/burst):
       --replicas a,b,c      comma-separated replica endpoints
+      --shard-map FILE      shard-topology JSON (see `shardmap`); routes by
+                            shard and scatter-gathers ranking queries
       --retries N           extra attempts per request (default 2)
       --timeout-ms N        per-attempt timeout, also sent as deadline_ms
+                            (a scatter splits it across its sub-requests)
       --hedge-after-ms N    hedge idempotent requests after this latency
       --seed N              jitter-RNG seed (fixed seed = fixed schedule)
 
@@ -143,6 +168,7 @@ fn main() -> ExitCode {
         "demo" => cmd_demo(args),
         "train" => cmd_train(args),
         "serve" => cmd_serve(args),
+        "shardmap" => cmd_shardmap(args),
         "query" => cmd_query(args),
         "oneshot" => cmd_oneshot(args),
         "burst" => cmd_burst(args),
@@ -169,6 +195,10 @@ fn synth_corpus(scale: f64, max_len: usize, dim: usize, w2v_epochs: usize) -> (D
 
 fn cmd_demo(mut args: Vec<String>) -> ExitCode {
     let scale: f64 = parse_flag(take_flag(&mut args, "--scale"), "--scale", 0.05);
+    let shards: u32 = parse_flag(take_flag(&mut args, "--shards"), "--shards", 1);
+    if shards == 0 {
+        return fail("--shards must be ≥ 1");
+    }
     let [dir] = args.as_slice() else {
         return fail("demo needs exactly one <dir>");
     };
@@ -183,10 +213,15 @@ fn cmd_demo(mut args: Vec<String>) -> ExitCode {
     );
     let train: Vec<usize> = (0..ds.len()).collect();
     let model = Rrre::fit(&ds, &corpus, &train, RrreConfig { epochs: 5, ..RrreConfig::tiny() });
-    if let Err(e) = ModelArtifact::save(dir, &ds, &corpus, &model, min_count) {
+    let spec = ShardSpec::with_shards(shards);
+    if let Err(e) = ModelArtifact::save_with_shards(dir, &ds, &corpus, &model, min_count, spec) {
         return die(format!("failed to write artifact to `{dir}`: {e}"));
     }
-    println!("artifact written to {dir}");
+    if shards > 1 {
+        println!("artifact written to {dir} ({shards}-way shard map, version {})", spec.version);
+    } else {
+        println!("artifact written to {dir}");
+    }
     println!("next: rrre-serve serve {dir}");
     println!("then: rrre-serve query 127.0.0.1:7878 '{{\"op\":\"Recommend\",\"user\":0,\"k\":3}}'");
     ExitCode::SUCCESS
@@ -257,6 +292,7 @@ fn cmd_train(mut args: Vec<String>) -> ExitCode {
 fn cmd_serve(mut args: Vec<String>) -> ExitCode {
     let addr = take_flag(&mut args, "--addr").unwrap_or_else(|| "127.0.0.1:7878".into());
     let mut cfg = EngineConfig::default();
+    cfg.shard_id = take_flag(&mut args, "--shard-id").map(|s| parse_flag(Some(s), "--shard-id", 0));
     cfg.workers = parse_flag(take_flag(&mut args, "--workers"), "--workers", cfg.workers);
     cfg.max_batch = parse_flag(take_flag(&mut args, "--max-batch"), "--max-batch", cfg.max_batch);
     if let Some(ms) = take_flag(&mut args, "--max-wait-ms") {
@@ -281,11 +317,25 @@ fn cmd_serve(mut args: Vec<String>) -> ExitCode {
         Ok(a) => a,
         Err(e) => return die(format!("failed to load artifact `{dir}`: {e}")),
     };
-    eprintln!(
-        "serving `{}` ({} users, {} items) with {} workers",
-        artifact.manifest.dataset_name, artifact.manifest.n_users, artifact.manifest.n_items,
-        cfg.workers
-    );
+    if let Some(shard) = cfg.shard_id {
+        let spec = artifact.manifest.shard_spec;
+        if shard >= spec.shards {
+            return die(format!(
+                "--shard-id {shard} out of range: artifact `{dir}` declares {} shard(s)",
+                spec.shards
+            ));
+        }
+        eprintln!(
+            "serving `{}` as shard {shard}/{} (map version {}) with {} workers",
+            artifact.manifest.dataset_name, spec.shards, spec.version, cfg.workers
+        );
+    } else {
+        eprintln!(
+            "serving `{}` ({} users, {} items) with {} workers",
+            artifact.manifest.dataset_name, artifact.manifest.n_users, artifact.manifest.n_items,
+            cfg.workers
+        );
+    }
     let engine = Arc::new(Engine::new(artifact, cfg));
     let mut server = match Server::start_with(Arc::clone(&engine), addr.as_str(), server_cfg) {
         Ok(s) => s,
@@ -319,10 +369,12 @@ fn cmd_serve(mut args: Vec<String>) -> ExitCode {
             }
             Ok(l) if l.trim() == "stats" => {
                 let s = engine.stats();
+                let shard = s.shard_id.map_or("-".into(), |s| s.to_string());
                 eprintln!(
                     "generation={} requests={} errors={} shed={} reloads={} \
                      reload_failures={} worker_panics={} breaker_open={} \
-                     cache_hit_rate={:.3}",
+                     cache_hit_rate={:.3} shard={shard} cross_shard_rejects={} \
+                     scatter_fanout={}",
                     s.generation,
                     s.requests,
                     s.errors,
@@ -331,7 +383,9 @@ fn cmd_serve(mut args: Vec<String>) -> ExitCode {
                     s.reload_failures,
                     s.worker_panics,
                     s.breaker_open,
-                    s.cache_hit_rate
+                    s.cache_hit_rate,
+                    s.cross_shard_rejects,
+                    s.scatter_fanout
                 );
             }
             Ok(_) => continue,
@@ -362,9 +416,66 @@ fn cmd_serve(mut args: Vec<String>) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// Pulls the shared resilient-client flags (`--replicas`, `--retries`,
-/// `--timeout-ms`, `--hedge-after-ms`, `--seed`) out of `args`.
-fn client_flags(args: &mut Vec<String>) -> (Option<Vec<String>>, ClientConfig) {
+fn cmd_shardmap(mut args: Vec<String>) -> ExitCode {
+    let Some(replicas_arg) = take_flag(&mut args, "--replicas") else {
+        return fail("shardmap needs --replicas \"a,b;c,d;e,f\"");
+    };
+    let [dir] = args.as_slice() else {
+        return fail("shardmap needs <dir> --replicas \"a,b;c,d;e,f\"");
+    };
+    let manifest_path = PathBuf::from(dir).join(rrre_serve::artifact::MANIFEST_FILE);
+    let json = match std::fs::read_to_string(&manifest_path) {
+        Ok(j) => j,
+        Err(e) => return die(format!("cannot read `{}`: {e}", manifest_path.display())),
+    };
+    let manifest: rrre_serve::ArtifactManifest = match serde_json::from_str(&json) {
+        Ok(m) => m,
+        Err(e) => return die(format!("`{}` does not parse as a manifest: {e}", manifest_path.display())),
+    };
+    let replicas: Vec<Vec<String>> = replicas_arg
+        .split(';')
+        .map(|shard| {
+            shard.split(',').map(|x| x.trim().to_string()).filter(|x| !x.is_empty()).collect()
+        })
+        .collect();
+    let topology = ShardTopology { spec: manifest.shard_spec, replicas };
+    if let Err(e) = topology.validate() {
+        return die(format!(
+            "replica lists don't fit the artifact's shard map ({} shard(s), version {}): {e}",
+            manifest.shard_spec.shards, manifest.shard_spec.version
+        ));
+    }
+    println!("{}", topology.to_json());
+    ExitCode::SUCCESS
+}
+
+/// How a client command reaches the fleet: one failover pool over a flat
+/// replica list, or shard-routed scatter-gather over a topology file.
+enum Fleet {
+    Flat(Client),
+    Sharded(ShardedClient),
+}
+
+impl Fleet {
+    fn request(&self, req: Request) -> Result<Response, ClientError> {
+        match self {
+            Fleet::Flat(c) => c.request(req),
+            Fleet::Sharded(c) => c.request(req),
+        }
+    }
+
+    fn shutdown(&self) {
+        match self {
+            Fleet::Flat(c) => c.shutdown(),
+            Fleet::Sharded(c) => c.shutdown(),
+        }
+    }
+}
+
+/// Pulls the shared resilient-client flags (`--replicas`, `--shard-map`,
+/// `--retries`, `--timeout-ms`, `--hedge-after-ms`, `--seed`) out of
+/// `args`. `--replicas` and `--shard-map` are mutually exclusive.
+fn client_flags(args: &mut Vec<String>) -> (Option<Vec<String>>, Option<ShardTopology>, ClientConfig) {
     let replicas = take_flag(args, "--replicas").map(|s| {
         let list: Vec<String> =
             s.split(',').map(|x| x.trim().to_string()).filter(|x| !x.is_empty()).collect();
@@ -374,6 +485,20 @@ fn client_flags(args: &mut Vec<String>) -> (Option<Vec<String>>, ClientConfig) {
         }
         list
     });
+    let topology = take_flag(args, "--shard-map").map(|path| {
+        let json = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("rrre-serve: cannot read --shard-map `{path}`: {e}");
+            std::process::exit(2);
+        });
+        ShardTopology::from_json(&json).unwrap_or_else(|e| {
+            eprintln!("rrre-serve: --shard-map `{path}` is not a valid topology: {e}");
+            std::process::exit(2);
+        })
+    });
+    if replicas.is_some() && topology.is_some() {
+        eprintln!("rrre-serve: --replicas and --shard-map are mutually exclusive");
+        std::process::exit(2);
+    }
     let mut cfg = ClientConfig::default();
     cfg.retries = parse_flag(take_flag(args, "--retries"), "--retries", cfg.retries);
     if let Some(ms) = take_flag(args, "--timeout-ms") {
@@ -383,19 +508,34 @@ fn client_flags(args: &mut Vec<String>) -> (Option<Vec<String>>, ClientConfig) {
         cfg.hedge_after = Some(Duration::from_millis(parse_flag(Some(ms), "--hedge-after-ms", 50)));
     }
     cfg.seed = parse_flag(take_flag(args, "--seed"), "--seed", cfg.seed);
-    (replicas, cfg)
+    (replicas, topology, cfg)
+}
+
+/// Builds the right client for whichever routing flag was given.
+fn build_fleet(
+    replicas: Option<Vec<String>>,
+    topology: Option<ShardTopology>,
+    cfg: ClientConfig,
+) -> Result<Fleet, ExitCode> {
+    match (replicas, topology) {
+        (Some(endpoints), None) => Ok(Fleet::Flat(Client::new(endpoints, cfg))),
+        (None, Some(topo)) => match ShardedClient::new(topo, cfg) {
+            Ok(c) => Ok(Fleet::Sharded(c)),
+            Err(e) => Err(die(format!("shard map rejected: {e}"))),
+        },
+        _ => unreachable!("caller checked exactly one routing flag"),
+    }
 }
 
 /// Sends one decoded request through the resilient client and prints the
 /// response line; the exit code reflects the response's `ok`.
-fn client_roundtrip(endpoints: Vec<String>, cfg: ClientConfig, line: &str) -> ExitCode {
+fn client_roundtrip(fleet: Fleet, line: &str) -> ExitCode {
     let request = match decode_request(line) {
         Ok(r) => r,
         Err(e) => return die(format!("request line does not parse: {e}")),
     };
-    let client = Client::new(endpoints, cfg);
-    let outcome = client.request(request);
-    client.shutdown();
+    let outcome = fleet.request(request);
+    fleet.shutdown();
     match outcome {
         Ok(resp) => {
             println!("{}", encode_response(&resp));
@@ -410,24 +550,33 @@ fn client_roundtrip(endpoints: Vec<String>, cfg: ClientConfig, line: &str) -> Ex
 }
 
 fn cmd_query(mut args: Vec<String>) -> ExitCode {
-    let (replicas, cfg) = client_flags(&mut args);
-    let (endpoints, line) = match (replicas, args.as_slice()) {
-        (Some(reps), [line]) => (reps, line.clone()),
-        (None, [addr, line]) => (vec![addr.clone()], line.clone()),
-        (Some(_), _) => return fail("query with --replicas needs exactly one <json-line>"),
-        (None, _) => return fail("query needs <addr> <json-line>"),
+    let (replicas, topology, cfg) = client_flags(&mut args);
+    let (replicas, line) = match (replicas, topology.is_some(), args.as_slice()) {
+        (Some(reps), false, [line]) => (Some(reps), line.clone()),
+        (None, true, [line]) => (None, line.clone()),
+        (None, false, [addr, line]) => (Some(vec![addr.clone()]), line.clone()),
+        (_, true, _) => return fail("query with --shard-map needs exactly one <json-line>"),
+        (Some(_), _, _) => return fail("query with --replicas needs exactly one <json-line>"),
+        (None, _, _) => return fail("query needs <addr> <json-line>"),
     };
-    client_roundtrip(endpoints, cfg, &line)
+    match build_fleet(replicas, topology, cfg) {
+        Ok(fleet) => client_roundtrip(fleet, &line),
+        Err(code) => code,
+    }
 }
 
 fn cmd_oneshot(mut args: Vec<String>) -> ExitCode {
-    let (replicas, cfg) = client_flags(&mut args);
-    if let Some(endpoints) = replicas {
+    let (replicas, topology, cfg) = client_flags(&mut args);
+    if replicas.is_some() || topology.is_some() {
         // Network one-shot: same client machinery as `query`.
         let [line] = args.as_slice() else {
-            return fail("oneshot with --replicas needs exactly one <json-line>");
+            return fail("oneshot with --replicas/--shard-map needs exactly one <json-line>");
         };
-        return client_roundtrip(endpoints, cfg, line);
+        let line = line.clone();
+        return match build_fleet(replicas, topology, cfg) {
+            Ok(fleet) => client_roundtrip(fleet, &line),
+            Err(code) => code,
+        };
     }
     let [dir, line] = args.as_slice() else {
         return fail("oneshot needs <dir> <json-line>");
@@ -450,15 +599,29 @@ fn cmd_oneshot(mut args: Vec<String>) -> ExitCode {
     }
 }
 
+/// Per-request outcome tallies shared across burst workers.
+#[derive(Default)]
+struct BurstTally {
+    ok: AtomicUsize,
+    failed: AtomicUsize,
+    degraded: AtomicUsize,
+}
+
 fn cmd_burst(mut args: Vec<String>) -> ExitCode {
-    let (replicas, mut cfg) = client_flags(&mut args);
-    let Some(endpoints) = replicas else {
-        return fail("burst needs --replicas a,b,c");
-    };
+    let (replicas, topology, mut cfg) = client_flags(&mut args);
+    if replicas.is_none() && topology.is_none() {
+        return fail("burst needs --replicas a,b,c or --shard-map FILE");
+    }
+    let shard_count = topology.as_ref().map_or(1, |t| t.shards());
     let requests: usize = parse_flag(take_flag(&mut args, "--requests"), "--requests", 100);
     let gap_ms: u64 = parse_flag(take_flag(&mut args, "--gap-ms"), "--gap-ms", 2);
     let users: u32 = parse_flag(take_flag(&mut args, "--users"), "--users", 2);
     let items: u32 = parse_flag(take_flag(&mut args, "--items"), "--items", 2);
+    let recommend_k: usize = parse_flag(take_flag(&mut args, "--recommend-k"), "--recommend-k", 0);
+    let open_loop = take_switch(&mut args, "--open-loop");
+    let rate: f64 = parse_flag(take_flag(&mut args, "--rate"), "--rate", 200.0);
+    let concurrency: usize = parse_flag(take_flag(&mut args, "--concurrency"), "--concurrency", 8);
+    let json_out = take_switch(&mut args, "--json");
     let probe_ms: u64 =
         parse_flag(take_flag(&mut args, "--probe-interval-ms"), "--probe-interval-ms", 100);
     cfg.probe_interval = if probe_ms == 0 { None } else { Some(Duration::from_millis(probe_ms)) };
@@ -468,38 +631,158 @@ fn cmd_burst(mut args: Vec<String>) -> ExitCode {
     if users == 0 || items == 0 {
         return fail("burst needs --users and --items ≥ 1");
     }
+    if open_loop && (!(rate > 0.0) || concurrency == 0) {
+        return fail("--open-loop needs --rate > 0 and --concurrency ≥ 1");
+    }
 
-    let client = Client::new(endpoints, cfg);
-    let (mut ok, mut failed) = (0usize, 0usize);
-    for i in 0..requests {
-        let req = rrre_serve::Request::predict(i as u32 % users, i as u32 % items);
-        match client.request(req) {
-            Ok(resp) if resp.ok => ok += 1,
+    let fleet = match build_fleet(replicas, topology, cfg) {
+        Ok(f) => f,
+        Err(code) => return code,
+    };
+    // Recommends exercise the scatter-gather path end to end; Predicts
+    // exercise point routing. Both are deterministic in `i`.
+    let make_req = |i: usize| {
+        if recommend_k > 0 {
+            Request::recommend(i as u32 % users, recommend_k)
+        } else {
+            Request::predict(i as u32 % users, i as u32 % items)
+        }
+    };
+
+    let tally = BurstTally::default();
+    let latencies = Mutex::new(Vec::with_capacity(requests));
+    let record = |i: usize, outcome: Result<Response, ClientError>, elapsed: Duration| {
+        match outcome {
+            Ok(resp) if resp.ok => {
+                tally.ok.fetch_add(1, Ordering::Relaxed);
+                if resp.degraded == Some(true) {
+                    tally.degraded.fetch_add(1, Ordering::Relaxed);
+                }
+            }
             Ok(resp) => {
-                failed += 1;
+                tally.failed.fetch_add(1, Ordering::Relaxed);
                 eprintln!("request {i} refused: {:?}: {:?}", resp.kind, resp.error);
             }
             Err(e) => {
-                failed += 1;
+                tally.failed.fetch_add(1, Ordering::Relaxed);
                 eprintln!("request {i} failed: {e}");
             }
         }
-        if gap_ms > 0 {
-            std::thread::sleep(Duration::from_millis(gap_ms));
+        latencies.lock().unwrap().push(elapsed);
+    };
+
+    let start = Instant::now();
+    if open_loop {
+        // Fixed arrival schedule: request i fires at start + i/rate no
+        // matter how long earlier requests take, so slow replicas inflate
+        // measured latency instead of silently thinning the load.
+        let interval = Duration::from_secs_f64(1.0 / rate);
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..concurrency.min(requests) {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= requests {
+                        break;
+                    }
+                    let due = start + interval * i as u32;
+                    if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                        std::thread::sleep(wait);
+                    }
+                    let fired = Instant::now();
+                    let outcome = fleet.request(make_req(i));
+                    record(i, outcome, fired.elapsed());
+                });
+            }
+        });
+    } else {
+        for i in 0..requests {
+            let fired = Instant::now();
+            let outcome = fleet.request(make_req(i));
+            record(i, outcome, fired.elapsed());
+            if gap_ms > 0 {
+                std::thread::sleep(Duration::from_millis(gap_ms));
+            }
         }
     }
-    let snap = client.snapshot();
-    for r in &snap.replicas {
+    let elapsed = start.elapsed();
+    let (ok, failed, degraded) = (
+        tally.ok.load(Ordering::Relaxed),
+        tally.failed.load(Ordering::Relaxed),
+        tally.degraded.load(Ordering::Relaxed),
+    );
+
+    let mut lats = latencies.into_inner().unwrap();
+    lats.sort_unstable();
+    // Nearest-rank percentile: ceil(q·n) in 1-based ranks.
+    let pct = |q: f64| -> f64 {
+        if lats.is_empty() {
+            return 0.0;
+        }
+        let rank = ((q * lats.len() as f64).ceil() as usize).clamp(1, lats.len());
+        lats[rank - 1].as_secs_f64() * 1e3
+    };
+    let (p50, p99) = (pct(0.50), pct(0.99));
+    let throughput = requests as f64 / elapsed.as_secs_f64().max(1e-9);
+
+    let (retries, hedges) = match &fleet {
+        Fleet::Flat(client) => {
+            let snap = client.snapshot();
+            if !json_out {
+                for r in &snap.replicas {
+                    println!(
+                        "replica {} attempts={} failures={} hedges={} breaker_opens={} breaker_open={} probe_ready={}",
+                        r.addr, r.attempts, r.failures, r.hedges, r.breaker_opens, r.breaker_open, r.probe_ready
+                    );
+                }
+            }
+            (snap.retries, snap.hedges)
+        }
+        Fleet::Sharded(client) => {
+            let snap = client.snapshot();
+            let (mut retries, mut hedges) = (0u64, 0u64);
+            for (shard, s) in snap.shards.iter().enumerate() {
+                retries += s.retries;
+                hedges += s.hedges;
+                if !json_out {
+                    for r in &s.replicas {
+                        println!(
+                            "shard {shard} replica {} attempts={} failures={} hedges={} breaker_opens={} breaker_open={} probe_ready={}",
+                            r.addr, r.attempts, r.failures, r.hedges, r.breaker_opens, r.breaker_open, r.probe_ready
+                        );
+                    }
+                }
+            }
+            if !json_out {
+                println!(
+                    "scatter fanout={} degraded_responses={}",
+                    snap.scatter_fanout, snap.degraded_responses
+                );
+            }
+            (retries, hedges)
+        }
+    };
+
+    let mode = if open_loop { "open" } else { "closed" };
+    if json_out {
+        let rate_target = if open_loop { format!("{rate}") } else { "null".into() };
+        let workload = if recommend_k > 0 { "recommend" } else { "predict" };
         println!(
-            "replica {} attempts={} failures={} hedges={} breaker_opens={} breaker_open={} probe_ready={}",
-            r.addr, r.attempts, r.failures, r.hedges, r.breaker_opens, r.breaker_open, r.probe_ready
+            "{{\"mode\":\"{mode}\",\"shards\":{shard_count},\"workload\":\"{workload}\",\
+             \"requests\":{requests},\"ok\":{ok},\"failed\":{failed},\"degraded\":{degraded},\
+             \"rate_target_rps\":{rate_target},\"throughput_rps\":{throughput:.2},\
+             \"p50_ms\":{p50:.3},\"p99_ms\":{p99:.3},\"elapsed_ms\":{:.1},\
+             \"retries\":{retries},\"hedges\":{hedges}}}",
+            elapsed.as_secs_f64() * 1e3
+        );
+    } else {
+        println!(
+            "burst mode={mode} shards={shard_count} requests={requests} ok={ok} failed={failed} \
+             degraded={degraded} p50_ms={p50:.2} p99_ms={p99:.2} throughput_rps={throughput:.1} \
+             retries={retries} hedges={hedges}"
         );
     }
-    println!(
-        "burst requests={requests} ok={ok} failed={failed} retries={} hedges={}",
-        snap.retries, snap.hedges
-    );
-    client.shutdown();
+    fleet.shutdown();
     if failed == 0 {
         ExitCode::SUCCESS
     } else {

@@ -36,6 +36,7 @@ use crate::cache::{CacheAxis, TowerCache};
 use crate::protocol::{ErrorKind, HealthDto, Op, Request, Response};
 use crate::stats::{EngineStats, StatsSnapshot};
 use rrre_core::{rank_candidates, Prediction, EXPLANATION_RELIABILITY_THRESHOLD};
+use rrre_shard::ShardMap;
 use rrre_data::{ItemId, UserId};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -71,6 +72,14 @@ pub struct EngineConfig {
     /// supervision drills and tests only. Defaults to off: production
     /// engines refuse the verb.
     pub fault_injection: bool,
+    /// Which shard of the artifact's consistent-hash map this engine
+    /// serves. `None` (the default) is the whole-model fallback: the
+    /// engine answers for every entity, regardless of how many shards the
+    /// manifest declares. `Some(s)` scopes the engine to shard `s` —
+    /// requests for items another shard owns are refused with a structured
+    /// `WrongShard`, and `Recommend` scores only the owned slice of the
+    /// catalog (this engine's side of a scatter-gather fan-out).
+    pub shard_id: Option<u32>,
 }
 
 impl Default for EngineConfig {
@@ -85,6 +94,7 @@ impl Default for EngineConfig {
             breaker_window: Duration::from_secs(10),
             panic_backoff: Duration::from_millis(10),
             fault_injection: false,
+            shard_id: None,
         }
     }
 }
@@ -97,6 +107,11 @@ pub struct Generation {
     pub id: u64,
     /// The artifact this generation serves.
     pub artifact: ModelArtifact,
+    /// The consistent-hash map built from the manifest's shard spec. Kept
+    /// on the generation so the map version swaps atomically with the
+    /// weights on reload — ownership decisions and the data they are made
+    /// over can never disagree.
+    pub shard_map: ShardMap,
     pub(crate) user_cache: TowerCache,
     pub(crate) item_cache: TowerCache,
 }
@@ -162,9 +177,19 @@ impl Engine {
             artifact.model.has_frozen_cache(),
             "Engine: artifact model is not frozen for inference"
         );
+        let shard_map = ShardMap::new(artifact.manifest.shard_spec)
+            .expect("Engine: artifact manifest carries an invalid shard spec");
+        if let Some(shard) = cfg.shard_id {
+            assert!(
+                shard < shard_map.shards(),
+                "Engine: shard_id {shard} out of range (artifact declares {} shards)",
+                shard_map.shards()
+            );
+        }
         let generation = Arc::new(Generation {
             id: 1,
             artifact,
+            shard_map,
             user_cache: TowerCache::new(CacheAxis::User, cfg.cache_shards),
             item_cache: TowerCache::new(CacheAxis::Item, cfg.cache_shards),
         });
@@ -330,10 +355,36 @@ fn do_reload(shared: &Shared) -> Result<u64, String> {
     // checksum and cross-check before we ever touch the serving pointer.
     match ModelArtifact::load(&dir) {
         Ok(artifact) => {
+            // The reloaded manifest may carry a *new* shard spec (topology
+            // change shipped with the weights); this engine must still be a
+            // member of it, or the old generation keeps serving.
+            let shard_map = match ShardMap::new(artifact.manifest.shard_spec) {
+                Ok(map) => map,
+                Err(e) => {
+                    shared.stats.reload_failures.fetch_add(1, Ordering::Relaxed);
+                    return Err(format!(
+                        "reload from {} failed (bad shard spec: {e}); generation {current_id} \
+                         keeps serving",
+                        dir.display()
+                    ));
+                }
+            };
+            if let Some(shard) = shared.cfg.shard_id {
+                if shard >= shard_map.shards() {
+                    shared.stats.reload_failures.fetch_add(1, Ordering::Relaxed);
+                    return Err(format!(
+                        "reload from {} failed (this engine serves shard {shard} but the new \
+                         manifest declares only {} shards); generation {current_id} keeps serving",
+                        dir.display(),
+                        shard_map.shards()
+                    ));
+                }
+            }
             let id = shared.next_generation.fetch_add(1, Ordering::Relaxed);
             let generation = Arc::new(Generation {
                 id,
                 artifact,
+                shard_map,
                 user_cache: TowerCache::new(CacheAxis::User, shared.cfg.cache_shards),
                 item_cache: TowerCache::new(CacheAxis::Item, shared.cfg.cache_shards),
             });
@@ -358,6 +409,7 @@ fn snapshot(shared: &Shared) -> StatsSnapshot {
         generation.id,
         shared.breaker_open(),
         shared.draining.load(Ordering::SeqCst),
+        shared.cfg.shard_id,
     )
 }
 
@@ -444,6 +496,26 @@ fn bad_request(id: Option<u64>, message: impl Into<String>) -> Response {
     Response::error_kind(id, ErrorKind::BadRequest, message)
 }
 
+/// Ownership gate for shard-scoped engines: `Err` carries the structured
+/// `WrongShard` refusal (owner + map version, so a stale client can tell a
+/// misroute from a topology change) when `item` belongs to another shard.
+/// Whole-model engines (`shard_id: None`) own everything.
+fn check_owned(
+    shared: &Shared,
+    generation: &Generation,
+    id: Option<u64>,
+    item: u32,
+) -> Result<(), Response> {
+    if let Some(shard) = shared.cfg.shard_id {
+        let owner = generation.shard_map.shard_of_item(item);
+        if owner != shard {
+            shared.stats.cross_shard_rejects.fetch_add(1, Ordering::Relaxed);
+            return Err(Response::wrong_shard(id, owner, generation.shard_map.version()));
+        }
+    }
+    Ok(())
+}
+
 fn process(shared: &Shared, generation: &Generation, job: &Job) -> Response {
     shared.stats.requests.fetch_add(1, Ordering::Relaxed);
     let req = &job.request;
@@ -471,6 +543,9 @@ fn process(shared: &Shared, generation: &Generation, job: &Job) -> Response {
                 (Ok(u), Ok(i)) => (u, i),
                 (Err(e), _) | (_, Err(e)) => return bad_request(req.id, e),
             };
+            if let Err(resp) = check_owned(shared, generation, req.id, item) {
+                return resp;
+            }
             let mut resp = Response::ok(req.id);
             resp.prediction = Some(predict_pair(&shared.stats, generation, user, item).into());
             resp
@@ -484,10 +559,18 @@ fn process(shared: &Shared, generation: &Generation, job: &Job) -> Response {
                 Some(k) if k > 0 => k,
                 _ => return bad_request(req.id, "missing or zero field `k`"),
             };
-            let mut scored: Vec<(ItemId, Prediction)> = (0..ds.n_items)
-                .map(|i| {
-                    (ItemId(i as u32), predict_pair(&shared.stats, generation, user, i as u32))
+            // A shard-scoped engine scores only the catalog slice it owns —
+            // its side of a scatter-gather fan-out. The gather side re-runs
+            // the same two-stage ordering over the union of slices, which
+            // reproduces the whole-model answer bit for bit.
+            if shared.cfg.shard_id.is_some() {
+                shared.stats.scatter_fanout.fetch_add(1, Ordering::Relaxed);
+            }
+            let mut scored: Vec<(ItemId, Prediction)> = (0..ds.n_items as u32)
+                .filter(|&i| {
+                    shared.cfg.shard_id.map_or(true, |s| generation.shard_map.owns_item(s, i))
                 })
+                .map(|i| (ItemId(i), predict_pair(&shared.stats, generation, user, i)))
                 .collect();
             rank_candidates(&mut scored, k);
             let mut resp = Response::ok(req.id);
@@ -509,6 +592,9 @@ fn process(shared: &Shared, generation: &Generation, job: &Job) -> Response {
                 Ok(i) => i,
                 Err(e) => return bad_request(req.id, e),
             };
+            if let Err(resp) = check_owned(shared, generation, req.id, item) {
+                return resp;
+            }
             let k = match req.k {
                 Some(k) if k > 0 => k,
                 _ => return bad_request(req.id, "missing or zero field `k`"),
@@ -568,6 +654,14 @@ fn process(shared: &Shared, generation: &Generation, job: &Job) -> Response {
             if req.user.is_none() && req.item.is_none() {
                 return bad_request(req.id, "Invalidate needs `user` and/or `item`");
             }
+            // Item eviction is owner-scoped like any item op; user-only
+            // eviction runs anywhere (every shard may cache that user's
+            // tower for its own items, so clients broadcast it).
+            if let Some(item) = req.item {
+                if let Err(resp) = check_owned(shared, generation, req.id, item) {
+                    return resp;
+                }
+            }
             let mut evicted = 0usize;
             if let Some(u) = req.user {
                 evicted += generation.user_cache.invalidate(u);
@@ -598,5 +692,12 @@ fn process(shared: &Shared, generation: &Generation, job: &Job) -> Response {
         }
     };
     response.generation = Some(generation.id);
+    // A scoped engine stamps every answer with its shard and the map
+    // version it routed under, so gather sides and debugging humans can
+    // always tell which slice produced what.
+    if let Some(shard) = shared.cfg.shard_id {
+        response.shard = Some(shard);
+        response.map_version = Some(generation.shard_map.version());
+    }
     response
 }

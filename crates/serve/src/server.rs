@@ -154,6 +154,9 @@ fn accept_loop(
         if stream.set_nonblocking(false).is_err() {
             continue;
         }
+        // One response is one small write; Nagle holding it back pairs
+        // with the peer's delayed ACK into a ~40 ms stall per roundtrip.
+        stream.set_nodelay(true).ok();
         if active.fetch_add(1, Ordering::AcqRel) >= cfg.max_connections {
             active.fetch_sub(1, Ordering::AcqRel);
             // One honest refusal beats a silent close: the client learns

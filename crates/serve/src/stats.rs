@@ -91,6 +91,12 @@ pub struct EngineStats {
     /// Worker panics caught by the supervisor (each one feeds the circuit
     /// breaker and restarts the worker loop after backoff).
     pub worker_panics: AtomicU64,
+    /// Requests refused with `WrongShard` because this engine does not own
+    /// the target entity (always 0 on whole-model engines).
+    pub cross_shard_rejects: AtomicU64,
+    /// Shard-scoped `Recommend` requests served — this engine's side of a
+    /// scatter-gather fan-out (always 0 on whole-model engines).
+    pub scatter_fanout: AtomicU64,
     /// Enqueue-to-reply latency of every request.
     pub latency: LatencyHistogram,
 }
@@ -113,6 +119,7 @@ impl EngineStats {
         generation: u64,
         breaker_open: bool,
         draining: bool,
+        shard_id: Option<u32>,
     ) -> StatsSnapshot {
         let requests = self.requests.load(Ordering::Relaxed);
         let batches = self.batches.load(Ordering::Relaxed);
@@ -143,6 +150,13 @@ impl EngineStats {
             ready: !draining && !breaker_open,
             p50_latency_us: self.latency.quantile_micros(0.50),
             p99_latency_us: self.latency.quantile_micros(0.99),
+            shard_id,
+            cross_shard_rejects: self.cross_shard_rejects.load(Ordering::Relaxed),
+            scatter_fanout: self.scatter_fanout.load(Ordering::Relaxed),
+            // Engines never degrade on their own — they either own the
+            // entity or refuse; the scatter-gather client fills this in
+            // merged snapshots.
+            degraded_responses: 0,
         }
     }
 }

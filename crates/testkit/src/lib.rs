@@ -25,6 +25,10 @@
 //!   ([`chaos::ChaosProxy`]) that interposes between a client and a
 //!   replica, injecting latency, resets, truncations, corruption and
 //!   black holes from a reproducible schedule.
+//! * [`topology`] — in-process sharded deployments
+//!   ([`topology::ShardedDeployment`]): one saved artifact served by
+//!   `shards × replicas` shard-scoped engines on loopback, with per-shard
+//!   and per-replica kill switches for degraded-answer drills.
 //!
 //! The crate is a *dev-dependency* everywhere it is used; production crates
 //! never link it.
@@ -37,8 +41,10 @@ pub mod fixtures;
 pub mod golden;
 pub mod parity;
 pub mod sync;
+pub mod topology;
 
 pub use chaos::{ChaosConfig, ChaosProxy, ChaosStats, Fault};
 pub use fixtures::{corpus_for, trained_fixture, trained_fixture_with, Fixture, FixtureSpec, TempDir};
 pub use golden::{check_golden, compare, GoldenTolerance, GoldenTrace};
 pub use parity::{assert_model_parity, assert_serve_parity, deterministic_pairs};
+pub use topology::ShardedDeployment;

@@ -1,0 +1,171 @@
+//! In-process sharded deployments for scatter-gather and degraded-answer
+//! drills.
+//!
+//! [`ShardedDeployment::launch`] saves one artifact (with the requested
+//! shard spec in its v3 manifest) and brings up `shards × replicas`
+//! shard-scoped [`Engine`]s behind loopback [`Server`]s — a whole serving
+//! fleet inside the test process, no subprocesses, no fixed ports. The
+//! matching [`ShardTopology`] is ready to hand to a
+//! `rrre_client::ShardedClient`, and per-shard / per-replica kill switches
+//! let tests take infrastructure away mid-traffic and assert the degraded
+//! contract instead of an outage.
+
+use crate::fixtures::{Fixture, TempDir};
+use rrre_serve::{Engine, EngineConfig, ModelArtifact, Server};
+use rrre_shard::ShardTopology;
+use rrre_wire::ShardSpec;
+use std::sync::Arc;
+
+/// One replica slot: the engine and its TCP front end, both `None` once
+/// killed.
+struct ReplicaSlot {
+    engine: Option<Arc<Engine>>,
+    server: Option<Server>,
+    addr: String,
+}
+
+/// A live in-process fleet: `shards × replicas` shard-scoped engines over
+/// one shared artifact directory.
+pub struct ShardedDeployment {
+    /// The artifact directory every engine loaded from (kept alive for the
+    /// deployment's lifetime; reloads re-read it).
+    pub dir: TempDir,
+    spec: ShardSpec,
+    slots: Vec<Vec<ReplicaSlot>>,
+}
+
+impl ShardedDeployment {
+    /// Saves `fixture` as a `shards`-way artifact and launches `replicas`
+    /// shard-scoped engine+server pairs per shard on loopback.
+    pub fn launch(fixture: &Fixture, shards: u32, replicas: usize) -> Self {
+        Self::launch_with(fixture, shards, replicas, EngineConfig::default())
+    }
+
+    /// [`ShardedDeployment::launch`] with explicit engine tuning (the
+    /// `shard_id` field is overwritten per replica).
+    pub fn launch_with(
+        fixture: &Fixture,
+        shards: u32,
+        replicas: usize,
+        base_cfg: EngineConfig,
+    ) -> Self {
+        assert!(shards >= 1 && replicas >= 1, "ShardedDeployment: need ≥1 shard and ≥1 replica");
+        let spec = ShardSpec::with_shards(shards);
+        let dir = TempDir::new(&format!("sharded-{shards}x{replicas}"));
+        ModelArtifact::save_with_shards(
+            dir.path(),
+            &fixture.dataset,
+            &fixture.corpus,
+            &fixture.model,
+            fixture.min_count(),
+            spec,
+        )
+        .expect("ShardedDeployment: artifact save failed");
+
+        let slots = (0..shards)
+            .map(|shard| {
+                (0..replicas)
+                    .map(|_| {
+                        let artifact = ModelArtifact::load(dir.path())
+                            .expect("ShardedDeployment: artifact load failed");
+                        let cfg = EngineConfig { shard_id: Some(shard), ..base_cfg };
+                        let engine = Arc::new(Engine::new(artifact, cfg));
+                        let server = Server::start(Arc::clone(&engine), "127.0.0.1:0")
+                            .expect("ShardedDeployment: server bind failed");
+                        let addr = server.local_addr().to_string();
+                        ReplicaSlot { engine: Some(engine), server: Some(server), addr }
+                    })
+                    .collect()
+            })
+            .collect();
+        Self { dir, spec, slots }
+    }
+
+    /// The shard spec the artifact was saved with.
+    pub fn spec(&self) -> ShardSpec {
+        self.spec
+    }
+
+    /// The deployment's topology — hand this to a `ShardedClient` (or
+    /// remap the addresses through chaos proxies first).
+    pub fn topology(&self) -> ShardTopology {
+        ShardTopology {
+            spec: self.spec,
+            replicas: self
+                .slots
+                .iter()
+                .map(|shard| shard.iter().map(|slot| slot.addr.clone()).collect())
+                .collect(),
+        }
+    }
+
+    /// A whole-model single-node engine over the *same* artifact — the
+    /// parity oracle's reference: scatter-gather answers must match this
+    /// engine bit for bit.
+    pub fn whole_model_engine(&self) -> Engine {
+        let artifact =
+            ModelArtifact::load(self.dir.path()).expect("ShardedDeployment: artifact load failed");
+        Engine::new(artifact, EngineConfig::default())
+    }
+
+    /// Takes down one replica of one shard (server stopped, engine shut
+    /// down). Connections to its address are refused from now on.
+    pub fn kill_replica(&mut self, shard: u32, replica: usize) {
+        let slot = &mut self.slots[shard as usize][replica];
+        if let Some(mut server) = slot.server.take() {
+            server.stop();
+        }
+        if let Some(engine) = slot.engine.take() {
+            engine.shutdown();
+        }
+    }
+
+    /// Takes down *every* replica of one shard — the shard is now entirely
+    /// unavailable, and scatter-gather answers over the survivors must
+    /// come back `degraded` with this shard id listed missing.
+    pub fn kill_shard(&mut self, shard: u32) {
+        for replica in 0..self.slots[shard as usize].len() {
+            self.kill_replica(shard, replica);
+        }
+    }
+
+    /// Direct access to a live engine (e.g. to read its stats snapshot).
+    /// `None` if that replica was killed.
+    pub fn engine(&self, shard: u32, replica: usize) -> Option<&Arc<Engine>> {
+        self.slots[shard as usize][replica].engine.as_ref()
+    }
+}
+
+impl Drop for ShardedDeployment {
+    fn drop(&mut self) {
+        for shard in 0..self.slots.len() as u32 {
+            self.kill_shard(shard);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{trained_fixture_with, FixtureSpec};
+
+    #[test]
+    fn deployment_launches_and_kills_cleanly() {
+        let fx = trained_fixture_with(FixtureSpec::micro());
+        let mut dep = ShardedDeployment::launch(&fx, 2, 1);
+        let topo = dep.topology();
+        topo.validate().unwrap();
+        assert_eq!(topo.shards(), 2);
+        assert_eq!(topo.replicas[0].len(), 1);
+        assert_ne!(topo.replicas[0][0], topo.replicas[1][0]);
+        // Each engine is scoped to its shard.
+        assert_eq!(dep.engine(1, 0).unwrap().stats().shard_id, Some(1));
+        dep.kill_shard(0);
+        assert!(dep.engine(0, 0).is_none());
+        assert!(dep.engine(1, 0).is_some(), "killing shard 0 must not touch shard 1");
+        assert!(
+            std::net::TcpStream::connect(&topo.replicas[0][0]).is_err(),
+            "killed replica must refuse connections"
+        );
+    }
+}

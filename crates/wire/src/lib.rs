@@ -256,6 +256,93 @@ pub enum ErrorKind {
     Internal,
     /// The request's deadline passed while it was queued.
     DeadlineExceeded,
+    /// The request reached a replica that does not own the target entity
+    /// under the current shard map. The response's `shard` field names the
+    /// owning shard and `map_version` the map the verdict was made under —
+    /// a client seeing a version ahead of its own should refresh its
+    /// topology. Retrying the *same* replica set cannot succeed, so this
+    /// is not in the retryable set; re-routing is the client's job.
+    WrongShard,
+}
+
+/// The parameters a consistent-hash shard map is derived from. This is the
+/// *entire* map: shard assignment is a pure function of `(seed, vnodes,
+/// shards)` (see `rrre-shard`), so carrying these four scalars in the
+/// artifact manifest pins every entity's owner bit-for-bit across
+/// processes, replicas and generations. `version` is bumped whenever the
+/// topology changes so stale clients can be told apart from current ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// Monotonic topology version, carried on `WrongShard` errors.
+    pub version: u64,
+    /// Number of shards the entity space is partitioned into.
+    pub shards: u32,
+    /// Virtual nodes per shard on the hash ring — more vnodes, smoother
+    /// balance and smaller remap variance.
+    pub vnodes: u32,
+    /// Seed of the ring/placement hash.
+    pub seed: u64,
+}
+
+// Manual serde: this workspace's JSON layer carries numbers as f64, which
+// silently rounds integers above 2^53 — fatal for `seed`, whose every bit
+// decides entity placement. The seed travels as a hex *string* instead,
+// so the spec round-trips bit-for-bit. (`version` stays numeric: it is a
+// small monotonic counter, not arbitrary bits.)
+impl Serialize for ShardSpec {
+    fn to_content(&self) -> serde::Content {
+        serde::Content::Map(vec![
+            ("version".into(), self.version.to_content()),
+            ("shards".into(), self.shards.to_content()),
+            ("vnodes".into(), self.vnodes.to_content()),
+            ("seed".into(), serde::Content::Str(format!("{:#018x}", self.seed))),
+        ])
+    }
+}
+
+impl Deserialize for ShardSpec {
+    fn from_content(content: &serde::Content) -> Result<Self, serde::DeError> {
+        let seed_content = serde::content_field(content, "seed")?;
+        let seed = match seed_content {
+            serde::Content::Str(s) => {
+                let digits = s.strip_prefix("0x").unwrap_or(s);
+                u64::from_str_radix(digits, 16)
+                    .map_err(|e| serde::DeError::msg(format!("bad shard seed `{s}`: {e}")))?
+            }
+            // Tolerate numeric seeds (hand-written specs); exact below 2^53.
+            other => u64::from_content(other)?,
+        };
+        Ok(Self {
+            version: u64::from_content(serde::content_field(content, "version")?)?,
+            shards: u32::from_content(serde::content_field(content, "shards")?)?,
+            vnodes: u32::from_content(serde::content_field(content, "vnodes")?)?,
+            seed,
+        })
+    }
+}
+
+impl ShardSpec {
+    /// The degenerate single-shard map: every entity owned by shard 0 —
+    /// the whole-model serving mode every pre-sharding artifact used.
+    pub fn single() -> Self {
+        Self { version: 1, shards: 1, vnodes: 64, seed: 0x5A4D_A9C7 }
+    }
+
+    /// A map over `shards` shards with the default vnode count and seed.
+    pub fn with_shards(shards: u32) -> Self {
+        Self { shards, ..Self::single() }
+    }
+
+    /// Structural validation (used on artifact load and topology parse).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.shards == 0 {
+            return Err("shard spec declares zero shards".into());
+        }
+        if self.vnodes == 0 {
+            return Err("shard spec declares zero vnodes per shard".into());
+        }
+        Ok(())
+    }
 }
 
 /// One response line. Exactly one payload field is populated on success;
@@ -286,6 +373,19 @@ pub struct Response {
     pub health: Option<HealthDto>,
     /// `Invalidate` payload: number of cache entries evicted.
     pub evicted: Option<u64>,
+    /// Shard that produced this response (set by sharded engines), or —
+    /// on a `WrongShard` error — the shard that *owns* the entity.
+    pub shard: Option<u32>,
+    /// Shard-map version the `shard` verdict was made under.
+    pub map_version: Option<u64>,
+    /// `true` when this is a *partial* scatter-gather answer: one or more
+    /// shards were unreachable, so the result covers only the surviving
+    /// shards' slice of the entity space. Every row present is still
+    /// exactly what the full computation would score it — degraded answers
+    /// are incomplete, never wrong.
+    pub degraded: Option<bool>,
+    /// The shard ids a degraded answer is missing.
+    pub missing_shards: Option<Vec<u32>>,
 }
 
 impl Response {
@@ -303,6 +403,10 @@ impl Response {
             stats: None,
             health: None,
             evicted: None,
+            shard: None,
+            map_version: None,
+            degraded: None,
+            missing_shards: None,
         }
     }
 
@@ -333,6 +437,20 @@ impl Response {
         Self::error_kind(id, ErrorKind::Internal, why)
     }
 
+    /// The structured refusal for a request routed to a replica that does
+    /// not own its target entity: names the owning shard and the map
+    /// version the verdict was made under.
+    pub fn wrong_shard(id: Option<u64>, owner: u32, map_version: u64) -> Self {
+        let mut resp = Self::error_kind(
+            id,
+            ErrorKind::WrongShard,
+            format!("entity is owned by shard {owner} (shard map version {map_version})"),
+        );
+        resp.shard = Some(owner);
+        resp.map_version = Some(map_version);
+        resp
+    }
+
     /// Whether a client may safely resubmit after this error. Only the
     /// load-protection refusals qualify; `BadRequest` will fail again,
     /// `Internal`/`DeadlineExceeded` need the caller's judgment.
@@ -343,7 +461,7 @@ impl Response {
 
 /// Wire-serialisable snapshot of the engine's counters, returned by the
 /// `Stats` request.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct StatsSnapshot {
     /// Requests processed so far.
     pub requests: u64,
@@ -390,6 +508,18 @@ pub struct StatsSnapshot {
     pub p50_latency_us: u64,
     /// 99th-percentile enqueue-to-reply latency (µs).
     pub p99_latency_us: u64,
+    /// Shard this engine serves (`None` = whole-model, owns everything).
+    pub shard_id: Option<u32>,
+    /// Requests refused with `WrongShard` — traffic a stale or misrouting
+    /// client aimed at a replica that does not own the entity.
+    pub cross_shard_rejects: u64,
+    /// Shard-scoped `Recommend` requests served — this replica's side of a
+    /// scatter-gather fan-out (always 0 on whole-model engines).
+    pub scatter_fanout: u64,
+    /// Partial answers produced. Engines themselves never degrade (they
+    /// either own the entity or refuse), so this is 0 on a replica's own
+    /// snapshot; the scatter-gather client fills it in merged snapshots.
+    pub degraded_responses: u64,
 }
 
 /// Encodes a response as one protocol line (no trailing newline).
@@ -532,6 +662,47 @@ mod tests {
         for op in [Op::Reload, Op::Crash] {
             assert!(!op.is_idempotent(), "{op:?} must never be blindly retried");
         }
+    }
+
+    #[test]
+    fn wrong_shard_carries_owner_and_map_version() {
+        let resp = Response::wrong_shard(Some(9), 2, 7);
+        let back: Response = serde_json::from_str(&encode_response(&resp)).unwrap();
+        assert!(!back.ok);
+        assert_eq!(back.kind, Some(ErrorKind::WrongShard));
+        assert_eq!(back.shard, Some(2));
+        assert_eq!(back.map_version, Some(7));
+        assert_eq!(back.id, Some(9));
+        // Mis-routing is not a transient server condition: re-sending to
+        // the same replica set cannot succeed, so it must not be blindly
+        // retryable — re-routing is the client's job.
+        assert!(!back.is_retryable_error());
+    }
+
+    #[test]
+    fn degraded_flags_roundtrip() {
+        let mut resp = Response::ok(Some(1));
+        resp.degraded = Some(true);
+        resp.missing_shards = Some(vec![1, 2]);
+        let back: Response = serde_json::from_str(&encode_response(&resp)).unwrap();
+        assert_eq!(back.degraded, Some(true));
+        assert_eq!(back.missing_shards.as_deref(), Some(&[1u32, 2][..]));
+        // Absent on ordinary responses.
+        let plain: Response = serde_json::from_str(&encode_response(&Response::ok(None))).unwrap();
+        assert_eq!(plain.degraded, None);
+        assert_eq!(plain.missing_shards, None);
+    }
+
+    #[test]
+    fn shard_spec_validates_and_roundtrips() {
+        let spec = ShardSpec::with_shards(3);
+        assert!(spec.validate().is_ok());
+        assert_eq!(ShardSpec::single().shards, 1);
+        assert!(ShardSpec { shards: 0, ..spec }.validate().is_err());
+        assert!(ShardSpec { vnodes: 0, ..spec }.validate().is_err());
+        let line = serde_json::to_string(&spec).unwrap();
+        let back: ShardSpec = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, spec);
     }
 
     #[test]

@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Open-loop serving baseline: the same Recommend workload driven on a fixed
+# arrival schedule against a 1-shard and a 3-shard deployment of the same
+# demo artifact. Regenerates BENCH_serve.json at the repo root.
+#
+# Tunables (env): RATE (req/s, default 200), REQUESTS (default 400),
+# K (Recommend k, default 10).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+RATE="${RATE:-200}"
+REQUESTS="${REQUESTS:-400}"
+K="${K:-10}"
+
+cargo build --release --workspace >/dev/null
+
+SERVE=target/release/rrre-serve
+WORK="$(mktemp -d)"
+PIDS=()
+cleanup() { kill "${PIDS[@]:-}" 2>/dev/null || true; rm -rf "$WORK"; }
+trap cleanup EXIT
+
+wait_addr() { # <logfile> — scrape the "listening on ADDR" line
+  local log="$1" addr
+  for _ in $(seq 1 100); do
+    addr="$(sed -n 's/^listening on //p' "$log" 2>/dev/null | head -n 1)"
+    if [ -n "$addr" ]; then
+      echo "$addr"
+      return 0
+    fi
+    sleep 0.1
+  done
+  echo "no 'listening on' line in $log" >&2
+  return 1
+}
+
+run_config() { # <shards> — burst summary JSON on stdout
+  local shards="$1"
+  local dir="$WORK/model$shards" addrs=()
+  "$SERVE" demo "$dir" --shards "$shards" >/dev/null 2>&1
+  local pids=()
+  for s in $(seq 0 $((shards - 1))); do
+    "$SERVE" serve "$dir" --addr 127.0.0.1:0 --shard-id "$s" \
+      </dev/null >"$WORK/bench$shards-$s.log" 2>&1 &
+    pids+=($!)
+  done
+  PIDS+=("${pids[@]}")
+  for s in $(seq 0 $((shards - 1))); do
+    addrs[$s]="$(wait_addr "$WORK/bench$shards-$s.log")"
+  done
+  local map="$WORK/map$shards.json"
+  "$SERVE" shardmap "$dir" --replicas "$(IFS=';'; echo "${addrs[*]}")" >"$map"
+  "$SERVE" burst --shard-map "$map" --requests "$REQUESTS" \
+    --users 8 --recommend-k "$K" --open-loop --rate "$RATE" --json \
+    --timeout-ms 2000 --seed 42
+  kill "${pids[@]}" 2>/dev/null || true
+}
+
+echo "==> 1-shard baseline" >&2
+one="$(run_config 1)"
+echo "==> 3-shard scatter-gather" >&2
+three="$(run_config 3)"
+
+cat > BENCH_serve.json <<EOF
+{
+  "bench": "open-loop Recommend burst (k=$K) at $RATE req/s over the demo artifact (synthetic YelpChi, scale 0.05)",
+  "command": "scripts/bench_serve.sh",
+  "note": "fixed arrival schedule; p50/p99 are client-observed end-to-end latencies in ms; the 3-shard run scatter-gathers every request across three single-replica shards on loopback",
+  "single_shard": $one,
+  "three_shard": $three
+}
+EOF
+echo "wrote BENCH_serve.json:"
+sed 's/^/  /' BENCH_serve.json

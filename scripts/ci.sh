@@ -150,4 +150,92 @@ if ! grep "^replica ${PRX_ADDR[1]} " "$SMOKE/burst.log" | grep -q "breaker_open=
   exit 1
 fi
 
+echo "==> kill-one-shard chaos smoke (3 shards x 2 replicas, SIGKILL a whole shard mid-burst)"
+# A 3-shard fleet, two replicas per shard, every replica behind a chaos
+# proxy. Mid-burst, BOTH replicas of shard 1 are SIGKILLed — the shard is
+# gone, not just degraded. The scatter-gather client must finish with zero
+# client-visible failures: ranking answers over the survivors come back
+# flagged `degraded`, never wrong, and the unaffected shards' replicas
+# must show zero failures of their own.
+"$SERVE" demo "$SMOKE/smodel" --shards 3 >/dev/null 2>&1
+
+SH_SRV_PID=()
+SH_PRX_PID=()
+SH_PRX_ADDR=()
+slot=0
+for shard in 0 1 2; do
+  for rep in 0 1; do
+    "$SERVE" serve "$SMOKE/smodel" --addr 127.0.0.1:0 --shard-id "$shard" \
+      </dev/null >"$SMOKE/shard$shard-$rep.log" 2>&1 &
+    SH_SRV_PID[$slot]=$!
+    slot=$((slot + 1))
+  done
+done
+slot=0
+for shard in 0 1 2; do
+  for rep in 0 1; do
+    up="$(wait_addr "$SMOKE/shard$shard-$rep.log")"
+    tail -f /dev/null | "$CHAOS" --upstream "$up" --seed $((200 + slot)) \
+      >"$SMOKE/sproxy$slot.log" 2>&1 &
+    SH_PRX_PID[$slot]=$!
+    slot=$((slot + 1))
+  done
+done
+for i in 0 1 2 3 4 5; do
+  SH_PRX_ADDR[$i]="$(wait_addr "$SMOKE/sproxy$i.log")"
+done
+SRV_PID+=("${SH_SRV_PID[@]}")
+PRX_PID+=("${SH_PRX_PID[@]}")
+
+"$SERVE" shardmap "$SMOKE/smodel" --replicas \
+  "${SH_PRX_ADDR[0]},${SH_PRX_ADDR[1]};${SH_PRX_ADDR[2]},${SH_PRX_ADDR[3]};${SH_PRX_ADDR[4]},${SH_PRX_ADDR[5]}" \
+  >"$SMOKE/shardmap.json"
+
+# Recommend workload: every request scatters across all three shards, so
+# the dead shard degrades answers instead of failing point lookups.
+"$SERVE" burst --shard-map "$SMOKE/shardmap.json" \
+  --requests 80 --gap-ms 10 --users 3 --recommend-k 5 \
+  --retries 3 --timeout-ms 800 --seed 11 \
+  >"$SMOKE/sburst.log" 2>"$SMOKE/sburst.err" &
+SBURST_PID=$!
+sleep 0.25
+kill -9 "${SH_SRV_PID[2]}" "${SH_SRV_PID[3]}" # both replicas of shard 1
+set +e
+wait "$SBURST_PID"
+sburst_status=$?
+set -e
+sed 's/^/    /' "$SMOKE/sburst.log"
+if [ "$sburst_status" -ne 0 ]; then
+  echo "    FAIL: sharded burst exited $sburst_status (client-visible failures)" >&2
+  sed 's/^/    /' "$SMOKE/sburst.err" >&2
+  exit 1
+fi
+if ! grep -q "failed=0" "$SMOKE/sburst.log"; then
+  echo "    FAIL: sharded burst summary does not report failed=0" >&2
+  exit 1
+fi
+if grep -q " degraded=0 " "$SMOKE/sburst.log"; then
+  echo "    FAIL: killing a whole shard produced no degraded answers" >&2
+  exit 1
+fi
+for shard in 0 2; do
+  if grep "^shard $shard " "$SMOKE/sburst.log" | grep -vq "failures=0"; then
+    echo "    FAIL: unaffected shard $shard saw request failures" >&2
+    exit 1
+  fi
+done
+
+# The per-shard serving counters must be live: a surviving replica's Stats
+# shows the scatter legs it served, and no cross-shard misroutes.
+stats="$("$SERVE" query "${SH_PRX_ADDR[0]}" '{"op":"Stats"}' --timeout-ms 800)"
+echo "    shard-0 stats: $(echo "$stats" | grep -o '"scatter_fanout":[0-9]*\|"cross_shard_rejects":[0-9]*' | tr '\n' ' ')"
+if echo "$stats" | grep -q '"scatter_fanout":0[,}]'; then
+  echo "    FAIL: shard 0 served a scatter burst but counted zero fan-out legs" >&2
+  exit 1
+fi
+if ! echo "$stats" | grep -q '"cross_shard_rejects":0[,}]'; then
+  echo "    FAIL: shard-routed client misrouted requests (cross_shard_rejects != 0)" >&2
+  exit 1
+fi
+
 echo "==> CI gate passed"
