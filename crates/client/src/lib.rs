@@ -40,9 +40,11 @@
 
 pub mod backoff;
 pub mod breaker;
+pub mod pipeline;
 mod replica;
 pub mod sharded;
 
+pub use pipeline::{Pipelined, PipelinedClient};
 pub use sharded::{ShardedClient, ShardedSnapshot};
 
 use backoff::DecorrelatedJitter;

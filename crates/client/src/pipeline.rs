@@ -1,0 +1,161 @@
+//! Pipelined mode: many in-flight requests on one connection.
+//!
+//! The resilient [`crate::Client`] is strictly send-one-read-one per
+//! connection — right for latency-sensitive point lookups, wasteful for
+//! bulk traffic, where each request paying a full round trip caps one
+//! connection at `1/RTT` requests per second. A [`PipelinedClient`]
+//! instead keeps a window of requests in flight on a single socket and
+//! matches responses to requests by correlation id, because the server's
+//! event core answers in **completion** order, not submission order.
+//!
+//! This client is deliberately minimal — no retries, no failover, no
+//! breakers. It exists to drive the server's pipelined path (benchmarks
+//! and tests); production point traffic should use [`crate::Client`].
+
+use rrre_wire::{Request, Response};
+use std::collections::HashSet;
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// A single-connection pipelining client. Not thread-safe by design: one
+/// window, one owner.
+pub struct PipelinedClient {
+    writer: TcpStream,
+    reader: TcpStream,
+    /// Received-but-undecoded bytes. Kept across calls so a timed-out
+    /// [`PipelinedClient::recv`] never loses a partial response line — the
+    /// next call resumes exactly where the stream left off.
+    buf: Vec<u8>,
+    next_id: u64,
+    /// Correlation ids sent and not yet answered.
+    pending: HashSet<u64>,
+}
+
+/// What one [`PipelinedClient::recv`] produced.
+#[derive(Debug)]
+pub enum Pipelined {
+    /// A response matching one of this client's in-flight ids.
+    Response(Response),
+    /// A response that matched nothing in flight (a server-side push or a
+    /// correlation bug — the caller decides how suspicious to be).
+    Unmatched(Response),
+}
+
+impl PipelinedClient {
+    /// Connects (with `connect_timeout`) and prepares an empty window.
+    pub fn connect(addr: impl ToSocketAddrs, connect_timeout: Duration) -> std::io::Result<Self> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidInput, "no address"))?;
+        let stream = TcpStream::connect_timeout(&addr, connect_timeout)?;
+        stream.set_nodelay(true)?;
+        let reader = stream.try_clone()?;
+        Ok(Self { writer: stream, reader, buf: Vec::new(), next_id: 1, pending: HashSet::new() })
+    }
+
+    /// Sends one request without waiting for anything, returning the
+    /// correlation id it was stamped with (a missing `id` is assigned from
+    /// this client's counter; a caller-supplied one is kept).
+    pub fn send(&mut self, mut req: Request) -> std::io::Result<u64> {
+        let id = match req.id {
+            Some(id) => id,
+            None => {
+                let id = self.next_id;
+                self.next_id += 1;
+                req.id = Some(id);
+                id
+            }
+        };
+        let line = serde_json::to_string(&req).expect("Request serialisation cannot fail");
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        self.pending.insert(id);
+        Ok(id)
+    }
+
+    /// Reads the next response line (blocking up to `timeout`), decodes
+    /// it, and retires its id from the in-flight window. Responses arrive
+    /// in whatever order the server completed them.
+    ///
+    /// A `TimedOut` error is *resumable*: any partially received line
+    /// stays buffered, so callers may poll with short timeouts (draining
+    /// early arrivals between scheduled sends) without corrupting framing.
+    pub fn recv(&mut self, timeout: Duration) -> std::io::Result<Pipelined> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(nl) = self.buf.iter().position(|&b| b == b'\n') {
+                let line: Vec<u8> = self.buf.drain(..=nl).collect();
+                let text = String::from_utf8_lossy(&line[..nl]);
+                let resp: Response = serde_json::from_str(text.trim()).map_err(|e| {
+                    std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("undecodable response: {e}"),
+                    )
+                })?;
+                return match resp.id {
+                    Some(id) if self.pending.remove(&id) => Ok(Pipelined::Response(resp)),
+                    _ => Ok(Pipelined::Unmatched(resp)),
+                };
+            }
+            let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    "no complete response within the timeout",
+                ));
+            };
+            self.reader.set_read_timeout(Some(remaining.max(Duration::from_millis(1))))?;
+            let mut chunk = [0u8; 4096];
+            match self.reader.read(&mut chunk) {
+                Ok(0) => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        if self.buf.is_empty() {
+                            "server closed the connection with responses still in flight"
+                        } else {
+                            "truncated response line"
+                        },
+                    ))
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::TimedOut,
+                        "no complete response within the timeout",
+                    ));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Receives until the window is empty (or `timeout` expires per read),
+    /// returning every matched response. Unmatched responses are dropped —
+    /// use [`PipelinedClient::recv`] directly to see them.
+    pub fn drain(&mut self, timeout: Duration) -> std::io::Result<Vec<Response>> {
+        let mut out = Vec::with_capacity(self.pending.len());
+        while !self.pending.is_empty() {
+            if let Pipelined::Response(resp) = self.recv(timeout)? {
+                out.push(resp);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Requests currently in flight.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Shuts down the write half, telling the server no more requests are
+    /// coming (in-flight ones still get answered — the drain path).
+    pub fn finish_sending(&mut self) -> std::io::Result<()> {
+        self.writer.shutdown(std::net::Shutdown::Write)
+    }
+}

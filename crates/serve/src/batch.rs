@@ -42,27 +42,86 @@ impl Drop for QueuePermit {
     }
 }
 
+enum CompletionKind {
+    Channel(Sender<Response>),
+    Callback(Box<dyn FnOnce(Response) + Send>),
+}
+
+/// Where a job's response goes: a blocking caller's channel
+/// ([`crate::Engine::submit`]) or a completion callback
+/// ([`crate::Engine::submit_async`] — the event loop's path, which must
+/// never park a thread per request).
+///
+/// A `Completion` is **guaranteed to fire exactly once**: dropping one
+/// unfired (a queue torn down mid-shutdown with jobs still aboard)
+/// synthesizes a structured `internal` response, so neither a blocked
+/// caller nor an event-loop connection can be left waiting forever.
+pub struct Completion {
+    kind: Option<CompletionKind>,
+    /// The request's correlation id, for the synthesized never-fired
+    /// response.
+    id: Option<u64>,
+}
+
+impl Completion {
+    /// A completion that sends on `tx` (send failures are ignored — the
+    /// client gave up on its half of the channel).
+    pub fn channel(tx: Sender<Response>, id: Option<u64>) -> Self {
+        Self { kind: Some(CompletionKind::Channel(tx)), id }
+    }
+
+    /// A completion that invokes `f` on whichever thread completes the
+    /// job (a worker, or the submitting thread for refusals).
+    pub fn callback(f: Box<dyn FnOnce(Response) + Send>, id: Option<u64>) -> Self {
+        Self { kind: Some(CompletionKind::Callback(f)), id }
+    }
+
+    /// Delivers the response.
+    pub fn complete(mut self, response: Response) {
+        match self.kind.take() {
+            Some(CompletionKind::Channel(tx)) => {
+                let _ = tx.send(response);
+            }
+            Some(CompletionKind::Callback(f)) => f(response),
+            None => {}
+        }
+    }
+}
+
+impl Drop for Completion {
+    fn drop(&mut self) {
+        if let Some(kind) = self.kind.take() {
+            let response = Response::internal(self.id, "engine dropped the request");
+            match kind {
+                CompletionKind::Channel(tx) => {
+                    let _ = tx.send(response);
+                }
+                CompletionKind::Callback(f) => f(response),
+            }
+        }
+    }
+}
+
 /// One queued request plus the means to answer it.
 pub struct Job {
     /// The decoded request.
     pub request: Request,
     /// When the job entered the queue (deadline + latency base).
     pub enqueued: Instant,
-    /// Where the response goes. Send failures are ignored — the client
-    /// gave up on its half of the channel.
-    pub reply: Sender<Response>,
+    /// Where the response goes.
+    pub reply: Completion,
     /// The queue slot this job occupies (absent for unbounded callers).
     pub permit: Option<QueuePermit>,
 }
 
 impl Job {
     /// Wraps a request, stamping the enqueue time now.
-    pub fn new(request: Request, reply: Sender<Response>) -> Self {
+    pub fn new(request: Request, reply: Completion) -> Self {
         Self { request, enqueued: Instant::now(), reply, permit: None }
     }
 
     /// Wraps a request that holds a bounded-queue slot.
-    pub fn with_permit(request: Request, reply: Sender<Response>, permit: QueuePermit) -> Self {
+    pub fn with_permit(request: Request, reply: Completion, permit: QueuePermit) -> Self {
         Self { permit: Some(permit), ..Self::new(request, reply) }
     }
 }
@@ -138,7 +197,8 @@ mod tests {
 
     fn job(req: Request) -> (Job, Receiver<Response>) {
         let (tx, rx) = mpsc::channel();
-        (Job::new(req, tx), rx)
+        let id = req.id;
+        (Job::new(req, Completion::channel(tx, id)), rx)
     }
 
     #[test]
@@ -183,6 +243,15 @@ mod tests {
         });
         drop(tx);
         assert!(queue.next_batch().is_none());
+    }
+
+    #[test]
+    fn dropped_completion_synthesizes_a_response() {
+        let (tx, rx) = mpsc::channel();
+        drop(Completion::channel(tx, Some(9)));
+        let resp = rx.recv().unwrap();
+        assert!(!resp.ok);
+        assert_eq!(resp.id, Some(9));
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! rrre-serve burst --replicas a,b,c [...]    drive a request burst through the client
 //! ```
 
-use rrre_client::{Client, ClientConfig, ClientError, ShardedClient};
+use rrre_client::{Client, ClientConfig, ClientError, Pipelined, PipelinedClient, ShardedClient};
 use rrre_core::{CheckpointConfig, EpochStats, Rrre, RrreConfig};
 use rrre_data::synth::{generate, SynthConfig};
 use rrre_data::{CorpusConfig, Dataset, EncodedCorpus};
@@ -18,6 +18,7 @@ use rrre_serve::{Engine, EngineConfig, ModelArtifact, Server, ServerConfig};
 use rrre_shard::ShardTopology;
 use rrre_text::word2vec::Word2VecConfig;
 use rrre_wire::{Request, Response, ShardSpec};
+use std::collections::HashMap;
 use std::io::{BufRead, IsTerminal};
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -50,8 +51,15 @@ USAGE:
   rrre-serve serve <dir> [--addr HOST:PORT] [--shard-id N] [--workers N]
                          [--max-batch N] [--max-wait-ms N] [--queue-cap N]
                          [--max-conns N] [--read-timeout-ms N] [--drain-ms N]
+                         [--idle-timeout-ms N] [--max-inflight N]
+                         [--write-buf-kb N]
       Load the artifact in <dir> and serve newline-delimited JSON over TCP
-      (default --addr 127.0.0.1:7878). --shard-id N scopes this replica to
+      (default --addr 127.0.0.1:7878). One epoll event loop multiplexes
+      every connection; requests pipeline per connection up to
+      --max-inflight (default 64), --write-buf-kb (default 256) bounds
+      queued response bytes per connection before reads pause, and
+      --idle-timeout-ms reaps silent connections (default: never).
+      --shard-id N scopes this replica to
       shard N of the manifest's shard map: it answers only for entities it
       owns (WrongShard otherwise) and scores only its own catalog slice on
       Recommend; omit it for the whole-model fallback. Stdin verbs: `quit`
@@ -80,15 +88,19 @@ USAGE:
   rrre-serve burst (--replicas a,b,c | --shard-map FILE)
                    [--requests N] [--gap-ms N] [--users N] [--items N]
                    [--recommend-k K] [--open-loop] [--rate R]
-                   [--concurrency N] [--json]
-                   [--probe-interval-ms N] [CLIENT FLAGS]
+                   [--concurrency N] [--pipeline-depth D] [--conns N]
+                   [--json] [--probe-interval-ms N] [CLIENT FLAGS]
       Drive N requests (default 100; Predicts cycling under --users/--items,
       or Recommends with --recommend-k K) through the resilient client —
       flat with --replicas, shard-routed scatter-gather with --shard-map.
       Default is closed-loop (--gap-ms between completions); --open-loop
       fires on a fixed schedule of --rate req/s (default 200) from
       --concurrency workers (default 8), which keeps arrival times honest
-      under slow replicas. Prints per-replica lines, p50/p99 latency and
+      under slow replicas. --pipeline-depth D and/or --conns N switch to
+      the pipelined open-loop mode (needs --replicas): N raw connections
+      (round-robin over the replica list) each keep up to D requests in
+      flight on one socket, matching responses by correlation id — no
+      retries, no failover. Prints per-replica lines, p50/p99 latency and
       throughput; --json emits one machine-readable summary line. Exits
       nonzero if any request failed client-visibly (degraded answers are
       not failures). Health probes are on by default (100 ms).
@@ -307,6 +319,18 @@ fn cmd_serve(mut args: Vec<String>) -> ExitCode {
     }
     if let Some(ms) = take_flag(&mut args, "--drain-ms") {
         server_cfg.drain_deadline = Duration::from_millis(parse_flag(Some(ms), "--drain-ms", 2000));
+    }
+    if let Some(ms) = take_flag(&mut args, "--idle-timeout-ms") {
+        server_cfg.idle_timeout =
+            Some(Duration::from_millis(parse_flag(Some(ms), "--idle-timeout-ms", 30_000)));
+    }
+    server_cfg.max_inflight_per_conn = parse_flag(
+        take_flag(&mut args, "--max-inflight"),
+        "--max-inflight",
+        server_cfg.max_inflight_per_conn,
+    );
+    if let Some(kb) = take_flag(&mut args, "--write-buf-kb") {
+        server_cfg.write_buffer_cap = parse_flag::<usize>(Some(kb), "--write-buf-kb", 256) * 1024;
     }
     let [dir] = args.as_slice() else {
         return fail("serve needs exactly one <dir>");
@@ -621,6 +645,11 @@ fn cmd_burst(mut args: Vec<String>) -> ExitCode {
     let open_loop = take_switch(&mut args, "--open-loop");
     let rate: f64 = parse_flag(take_flag(&mut args, "--rate"), "--rate", 200.0);
     let concurrency: usize = parse_flag(take_flag(&mut args, "--concurrency"), "--concurrency", 8);
+    let depth_flag = take_flag(&mut args, "--pipeline-depth");
+    let conns_flag = take_flag(&mut args, "--conns");
+    let pipelined = depth_flag.is_some() || conns_flag.is_some();
+    let depth: usize = parse_flag(depth_flag, "--pipeline-depth", 1);
+    let conns: usize = parse_flag(conns_flag, "--conns", 1);
     let json_out = take_switch(&mut args, "--json");
     let probe_ms: u64 =
         parse_flag(take_flag(&mut args, "--probe-interval-ms"), "--probe-interval-ms", 100);
@@ -633,6 +662,30 @@ fn cmd_burst(mut args: Vec<String>) -> ExitCode {
     }
     if open_loop && (!(rate > 0.0) || concurrency == 0) {
         return fail("--open-loop needs --rate > 0 and --concurrency ≥ 1");
+    }
+    if pipelined {
+        let Some(endpoints) = replicas else {
+            return fail("pipelined burst (--pipeline-depth/--conns) needs --replicas");
+        };
+        if depth == 0 || conns == 0 {
+            return fail("--pipeline-depth and --conns must be ≥ 1");
+        }
+        if !(rate > 0.0) {
+            return fail("pipelined burst needs --rate > 0");
+        }
+        return burst_pipelined(
+            &endpoints,
+            conns,
+            depth,
+            requests,
+            rate,
+            concurrency,
+            cfg.request_timeout,
+            users,
+            items,
+            recommend_k,
+            json_out,
+        );
     }
 
     let fleet = match build_fleet(replicas, topology, cfg) {
@@ -714,15 +767,7 @@ fn cmd_burst(mut args: Vec<String>) -> ExitCode {
 
     let mut lats = latencies.into_inner().unwrap();
     lats.sort_unstable();
-    // Nearest-rank percentile: ceil(q·n) in 1-based ranks.
-    let pct = |q: f64| -> f64 {
-        if lats.is_empty() {
-            return 0.0;
-        }
-        let rank = ((q * lats.len() as f64).ceil() as usize).clamp(1, lats.len());
-        lats[rank - 1].as_secs_f64() * 1e3
-    };
-    let (p50, p99) = (pct(0.50), pct(0.99));
+    let (p50, p99) = (percentile_ms(&lats, 0.50), percentile_ms(&lats, 0.99));
     let throughput = requests as f64 / elapsed.as_secs_f64().max(1e-9);
 
     let (retries, hedges) = match &fleet {
@@ -783,6 +828,273 @@ fn cmd_burst(mut args: Vec<String>) -> ExitCode {
         );
     }
     fleet.shutdown();
+    if failed == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Nearest-rank percentile (ceil(q·n) in 1-based ranks) over sorted
+/// latencies, in milliseconds.
+fn percentile_ms(sorted: &[Duration], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1].as_secs_f64() * 1e3
+}
+
+/// One pipelined connection and the send timestamps of its in-flight ids.
+struct ConnState {
+    client: PipelinedClient,
+    sent_at: HashMap<u64, Instant>,
+}
+
+/// What one receive attempt on a pipelined connection produced.
+enum Recv {
+    Got,
+    Timeout,
+    Dead,
+}
+
+/// The pipelined open-loop burst: `conns` raw connections (round-robin
+/// over `endpoints`), each keeping up to `depth` requests in flight on one
+/// socket via [`PipelinedClient`]. Request `i` fires at `start + i/rate`
+/// on connection `i % conns`; responses arrive in whatever order the
+/// server completed them and are matched by correlation id. The
+/// connections are multiplexed over `workers` client threads (connection
+/// `c` belongs to worker `c % workers`) — a thread per connection would
+/// make the *client's* scheduler the tail-latency story on small
+/// machines. Every connection is established before the arrival clock
+/// starts (each worker connects its own sequentially, so the listen
+/// backlog never sees a herd): the row measures steady-state request
+/// latency over a standing population, not connect cost. No retries, no
+/// failover — this mode measures the server's pipelined path, not the
+/// resilient client.
+#[allow(clippy::too_many_arguments)]
+fn burst_pipelined(
+    endpoints: &[String],
+    conns: usize,
+    depth: usize,
+    requests: usize,
+    rate: f64,
+    workers: usize,
+    timeout: Duration,
+    users: u32,
+    items: u32,
+    recommend_k: usize,
+    json_out: bool,
+) -> ExitCode {
+    let make_req = |i: usize| {
+        if recommend_k > 0 {
+            Request::recommend(i as u32 % users, recommend_k)
+        } else {
+            Request::predict(i as u32 % users, i as u32 % items)
+        }
+    };
+    let workers = workers.clamp(1, conns);
+    let tally = BurstTally::default();
+    let latencies = Mutex::new(Vec::with_capacity(requests));
+    let interval = Duration::from_secs_f64(1.0 / rate);
+    // The arrival clock starts only after every worker has its
+    // connections established: the barrier releases them together and the
+    // first one through stamps the shared start instant.
+    let barrier = std::sync::Barrier::new(workers);
+    let start_cell: std::sync::OnceLock<Instant> = std::sync::OnceLock::new();
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let (tally, latencies) = (&tally, &latencies);
+            let (barrier, start_cell) = (&barrier, &start_cell);
+            scope.spawn(move || {
+                let recv_one = |conn: &mut ConnState, c: usize, wait: Duration| -> Recv {
+                    match conn.client.recv(wait) {
+                        Ok(Pipelined::Response(resp)) => {
+                            let elapsed = resp
+                                .id
+                                .and_then(|id| conn.sent_at.remove(&id))
+                                .map_or(Duration::ZERO, |t| t.elapsed());
+                            if resp.ok {
+                                tally.ok.fetch_add(1, Ordering::Relaxed);
+                                if resp.degraded == Some(true) {
+                                    tally.degraded.fetch_add(1, Ordering::Relaxed);
+                                }
+                            } else {
+                                tally.failed.fetch_add(1, Ordering::Relaxed);
+                                eprintln!(
+                                    "conn {c}: request {:?} refused: {:?}: {:?}",
+                                    resp.id, resp.kind, resp.error
+                                );
+                            }
+                            latencies.lock().unwrap().push(elapsed);
+                            Recv::Got
+                        }
+                        Ok(Pipelined::Unmatched(resp)) => {
+                            tally.failed.fetch_add(1, Ordering::Relaxed);
+                            eprintln!("conn {c}: unmatched response id {:?}", resp.id);
+                            Recv::Got
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::TimedOut => Recv::Timeout,
+                        Err(e) => {
+                            eprintln!("conn {c}: recv failed: {e}");
+                            Recv::Dead
+                        }
+                    }
+                };
+
+                // Live connections this worker owns, by connection index.
+                let mut open: HashMap<usize, ConnState> = HashMap::new();
+                // Connections given up on: their remaining requests fail
+                // fast instead of reconnecting (no retries by design).
+                let mut dead: Vec<bool> = vec![false; conns];
+                for c in (w..conns.min(requests)).step_by(workers) {
+                    let addr = &endpoints[c % endpoints.len()];
+                    match PipelinedClient::connect(addr.as_str(), timeout) {
+                        Ok(client) => {
+                            open.insert(c, ConnState { client, sent_at: HashMap::new() });
+                        }
+                        Err(e) => {
+                            eprintln!("conn {c}: connect to {addr} failed: {e}");
+                            dead[c] = true;
+                        }
+                    }
+                }
+                barrier.wait();
+                let start = *start_cell.get_or_init(Instant::now);
+                // This worker's schedule: every request whose connection
+                // it owns, in arrival order.
+                for i in (0..requests).filter(|i| (i % conns) % workers == w) {
+                    let c = i % conns;
+                    if dead[c] {
+                        tally.failed.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    let due = start + interval * i as u32;
+                    // Wait out the schedule, draining early arrivals on
+                    // owned connections meanwhile so measured latency is
+                    // response time, not time-sat-unread.
+                    loop {
+                        let Some(wait) = due.checked_duration_since(Instant::now()) else {
+                            break;
+                        };
+                        let pending: Vec<usize> = open
+                            .iter()
+                            .filter(|(_, s)| s.client.pending() > 0)
+                            .map(|(&k, _)| k)
+                            .collect();
+                        if pending.is_empty() {
+                            std::thread::sleep(wait);
+                            break;
+                        }
+                        // One pending conn gets the full wait; several
+                        // share it in short slices.
+                        let slice = if pending.len() == 1 {
+                            wait
+                        } else {
+                            (wait / pending.len() as u32).max(Duration::from_millis(1))
+                        };
+                        for k in pending {
+                            let conn = open.get_mut(&k).unwrap();
+                            if let Recv::Dead = recv_one(conn, k, slice) {
+                                tally.failed
+                                    .fetch_add(conn.client.pending(), Ordering::Relaxed);
+                                open.remove(&k);
+                                dead[k] = true;
+                            }
+                            if due.checked_duration_since(Instant::now()).is_none() {
+                                break;
+                            }
+                        }
+                    }
+                    if dead[c] {
+                        tally.failed.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    let conn = open.get_mut(&c).unwrap();
+                    // The window bound: block for real once it is full.
+                    while conn.client.pending() >= depth && !dead[c] {
+                        match recv_one(conn, c, timeout) {
+                            Recv::Got => {}
+                            Recv::Timeout | Recv::Dead => dead[c] = true,
+                        }
+                    }
+                    if dead[c] {
+                        let conn = open.remove(&c).unwrap();
+                        tally.failed.fetch_add(1 + conn.client.pending(), Ordering::Relaxed);
+                        continue;
+                    }
+                    match conn.client.send(make_req(i)) {
+                        Ok(id) => {
+                            conn.sent_at.insert(id, Instant::now());
+                        }
+                        Err(e) => {
+                            eprintln!("conn {c}: send failed: {e}");
+                            let conn = open.remove(&c).unwrap();
+                            tally.failed
+                                .fetch_add(1 + conn.client.pending(), Ordering::Relaxed);
+                            dead[c] = true;
+                            continue;
+                        }
+                    }
+                    // A single-slot window wants the exact round trip:
+                    // read the answer now rather than on a later sweep.
+                    if depth == 1 {
+                        match recv_one(conn, c, timeout) {
+                            Recv::Got => {}
+                            Recv::Timeout | Recv::Dead => {
+                                let conn = open.remove(&c).unwrap();
+                                tally.failed
+                                    .fetch_add(conn.client.pending(), Ordering::Relaxed);
+                                dead[c] = true;
+                            }
+                        }
+                    }
+                }
+                // Final drain: every in-flight id gets its answer (or the
+                // connection is declared dead and its window counted).
+                for (c, mut conn) in open {
+                    while conn.client.pending() > 0 {
+                        match recv_one(&mut conn, c, timeout) {
+                            Recv::Got => {}
+                            Recv::Timeout | Recv::Dead => {
+                                tally.failed
+                                    .fetch_add(conn.client.pending(), Ordering::Relaxed);
+                                break;
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let elapsed = start_cell.get().copied().unwrap_or_else(Instant::now).elapsed();
+    let (ok, failed, degraded) = (
+        tally.ok.load(Ordering::Relaxed),
+        tally.failed.load(Ordering::Relaxed),
+        tally.degraded.load(Ordering::Relaxed),
+    );
+    let mut lats = latencies.into_inner().unwrap();
+    lats.sort_unstable();
+    let (p50, p99) = (percentile_ms(&lats, 0.50), percentile_ms(&lats, 0.99));
+    let throughput = requests as f64 / elapsed.as_secs_f64().max(1e-9);
+    if json_out {
+        let workload = if recommend_k > 0 { "recommend" } else { "predict" };
+        println!(
+            "{{\"mode\":\"pipelined\",\"conns\":{conns},\"depth\":{depth},\
+             \"workload\":\"{workload}\",\
+             \"requests\":{requests},\"ok\":{ok},\"failed\":{failed},\"degraded\":{degraded},\
+             \"rate_target_rps\":{rate},\"throughput_rps\":{throughput:.2},\
+             \"p50_ms\":{p50:.3},\"p99_ms\":{p99:.3},\"elapsed_ms\":{:.1},\
+             \"retries\":0,\"hedges\":0}}",
+            elapsed.as_secs_f64() * 1e3
+        );
+    } else {
+        println!(
+            "burst mode=pipelined conns={conns} depth={depth} requests={requests} ok={ok} \
+             failed={failed} degraded={degraded} p50_ms={p50:.2} p99_ms={p99:.2} \
+             throughput_rps={throughput:.1}"
+        );
+    }
     if failed == 0 {
         ExitCode::SUCCESS
     } else {

@@ -31,10 +31,10 @@
 //! [`rrre_core::rank_candidates`] ordering for recommend/explain.
 
 use crate::artifact::ModelArtifact;
-use crate::batch::{BatchConfig, BatchQueue, Job, QueuePermit};
+use crate::batch::{BatchConfig, BatchQueue, Completion, Job, QueuePermit};
 use crate::cache::{CacheAxis, TowerCache};
 use crate::protocol::{ErrorKind, HealthDto, Op, Request, Response};
-use crate::stats::{EngineStats, StatsSnapshot};
+use crate::stats::{EngineStats, FrontendStats, StatsSnapshot};
 use rrre_core::{rank_candidates, Prediction, EXPLANATION_RELIABILITY_THRESHOLD};
 use rrre_shard::ShardMap;
 use rrre_data::{ItemId, UserId};
@@ -120,6 +120,11 @@ pub struct Generation {
 struct Shared {
     current: RwLock<Arc<Generation>>,
     stats: EngineStats,
+    /// Front-end (event loop) counters, held here so `Op::Stats` can
+    /// report them; the TCP server updates them through
+    /// [`Engine::frontend_stats`]. All zero on engines served without a
+    /// front end.
+    frontend: Arc<FrontendStats>,
     cfg: EngineConfig,
     queue_depth: Arc<AtomicUsize>,
     next_generation: AtomicU64,
@@ -196,6 +201,7 @@ impl Engine {
         let shared = Arc::new(Shared {
             current: RwLock::new(generation),
             stats: EngineStats::default(),
+            frontend: Arc::new(FrontendStats::default()),
             cfg,
             queue_depth: Arc::new(AtomicUsize::new(0)),
             next_generation: AtomicU64::new(2),
@@ -225,6 +231,28 @@ impl Engine {
     /// worker panic mid-request still produces a structured reply.
     pub fn submit(&self, request: Request) -> Response {
         let id = request.id;
+        let (reply_tx, reply_rx) = mpsc::channel();
+        self.submit_with(request, Completion::channel(reply_tx, id));
+        reply_rx
+            .recv()
+            .unwrap_or_else(|_| Response::internal(id, "engine dropped the request"))
+    }
+
+    /// Submits one request without blocking: `complete` fires exactly once
+    /// with the response — immediately on the calling thread for refusals
+    /// (breaker open, queue full, shutdown) and the inline `Health`
+    /// answer, or on a worker thread otherwise. This is the event loop's
+    /// path: thousands of in-flight requests without a parked thread each.
+    pub fn submit_async(&self, request: Request, complete: impl FnOnce(Response) + Send + 'static) {
+        let id = request.id;
+        self.submit_with(request, Completion::callback(Box::new(complete), id));
+    }
+
+    /// The single submission path behind [`Engine::submit`] and
+    /// [`Engine::submit_async`]: shed/breaker/health interception, then
+    /// the bounded queue.
+    fn submit_with(&self, request: Request, completion: Completion) {
+        let id = request.id;
         // Health bypasses the queue, the shed gate and the breaker: a
         // replica must stay observable precisely when it is refusing
         // work, and the answer is a handful of atomic loads.
@@ -233,34 +261,39 @@ impl Engine {
             let health = self.health();
             resp.generation = Some(health.generation);
             resp.health = Some(health);
-            return resp;
+            completion.complete(resp);
+            return;
         }
         if self.shared.breaker_open() {
             self.shared.stats.shed.fetch_add(1, Ordering::Relaxed);
-            return Response::unavailable(
+            completion.complete(Response::unavailable(
                 id,
                 "circuit breaker open after repeated worker panics, retry with backoff",
-            );
+            ));
+            return;
         }
         let Some(permit) = QueuePermit::acquire(&self.shared.queue_depth, self.shared.cfg.queue_cap)
         else {
             self.shared.stats.shed.fetch_add(1, Ordering::Relaxed);
-            return Response::overloaded(id);
+            completion.complete(Response::overloaded(id));
+            return;
         };
-        let (reply_tx, reply_rx) = mpsc::channel();
-        let sent = {
-            let guard = self.tx.lock().unwrap_or_else(|e| e.into_inner());
-            match guard.as_ref() {
-                Some(tx) => tx.send(Job::with_permit(request, reply_tx, permit)).is_ok(),
-                None => false,
+        let guard = self.tx.lock().unwrap_or_else(|e| e.into_inner());
+        match guard.as_ref() {
+            Some(tx) => {
+                if let Err(refused) = tx.send(Job::with_permit(request, completion, permit)) {
+                    // The queue disconnected under us; the job comes back
+                    // whole, so answer it honestly (dropping the permit
+                    // with the rest of the job).
+                    let Job { reply, .. } = refused.0;
+                    reply.complete(Response::unavailable(id, "engine is shut down"));
+                }
             }
-        };
-        if !sent {
-            return Response::unavailable(id, "engine is shut down");
+            None => {
+                drop(permit);
+                completion.complete(Response::unavailable(id, "engine is shut down"));
+            }
         }
-        reply_rx
-            .recv()
-            .unwrap_or_else(|_| Response::internal(id, "engine dropped the request"))
     }
 
     /// Parses one protocol line and submits it; parse failures become
@@ -277,6 +310,27 @@ impl Engine {
                 e,
             ),
         }
+    }
+
+    /// [`Engine::submit_line`] for the nonblocking path: parse failures
+    /// complete immediately on the calling thread with the same structured
+    /// `BadRequest` (and best-effort id recovery) the blocking path
+    /// produces.
+    pub fn submit_line_async(&self, line: &str, complete: impl FnOnce(Response) + Send + 'static) {
+        match crate::protocol::decode_request(line) {
+            Ok(req) => self.submit_async(req, complete),
+            Err(e) => complete(Response::error_kind(
+                crate::protocol::extract_id(line),
+                ErrorKind::BadRequest,
+                e,
+            )),
+        }
+    }
+
+    /// The front-end counter block shared with the TCP server (the event
+    /// loop updates it; `Op::Stats` reads it).
+    pub fn frontend_stats(&self) -> Arc<FrontendStats> {
+        Arc::clone(&self.shared.frontend)
     }
 
     /// The liveness/readiness split (also served by `Op::Health`): ready
@@ -410,6 +464,7 @@ fn snapshot(shared: &Shared) -> StatsSnapshot {
         shared.breaker_open(),
         shared.draining.load(Ordering::SeqCst),
         shared.cfg.shard_id,
+        &shared.frontend,
     )
 }
 
@@ -458,7 +513,7 @@ fn worker_loop(shared: &Shared, queue: &BatchQueue) {
             // seen its response must be able to resubmit immediately
             // without racing the permit drop for its own old slot.
             drop(job.permit.take());
-            let _ = job.reply.send(response);
+            job.reply.complete(response);
         }
         if panicked {
             std::thread::sleep(shared.cfg.panic_backoff);

@@ -22,6 +22,13 @@
 //!   response per line, stable across process restarts because ranking ties
 //!   break deterministically ([`rrre_core::rank_candidates`]).
 //!
+//! The TCP front end is a readiness-driven event core: one epoll thread
+//! ([`sys`]) multiplexes every connection, decoding frames incrementally
+//! ([`frame`]), pipelining requests per connection ([`conn`]), reaping
+//! idle sockets with a timer wheel ([`timer`]), and flushing responses
+//! with `writev`. Workers answer through completion callbacks
+//! ([`batch::Completion`]) instead of parked threads.
+//!
 //! The engine reproduces `rrre_core` predictions *bit for bit*: it calls the
 //! same decomposed inference path (`infer_user_tower` / `infer_item_tower` /
 //! `infer_heads`) that `Rrre::predict` itself uses in frozen mode.
@@ -31,14 +38,21 @@
 pub mod artifact;
 pub mod batch;
 pub mod cache;
+pub mod conn;
 pub mod engine;
+mod event_loop;
+pub mod frame;
 pub mod protocol;
 pub mod server;
 pub mod stats;
+pub mod sys;
+pub mod timer;
 
 pub use artifact::{ArtifactManifest, FileChecksum, ModelArtifact};
+pub use batch::Completion;
 pub use cache::{CacheAxis, TowerCache};
 pub use engine::{Engine, EngineConfig, Generation};
+pub use frame::{FrameDecoder, FrameError, FrameEvent};
 pub use protocol::{ErrorKind, HealthDto, Op, Request, Response};
 pub use server::{Server, ServerConfig};
-pub use stats::{EngineStats, StatsSnapshot};
+pub use stats::{EngineStats, FrontendStats, StatsSnapshot};

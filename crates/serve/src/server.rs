@@ -1,35 +1,40 @@
-//! The TCP front end: newline-delimited JSON over `std::net`.
+//! The TCP front end: newline-delimited JSON over an event-driven core.
 //!
-//! A nonblocking accept loop hands each connection to its own thread; a
-//! connection reads request lines, routes them through
-//! [`Engine::submit_line`], and writes one response line per request.
-//! Responses on one connection come back in request order (the per-request
-//! reply channel blocks the connection thread), so clients may pipeline
-//! without correlation ids — ids are still echoed for clients that want
-//! them.
+//! One event-loop thread ([`crate::event_loop`]) owns the listener and
+//! every connection, registered with an epoll instance ([`crate::sys`]) —
+//! no thread per connection, so the front end scales to thousands of
+//! concurrent sockets. Reads are nonblocking into per-connection
+//! incremental NDJSON buffers ([`crate::frame::FrameDecoder`]); requests
+//! pipeline freely up to [`ServerConfig::max_inflight_per_conn`] per
+//! connection; responses are flushed with `writev`, batching queued
+//! frames into single syscalls, and leave in **completion** order —
+//! pipelining clients match responses to requests by the correlation ids
+//! the wire protocol echoes.
 //!
-//! Overload and shutdown are both deadline-driven, with no self-connect
-//! tricks:
+//! Overload, backpressure, and shutdown are all explicit:
 //!
-//! * the accept loop polls a nonblocking listener, so it observes the stop
-//!   flag within one poll interval no matter how quiet the socket is;
-//! * connections past [`ServerConfig::max_connections`] get one structured
-//!   `unavailable` response and are closed — the thread count is bounded;
-//! * every connection reads with [`ServerConfig::read_timeout`], so idle
-//!   connections also observe the stop flag promptly (partial lines
-//!   survive timeouts — the buffer is only cleared on a complete line);
-//! * [`Server::stop`] is idempotent, flips the flag, and waits up to
-//!   [`ServerConfig::drain_deadline`] for in-flight connections to finish
-//!   before returning.
+//! * connections past [`ServerConfig::max_connections`] get one
+//!   structured `unavailable` response and are closed;
+//! * a connection whose queued output exceeds
+//!   [`ServerConfig::write_buffer_cap`], or with its in-flight quota
+//!   full, stops being read — the kernel receive buffer fills and TCP
+//!   pushes back on the peer, bounding server memory per connection;
+//! * idle connections are reaped by a timer wheel ([`crate::timer`])
+//!   after [`ServerConfig::idle_timeout`], when one is configured (the
+//!   default, `None`, keeps the historical never-reap behavior);
+//! * [`Server::stop`] is idempotent: it marks the engine draining, wakes
+//!   the loop, stops accepting and reading, and gives queued + in-flight
+//!   work up to [`ServerConfig::drain_deadline`] to flush before closing
+//!   everything.
 
 use crate::engine::Engine;
-use crate::protocol::{encode_response, ErrorKind, Response, MAX_LINE_BYTES};
-use std::io::{BufRead, BufReader, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use crate::event_loop::{self, Notifier};
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Front-end limits and shutdown pacing.
 #[derive(Debug, Clone, Copy)]
@@ -37,13 +42,23 @@ pub struct ServerConfig {
     /// Concurrent connections served; excess connections receive one
     /// structured `unavailable` response and are closed.
     pub max_connections: usize,
-    /// Socket read timeout — the interval at which idle connections check
-    /// the stop flag. Short enough for prompt shutdown, long enough to
-    /// stay off the syscall hot path.
+    /// The event loop's poll tick: the upper bound on how long the loop
+    /// sleeps with nothing to do, and therefore on how late it can notice
+    /// the stop flag if the wakeup pipe ever fails.
     pub read_timeout: Duration,
-    /// How long [`Server::stop`] waits for in-flight connections to drain
-    /// before returning anyway.
+    /// How long [`Server::stop`] waits for queued and in-flight work to
+    /// drain before closing connections anyway.
     pub drain_deadline: Duration,
+    /// Reap connections idle (no bytes received) this long. `None` — the
+    /// default — never reaps, matching the thread-per-connection core this
+    /// one replaced.
+    pub idle_timeout: Option<Duration>,
+    /// Requests one connection may have in flight before the loop stops
+    /// reading it (per-connection pipelining backpressure).
+    pub max_inflight_per_conn: usize,
+    /// Queued response bytes per connection before the loop stops reading
+    /// it (write backpressure for slow readers).
+    pub write_buffer_cap: usize,
 }
 
 impl Default for ServerConfig {
@@ -52,32 +67,24 @@ impl Default for ServerConfig {
             max_connections: 256,
             read_timeout: Duration::from_millis(100),
             drain_deadline: Duration::from_secs(2),
+            idle_timeout: None,
+            max_inflight_per_conn: 64,
+            write_buffer_cap: 256 * 1024,
         }
     }
 }
-
-/// How often the accept loop re-polls a quiet listener.
-const ACCEPT_POLL: Duration = Duration::from_millis(5);
 
 /// A running TCP front end over an [`Engine`].
 pub struct Server {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
-    accept: Option<JoinHandle<()>>,
+    event_loop: Option<JoinHandle<()>>,
     /// Kept so [`Server::stop`] can flip the engine's draining flag the
     /// moment shutdown begins — health probes see not-ready while
-    /// in-flight connections are still finishing.
+    /// in-flight work is still finishing.
     engine: Arc<Engine>,
-}
-
-/// Decrements the live-connection count when a connection thread exits,
-/// however it exits.
-struct ConnGuard(Arc<AtomicUsize>);
-
-impl Drop for ConnGuard {
-    fn drop(&mut self) {
-        self.0.fetch_sub(1, Ordering::AcqRel);
-    }
+    /// Wakes the event loop out of `epoll_wait` for shutdown.
+    notifier: Arc<Notifier>,
 }
 
 impl Server {
@@ -95,18 +102,23 @@ impl Server {
     ) -> std::io::Result<Self> {
         assert!(cfg.max_connections >= 1, "Server: max_connections must be ≥ 1");
         assert!(!cfg.read_timeout.is_zero(), "Server: read_timeout must be non-zero");
+        assert!(cfg.max_inflight_per_conn >= 1, "Server: max_inflight_per_conn must be ≥ 1");
+        assert!(cfg.write_buffer_cap >= 1, "Server: write_buffer_cap must be ≥ 1");
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+        let (wake_tx, wake_rx) = UnixStream::pair()?;
+        let notifier = Arc::new(Notifier::new(wake_tx));
         let stop = Arc::new(AtomicBool::new(false));
-        let accept = {
+        let event_loop = {
             let stop = Arc::clone(&stop);
             let engine = Arc::clone(&engine);
+            let notifier = Arc::clone(&notifier);
             std::thread::Builder::new()
-                .name("rrre-serve-accept".into())
-                .spawn(move || accept_loop(&listener, &engine, &stop, cfg))?
+                .name("rrre-serve-loop".into())
+                .spawn(move || event_loop::run(listener, engine, stop, cfg, notifier, wake_rx))?
         };
-        Ok(Self { addr, stop, accept: Some(accept), engine })
+        Ok(Self { addr, stop, event_loop: Some(event_loop), engine, notifier })
     }
 
     /// The bound address (useful with ephemeral ports).
@@ -114,13 +126,14 @@ impl Server {
         self.addr
     }
 
-    /// Stops accepting, waits up to the drain deadline for in-flight
-    /// connections, and joins the accept thread. Idempotent — repeated
+    /// Stops accepting, waits up to the drain deadline for queued and
+    /// in-flight work, and joins the loop thread. Idempotent — repeated
     /// calls (or a call followed by `Drop`) are no-ops.
     pub fn stop(&mut self) {
         self.engine.set_draining(true);
         self.stop.store(true, Ordering::SeqCst);
-        if let Some(handle) = self.accept.take() {
+        self.notifier.wake();
+        if let Some(handle) = self.event_loop.take() {
             let _ = handle.join();
         }
     }
@@ -129,164 +142,5 @@ impl Server {
 impl Drop for Server {
     fn drop(&mut self) {
         self.stop();
-    }
-}
-
-fn accept_loop(
-    listener: &TcpListener,
-    engine: &Arc<Engine>,
-    stop: &Arc<AtomicBool>,
-    cfg: ServerConfig,
-) {
-    let active = Arc::new(AtomicUsize::new(0));
-    while !stop.load(Ordering::SeqCst) {
-        let (stream, _) = match listener.accept() {
-            Ok(conn) => conn,
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(ACCEPT_POLL);
-                continue;
-            }
-            Err(_) => continue,
-        };
-        // The listener is nonblocking; accepted sockets inherit flags on
-        // some platforms, and the connection loop wants timeout-driven
-        // blocking reads.
-        if stream.set_nonblocking(false).is_err() {
-            continue;
-        }
-        // One response is one small write; Nagle holding it back pairs
-        // with the peer's delayed ACK into a ~40 ms stall per roundtrip.
-        stream.set_nodelay(true).ok();
-        if active.fetch_add(1, Ordering::AcqRel) >= cfg.max_connections {
-            active.fetch_sub(1, Ordering::AcqRel);
-            // One honest refusal beats a silent close: the client learns
-            // this is load, not a crash.
-            let mut stream = stream;
-            let resp = Response::unavailable(None, "server is at its connection cap, retry later");
-            let _ = write_response(&mut stream, &resp);
-            continue;
-        }
-        let guard = ConnGuard(Arc::clone(&active));
-        let engine = Arc::clone(engine);
-        let stop = Arc::clone(stop);
-        let spawned = std::thread::Builder::new().name("rrre-serve-conn".into()).spawn(move || {
-            let _guard = guard;
-            let _ = handle_connection(stream, &engine, &stop, cfg);
-        });
-        // Spawn failure: the guard moved into the closure that never ran,
-        // but the closure is dropped with the error, releasing the slot.
-        drop(spawned);
-    }
-    // Drain: give in-flight connections (which see the stop flag within
-    // one read timeout) a bounded window to finish their current requests.
-    let deadline = Instant::now() + cfg.drain_deadline;
-    while active.load(Ordering::Acquire) > 0 && Instant::now() < deadline {
-        std::thread::sleep(ACCEPT_POLL);
-    }
-}
-
-/// Read errors that do not end the connection: timeouts (the stop-flag
-/// polling interval) and `Interrupted` (a signal landed mid-syscall — the
-/// read is simply retried; killing the connection for an `EINTR` would
-/// drop a healthy client on every stray `SIGCHLD`/profiler tick).
-fn is_retryable(e: &std::io::Error) -> bool {
-    matches!(
-        e.kind(),
-        std::io::ErrorKind::WouldBlock
-            | std::io::ErrorKind::TimedOut
-            | std::io::ErrorKind::Interrupted
-    )
-}
-
-fn handle_connection(
-    stream: TcpStream,
-    engine: &Engine,
-    stop: &AtomicBool,
-    cfg: ServerConfig,
-) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(cfg.read_timeout))?;
-    let mut writer = stream.try_clone()?;
-    let mut reader = BufReader::new(stream);
-    // Accumulates one line across timeout-interrupted reads. Cleared only
-    // when a line completes (or is discarded as oversized) — a timeout
-    // mid-line must not lose the prefix already read.
-    let mut buf: Vec<u8> = Vec::new();
-    loop {
-        // Bounded read: never buffer more than MAX_LINE_BYTES (+1 sentinel
-        // byte to tell "exactly at the limit" from "past it") per line.
-        let budget = (MAX_LINE_BYTES + 1).saturating_sub(buf.len());
-        let n = match reader.by_ref().take(budget as u64).read_until(b'\n', &mut buf) {
-            Ok(n) => n,
-            Err(e) if is_retryable(&e) => {
-                if stop.load(Ordering::SeqCst) {
-                    break;
-                }
-                continue;
-            }
-            Err(e) => return Err(e),
-        };
-        if buf.last() == Some(&b'\n') {
-            let text = String::from_utf8_lossy(&buf);
-            if !text.trim().is_empty() {
-                let response = engine.submit_line(&text);
-                write_response(&mut writer, &response)?;
-            }
-            buf.clear();
-            continue;
-        }
-        if buf.len() > MAX_LINE_BYTES {
-            // Oversized line: structured error, then discard the rest of
-            // the line so the connection stays usable.
-            let resp = Response::error_kind(
-                None,
-                ErrorKind::BadRequest,
-                format!("request line exceeds {MAX_LINE_BYTES} bytes"),
-            );
-            write_response(&mut writer, &resp)?;
-            drain_line(&mut reader, stop)?;
-            buf.clear();
-            continue;
-        }
-        if n == 0 {
-            // EOF. A partial line (client died or shut down mid-write)
-            // still gets a best-effort response — usually a parse error —
-            // instead of a silent close.
-            let text = String::from_utf8_lossy(&buf);
-            if !text.trim().is_empty() {
-                let response = engine.submit_line(&text);
-                let _ = write_response(&mut writer, &response);
-            }
-            break;
-        }
-        // n > 0 without a delimiter and under the limit: the socket hit
-        // EOF mid-line; the next read returns 0 and lands above.
-    }
-    Ok(())
-}
-
-fn write_response(writer: &mut TcpStream, resp: &Response) -> std::io::Result<()> {
-    writer.write_all(encode_response(resp).as_bytes())?;
-    writer.write_all(b"\n")?;
-    writer.flush()
-}
-
-/// Reads and discards up to the end of the current line (or EOF), in
-/// bounded chunks so an adversarial mega-line cannot grow server memory.
-/// Timeouts re-check the stop flag like the main read loop does.
-fn drain_line(reader: &mut BufReader<TcpStream>, stop: &AtomicBool) -> std::io::Result<()> {
-    let mut chunk = Vec::with_capacity(4096);
-    loop {
-        chunk.clear();
-        match reader.by_ref().take(4096).read_until(b'\n', &mut chunk) {
-            Ok(0) => return Ok(()),
-            Ok(_) if chunk.last() == Some(&b'\n') => return Ok(()),
-            Ok(_) => {}
-            Err(e) if is_retryable(&e) => {
-                if stop.load(Ordering::SeqCst) {
-                    return Ok(());
-                }
-            }
-            Err(e) => return Err(e),
-        }
     }
 }

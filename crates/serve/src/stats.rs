@@ -61,6 +61,25 @@ impl LatencyHistogram {
     }
 }
 
+/// Counters owned by the TCP front end (the event loop), shared with the
+/// engine so `Op::Stats` reports them. `open_conns` and
+/// `pipelined_inflight` are gauges — incremented and decremented as
+/// connections and requests come and go; the other two are monotonic.
+#[derive(Default)]
+pub struct FrontendStats {
+    /// Connections currently open (gauge).
+    pub open_conns: AtomicU64,
+    /// Requests submitted by the front end and not yet answered (gauge) —
+    /// the pipelining depth across every connection.
+    pub pipelined_inflight: AtomicU64,
+    /// `writev` calls that flushed two or more response frames in one
+    /// syscall.
+    pub writev_batches: AtomicU64,
+    /// Read events that left an incomplete frame buffered in a
+    /// connection's decoder.
+    pub frames_partial: AtomicU64,
+}
+
 /// Monotonic counters for one [`crate::Engine`].
 #[derive(Default)]
 pub struct EngineStats {
@@ -120,6 +139,7 @@ impl EngineStats {
         breaker_open: bool,
         draining: bool,
         shard_id: Option<u32>,
+        frontend: &FrontendStats,
     ) -> StatsSnapshot {
         let requests = self.requests.load(Ordering::Relaxed);
         let batches = self.batches.load(Ordering::Relaxed);
@@ -157,6 +177,10 @@ impl EngineStats {
             // entity or refuse; the scatter-gather client fills this in
             // merged snapshots.
             degraded_responses: 0,
+            open_conns: frontend.open_conns.load(Ordering::Relaxed),
+            pipelined_inflight: frontend.pipelined_inflight.load(Ordering::Relaxed),
+            writev_batches: frontend.writev_batches.load(Ordering::Relaxed),
+            frames_partial: frontend.frames_partial.load(Ordering::Relaxed),
         }
     }
 }

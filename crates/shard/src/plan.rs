@@ -112,6 +112,10 @@ pub fn merge_stats(parts: &[StatsSnapshot]) -> StatsSnapshot {
         out.cross_shard_rejects += p.cross_shard_rejects;
         out.scatter_fanout += p.scatter_fanout;
         out.degraded_responses += p.degraded_responses;
+        out.open_conns += p.open_conns;
+        out.pipelined_inflight += p.pipelined_inflight;
+        out.writev_batches += p.writev_batches;
+        out.frames_partial += p.frames_partial;
     }
     if out.batches > 0 {
         out.mean_batch = weighted_batch / out.batches as f64;

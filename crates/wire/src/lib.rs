@@ -520,6 +520,18 @@ pub struct StatsSnapshot {
     /// either own the entity or refuse), so this is 0 on a replica's own
     /// snapshot; the scatter-gather client fills it in merged snapshots.
     pub degraded_responses: u64,
+    /// Connections currently open on the TCP front end (a gauge, not a
+    /// monotonic counter; 0 on engines served without a front end).
+    pub open_conns: u64,
+    /// Requests currently submitted by the front end and not yet answered —
+    /// the fleet-wide pipelining depth at snapshot time (a gauge).
+    pub pipelined_inflight: u64,
+    /// `writev` calls that flushed two or more response frames in one
+    /// syscall — how often pipelining actually coalesced writes.
+    pub writev_batches: u64,
+    /// Read events that left an incomplete frame buffered — slow-loris
+    /// and mid-frame chunk boundaries the incremental decoder absorbed.
+    pub frames_partial: u64,
 }
 
 /// Encodes a response as one protocol line (no trailing newline).

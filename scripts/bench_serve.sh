@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Open-loop serving baseline: the same Recommend workload driven on a fixed
 # arrival schedule against a 1-shard and a 3-shard deployment of the same
-# demo artifact. Regenerates BENCH_serve.json at the repo root.
+# demo artifact, plus two pipelined open-loop rows against the event core
+# (1 conn x 64 in-flight, and 1k conns x 1 in-flight). Regenerates
+# BENCH_serve.json at the repo root.
 #
 # Tunables (env): RATE (req/s, default 200), REQUESTS (default 400),
 # K (Recommend k, default 10).
@@ -56,18 +58,41 @@ run_config() { # <shards> — burst summary JSON on stdout
   kill "${pids[@]}" 2>/dev/null || true
 }
 
+run_pipelined() { # <conns> <depth> — pipelined burst summary JSON on stdout
+  local conns="$1" depth="$2"
+  local dir="$WORK/modelp"
+  [ -d "$dir" ] || "$SERVE" demo "$dir" >/dev/null 2>&1
+  local log="$WORK/pipe$conns-$depth.log"
+  "$SERVE" serve "$dir" --addr 127.0.0.1:0 --max-conns $((conns + 64)) \
+    </dev/null >"$log" 2>&1 &
+  local pid=$!
+  PIDS+=("$pid")
+  local addr
+  addr="$(wait_addr "$log")"
+  "$SERVE" burst --replicas "$addr" --requests "$REQUESTS" \
+    --users 8 --recommend-k "$K" --rate "$RATE" --json \
+    --pipeline-depth "$depth" --conns "$conns" --timeout-ms 2000 --seed 42
+  kill "$pid" 2>/dev/null || true
+}
+
 echo "==> 1-shard baseline" >&2
 one="$(run_config 1)"
 echo "==> 3-shard scatter-gather" >&2
 three="$(run_config 3)"
+echo "==> pipelined: 1 conn x 64 in-flight" >&2
+pipe_deep="$(run_pipelined 1 64)"
+echo "==> pipelined: 1000 conns x 1 in-flight" >&2
+pipe_wide="$(run_pipelined 1000 1)"
 
 cat > BENCH_serve.json <<EOF
 {
   "bench": "open-loop Recommend burst (k=$K) at $RATE req/s over the demo artifact (synthetic YelpChi, scale 0.05)",
   "command": "scripts/bench_serve.sh",
-  "note": "fixed arrival schedule; p50/p99 are client-observed end-to-end latencies in ms; the 3-shard run scatter-gathers every request across three single-replica shards on loopback",
+  "note": "fixed arrival schedule; p50/p99 are client-observed end-to-end latencies in ms; the 3-shard run scatter-gathers every request across three single-replica shards on loopback; the pipelined rows drive the event core directly (raw connections, correlation-id matching, no retries) — one deep window and one thousand single-slot connections",
   "single_shard": $one,
-  "three_shard": $three
+  "three_shard": $three,
+  "pipelined_1x64": $pipe_deep,
+  "pipelined_1000x1": $pipe_wide
 }
 EOF
 echo "wrote BENCH_serve.json:"

@@ -32,6 +32,20 @@ echo "==> resilience gates (chaos robustness, client failover, retry idempotency
 cargo test -q -p rrre-serve --test chaos_robustness
 cargo test -q -p rrre-client --test failover --test retry_idempotency
 
+echo "==> event-core gates (frame decoder properties, pipelining, overload, reload, protocol)"
+cargo test -q -p rrre-serve --test frame_decoder_props --test pipelining \
+  --test protocol_robustness --test overload_supervision --test reload_fault
+
+echo "==> connection-scale soak (5k concurrent conns, idle + loris + active)"
+# Two fds per connection live in the test process; the soak guards itself
+# and skips if the limit stays too small after our best effort to raise it.
+ulimit -n 16384 2>/dev/null || true
+if [ "$(ulimit -n)" -ge 10752 ]; then
+  cargo test --release -q -p rrre-serve --test conn_scale -- --ignored
+else
+  echo "    SKIP: fd soft limit $(ulimit -n) < 10752; the 5k soak needs more"
+fi
+
 echo "==> crash-recovery smoke (train -> abort -> resume)"
 SMOKE="$(mktemp -d)"
 SRV_PID=()
