@@ -1,0 +1,97 @@
+//! Client-side sequence-id discipline for durable ingest.
+//!
+//! `IngestReview` is exactly-once because the *server* dedups on the
+//! client-supplied `seq` — which makes the client responsible for two
+//! invariants:
+//!
+//! 1. **never reuse a seq for a different review** (the server would ack
+//!    the resend as a duplicate and silently drop the new payload), and
+//! 2. **always resend the *same* seq after an ambiguous outcome** (a lost
+//!    ack, a timeout, a crash mid-request) so the dedup can collapse the
+//!    retry.
+//!
+//! [`IngestSequencer`] packages both: it hands out strictly increasing
+//! sequence ids and builds the request in the same step, so a seq can
+//! never be paired with two payloads. On ambiguity, resend the *returned
+//! request value* — not a freshly built one. The transparent retries
+//! inside [`crate::Client`] already do this correctly ([`rrre_wire::Op`]
+//! classifies `IngestReview` as idempotent, and a retried request reuses
+//! the original body verbatim); the sequencer matters for retries *above*
+//! the client, e.g. re-driving a batch after a process restart.
+//!
+//! Restart discipline: persist your high-water seq (or re-derive it from
+//! the server's acks) and resume with [`IngestSequencer::starting_at`] —
+//! replaying an already-acked prefix is safe (acked `duplicate: true`),
+//! skipping ids is safe (seqs need not be dense), but restarting from a
+//! *lower* seq with different payloads is not.
+
+use rrre_wire::Request;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Allocates strictly increasing ingest sequence ids and builds the
+/// matching [`Request`] in one step. Safe to share across threads.
+#[derive(Debug)]
+pub struct IngestSequencer {
+    next: AtomicU64,
+}
+
+impl IngestSequencer {
+    /// A sequencer whose first allocated seq is `first`.
+    pub fn starting_at(first: u64) -> Self {
+        Self { next: AtomicU64::new(first) }
+    }
+
+    /// Allocates the next seq and builds the `IngestReview` request for
+    /// one review. The returned request is the durable unit: resend *it*
+    /// (same seq, same payload) after any ambiguous outcome.
+    pub fn review(
+        &self,
+        user: u32,
+        item: u32,
+        rating: f32,
+        text: impl Into<String>,
+        ts: i64,
+    ) -> Request {
+        let seq = self.next.fetch_add(1, Ordering::SeqCst);
+        Request::ingest_review(seq, user, item, rating, text, ts)
+    }
+
+    /// The next seq that would be allocated (the high-water mark to
+    /// persist for restart).
+    pub fn next_seq(&self) -> u64 {
+        self.next.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrre_wire::Op;
+
+    #[test]
+    fn sequencer_allocates_strictly_increasing_seqs() {
+        let s = IngestSequencer::starting_at(7);
+        let a = s.review(1, 2, 4.0, "good", 100);
+        let b = s.review(1, 3, 2.0, "bad", 101);
+        assert_eq!(a.op, Op::IngestReview);
+        assert_eq!((a.seq, b.seq), (Some(7), Some(8)));
+        assert_eq!(s.next_seq(), 9);
+    }
+
+    #[test]
+    fn sequencer_is_shareable_across_threads_without_seq_collisions() {
+        let s = std::sync::Arc::new(IngestSequencer::starting_at(0));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let s = std::sync::Arc::clone(&s);
+                std::thread::spawn(move || {
+                    (0..50).map(|_| s.review(0, 0, 3.0, "t", 0).seq.unwrap()).collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let mut all: Vec<u64> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 200, "every allocated seq is unique");
+    }
+}

@@ -40,10 +40,12 @@
 
 pub mod backoff;
 pub mod breaker;
+pub mod ingest;
 pub mod pipeline;
 mod replica;
 pub mod sharded;
 
+pub use ingest::IngestSequencer;
 pub use pipeline::{Pipelined, PipelinedClient};
 pub use sharded::{ShardedClient, ShardedSnapshot};
 

@@ -34,7 +34,7 @@
 use crate::{Client, ClientConfig, ClientError, ClientSnapshot, ErrorClass};
 use rrre_shard::plan::{merge_health, merge_recommendations, merge_stats, plan, RoutePlan};
 use rrre_shard::{ShardMap, ShardTopology};
-use rrre_wire::{ErrorKind, HealthDto, Op, Request, Response};
+use rrre_wire::{CompactionDto, ErrorKind, HealthDto, Op, Request, Response};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
@@ -245,6 +245,8 @@ impl ShardedClient {
         let mut merged = Response::ok(req.id);
         let mut evicted = 0u64;
         let mut saw_evicted = false;
+        let mut folded = 0u64;
+        let mut saw_compaction = false;
         for outcome in outcomes {
             let resp = outcome?;
             if !resp.ok {
@@ -258,9 +260,20 @@ impl ShardedClient {
                 evicted += n;
                 saw_evicted = true;
             }
+            if let Some(c) = resp.compaction {
+                folded += c.folded;
+                saw_compaction = true;
+            }
         }
         if saw_evicted {
             merged.evicted = Some(evicted);
+        }
+        if saw_compaction {
+            // Deployment-wide fold count; the generation is the *lowest*
+            // post-compaction generation across shards (same conservative
+            // convention as the merged `generation` field).
+            merged.compaction =
+                Some(CompactionDto { folded, generation: merged.generation.unwrap_or(0) });
         }
         Ok(merged)
     }

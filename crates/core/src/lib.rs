@@ -30,7 +30,7 @@ pub use config::{EncoderMode, LossVariant, Pooling, RrreConfig, Sampling};
 pub use encoder::ReviewEncoder;
 pub use coverage::{pipeline_report, PipelineReport};
 pub use eval::{evaluate, JointEvaluation};
-pub use model::{EpochStats, Prediction, Rrre};
+pub use model::{ColdStartPrior, EpochStats, Prediction, Rrre};
 pub use recommend::{
     explain, rank_candidates, recommend, Explanation, Recommendation,
     EXPLANATION_RELIABILITY_THRESHOLD,

@@ -40,7 +40,48 @@ pub struct EpochStats {
     pub loss2: f32,
 }
 
+/// Calibrated low-confidence reliability prior for cold-start entities.
+///
+/// The fraud-attention towers aggregate an entity's review history; with
+/// only a handful of reviews (the streaming-ingest cold-start corner) the
+/// reliability head is confidently wrong rather than uncertain. Below the
+/// `min_reviews` threshold the serving layer substitutes the dataset's
+/// base rate of benign reviews — the best calibrated estimate available
+/// with no per-entity evidence — while the rating still comes from the
+/// model (ID embeddings carry signal even for thin histories).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ColdStartPrior {
+    /// An entity pair with `min(user_degree, item_degree)` below this gets
+    /// the prior instead of the reliability head's score.
+    pub min_reviews: usize,
+    /// The substituted reliability: the dataset's benign fraction.
+    pub reliability: f32,
+}
+
+impl ColdStartPrior {
+    /// Calibrates the prior against a dataset's observed label base rate.
+    pub fn calibrate(ds: &Dataset, min_reviews: usize) -> Self {
+        Self { min_reviews, reliability: (1.0 - ds.fake_fraction()) as f32 }
+    }
+
+    /// Whether the pair is below the evidence threshold.
+    pub fn applies(&self, user_degree: usize, item_degree: usize) -> bool {
+        user_degree.min(item_degree) < self.min_reviews
+    }
+
+    /// Replaces the reliability of `pred` with the prior when the pair is
+    /// cold; the rating always passes through.
+    pub fn gate(&self, pred: Prediction, user_degree: usize, item_degree: usize) -> Prediction {
+        if self.applies(user_degree, item_degree) {
+            Prediction { rating: pred.rating, reliability: self.reliability }
+        } else {
+            pred
+        }
+    }
+}
+
 /// Trained RRRE model.
+#[derive(Clone)]
 pub struct Rrre {
     cfg: RrreConfig,
     params: Params,
@@ -396,6 +437,66 @@ impl Rrre {
     /// [`Rrre::infer_user_tower`] / [`Rrre::infer_item_tower`]) is ready.
     pub fn has_frozen_cache(&self) -> bool {
         self.cache.is_some()
+    }
+
+    /// Incrementally absorbs reviews appended to the dataset since this
+    /// model's state was built: encodes each new review with the *frozen*
+    /// encoder weights, appends it to the review-embedding cache, and
+    /// rebuilds the per-entity index and counterpart maps. `first_new` is
+    /// the dataset length the model currently reflects; reviews
+    /// `first_new..ds.len()` are absorbed.
+    ///
+    /// Because [`ReviewEncoder::encode_all`] is definitionally a loop over
+    /// [`ReviewEncoder::encode_review`], the refreshed cache is
+    /// **bit-identical** to a full `freeze_for_inference` rebuild over the
+    /// grown corpus — the incremental path can never drift. (The parity
+    /// drill in `rrre-serve` asserts exactly this.)
+    ///
+    /// Returns the number of reviews absorbed. No weight changes: this is
+    /// retrain-free — only the inputs the towers attend over grow.
+    pub fn refresh_towers(
+        &mut self,
+        ds: &Dataset,
+        corpus: &EncodedCorpus,
+        first_new: usize,
+    ) -> Result<usize, String> {
+        if corpus.docs.len() != ds.len() {
+            return Err(format!(
+                "corpus has {} docs but the dataset has {} reviews",
+                corpus.docs.len(),
+                ds.len()
+            ));
+        }
+        let cache_len = match &self.cache {
+            Some(c) => c.len(),
+            None => return Err("refresh_towers requires the frozen review cache; call freeze_for_inference first".into()),
+        };
+        if cache_len != first_new || self.input_items_of.len() != first_new {
+            return Err(format!(
+                "model reflects {} reviews (cache {}, maps {}) but first_new is {first_new}",
+                self.input_items_of.len(),
+                cache_len,
+                self.input_items_of.len()
+            ));
+        }
+        if first_new > ds.len() {
+            return Err(format!("first_new {first_new} past the dataset's {} reviews", ds.len()));
+        }
+        for idx in first_new..ds.len() {
+            let row = self.encoder.encode_review(&self.params, corpus, idx);
+            self.cache.as_mut().unwrap().append(row.as_slice());
+            self.input_items_of.push(ds.reviews[idx].item.index());
+            self.input_users_of.push(ds.reviews[idx].user.index());
+        }
+        self.index = ds.index();
+        Ok(ds.len() - first_new)
+    }
+
+    /// The time-sorted per-entity review index the model currently attends
+    /// over (kept current by [`Rrre::refresh_towers`]); serving layers use
+    /// the degrees for cold-start gating.
+    pub fn index(&self) -> &DatasetIndex {
+        &self.index
     }
 
     /// Train-set mean rating (the residual base of the FM rating head).
@@ -843,6 +944,63 @@ mod tests {
         let original = model.predict(&corpus, r.user, r.item);
         assert_ne!(before, original);
         assert_eq!(restored, original);
+    }
+
+    #[test]
+    fn refresh_towers_is_bit_identical_to_full_reencode() {
+        let (mut ds, mut corpus) = tiny();
+        let train: Vec<usize> = (0..ds.len()).collect();
+        let cfg = RrreConfig { epochs: 2, ..RrreConfig::tiny() };
+        let mut model = Rrre::fit(&ds, &corpus, &train, cfg);
+
+        // Stream in two reviews for existing entities (id spaces are fixed).
+        let first_new = ds.len();
+        for (src, text_src) in [(0usize, 1usize), (1, 0)] {
+            let mut r = ds.reviews[src].clone();
+            r.text = ds.reviews[text_src].text.clone();
+            r.timestamp += 10_000;
+            corpus.append_doc(&r.text);
+            ds.reviews.push(r);
+        }
+        let touched = ds.reviews[first_new].clone();
+        let before = model.predict(&corpus, touched.user, touched.item);
+        assert_eq!(model.refresh_towers(&ds, &corpus, first_new).unwrap(), 2);
+        assert!(model.index().user_reviews(touched.user).contains(&first_new), "index absorbed the new review");
+
+        // The full retrain-free path: same weights, architecture rebuilt
+        // over the grown dataset, cache re-encoded from scratch.
+        let dir = std::env::temp_dir().join(format!("rrre-refresh-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.rrrp");
+        model.save_weights(&path).unwrap();
+        let full = Rrre::from_checkpoint(&ds, &corpus, cfg, &path).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        let incr = model.predict(&corpus, touched.user, touched.item);
+        assert_eq!(incr, full.predict(&corpus, touched.user, touched.item), "touched pair must match bit-for-bit");
+        let other = &ds.reviews[2];
+        assert_eq!(
+            model.predict(&corpus, other.user, other.item),
+            full.predict(&corpus, other.user, other.item),
+            "untouched pairs too"
+        );
+        // The new review actually entered the towers' input sets.
+        assert_ne!(before, incr, "a new latest review must move the touched pair's prediction");
+        // Absorbing with a stale first_new is refused, not silently wrong.
+        assert!(model.refresh_towers(&ds, &corpus, first_new).is_err());
+    }
+
+    #[test]
+    fn cold_start_prior_gates_thin_pairs_only() {
+        let (ds, _) = tiny();
+        let prior = ColdStartPrior::calibrate(&ds, 3);
+        assert!((prior.reliability - (1.0 - ds.fake_fraction()) as f32).abs() < 1e-6);
+        let p = Prediction { rating: 4.2, reliability: 0.93 };
+        let gated = prior.gate(p, 1, 50);
+        assert_eq!(gated.rating, 4.2, "rating always passes through");
+        assert_eq!(gated.reliability, prior.reliability);
+        assert_eq!(prior.gate(p, 3, 3), p, "warm pairs keep the model score");
+        assert!(prior.applies(0, 10) && !prior.applies(7, 3));
     }
 
     #[test]

@@ -98,6 +98,57 @@ impl EncodedCorpus {
         Ok(Self { vocab, word_vectors, docs, max_len })
     }
 
+    /// [`EncodedCorpus::from_parts`] for datasets that have *grown* since
+    /// the word vectors were trained: the vocabulary is rebuilt from only
+    /// the first `vocab_reviews` reviews — the prefix the vectors were
+    /// pretrained on — and every review (prefix and appended tail alike) is
+    /// encoded against that pinned vocabulary, with out-of-vocabulary words
+    /// dropped. This is what makes streamed-in reviews safe: new text can
+    /// never reshape the vocab out from under the frozen vector table.
+    pub fn from_parts_pinned(
+        ds: &Dataset,
+        max_len: usize,
+        min_count: u64,
+        word_vectors: WordVectors,
+        vocab_reviews: usize,
+    ) -> Result<Self, String> {
+        if vocab_reviews > ds.len() {
+            return Err(format!(
+                "vocabulary is pinned to the first {vocab_reviews} reviews but the dataset \
+                 has only {}",
+                ds.len()
+            ));
+        }
+        let tokenised: Vec<Vec<String>> =
+            ds.reviews[..vocab_reviews].iter().map(|r| tokenize(&r.text)).collect();
+        let refs: Vec<&[String]> = tokenised.iter().map(Vec::as_slice).collect();
+        let vocab = Vocab::build(refs, min_count);
+        if word_vectors.len() != vocab.len() {
+            return Err(format!(
+                "word-vector table has {} rows but the pinned vocabulary has {} words; \
+                 the vectors belong to a different prefix or min_count",
+                word_vectors.len(),
+                vocab.len()
+            ));
+        }
+        let docs = ds
+            .reviews
+            .iter()
+            .map(|r| encode_document(&r.text, &vocab, max_len))
+            .collect();
+        Ok(Self { vocab, word_vectors, docs, max_len })
+    }
+
+    /// Appends the encoded document for one more review, encoding its text
+    /// against the corpus's *frozen* vocabulary (out-of-vocabulary words
+    /// dropped). By construction this yields exactly the document a full
+    /// [`EncodedCorpus::from_parts_pinned`] rebuild over the grown dataset
+    /// would produce at this index.
+    pub fn append_doc(&mut self, text: &str) -> usize {
+        self.docs.push(encode_document(text, &self.vocab, self.max_len));
+        self.docs.len() - 1
+    }
+
     /// Word-embedding dimension.
     pub fn embed_dim(&self) -> usize {
         self.word_vectors.dim()
@@ -148,6 +199,42 @@ mod tests {
         assert_eq!(v.len(), 8);
         assert!(v.iter().all(|x| x.is_finite()));
         assert!(v.iter().any(|&x| x != 0.0));
+    }
+
+    #[test]
+    fn pinned_rebuild_matches_incremental_append() {
+        let (mut ds, base) = tiny_corpus();
+        let pinned = ds.len();
+        // Grow the dataset with text containing both known and novel words.
+        let mut r0 = ds.reviews[0].clone();
+        r0.text = format!("{} zxqv-neverseen", r0.text);
+        ds.reviews.push(r0);
+        // Incremental: append against the frozen vocab.
+        let mut grown = base.clone();
+        grown.append_doc(&ds.reviews[pinned].text.clone());
+        // Full rebuild with the vocab pinned to the original prefix.
+        let rebuilt = EncodedCorpus::from_parts_pinned(
+            &ds,
+            base.max_len,
+            2,
+            base.word_vectors.clone(),
+            pinned,
+        )
+        .unwrap();
+        assert_eq!(rebuilt.docs.len(), grown.docs.len());
+        for (a, b) in rebuilt.docs.iter().zip(&grown.docs) {
+            assert_eq!(a.ids, b.ids);
+            assert_eq!(a.len, b.len);
+        }
+        // Without pinning, the grown dataset would rebuild a different
+        // vocabulary and from_parts must refuse the stale vector table...
+        // unless the new words happen not to cross min_count. Pinning makes
+        // the guarantee unconditional; here we just check the pinned vocab
+        // is the base vocab.
+        assert_eq!(rebuilt.vocab.len(), base.vocab.len());
+        // A pin past the end of the dataset is a structural error.
+        assert!(EncodedCorpus::from_parts_pinned(&ds, 12, 2, base.word_vectors.clone(), ds.len() + 1)
+            .is_err());
     }
 
     #[test]

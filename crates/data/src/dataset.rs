@@ -42,6 +42,26 @@ impl Dataset {
         }
     }
 
+    /// Appends one review, validating it the way [`Dataset::new`] does —
+    /// but returning an error instead of panicking, because streamed-in
+    /// reviews are runtime input, not construction-time invariants. The
+    /// user/item id spaces are fixed: an id outside the declared ranges is
+    /// refused (the embedding tables sized off `n_users`/`n_items` cannot
+    /// grow without a retrain).
+    pub fn append_review(&mut self, review: Review) -> Result<usize, String> {
+        if review.user.index() >= self.n_users {
+            return Err(format!("user {} outside the dataset's {} users", review.user.0, self.n_users));
+        }
+        if review.item.index() >= self.n_items {
+            return Err(format!("item {} outside the dataset's {} items", review.item.0, self.n_items));
+        }
+        if !(1.0..=5.0).contains(&review.rating) {
+            return Err(format!("rating {} outside [1, 5]", review.rating));
+        }
+        self.reviews.push(review);
+        Ok(self.reviews.len() - 1)
+    }
+
     /// Number of reviews.
     pub fn len(&self) -> usize {
         self.reviews.len()
@@ -209,6 +229,19 @@ mod tests {
     #[should_panic(expected = "rating")]
     fn invalid_rating_rejected() {
         let _ = Dataset::new("bad", 1, 1, vec![review(0, 0, 6.0, 0, Label::Benign)]);
+    }
+
+    #[test]
+    fn append_review_validates_and_extends() {
+        let mut ds = tiny();
+        let idx = ds.append_review(review(1, 0, 2.0, 30, Label::Benign)).unwrap();
+        assert_eq!(idx, 4);
+        assert_eq!(ds.len(), 5);
+        assert_eq!(ds.index().user_reviews(UserId(1)), &[2, 4]);
+        assert!(ds.append_review(review(2, 0, 2.0, 0, Label::Benign)).is_err());
+        assert!(ds.append_review(review(0, 2, 2.0, 0, Label::Benign)).is_err());
+        assert!(ds.append_review(review(0, 0, 0.5, 0, Label::Benign)).is_err());
+        assert_eq!(ds.len(), 5, "refused reviews must not be appended");
     }
 
     #[test]

@@ -59,6 +59,16 @@ impl ReviewVectors {
         &self.flat[idx * self.dim..(idx + 1) * self.dim]
     }
 
+    /// Appends one review's vector (incremental cache growth for streamed
+    /// reviews).
+    ///
+    /// # Panics
+    /// Panics if `v.len() != dim`.
+    pub fn append(&mut self, v: &[f32]) {
+        assert_eq!(v.len(), self.dim, "ReviewVectors::append: dimension mismatch");
+        self.flat.extend_from_slice(v);
+    }
+
     /// Stacks the listed reviews into an `m × dim` matrix, zero-padding to
     /// exactly `m` rows (the paper's zero-padding for `|W| < m`). Returns the
     /// matrix and the validity mask. If `indices` exceeds `m`, the *last*

@@ -77,6 +77,15 @@ pub struct ArtifactManifest {
     /// that agrees on this spec computes identical entity ownership.
     /// [`ShardSpec::single`] for whole-model bundles.
     pub shard_spec: ShardSpec,
+    /// Number of *leading* reviews the vocabulary (and therefore the
+    /// word-vector table) was built from. For a freshly trained artifact
+    /// this equals `n_reviews`; a compacted artifact that folded streamed
+    /// reviews into the dataset keeps the original training prefix here so
+    /// the load path rebuilds the *pinned* vocabulary
+    /// ([`rrre_data::EncodedCorpus::from_parts_pinned`]) — streamed text is
+    /// encoded against the frozen vocab (out-of-vocabulary words drop),
+    /// exactly as the live ingest path encoded it.
+    pub vocab_reviews: usize,
     /// FNV-1a 64 digest of every payload file, recorded at save time. The
     /// load path re-hashes each file before parsing it, so a bit-flip that
     /// would survive structural validation (e.g. inside a weight tensor)
@@ -161,7 +170,30 @@ impl ModelArtifact {
         min_count: u64,
         shard_spec: ShardSpec,
     ) -> io::Result<()> {
+        Self::save_pinned(dir, dataset, corpus, model, min_count, shard_spec, dataset.len())
+    }
+
+    /// [`ModelArtifact::save_with_shards`] with an explicit vocabulary
+    /// prefix. The compactor uses this to fold streamed reviews into the
+    /// dataset while carrying the *original* training prefix forward in
+    /// `vocab_reviews`, so reloading the compacted artifact rebuilds the
+    /// identical frozen vocabulary the live ingest path encoded against.
+    pub fn save_pinned(
+        dir: impl AsRef<Path>,
+        dataset: &Dataset,
+        corpus: &EncodedCorpus,
+        model: &Rrre,
+        min_count: u64,
+        shard_spec: ShardSpec,
+        vocab_reviews: usize,
+    ) -> io::Result<()> {
         shard_spec.validate().map_err(invalid)?;
+        if vocab_reviews > dataset.len() {
+            return Err(invalid(format!(
+                "vocab_reviews {vocab_reviews} exceeds the dataset's {} reviews",
+                dataset.len()
+            )));
+        }
         let dir = dir.as_ref();
         std::fs::create_dir_all(dir)?;
 
@@ -201,6 +233,7 @@ impl ModelArtifact {
             vocab_len: corpus.word_vectors.len(),
             config: *model.config(),
             shard_spec,
+            vocab_reviews,
             checksums,
         };
         let json = serde_json::to_string_pretty(&manifest).map_err(io::Error::other)?;
@@ -278,9 +311,14 @@ impl ModelArtifact {
         }
         let word_vectors = WordVectors::from_flat(cols, table.as_slice().to_vec());
 
-        let corpus =
-            EncodedCorpus::from_parts(&dataset, manifest.max_len, manifest.min_count, word_vectors)
-                .map_err(invalid)?;
+        let corpus = EncodedCorpus::from_parts_pinned(
+            &dataset,
+            manifest.max_len,
+            manifest.min_count,
+            word_vectors,
+            manifest.vocab_reviews,
+        )
+        .map_err(invalid)?;
 
         let mut model =
             Rrre::from_checkpoint(&dataset, &corpus, manifest.config, dir.join(MODEL_FILE))?;

@@ -9,12 +9,15 @@
 //! rrre-serve burst --replicas a,b,c [...]    drive a request burst through the client
 //! ```
 
-use rrre_client::{Client, ClientConfig, ClientError, Pipelined, PipelinedClient, ShardedClient};
+use rrre_client::{
+    Client, ClientConfig, ClientError, IngestSequencer, Pipelined, PipelinedClient, ShardedClient,
+};
 use rrre_core::{CheckpointConfig, EpochStats, Rrre, RrreConfig};
 use rrre_data::synth::{generate, SynthConfig};
 use rrre_data::{CorpusConfig, Dataset, EncodedCorpus};
 use rrre_serve::protocol::{decode_request, encode_response};
-use rrre_serve::{Engine, EngineConfig, ModelArtifact, Server, ServerConfig};
+use rrre_serve::wal::FsyncPolicy;
+use rrre_serve::{Engine, EngineConfig, IngestConfig, ModelArtifact, Server, ServerConfig};
 use rrre_shard::ShardTopology;
 use rrre_text::word2vec::Word2VecConfig;
 use rrre_wire::{Request, Response, ShardSpec};
@@ -52,7 +55,9 @@ USAGE:
                          [--max-batch N] [--max-wait-ms N] [--queue-cap N]
                          [--max-conns N] [--read-timeout-ms N] [--drain-ms N]
                          [--idle-timeout-ms N] [--max-inflight N]
-                         [--write-buf-kb N]
+                         [--write-buf-kb N] [--ingest] [--segment-kb N]
+                         [--fsync-batch N] [--refresh-every N]
+                         [--cold-start-min N]
       Load the artifact in <dir> and serve newline-delimited JSON over TCP
       (default --addr 127.0.0.1:7878). One epoll event loop multiplexes
       every connection; requests pipeline per connection up to
@@ -62,17 +67,44 @@ USAGE:
       --shard-id N scopes this replica to
       shard N of the manifest's shard map: it answers only for entities it
       owns (WrongShard otherwise) and scores only its own catalog slice on
-      Recommend; omit it for the whole-model fallback. Stdin verbs: `quit`
-      stops the server gracefully, `reload` hot-swaps the artifact from
-      <dir>, `stats` prints the counters, `health` prints liveness/
-      readiness. On stdin EOF (detached/daemonized) it keeps serving until
-      killed.
+      Recommend; omit it for the whole-model fallback. --ingest enables
+      durable streaming ingest: IngestReview appends to a checksummed WAL
+      under <dir>/wal (fsync per record; an ack is a durability promise),
+      refreshed into the serving towers every --refresh-every records
+      (default 1; 0 = only on Compact), and Compact folds the WAL into a
+      new artifact generation. On startup --ingest replays the WAL (torn
+      tails repaired, mid-log corruption refuses to start) and completes
+      any interrupted compaction. --fsync-batch N relaxes to one fsync per
+      N records (benchmarking only — acks between syncs are not yet
+      durable). --segment-kb sets WAL rotation (default 4096).
+      --cold-start-min N answers thin pairs (either side under N reviews)
+      with a calibrated reliability prior instead of the head score.
+      Stdin verbs: `quit` stops the server gracefully, `reload` hot-swaps
+      the artifact from <dir>, `compact` folds the WAL now, `stats` prints
+      the counters, `health` prints liveness/readiness. On stdin EOF
+      (detached/daemonized) it keeps serving until killed.
 
   rrre-serve shardmap <dir> --replicas \"a,b;c,d;e,f\"
       Print a shard-topology JSON document (for --shard-map) binding the
       artifact's shard spec to replica endpoints: shard lists separated by
       `;`, replicas within a shard by `,`. The list count must match the
       manifest's shard count.
+
+  rrre-serve ingest (<addr> | --replicas a,b,c | --shard-map FILE)
+                    --count N [--seq-start S] [--users N] [--items N]
+                    [CLIENT FLAGS]
+      Stream N reviews through the resilient client with the ingest
+      sequencer: review k carries seq S+k (default S=0) and a payload
+      derived deterministically from its seq, so re-running the same
+      command replays byte-identical reviews — the server acks replays as
+      duplicates without re-applying (exactly-once drills). Prints one
+      `seq=K duplicate=BOOL` line per ack and a machine-readable summary.
+      Exits nonzero if any review failed to ack.
+
+  rrre-serve compact (<addr> | --replicas a,b,c | --shard-map FILE)
+                     [CLIENT FLAGS]
+      Fold the WAL into a new artifact generation on every shard
+      (broadcast) and print what was folded.
 
   rrre-serve query <addr> <json-line> [CLIENT FLAGS]
   rrre-serve query --replicas a,b,c <json-line> [CLIENT FLAGS]
@@ -181,6 +213,8 @@ fn main() -> ExitCode {
         "train" => cmd_train(args),
         "serve" => cmd_serve(args),
         "shardmap" => cmd_shardmap(args),
+        "ingest" => cmd_ingest(args),
+        "compact" => cmd_compact(args),
         "query" => cmd_query(args),
         "oneshot" => cmd_oneshot(args),
         "burst" => cmd_burst(args),
@@ -332,35 +366,80 @@ fn cmd_serve(mut args: Vec<String>) -> ExitCode {
     if let Some(kb) = take_flag(&mut args, "--write-buf-kb") {
         server_cfg.write_buffer_cap = parse_flag::<usize>(Some(kb), "--write-buf-kb", 256) * 1024;
     }
+    let ingest_on = take_switch(&mut args, "--ingest");
+    let mut ingest_cfg = IngestConfig::default();
+    ingest_cfg.segment_bytes =
+        parse_flag::<u64>(take_flag(&mut args, "--segment-kb"), "--segment-kb", 4096) * 1024;
+    let fsync_batch: usize = parse_flag(take_flag(&mut args, "--fsync-batch"), "--fsync-batch", 0);
+    if fsync_batch > 1 {
+        ingest_cfg.fsync = FsyncPolicy::Batched { every: fsync_batch };
+    }
+    ingest_cfg.refresh_every = parse_flag(
+        take_flag(&mut args, "--refresh-every"),
+        "--refresh-every",
+        ingest_cfg.refresh_every,
+    );
+    ingest_cfg.cold_start_min = parse_flag(
+        take_flag(&mut args, "--cold-start-min"),
+        "--cold-start-min",
+        ingest_cfg.cold_start_min,
+    );
     let [dir] = args.as_slice() else {
         return fail("serve needs exactly one <dir>");
     };
 
-    eprintln!("loading artifact from {dir}...");
-    let artifact = match ModelArtifact::load(dir) {
-        Ok(a) => a,
-        Err(e) => return die(format!("failed to load artifact `{dir}`: {e}")),
-    };
+    // Validate --shard-id against the manifest *before* constructing the
+    // engine (whose own range assert is a panic, not an operator message).
     if let Some(shard) = cfg.shard_id {
-        let spec = artifact.manifest.shard_spec;
-        if shard >= spec.shards {
-            return die(format!(
-                "--shard-id {shard} out of range: artifact `{dir}` declares {} shard(s)",
-                spec.shards
-            ));
+        let manifest_path = PathBuf::from(dir).join(rrre_serve::artifact::MANIFEST_FILE);
+        if let Ok(json) = std::fs::read_to_string(&manifest_path) {
+            if let Ok(m) = serde_json::from_str::<rrre_serve::ArtifactManifest>(&json) {
+                if shard >= m.shard_spec.shards {
+                    return die(format!(
+                        "--shard-id {shard} out of range: artifact `{dir}` declares {} shard(s)",
+                        m.shard_spec.shards
+                    ));
+                }
+            }
         }
-        eprintln!(
-            "serving `{}` as shard {shard}/{} (map version {}) with {} workers",
-            artifact.manifest.dataset_name, spec.shards, spec.version, cfg.workers
-        );
-    } else {
-        eprintln!(
-            "serving `{}` ({} users, {} items) with {} workers",
-            artifact.manifest.dataset_name, artifact.manifest.n_users, artifact.manifest.n_items,
-            cfg.workers
-        );
     }
-    let engine = Arc::new(Engine::new(artifact, cfg));
+    eprintln!("loading artifact from {dir}...");
+    let engine = if ingest_on {
+        match Engine::open_with_ingest(dir, cfg, ingest_cfg) {
+            Ok(e) => Arc::new(e),
+            Err(e) => return die(format!("failed to open artifact `{dir}` for ingest: {e}")),
+        }
+    } else {
+        let artifact = match ModelArtifact::load(dir) {
+            Ok(a) => a,
+            Err(e) => return die(format!("failed to load artifact `{dir}`: {e}")),
+        };
+        Arc::new(Engine::new(artifact, cfg))
+    };
+    {
+        let generation = engine.generation();
+        let manifest = &generation.artifact.manifest;
+        if let Some(shard) = cfg.shard_id {
+            let spec = manifest.shard_spec;
+            eprintln!(
+                "serving `{}` as shard {shard}/{} (map version {}) with {} workers",
+                manifest.dataset_name, spec.shards, spec.version, cfg.workers
+            );
+        } else {
+            eprintln!(
+                "serving `{}` ({} users, {} items) with {} workers",
+                manifest.dataset_name, manifest.n_users, manifest.n_items, cfg.workers
+            );
+        }
+        if ingest_on {
+            let s = engine.stats();
+            eprintln!(
+                "ingest enabled: wal={}/wal wal_bytes={} replayed_recoveries={} \
+                 refresh_every={} fsync={:?}",
+                dir, s.wal_bytes, s.wal_recoveries, ingest_cfg.refresh_every, ingest_cfg.fsync
+            );
+        }
+    }
     let mut server = match Server::start_with(Arc::clone(&engine), addr.as_str(), server_cfg) {
         Ok(s) => s,
         Err(e) => {
@@ -369,7 +448,7 @@ fn cmd_serve(mut args: Vec<String>) -> ExitCode {
         }
     };
     println!("listening on {}", server.local_addr());
-    println!("(stdin verbs: quit, reload, stats, health)");
+    println!("(stdin verbs: quit, reload, compact, stats, health)");
 
     let mut got_quit = false;
     for line in std::io::stdin().lock().lines() {
@@ -382,6 +461,14 @@ fn cmd_serve(mut args: Vec<String>) -> ExitCode {
                 match engine.reload() {
                     Ok(generation) => eprintln!("reloaded: now serving generation {generation}"),
                     Err(e) => eprintln!("reload failed: {e}"),
+                }
+            }
+            Ok(l) if l.trim() == "compact" => {
+                match engine.compact_now() {
+                    Ok((folded, generation)) => {
+                        eprintln!("compacted: folded {folded} review(s), serving generation {generation}")
+                    }
+                    Err(e) => eprintln!("compact failed: {e}"),
                 }
             }
             Ok(l) if l.trim() == "health" => {
@@ -589,6 +676,123 @@ fn cmd_query(mut args: Vec<String>) -> ExitCode {
     }
 }
 
+/// Resolves the `(<addr> | --replicas | --shard-map)` routing triad the
+/// client verbs share: one positional address becomes a single-replica
+/// flat fleet.
+fn routed_fleet(
+    verb: &str,
+    mut args: Vec<String>,
+) -> Result<(Fleet, Vec<String>), ExitCode> {
+    let (mut replicas, topology, cfg) = client_flags(&mut args);
+    if replicas.is_none() && topology.is_none() {
+        if args.is_empty() {
+            return Err(fail(&format!(
+                "{verb} needs <addr>, --replicas a,b,c or --shard-map FILE"
+            )));
+        }
+        replicas = Some(vec![args.remove(0)]);
+    }
+    let fleet = build_fleet(replicas, topology, cfg)?;
+    Ok((fleet, args))
+}
+
+fn cmd_ingest(args: Vec<String>) -> ExitCode {
+    let (fleet, mut args) = match routed_fleet("ingest", args) {
+        Ok(pair) => pair,
+        Err(code) => return code,
+    };
+    let Some(count) = take_flag(&mut args, "--count") else {
+        fleet.shutdown();
+        return fail("ingest needs --count N");
+    };
+    let count: u64 = parse_flag(Some(count), "--count", 0);
+    let seq_start: u64 = parse_flag(take_flag(&mut args, "--seq-start"), "--seq-start", 0);
+    let users: u64 = parse_flag(take_flag(&mut args, "--users"), "--users", 2);
+    let items: u64 = parse_flag(take_flag(&mut args, "--items"), "--items", 2);
+    if users == 0 || items == 0 {
+        fleet.shutdown();
+        return fail("ingest needs --users and --items ≥ 1");
+    }
+    if !args.is_empty() {
+        fleet.shutdown();
+        return fail(&format!("ingest got unrecognised arguments: {args:?}"));
+    }
+
+    // Every field below is a pure function of the seq, so re-running the
+    // same command line replays byte-identical reviews — the durable unit
+    // the server's dedup needs for exactly-once drills.
+    let sequencer = IngestSequencer::starting_at(seq_start);
+    let (mut fresh, mut dup, mut failed) = (0u64, 0u64, 0u64);
+    for _ in 0..count {
+        let seq = sequencer.next_seq();
+        let req = sequencer.review(
+            (seq % users) as u32,
+            (seq % items) as u32,
+            1.0 + (seq % 5) as f32,
+            format!("review {seq}"),
+            seq as i64,
+        );
+        match fleet.request(req) {
+            Ok(resp) if resp.ok => match resp.ingest {
+                Some(ack) => {
+                    println!("seq={} duplicate={}", ack.seq, ack.duplicate);
+                    if ack.duplicate {
+                        dup += 1;
+                    } else {
+                        fresh += 1;
+                    }
+                }
+                None => {
+                    failed += 1;
+                    eprintln!("seq={seq} acked without an ingest payload");
+                }
+            },
+            Ok(resp) => {
+                failed += 1;
+                eprintln!("seq={seq} refused: {:?}: {:?}", resp.kind, resp.error);
+            }
+            Err(e) => {
+                failed += 1;
+                eprintln!("seq={seq} failed: {e}");
+            }
+        }
+    }
+    fleet.shutdown();
+    println!("ingested total={count} new={fresh} dup={dup} failed={failed}");
+    if failed == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_compact(args: Vec<String>) -> ExitCode {
+    let (fleet, args) = match routed_fleet("compact", args) {
+        Ok(pair) => pair,
+        Err(code) => return code,
+    };
+    if !args.is_empty() {
+        fleet.shutdown();
+        return fail(&format!("compact got unrecognised arguments: {args:?}"));
+    }
+    let outcome = fleet.request(Request::compact());
+    fleet.shutdown();
+    match outcome {
+        Ok(resp) if resp.ok => {
+            match &resp.compaction {
+                Some(c) => println!(
+                    "compacted folded={} generation={}",
+                    c.folded, c.generation
+                ),
+                None => println!("compacted (no fold payload reported)"),
+            }
+            ExitCode::SUCCESS
+        }
+        Ok(resp) => die(format!("compact refused: {:?}: {:?}", resp.kind, resp.error)),
+        Err(e) => die(format!("compact failed: {e}")),
+    }
+}
+
 fn cmd_oneshot(mut args: Vec<String>) -> ExitCode {
     let (replicas, topology, cfg) = client_flags(&mut args);
     if replicas.is_some() || topology.is_some() {
@@ -770,7 +974,7 @@ fn cmd_burst(mut args: Vec<String>) -> ExitCode {
     let (p50, p99) = (percentile_ms(&lats, 0.50), percentile_ms(&lats, 0.99));
     let throughput = requests as f64 / elapsed.as_secs_f64().max(1e-9);
 
-    let (retries, hedges) = match &fleet {
+    let (retries, hedges, shard_stats_json) = match &fleet {
         Fleet::Flat(client) => {
             let snap = client.snapshot();
             if !json_out {
@@ -781,7 +985,7 @@ fn cmd_burst(mut args: Vec<String>) -> ExitCode {
                     );
                 }
             }
-            (snap.retries, snap.hedges)
+            (snap.retries, snap.hedges, "[]".to_string())
         }
         Fleet::Sharded(client) => {
             let snap = client.snapshot();
@@ -804,7 +1008,32 @@ fn cmd_burst(mut args: Vec<String>) -> ExitCode {
                     snap.scatter_fanout, snap.degraded_responses
                 );
             }
-            (retries, hedges)
+            // Each shard's *server-side* counters, queried point-to-point
+            // so the scatter-merge doesn't collapse them into one total:
+            // scatter_fanout says how much gather traffic the shard served,
+            // cross_shard_rejects says how much traffic was misrouted to it.
+            let mut rows: Vec<String> = Vec::with_capacity(shard_count as usize);
+            for shard in 0..shard_count {
+                match client.shard_client(shard).request(Request::stats()) {
+                    Ok(resp) => {
+                        if let Some(s) = resp.stats {
+                            if !json_out {
+                                println!(
+                                    "shard {shard} server scatter_fanout={} cross_shard_rejects={}",
+                                    s.scatter_fanout, s.cross_shard_rejects
+                                );
+                            }
+                            rows.push(format!(
+                                "{{\"shard\":{shard},\"scatter_fanout\":{},\
+                                 \"cross_shard_rejects\":{}}}",
+                                s.scatter_fanout, s.cross_shard_rejects
+                            ));
+                        }
+                    }
+                    Err(e) => eprintln!("shard {shard} stats query failed: {e}"),
+                }
+            }
+            (retries, hedges, format!("[{}]", rows.join(",")))
         }
     };
 
@@ -817,7 +1046,8 @@ fn cmd_burst(mut args: Vec<String>) -> ExitCode {
              \"requests\":{requests},\"ok\":{ok},\"failed\":{failed},\"degraded\":{degraded},\
              \"rate_target_rps\":{rate_target},\"throughput_rps\":{throughput:.2},\
              \"p50_ms\":{p50:.3},\"p99_ms\":{p99:.3},\"elapsed_ms\":{:.1},\
-             \"retries\":{retries},\"hedges\":{hedges}}}",
+             \"retries\":{retries},\"hedges\":{hedges},\
+             \"shard_stats\":{shard_stats_json}}}",
             elapsed.as_secs_f64() * 1e3
         );
     } else {
@@ -1085,7 +1315,7 @@ fn burst_pipelined(
              \"requests\":{requests},\"ok\":{ok},\"failed\":{failed},\"degraded\":{degraded},\
              \"rate_target_rps\":{rate},\"throughput_rps\":{throughput:.2},\
              \"p50_ms\":{p50:.3},\"p99_ms\":{p99:.3},\"elapsed_ms\":{:.1},\
-             \"retries\":0,\"hedges\":0}}",
+             \"retries\":0,\"hedges\":0,\"shard_stats\":[]}}",
             elapsed.as_secs_f64() * 1e3
         );
     } else {

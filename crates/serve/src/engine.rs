@@ -30,20 +30,26 @@
 //! decomposition that `Rrre::predict` uses internally, and the same
 //! [`rrre_core::rank_candidates`] ordering for recommend/explain.
 
-use crate::artifact::ModelArtifact;
+use crate::artifact::{ModelArtifact, MANIFEST_FILE};
 use crate::batch::{BatchConfig, BatchQueue, Completion, Job, QueuePermit};
 use crate::cache::{CacheAxis, TowerCache};
 use crate::protocol::{ErrorKind, HealthDto, Op, Request, Response};
 use crate::stats::{EngineStats, FrontendStats, StatsSnapshot};
-use rrre_core::{rank_candidates, Prediction, EXPLANATION_RELIABILITY_THRESHOLD};
+use crate::wal::{self, FsyncPolicy, IngestLedger, SeqSet, WalRecord, WalWriter};
+use rrre_core::{rank_candidates, ColdStartPrior, Prediction, EXPLANATION_RELIABILITY_THRESHOLD};
 use rrre_shard::ShardMap;
-use rrre_data::{ItemId, UserId};
+use rrre_data::{ItemId, Label, Review, UserId};
+use std::io;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Sender};
 use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// WAL directory name inside an ingest-enabled artifact directory.
+pub const WAL_DIR: &str = "wal";
 
 /// Engine sizing and fault-tolerance knobs.
 #[derive(Debug, Clone, Copy)]
@@ -99,6 +105,71 @@ impl Default for EngineConfig {
     }
 }
 
+/// Durable streaming-ingest knobs ([`Engine::open_with_ingest`]).
+#[derive(Debug, Clone, Copy)]
+pub struct IngestConfig {
+    /// WAL segment rotation threshold in bytes.
+    pub segment_bytes: u64,
+    /// When appended records reach the platter. [`FsyncPolicy::EveryRecord`]
+    /// (the default) makes every ack a durability promise;
+    /// [`FsyncPolicy::Batched`] is a relaxed benchmarking knob.
+    pub fsync: FsyncPolicy,
+    /// Auto-refresh the serving towers once this many accepted records are
+    /// pending. `1` (the default) folds every review in before its ack
+    /// returns; `0` disables auto-refresh entirely — only
+    /// [`Engine::refresh_now`] / [`Engine::compact_now`] fold.
+    pub refresh_every: usize,
+    /// Entity pairs where either side has fewer than this many reviews get
+    /// the calibrated cold-start reliability prior instead of the
+    /// reliability head's score ([`ColdStartPrior`]). `0` (the default)
+    /// disables the prior.
+    pub cold_start_min: usize,
+}
+
+impl Default for IngestConfig {
+    fn default() -> Self {
+        Self {
+            segment_bytes: 4 << 20,
+            fsync: FsyncPolicy::EveryRecord,
+            refresh_every: 1,
+            cold_start_min: 0,
+        }
+    }
+}
+
+/// Mutable ingest bookkeeping, all under one lock so the WAL's append
+/// order and the dedup set can never disagree.
+struct IngestInner {
+    wal: WalWriter,
+    /// Every sequence id ever durably accepted: the compaction ledger's
+    /// set, plus WAL replay, plus live appends. Membership ⇒ the review is
+    /// (or will be) applied, so a resend acks `duplicate` without side
+    /// effects.
+    accepted: SeqSet,
+    /// Accepted records not yet folded into the on-disk artifact, in WAL
+    /// append order. Compaction drains a prefix of this.
+    unfolded: Vec<WalRecord>,
+    /// Prefix of `unfolded` already published into the serving towers.
+    /// Reset to zero whenever the serving pointer is replaced by a
+    /// *loaded* generation (reload/compaction), which reflects only the
+    /// on-disk dataset.
+    refreshed: usize,
+    /// The durable compaction ledger as of the last committed fold.
+    ledger: IngestLedger,
+}
+
+/// The engine's ingest half: WAL, dedup state and the maintenance lock
+/// that serializes refreshes with compactions.
+struct IngestState {
+    cfg: IngestConfig,
+    wal_dir: PathBuf,
+    inner: Mutex<IngestInner>,
+    /// Held across a whole refresh or compaction. Lock order:
+    /// `maintenance` → `inner` → `current` (write); never acquire left
+    /// after right.
+    maintenance: Mutex<()>,
+}
+
 /// One immutable serving state: an artifact and the tower caches built
 /// against it. Swapped wholesale on reload — caches never outlive the
 /// weights they were computed from.
@@ -112,6 +183,10 @@ pub struct Generation {
     /// weights on reload — ownership decisions and the data they are made
     /// over can never disagree.
     pub shard_map: ShardMap,
+    /// The calibrated cold-start reliability prior, when the engine was
+    /// opened with [`IngestConfig::cold_start_min`] `> 0`. Thin pairs get
+    /// its reliability instead of the head score.
+    pub prior: Option<ColdStartPrior>,
     pub(crate) user_cache: TowerCache,
     pub(crate) item_cache: TowerCache,
 }
@@ -128,6 +203,8 @@ struct Shared {
     cfg: EngineConfig,
     queue_depth: Arc<AtomicUsize>,
     next_generation: AtomicU64,
+    /// `Some` when the engine accepts `IngestReview`/`Compact`.
+    ingest: Option<IngestState>,
     /// Timestamps of recent worker panics (pruned to `breaker_window`).
     breaker: Mutex<Vec<Instant>>,
     /// Set when the front end begins draining for shutdown: the engine
@@ -175,6 +252,81 @@ impl Engine {
     /// Panics if the artifact's model has no frozen cache (loads via
     /// [`ModelArtifact::load`] always do) or `cfg.workers == 0`.
     pub fn new(artifact: ModelArtifact, cfg: EngineConfig) -> Self {
+        Self::build(artifact, cfg, None)
+    }
+
+    /// Opens an artifact directory for *durable streaming ingest*: rolls
+    /// any interrupted compaction forward (or back) from its staging
+    /// directory, loads the artifact, replays and repairs the WAL, then
+    /// folds every replayed record back into the serving towers — exactly
+    /// once, deduplicated against the compaction ledger. After this
+    /// returns, every review whose ingest was ever acknowledged is visible
+    /// to predictions again.
+    ///
+    /// Mid-log WAL corruption (a bytewise-complete record failing its CRC)
+    /// fails the open closed with `InvalidData` — a torn tail from a crash
+    /// is repaired, bit rot is never guessed over.
+    pub fn open_with_ingest(
+        dir: impl AsRef<Path>,
+        cfg: EngineConfig,
+        ingest: IngestConfig,
+    ) -> io::Result<Self> {
+        let dir = dir.as_ref();
+        wal::recover_staging(dir, MANIFEST_FILE)?;
+        let artifact = ModelArtifact::load(dir)?;
+        Self::with_ingest(artifact, cfg, ingest)
+    }
+
+    /// [`Engine::new`] plus the durable ingest path (WAL, refresh,
+    /// compaction) rooted at `artifact.source_dir`. Prefer
+    /// [`Engine::open_with_ingest`] when opening from disk — it also
+    /// completes an interrupted compaction *before* the load reads the
+    /// manifest.
+    pub fn with_ingest(
+        artifact: ModelArtifact,
+        cfg: EngineConfig,
+        ingest: IngestConfig,
+    ) -> io::Result<Self> {
+        let ledger = wal::load_ledger(&artifact.source_dir)?;
+        let wal_dir = artifact.source_dir.join(WAL_DIR);
+        let recovery = wal::replay_and_repair(&wal_dir)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        // Rebuild the accepted set: everything the ledger says is already
+        // folded, plus everything still sitting in the WAL. Replayed
+        // records the ledger already covers were folded by a committed
+        // compaction — applying them again would double-count.
+        let mut accepted = ledger.applied.clone();
+        let mut unfolded = Vec::new();
+        for rec in recovery.records {
+            if accepted.insert(rec.seq) {
+                unfolded.push(rec);
+            }
+        }
+        let writer = WalWriter::open(&wal_dir, ingest.segment_bytes, ingest.fsync)?;
+        let state = IngestState {
+            cfg: ingest,
+            wal_dir,
+            inner: Mutex::new(IngestInner {
+                wal: writer,
+                accepted,
+                unfolded,
+                refreshed: 0,
+                ledger,
+            }),
+            maintenance: Mutex::new(()),
+        };
+        let engine = Self::build(artifact, cfg, Some(state));
+        engine.shared.stats.wal_bytes.store(recovery.bytes, Ordering::Relaxed);
+        engine.shared.stats.wal_recoveries.store(recovery.truncated_tails, Ordering::Relaxed);
+        // Replayed-but-unfolded records go straight back into the towers:
+        // an acked review survives the crash *and* answers predictions
+        // again before the first post-restart request is served.
+        do_refresh(&engine.shared)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        Ok(engine)
+    }
+
+    fn build(artifact: ModelArtifact, cfg: EngineConfig, ingest: Option<IngestState>) -> Self {
         assert!(cfg.workers >= 1, "Engine: need at least one worker");
         assert!(cfg.queue_cap >= 1, "Engine: queue_cap must be ≥ 1");
         assert!(cfg.breaker_threshold >= 1, "Engine: breaker_threshold must be ≥ 1");
@@ -191,10 +343,15 @@ impl Engine {
                 shard_map.shards()
             );
         }
+        let prior = ingest.as_ref().and_then(|s| {
+            (s.cfg.cold_start_min > 0)
+                .then(|| ColdStartPrior::calibrate(&artifact.dataset, s.cfg.cold_start_min))
+        });
         let generation = Arc::new(Generation {
             id: 1,
             artifact,
             shard_map,
+            prior,
             user_cache: TowerCache::new(CacheAxis::User, cfg.cache_shards),
             item_cache: TowerCache::new(CacheAxis::Item, cfg.cache_shards),
         });
@@ -205,6 +362,7 @@ impl Engine {
             cfg,
             queue_depth: Arc::new(AtomicUsize::new(0)),
             next_generation: AtomicU64::new(2),
+            ingest,
             breaker: Mutex::new(Vec::new()),
             draining: AtomicBool::new(false),
         });
@@ -378,6 +536,31 @@ impl Engine {
         do_reload(&self.shared)
     }
 
+    /// Whether this engine accepts `IngestReview`/`Compact` (opened via
+    /// [`Engine::open_with_ingest`]).
+    pub fn ingest_enabled(&self) -> bool {
+        self.shared.ingest.is_some()
+    }
+
+    /// Synchronously folds every accepted-but-unapplied WAL record into
+    /// the serving towers: a frozen-encoder incremental refresh that
+    /// re-encodes only the new reviews and republishes under the *same*
+    /// generation id. Returns how many records were applied (`0` when the
+    /// towers are already current). Errors when ingest is not enabled.
+    pub fn refresh_now(&self) -> Result<usize, String> {
+        do_refresh(&self.shared)
+    }
+
+    /// Synchronously compacts the WAL into a new artifact generation:
+    /// stages the folded dataset beside the artifact directory, seals it
+    /// with a fsync'd `COMMIT` marker, promotes it atomically (manifest
+    /// last), hot-reloads, then truncates the folded segments. Crash-safe
+    /// at every step — recovery either completes or undoes the fold.
+    /// Returns `(records folded, serving generation id)`.
+    pub fn compact_now(&self) -> Result<(u64, u64), String> {
+        do_compact(&self.shared)
+    }
+
     /// Graceful shutdown: stop accepting, let queued jobs finish, join the
     /// workers. Idempotent; `Drop` calls it too.
     pub fn shutdown(&self) {
@@ -401,9 +584,9 @@ impl Drop for Engine {
 /// `Reload` protocol verb.
 fn do_reload(shared: &Shared) -> Result<u64, String> {
     shared.stats.reloads.fetch_add(1, Ordering::Relaxed);
-    let (dir, current_id) = {
+    let (dir, current_id, current_map_version) = {
         let current = shared.generation();
-        (current.artifact.source_dir.clone(), current.id)
+        (current.artifact.source_dir.clone(), current.id, current.shard_map.version())
     };
     // Full staging-area validation: `ModelArtifact::load` verifies every
     // checksum and cross-check before we ever touch the serving pointer.
@@ -434,15 +617,35 @@ fn do_reload(shared: &Shared) -> Result<u64, String> {
                     ));
                 }
             }
+            // The map version is the fleet's topology clock: clients and
+            // the scatter-gather tier treat a higher version as newer, so
+            // a manifest whose version goes *backwards* (a stale artifact
+            // restored over a newer one) must never start serving — it
+            // would make every current client look "from the future".
+            if shard_map.version() < current_map_version {
+                shared.stats.reload_failures.fetch_add(1, Ordering::Relaxed);
+                return Err(format!(
+                    "reload from {} refused: manifest shard-map version {} is behind the \
+                     serving version {current_map_version} (topology versions must never \
+                     roll backwards); generation {current_id} keeps serving",
+                    dir.display(),
+                    shard_map.version()
+                ));
+            }
+            let prior = shared.ingest.as_ref().and_then(|s| {
+                (s.cfg.cold_start_min > 0)
+                    .then(|| ColdStartPrior::calibrate(&artifact.dataset, s.cfg.cold_start_min))
+            });
             let id = shared.next_generation.fetch_add(1, Ordering::Relaxed);
             let generation = Arc::new(Generation {
                 id,
                 artifact,
                 shard_map,
+                prior,
                 user_cache: TowerCache::new(CacheAxis::User, shared.cfg.cache_shards),
                 item_cache: TowerCache::new(CacheAxis::Item, shared.cfg.cache_shards),
             });
-            *shared.current.write().unwrap_or_else(|e| e.into_inner()) = generation;
+            publish_loaded(shared, generation);
             Ok(id)
         }
         Err(e) => {
@@ -453,6 +656,214 @@ fn do_reload(shared: &Shared) -> Result<u64, String> {
             ))
         }
     }
+}
+
+/// Swaps the serving pointer to a generation *loaded from disk*. When
+/// ingest is enabled, the swap and the refresh low-water mark move
+/// together (lock order: ingest `inner` → `current`): a loaded generation
+/// reflects only the on-disk dataset, so every un-compacted WAL record
+/// must be re-applied by the next refresh.
+fn publish_loaded(shared: &Shared, generation: Arc<Generation>) {
+    let mut inner_guard = shared
+        .ingest
+        .as_ref()
+        .map(|s| s.inner.lock().unwrap_or_else(|e| e.into_inner()));
+    *shared.current.write().unwrap_or_else(|e| e.into_inner()) = generation;
+    if let Some(inner) = inner_guard.as_deref_mut() {
+        inner.refreshed = 0;
+    }
+}
+
+/// [`Engine::refresh_now`] behind the maintenance lock.
+fn do_refresh(shared: &Shared) -> Result<usize, String> {
+    let state =
+        shared.ingest.as_ref().ok_or("ingest is not enabled on this engine")?;
+    let _serialize = state.maintenance.lock().unwrap_or_else(|e| e.into_inner());
+    refresh_locked(shared, state)
+}
+
+/// Folds every accepted-but-unapplied WAL record into a copy-on-write
+/// clone of the current generation and republishes it under the *same*
+/// generation id. The encoder stays frozen: each new review is encoded
+/// with the exact per-review path a full re-encode would take, so the
+/// refreshed towers are bit-identical to rebuilding from scratch. Caller
+/// holds the maintenance lock.
+fn refresh_locked(shared: &Shared, state: &IngestState) -> Result<usize, String> {
+    loop {
+        let (batch, start) = {
+            let inner = state.inner.lock().unwrap_or_else(|e| e.into_inner());
+            (inner.unfolded[inner.refreshed..].to_vec(), inner.refreshed)
+        };
+        if batch.is_empty() {
+            return Ok(0);
+        }
+        let base = shared.generation();
+        let disk_len = base.artifact.manifest.n_reviews;
+        if base.artifact.dataset.len() != disk_len + start {
+            return Err(format!(
+                "refresh invariant broken: serving dataset has {} reviews, expected {disk_len} \
+                 on-disk + {start} refreshed",
+                base.artifact.dataset.len()
+            ));
+        }
+        let mut dataset = base.artifact.dataset.clone();
+        let mut corpus = base.artifact.corpus.clone();
+        let mut model = base.artifact.model.clone();
+        let first_new = dataset.len();
+        for rec in &batch {
+            dataset.append_review(Review {
+                user: UserId(rec.user),
+                item: ItemId(rec.item),
+                rating: rec.rating,
+                // Ground truth is unknowable at ingest time; labels only
+                // matter to a future training run over the folded dataset,
+                // and the cold-start prior covers the reliability
+                // uncertainty until then.
+                label: Label::Benign,
+                timestamp: rec.ts,
+                text: rec.text.clone(),
+            })?;
+            corpus.append_doc(&rec.text);
+        }
+        model.refresh_towers(&dataset, &corpus, first_new)?;
+        let index = dataset.index();
+        let prior = (state.cfg.cold_start_min > 0)
+            .then(|| ColdStartPrior::calibrate(&dataset, state.cfg.cold_start_min));
+        let artifact = ModelArtifact {
+            manifest: base.artifact.manifest.clone(),
+            dataset,
+            corpus,
+            model,
+            index,
+            source_dir: base.artifact.source_dir.clone(),
+        };
+        let generation = Arc::new(Generation {
+            // Same id: a refresh updates towers in place, it is not a
+            // generation swap — clients see no reload.
+            id: base.id,
+            artifact,
+            shard_map: base.shard_map.clone(),
+            prior,
+            // Fresh caches = conservative entity invalidation. The touched
+            // entities' towers changed; a cache *shared* with the old
+            // generation could be repopulated with stale towers by
+            // in-flight jobs still pinned to it. Untouched entries
+            // recompute to bit-identical values on their next request.
+            user_cache: TowerCache::new(CacheAxis::User, shared.cfg.cache_shards),
+            item_cache: TowerCache::new(CacheAxis::Item, shared.cfg.cache_shards),
+        });
+        {
+            let mut inner = state.inner.lock().unwrap_or_else(|e| e.into_inner());
+            let mut cur = shared.current.write().unwrap_or_else(|e| e.into_inner());
+            if !Arc::ptr_eq(&*cur, &base) {
+                // A reload swapped the pointer while we encoded; the clone
+                // is stale. Re-read the low-water mark and redo the fold.
+                continue;
+            }
+            *cur = generation;
+            inner.refreshed = start + batch.len();
+        }
+        shared.stats.refreshes.fetch_add(1, Ordering::Relaxed);
+        return Ok(batch.len());
+    }
+}
+
+/// [`Engine::compact_now`]: fold the WAL into a new artifact generation
+/// via the two-phase staging protocol, reload, truncate folded segments.
+fn do_compact(shared: &Shared) -> Result<(u64, u64), String> {
+    let state =
+        shared.ingest.as_ref().ok_or("ingest is not enabled on this engine")?;
+    let _serialize = state.maintenance.lock().unwrap_or_else(|e| e.into_inner());
+
+    // Snapshot under the ingest lock: rotate first so every snapshotted
+    // record lives in a segment below the new watermark; appends arriving
+    // after the rotation land in the fresh segment and simply miss this
+    // compaction.
+    let (snapshot, watermark, mut ledger) = {
+        let mut inner = state.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let watermark =
+            inner.wal.rotate().map_err(|e| format!("wal rotate failed: {e}"))?;
+        (inner.unfolded.clone(), watermark, inner.ledger.clone())
+    };
+    if snapshot.is_empty() {
+        return Ok((0, shared.generation().id));
+    }
+    let base = shared.generation();
+    let manifest = &base.artifact.manifest;
+    let disk_len = manifest.n_reviews;
+    // The fold set is on-disk reviews + the whole snapshot; the serving
+    // dataset may already include a *refreshed* prefix of the snapshot, so
+    // truncate back to the durable base before re-appending.
+    let mut dataset = base.artifact.dataset.clone();
+    dataset.reviews.truncate(disk_len);
+    let mut corpus = base.artifact.corpus.clone();
+    corpus.docs.truncate(disk_len);
+    for rec in &snapshot {
+        dataset
+            .append_review(Review {
+                user: UserId(rec.user),
+                item: ItemId(rec.item),
+                rating: rec.rating,
+                label: Label::Benign,
+                timestamp: rec.ts,
+                text: rec.text.clone(),
+            })
+            .map_err(|e| format!("compaction fold failed: {e}"))?;
+        corpus.append_doc(&rec.text);
+    }
+
+    // Phase one: stage the folded artifact plus its ledger beside the
+    // artifact directory, then seal with a fsync'd COMMIT marker. Nothing
+    // under the serving directory moves until the fold is fully decided.
+    let staging = wal::staging_dir(&base.artifact.source_dir);
+    let _ = std::fs::remove_dir_all(&staging); // stale uncommitted attempt
+    ModelArtifact::save_pinned(
+        &staging,
+        &dataset,
+        &corpus,
+        &base.artifact.model,
+        manifest.min_count,
+        manifest.shard_spec,
+        manifest.vocab_reviews,
+    )
+    .map_err(|e| format!("compaction stage failed: {e}"))?;
+    for rec in &snapshot {
+        ledger.applied.insert(rec.seq);
+    }
+    ledger.segment_watermark = watermark;
+    wal::save_ledger(&staging, &ledger)
+        .map_err(|e| format!("compaction ledger write failed: {e}"))?;
+    wal::seal_staging(&staging).map_err(|e| format!("compaction seal failed: {e}"))?;
+
+    // Phase two: promote (manifest last) and hot-reload. A crash anywhere
+    // in here is rolled forward by `recover_staging` on the next open —
+    // the COMMIT marker has decided the fold.
+    wal::promote_staging(&base.artifact.source_dir, MANIFEST_FILE)
+        .map_err(|e| format!("compaction promote failed: {e}"))?;
+    let generation = do_reload(shared)?;
+    {
+        let mut inner = state.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.unfolded.drain(..snapshot.len());
+        inner.refreshed = 0;
+        inner.ledger = ledger;
+    }
+    // Folded segments are garbage: their records live in the artifact and
+    // the ledger remembers their seq ids. Best-effort — leftovers replay
+    // harmlessly through the ledger dedup.
+    let _ = wal::remove_segments_below(&state.wal_dir, watermark);
+    let on_disk: u64 = wal::list_segments(&state.wal_dir)
+        .map(|segs| {
+            segs.iter()
+                .filter_map(|(_, p)| std::fs::metadata(p).ok())
+                .map(|m| m.len())
+                .sum()
+        })
+        .unwrap_or(0);
+    shared.stats.wal_bytes.store(on_disk, Ordering::Relaxed);
+    shared.stats.compactions.fetch_add(1, Ordering::Relaxed);
+    // Records that arrived mid-fold go back into the towers immediately.
+    refresh_locked(shared, state)?;
+    Ok((snapshot.len() as u64, generation))
 }
 
 fn snapshot(shared: &Shared) -> StatsSnapshot {
@@ -535,7 +946,19 @@ fn predict_pair(stats: &EngineStats, generation: &Generation, user: u32, item: u
         stats.tower_evals.fetch_add(1, Ordering::Relaxed);
         model.infer_item_tower(u, i)
     });
-    model.infer_heads(u, i, &x_u, &y_i)
+    let pred = model.infer_heads(u, i, &x_u, &y_i);
+    match generation.prior {
+        // Thin pairs (either side below the evidence threshold) get the
+        // calibrated cold-start reliability instead of a head score the
+        // model had almost no reviews to ground; the rating passes
+        // through. Degrees come from the model's live index, which the
+        // incremental refresh keeps current.
+        Some(prior) => {
+            let index = model.index();
+            prior.gate(pred, index.user_degree(u), index.item_degree(i))
+        }
+        None => pred,
+    }
 }
 
 fn require(field: Option<u32>, name: &str, bound: usize) -> Result<u32, String> {
@@ -732,6 +1155,103 @@ fn process(shared: &Shared, generation: &Generation, job: &Job) -> Response {
             Ok(new_id) => {
                 let mut resp = Response::ok(req.id);
                 resp.generation = Some(new_id);
+                return resp;
+            }
+            Err(e) => return Response::internal(req.id, e),
+        },
+        Op::IngestReview => {
+            let Some(state) = shared.ingest.as_ref() else {
+                return bad_request(
+                    req.id,
+                    "IngestReview needs an ingest-enabled engine (open_with_ingest)",
+                );
+            };
+            let Some(seq) = req.seq else {
+                return bad_request(req.id, "missing required field `seq`");
+            };
+            // Ingest stays inside the artifact's id space: the embedding
+            // tables are sized at training time, so a brand-new entity
+            // needs a retrain, not a WAL append.
+            let (user, item) = match (
+                require(req.user, "user", ds.n_users),
+                require(req.item, "item", ds.n_items),
+            ) {
+                (Ok(u), Ok(i)) => (u, i),
+                (Err(e), _) | (_, Err(e)) => return bad_request(req.id, e),
+            };
+            if let Err(resp) = check_owned(shared, generation, req.id, item) {
+                return resp;
+            }
+            let rating = match req.rating {
+                Some(r) if (1.0..=5.0).contains(&r) => r,
+                Some(r) => return bad_request(req.id, format!("rating {r} outside [1, 5]")),
+                None => return bad_request(req.id, "missing required field `rating`"),
+            };
+            let rec = WalRecord {
+                seq,
+                user,
+                item,
+                rating,
+                ts: req.ts.unwrap_or(0),
+                text: req.text.clone().unwrap_or_default(),
+            };
+            let mut inner = state.inner.lock().unwrap_or_else(|e| e.into_inner());
+            if inner.accepted.contains(seq) {
+                // Exactly-once: this seq was durably accepted before (the
+                // ack may have been lost to a crash or timeout). Ack again
+                // without re-applying anything.
+                shared.stats.ingest_duplicates.fetch_add(1, Ordering::Relaxed);
+                let mut resp = Response::ok(req.id);
+                resp.ingest = Some(crate::protocol::IngestDto { seq, duplicate: true });
+                resp
+            } else {
+                match inner.wal.append(&rec) {
+                    Err(e) => {
+                        // No ack without durability: the bytes may or may
+                        // not have reached the platter, so the client must
+                        // retry with the same seq and let dedup decide.
+                        return Response::internal(
+                            req.id,
+                            format!("wal append failed: {e}; retry with the same seq"),
+                        );
+                    }
+                    Ok(bytes) => {
+                        shared.stats.wal_bytes.fetch_add(bytes, Ordering::Relaxed);
+                        shared.stats.ingested.fetch_add(1, Ordering::Relaxed);
+                        inner.accepted.insert(seq);
+                        inner.unfolded.push(rec);
+                        let pending = inner.unfolded.len() - inner.refreshed;
+                        drop(inner);
+                        if state.cfg.refresh_every > 0 && pending >= state.cfg.refresh_every {
+                            // Durability is already decided; a refresh
+                            // failure must not retract the ack. The records
+                            // stay pending for the next refresh/compaction.
+                            if let Err(e) = do_refresh(shared) {
+                                eprintln!("rrre-serve: deferred ingest refresh failed: {e}");
+                            }
+                        }
+                        let mut resp = Response::ok(req.id);
+                        resp.ingest =
+                            Some(crate::protocol::IngestDto { seq, duplicate: false });
+                        resp
+                    }
+                }
+            }
+        }
+        Op::Compact => match do_compact(shared) {
+            Ok((folded, new_generation)) => {
+                let mut resp = Response::ok(req.id);
+                resp.compaction = Some(crate::protocol::CompactionDto {
+                    folded,
+                    generation: new_generation,
+                });
+                // Stamp the *post*-compaction generation: the one this job
+                // pinned is already obsolete.
+                resp.generation = Some(new_generation);
+                if let Some(shard) = shared.cfg.shard_id {
+                    resp.shard = Some(shard);
+                    resp.map_version = Some(generation.shard_map.version());
+                }
                 return resp;
             }
             Err(e) => return Response::internal(req.id, e),

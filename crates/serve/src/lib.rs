@@ -47,12 +47,14 @@ pub mod server;
 pub mod stats;
 pub mod sys;
 pub mod timer;
+pub mod wal;
 
 pub use artifact::{ArtifactManifest, FileChecksum, ModelArtifact};
 pub use batch::Completion;
 pub use cache::{CacheAxis, TowerCache};
-pub use engine::{Engine, EngineConfig, Generation};
+pub use engine::{Engine, EngineConfig, Generation, IngestConfig, WAL_DIR};
 pub use frame::{FrameDecoder, FrameError, FrameEvent};
 pub use protocol::{ErrorKind, HealthDto, Op, Request, Response};
 pub use server::{Server, ServerConfig};
 pub use stats::{EngineStats, FrontendStats, StatsSnapshot};
+pub use wal::{FsyncPolicy, IngestLedger, SeqSet, WalError, WalRecord, WalWriter};

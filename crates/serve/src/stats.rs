@@ -116,6 +116,21 @@ pub struct EngineStats {
     /// Shard-scoped `Recommend` requests served — this engine's side of a
     /// scatter-gather fan-out (always 0 on whole-model engines).
     pub scatter_fanout: AtomicU64,
+    /// Reviews durably accepted through `IngestReview` (first delivery
+    /// only; duplicates count below).
+    pub ingested: AtomicU64,
+    /// `IngestReview` deliveries whose sequence id was already accepted —
+    /// re-acked without re-applying.
+    pub ingest_duplicates: AtomicU64,
+    /// Bytes appended to (or recovered from) the write-ahead log.
+    pub wal_bytes: AtomicU64,
+    /// Incremental tower refreshes published (no generation swap).
+    pub refreshes: AtomicU64,
+    /// WAL compactions folded into a new artifact generation.
+    pub compactions: AtomicU64,
+    /// Torn WAL tails truncated during recovery. Mid-log corruption is
+    /// *not* counted — it fails closed instead of recovering.
+    pub wal_recoveries: AtomicU64,
     /// Enqueue-to-reply latency of every request.
     pub latency: LatencyHistogram,
 }
@@ -173,6 +188,12 @@ impl EngineStats {
             shard_id,
             cross_shard_rejects: self.cross_shard_rejects.load(Ordering::Relaxed),
             scatter_fanout: self.scatter_fanout.load(Ordering::Relaxed),
+            ingested: self.ingested.load(Ordering::Relaxed),
+            ingest_duplicates: self.ingest_duplicates.load(Ordering::Relaxed),
+            wal_bytes: self.wal_bytes.load(Ordering::Relaxed),
+            refreshes: self.refreshes.load(Ordering::Relaxed),
+            compactions: self.compactions.load(Ordering::Relaxed),
+            wal_recoveries: self.wal_recoveries.load(Ordering::Relaxed),
             // Engines never degrade on their own — they either own the
             // entity or refuse; the scatter-gather client fills this in
             // merged snapshots.

@@ -153,6 +153,59 @@ fn deadlines_are_honored_per_request_within_the_pipeline() {
 }
 
 #[test]
+fn oversized_frame_mid_pipeline_fails_alone_and_the_pipeline_keeps_answering() {
+    use rrre_serve::protocol::MAX_LINE_BYTES;
+    use rrre_testkit::fault::oversized_line;
+    use std::io::{BufRead, BufReader, Write};
+
+    let (_dir, engine, mut server) = serving_stack(
+        "pipeline-oversized",
+        EngineConfig { workers: 2, ..EngineConfig::default() },
+    );
+
+    // Three frames written back to back before reading anything: a valid
+    // request, a line past the 16 KiB bound, another valid request. The
+    // middle one must be refused *by itself* — a structured BadRequest
+    // with a null id (its id is inside the bytes the server refused to
+    // buffer) — while both real requests around it are answered.
+    let mut stream = std::net::TcpStream::connect(server.local_addr()).unwrap();
+    stream.set_read_timeout(Some(RECV_TIMEOUT)).unwrap();
+    let first = r#"{"op":"Predict","user":0,"item":0,"id":1}"#;
+    let big = oversized_line(MAX_LINE_BYTES);
+    let second = r#"{"op":"Predict","user":1,"item":1,"id":2}"#;
+    assert!(big.len() > MAX_LINE_BYTES);
+    stream.write_all(format!("{first}\n{big}\n{second}\n").as_bytes()).unwrap();
+
+    let mut reader = BufReader::new(stream);
+    let mut answered = std::collections::HashMap::new();
+    let mut refused = Vec::new();
+    for _ in 0..3 {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("every frame gets a response line");
+        let resp: Response = serde_json::from_str(line.trim()).unwrap();
+        match resp.id {
+            Some(id) => {
+                assert!(answered.insert(id, resp).is_none(), "id {id} answered twice");
+            }
+            None => refused.push(resp),
+        }
+    }
+
+    let [oversized] = refused.as_slice() else {
+        panic!("exactly one null-id refusal expected, got {refused:?}");
+    };
+    assert!(!oversized.ok);
+    assert_eq!(oversized.kind, Some(ErrorKind::BadRequest), "{oversized:?}");
+    for id in [1u64, 2] {
+        let resp = &answered[&id];
+        assert!(resp.ok, "request {id} around the oversized frame must succeed: {resp:?}");
+        let truth = engine.submit(Request::predict(id as u32 - 1, id as u32 - 1));
+        assert_eq!(resp.prediction, truth.prediction, "id {id} payload must be its own");
+    }
+    server.stop();
+}
+
+#[test]
 fn mid_pipeline_crash_leaves_every_other_request_answered_or_refused() {
     let (_dir, _engine, mut server) = serving_stack(
         "pipeline-crash",

@@ -108,6 +108,52 @@ fn every_corruption_fails_closed_and_restore_recovers() {
 }
 
 #[test]
+fn reload_refuses_a_shard_map_version_rollback() {
+    use rrre_wire::ShardSpec;
+    let fx = trained_fixture();
+    let dir = TempDir::new("reload-rollback");
+    let spec_v5 = ShardSpec { version: 5, ..ShardSpec::with_shards(1) };
+    ModelArtifact::save_with_shards(
+        dir.path(), &fx.dataset, &fx.corpus, &fx.model, fx.min_count(), spec_v5,
+    )
+    .unwrap();
+    let engine = Engine::new(
+        ModelArtifact::load(dir.path()).unwrap(),
+        EngineConfig { workers: 2, ..EngineConfig::default() },
+    );
+    let baseline = probe(&engine);
+
+    // A stale artifact restored over a newer one: identical weights, older
+    // topology version. Every byte on disk validates — only the version
+    // ordering is wrong — so this is exactly the rollback the guard exists
+    // to catch.
+    let spec_v4 = ShardSpec { version: 4, ..spec_v5 };
+    ModelArtifact::save_with_shards(
+        dir.path(), &fx.dataset, &fx.corpus, &fx.model, fx.min_count(), spec_v4,
+    )
+    .unwrap();
+    let err = engine.reload().expect_err("a version rollback must refuse to reload");
+    assert!(
+        err.contains("behind the serving version"),
+        "the refusal must name the version ordering: {err}"
+    );
+    let stats = engine.stats();
+    assert_eq!(stats.generation, 1, "generation must not advance on a refused rollback");
+    assert_eq!(stats.reload_failures, 1);
+    assert_eq!(probe(&engine), baseline, "the serving generation must be untouched");
+
+    // Moving forward again reloads cleanly.
+    let spec_v6 = ShardSpec { version: 6, ..spec_v5 };
+    ModelArtifact::save_with_shards(
+        dir.path(), &fx.dataset, &fx.corpus, &fx.model, fx.min_count(), spec_v6,
+    )
+    .unwrap();
+    assert_eq!(engine.reload().unwrap(), 2);
+    assert_eq!(probe(&engine), baseline);
+    engine.shutdown();
+}
+
+#[test]
 fn reload_protocol_verb_swaps_and_reports_the_new_generation() {
     let (_dir, engine) = served_artifact("reload-verb");
     let resp = engine.submit(Request::reload().with_id(7));

@@ -54,6 +54,15 @@ pub fn plan(map: &ShardMap, req: &Request) -> RoutePlan {
         },
         Op::Reload => RoutePlan::Broadcast,
         Op::Crash => RoutePlan::Any,
+        // Ingest follows item ownership like the other item-scoped ops: the
+        // review must land on the shard whose slice serves (and re-encodes)
+        // the item's tower. Compaction is a per-replica side effect like
+        // Reload, folding each shard's own WAL.
+        Op::IngestReview => match req.item {
+            Some(item) => RoutePlan::Shard(map.shard_of_item(item)),
+            None => RoutePlan::Any,
+        },
+        Op::Compact => RoutePlan::Broadcast,
     }
 }
 
@@ -111,6 +120,12 @@ pub fn merge_stats(parts: &[StatsSnapshot]) -> StatsSnapshot {
         out.p99_latency_us = out.p99_latency_us.max(p.p99_latency_us);
         out.cross_shard_rejects += p.cross_shard_rejects;
         out.scatter_fanout += p.scatter_fanout;
+        out.ingested += p.ingested;
+        out.ingest_duplicates += p.ingest_duplicates;
+        out.wal_bytes += p.wal_bytes;
+        out.refreshes += p.refreshes;
+        out.compactions += p.compactions;
+        out.wal_recoveries += p.wal_recoveries;
         out.degraded_responses += p.degraded_responses;
         out.open_conns += p.open_conns;
         out.pipelined_inflight += p.pipelined_inflight;
@@ -161,7 +176,9 @@ mod tests {
     }
 
     fn req(op: Op, user: Option<u32>, item: Option<u32>) -> Request {
-        Request { id: None, op, user, item, k: None, deadline_ms: None }
+        let mut r = Request::invalidate(user, item);
+        r.op = op;
+        r
     }
 
     fn row(item: u32, rating: f32, reliability: f32) -> RecommendationDto {
@@ -186,6 +203,15 @@ mod tests {
         assert_eq!(plan(&m, &req(Op::Stats, None, None)), RoutePlan::Scatter);
         assert_eq!(plan(&m, &req(Op::Invalidate, Some(7), None)), RoutePlan::Broadcast);
         assert_eq!(plan(&m, &req(Op::Reload, None, None)), RoutePlan::Broadcast);
+    }
+
+    #[test]
+    fn ingest_routes_to_item_owner_and_compact_broadcasts() {
+        let m = map3();
+        let r = Request::ingest_review(1, 2, 77, 4.5, "solid", 1000);
+        assert_eq!(plan(&m, &r), RoutePlan::Shard(m.shard_of_item(77)));
+        assert_eq!(plan(&m, &req(Op::IngestReview, Some(2), None)), RoutePlan::Any);
+        assert_eq!(plan(&m, &Request::compact()), RoutePlan::Broadcast);
     }
 
     #[test]

@@ -30,6 +30,36 @@ pub fn flip_byte(path: impl AsRef<Path>, offset: usize) -> std::io::Result<u8> {
     Ok(original)
 }
 
+/// Shaves the last `bytes` bytes off a file — the shape of a torn write: a
+/// record whose tail never reached the disk before the crash. Returns the
+/// new length. Panics if the file is not strictly longer than `bytes`
+/// (shaving a whole file is a missing file, a different fault).
+pub fn shave_tail(path: impl AsRef<Path>, bytes: u64) -> std::io::Result<u64> {
+    let path = path.as_ref();
+    let len = std::fs::metadata(path)?.len();
+    assert!(len > bytes, "shave_tail: {} is only {len} bytes, cannot shave {bytes}", path.display());
+    let file = std::fs::OpenOptions::new().write(true).open(path)?;
+    let new_len = len - bytes;
+    file.set_len(new_len)?;
+    Ok(new_len)
+}
+
+/// The WAL segment files under `wal_dir` (`seg-*.log`), sorted by segment
+/// index — `last()` is the active tail segment, the torn-write target.
+pub fn wal_segments(wal_dir: impl AsRef<Path>) -> std::io::Result<Vec<std::path::PathBuf>> {
+    let mut segments: Vec<_> = std::fs::read_dir(wal_dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("seg-") && n.ends_with(".log"))
+        })
+        .collect();
+    segments.sort();
+    Ok(segments)
+}
+
 /// A syntactically valid NDJSON request line padded with spaces to exceed
 /// `limit` bytes — for testing the server's line-length bound.
 pub fn oversized_line(limit: usize) -> String {
@@ -83,6 +113,20 @@ mod tests {
         assert_eq!(std::fs::read(&path).unwrap()[3], 4 ^ 0xFF);
         truncate_file(&path, 2).unwrap();
         assert_eq!(std::fs::read(&path).unwrap(), vec![1, 2]);
+    }
+
+    #[test]
+    fn shave_tail_and_segment_listing_cover_the_wal_shapes() {
+        let dir = TempDir::new("fault-wal");
+        std::fs::write(dir.file("seg-00000002.log"), [0u8; 16]).unwrap();
+        std::fs::write(dir.file("seg-00000000.log"), [0u8; 16]).unwrap();
+        std::fs::write(dir.file("ledger.json"), b"{}").unwrap();
+        let segs = wal_segments(dir.path()).unwrap();
+        assert_eq!(segs.len(), 2, "only seg-*.log files are segments");
+        assert!(segs[1].ends_with("seg-00000002.log"), "sorted by index, tail last");
+        let new_len = shave_tail(&segs[1], 5).unwrap();
+        assert_eq!(new_len, 11);
+        assert_eq!(std::fs::metadata(&segs[1]).unwrap().len(), 11);
     }
 
     #[test]

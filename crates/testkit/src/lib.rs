@@ -15,9 +15,9 @@
 //!   the decomposed frozen inference path and the serving engine agree
 //!   bit-for-bit, including through the checkpoint → artifact → engine
 //!   round trip.
-//! * [`fault`] — fault injection: artifact byte corruption, partial
-//!   protocol writes, oversized lines and mid-stream disconnects for
-//!   serve robustness tests.
+//! * [`fault`] — fault injection: artifact byte corruption, WAL tail
+//!   shaving (torn writes), partial protocol writes, oversized lines and
+//!   mid-stream disconnects for serve robustness tests.
 //! * [`sync`] — deterministic concurrency helpers (barrier-started thread
 //!   fan-out, pre-expired deadlines) that replace wall-clock sleeps in
 //!   concurrency tests.

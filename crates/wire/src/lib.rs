@@ -36,7 +36,8 @@ pub const MAX_LINE_BYTES: usize = 16 * 1024;
 /// The exhaustive set of accepted request fields. `decode_request` rejects
 /// anything else: a typo like `"deadine_ms"` must fail loudly instead of
 /// being silently dropped and serving with no deadline at all.
-const REQUEST_FIELDS: [&str; 6] = ["id", "op", "user", "item", "k", "deadline_ms"];
+const REQUEST_FIELDS: [&str; 10] =
+    ["id", "op", "user", "item", "k", "deadline_ms", "seq", "rating", "text", "ts"];
 
 /// Request discriminator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -63,6 +64,16 @@ pub enum Op {
     /// Deliberately panic inside the worker (supervision/breaker drills).
     /// Refused unless the engine was built with fault injection enabled.
     Crash,
+    /// Append one review to the durable ingest WAL. Idempotent via the
+    /// client-supplied `seq`: a sequence id that was already accepted is
+    /// acknowledged as a duplicate without being applied again, so a client
+    /// may blindly resend after an ambiguous failure (the crash-between-
+    /// fsync-and-ack window) without double-applying.
+    IngestReview,
+    /// Fold the applied WAL records into the dataset and commit a new
+    /// artifact generation (then truncate the folded segments). Not
+    /// idempotent: each invocation may produce a new generation.
+    Compact,
 }
 
 impl Op {
@@ -70,10 +81,12 @@ impl Op {
     /// safe — i.e. a duplicate execution has no observable side effect.
     /// Reads (`Predict`/`Recommend`/`Explain`/`Stats`/`Health`) and cache
     /// eviction (`Invalidate` — evicting twice converges to the same
-    /// state) are idempotent; `Reload` bumps the generation and `Crash`
-    /// burns a worker, so neither may be blindly resent.
+    /// state) are idempotent, and so is `IngestReview` — its `seq` id
+    /// dedups replays server-side; `Reload` bumps the generation, `Crash`
+    /// burns a worker and `Compact` commits a new generation, so none of
+    /// those may be blindly resent.
     pub fn is_idempotent(self) -> bool {
-        !matches!(self, Op::Reload | Op::Crash)
+        !matches!(self, Op::Reload | Op::Crash | Op::Compact)
     }
 }
 
@@ -93,11 +106,31 @@ pub struct Request {
     /// Per-request deadline, measured from enqueue. A request still queued
     /// when it expires is answered with an error instead of being served.
     pub deadline_ms: Option<u64>,
+    /// Client-supplied ingest sequence id (`IngestReview`). Must be unique
+    /// per review and reused verbatim on retries — the server dedups on it.
+    pub seq: Option<u64>,
+    /// Star rating of the ingested review (`IngestReview`, `1.0..=5.0`).
+    pub rating: Option<f32>,
+    /// Review text of the ingested review (`IngestReview`).
+    pub text: Option<String>,
+    /// Publication timestamp of the ingested review (`IngestReview`).
+    pub ts: Option<i64>,
 }
 
 impl Request {
     fn bare(op: Op) -> Self {
-        Self { id: None, op, user: None, item: None, k: None, deadline_ms: None }
+        Self {
+            id: None,
+            op,
+            user: None,
+            item: None,
+            k: None,
+            deadline_ms: None,
+            seq: None,
+            rating: None,
+            text: None,
+            ts: None,
+        }
     }
 
     /// A `Predict` request.
@@ -133,6 +166,33 @@ impl Request {
     /// An `Invalidate` request for a user and/or an item.
     pub fn invalidate(user: Option<u32>, item: Option<u32>) -> Self {
         Self { user, item, ..Self::bare(Op::Invalidate) }
+    }
+
+    /// An `IngestReview` request. The `seq` is the client's durable
+    /// sequence id for this review; resend with the *same* seq after any
+    /// ambiguous failure.
+    pub fn ingest_review(
+        seq: u64,
+        user: u32,
+        item: u32,
+        rating: f32,
+        text: impl Into<String>,
+        ts: i64,
+    ) -> Self {
+        Self {
+            seq: Some(seq),
+            user: Some(user),
+            item: Some(item),
+            rating: Some(rating),
+            text: Some(text.into()),
+            ts: Some(ts),
+            ..Self::bare(Op::IngestReview)
+        }
+    }
+
+    /// A `Compact` request.
+    pub fn compact() -> Self {
+        Self::bare(Op::Compact)
     }
 
     /// Returns the request with a correlation id attached.
@@ -236,6 +296,30 @@ pub struct HealthDto {
     /// The panic circuit breaker is currently open.
     pub breaker_open: bool,
     /// Artifact generation currently serving.
+    pub generation: u64,
+}
+
+/// `IngestReview` payload: the durability acknowledgement.
+///
+/// `ok: true` on the enclosing response means the review is **on disk and
+/// fsynced** (or was already — `duplicate`). The ack is sent only after the
+/// WAL write is durable, so a client that never sees it may safely resend
+/// the same `seq`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IngestDto {
+    /// The sequence id this ack covers (echo of the request's `seq`).
+    pub seq: u64,
+    /// `true` when this seq was already durably accepted — the review was
+    /// *not* applied a second time.
+    pub duplicate: bool,
+}
+
+/// `Compact` payload: what one compaction run folded.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CompactionDto {
+    /// WAL records folded into the new artifact generation.
+    pub folded: u64,
+    /// The artifact generation now serving (post-reload).
     pub generation: u64,
 }
 
@@ -386,6 +470,10 @@ pub struct Response {
     pub degraded: Option<bool>,
     /// The shard ids a degraded answer is missing.
     pub missing_shards: Option<Vec<u32>>,
+    /// `IngestReview` payload: the durability acknowledgement.
+    pub ingest: Option<IngestDto>,
+    /// `Compact` payload.
+    pub compaction: Option<CompactionDto>,
 }
 
 impl Response {
@@ -407,6 +495,8 @@ impl Response {
             map_version: None,
             degraded: None,
             missing_shards: None,
+            ingest: None,
+            compaction: None,
         }
     }
 
@@ -532,6 +622,23 @@ pub struct StatsSnapshot {
     /// Read events that left an incomplete frame buffered — slow-loris
     /// and mid-frame chunk boundaries the incremental decoder absorbed.
     pub frames_partial: u64,
+    /// Reviews durably accepted through `IngestReview` (first-time acks;
+    /// duplicates are counted separately).
+    pub ingested: u64,
+    /// `IngestReview` requests acknowledged as duplicates of an already
+    /// accepted sequence id (exactly-once dedup at work).
+    pub ingest_duplicates: u64,
+    /// Bytes currently held in un-truncated WAL segments.
+    pub wal_bytes: u64,
+    /// Incremental tower refreshes published (each drains a batch of WAL
+    /// records into the serving generation without a reload).
+    pub refreshes: u64,
+    /// Compactions committed (WAL folded into a new artifact generation).
+    pub compactions: u64,
+    /// WAL recovery events: torn/corrupt tail records truncated at
+    /// startup. Mid-log corruption is *not* counted here — it fails the
+    /// engine closed instead of being silently skipped.
+    pub wal_recoveries: u64,
 }
 
 /// Encodes a response as one protocol line (no trailing newline).
@@ -668,12 +775,49 @@ mod tests {
 
     #[test]
     fn idempotency_classification_protects_side_effects() {
-        for op in [Op::Predict, Op::Recommend, Op::Explain, Op::Stats, Op::Health, Op::Invalidate] {
+        for op in [
+            Op::Predict,
+            Op::Recommend,
+            Op::Explain,
+            Op::Stats,
+            Op::Health,
+            Op::Invalidate,
+            // Ingest is seq-deduped server-side, so a blind resend is safe —
+            // that is the whole point of the client-supplied sequence id.
+            Op::IngestReview,
+        ] {
             assert!(op.is_idempotent(), "{op:?} must be retryable");
         }
-        for op in [Op::Reload, Op::Crash] {
+        for op in [Op::Reload, Op::Crash, Op::Compact] {
             assert!(!op.is_idempotent(), "{op:?} must never be blindly retried");
         }
+    }
+
+    #[test]
+    fn ingest_request_roundtrips_with_all_operands() {
+        let r = Request::ingest_review(42, 3, 7, 4.0, "solid coffee", 1234).with_id(9);
+        let line = serde_json::to_string(&r).unwrap();
+        assert!(!line.contains('\n'));
+        let back = decode_request(&line).unwrap();
+        assert_eq!(back.op, Op::IngestReview);
+        assert_eq!((back.seq, back.user, back.item), (Some(42), Some(3), Some(7)));
+        assert_eq!(back.rating, Some(4.0));
+        assert_eq!(back.text.as_deref(), Some("solid coffee"));
+        assert_eq!(back.ts, Some(1234));
+        assert_eq!(back.id, Some(9));
+    }
+
+    #[test]
+    fn ingest_and_compaction_payloads_roundtrip() {
+        let mut resp = Response::ok(Some(1));
+        resp.ingest = Some(IngestDto { seq: 17, duplicate: true });
+        let back: Response = serde_json::from_str(&encode_response(&resp)).unwrap();
+        assert_eq!(back.ingest, Some(IngestDto { seq: 17, duplicate: true }));
+
+        let mut resp = Response::ok(Some(2));
+        resp.compaction = Some(CompactionDto { folded: 128, generation: 3 });
+        let back: Response = serde_json::from_str(&encode_response(&resp)).unwrap();
+        assert_eq!(back.compaction, Some(CompactionDto { folded: 128, generation: 3 }));
     }
 
     #[test]

@@ -6,13 +6,14 @@
 # BENCH_serve.json at the repo root.
 #
 # Tunables (env): RATE (req/s, default 200), REQUESTS (default 400),
-# K (Recommend k, default 10).
+# K (Recommend k, default 10), INGEST_COUNT (ingest rows, default 300).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 RATE="${RATE:-200}"
 REQUESTS="${REQUESTS:-400}"
 K="${K:-10}"
+INGEST_COUNT="${INGEST_COUNT:-300}"
 
 cargo build --release --workspace >/dev/null
 
@@ -75,6 +76,41 @@ run_pipelined() { # <conns> <depth> — pipelined burst summary JSON on stdout
   kill "$pid" 2>/dev/null || true
 }
 
+run_ingest() { # <fsync_batch: 0 = per-record, N>1 = batched> — throughput row JSON
+  # Durable streaming-ingest append path in isolation: --refresh-every 0
+  # keeps tower refreshes out of the row, so the records/sec difference
+  # between the two rows is the cost of the per-record fsync promise.
+  local batch="$1"
+  local dir="$WORK/ingest$batch" label="per-record"
+  "$SERVE" demo "$dir" >/dev/null 2>&1
+  local log="$WORK/ingest$batch.log"
+  local flags=(--ingest --refresh-every 0)
+  if [ "$batch" -gt 1 ]; then
+    flags+=(--fsync-batch "$batch")
+    label="batched-$batch"
+  fi
+  "$SERVE" serve "$dir" --addr 127.0.0.1:0 "${flags[@]}" \
+    </dev/null >"$log" 2>&1 &
+  local pid=$!
+  PIDS+=("$pid")
+  local addr
+  addr="$(wait_addr "$log")"
+  local t0 t1
+  t0="$(date +%s%N)"
+  "$SERVE" ingest "$addr" --count "$INGEST_COUNT" --users 8 --items 2 \
+    --timeout-ms 2000 >"$WORK/ingest$batch.out" || return 1
+  t1="$(date +%s%N)"
+  # Every record must be acked fresh — a refused or deduplicated record
+  # would mean the row timed something other than durable appends.
+  grep -q "ingested total=$INGEST_COUNT new=$INGEST_COUNT dup=0 failed=0" \
+    "$WORK/ingest$batch.out" || return 1
+  local elapsed_ms=$(( (t1 - t0) / 1000000 ))
+  [ "$elapsed_ms" -gt 0 ] || elapsed_ms=1
+  kill "$pid" 2>/dev/null || true
+  printf '{"records":%s,"fsync":"%s","elapsed_ms":%s,"records_per_sec":%s}' \
+    "$INGEST_COUNT" "$label" "$elapsed_ms" "$(( INGEST_COUNT * 1000 / elapsed_ms ))"
+}
+
 echo "==> 1-shard baseline" >&2
 one="$(run_config 1)"
 echo "==> 3-shard scatter-gather" >&2
@@ -83,16 +119,22 @@ echo "==> pipelined: 1 conn x 64 in-flight" >&2
 pipe_deep="$(run_pipelined 1 64)"
 echo "==> pipelined: 1000 conns x 1 in-flight" >&2
 pipe_wide="$(run_pipelined 1000 1)"
+echo "==> ingest throughput: fsync per record" >&2
+ingest_strict="$(run_ingest 0)" || { echo "FAIL: per-record ingest row" >&2; exit 1; }
+echo "==> ingest throughput: fsync batched (64)" >&2
+ingest_batched="$(run_ingest 64)" || { echo "FAIL: batched ingest row" >&2; exit 1; }
 
 cat > BENCH_serve.json <<EOF
 {
   "bench": "open-loop Recommend burst (k=$K) at $RATE req/s over the demo artifact (synthetic YelpChi, scale 0.05)",
   "command": "scripts/bench_serve.sh",
-  "note": "fixed arrival schedule; p50/p99 are client-observed end-to-end latencies in ms; the 3-shard run scatter-gathers every request across three single-replica shards on loopback; the pipelined rows drive the event core directly (raw connections, correlation-id matching, no retries) — one deep window and one thousand single-slot connections",
+  "note": "fixed arrival schedule; p50/p99 are client-observed end-to-end latencies in ms; the 3-shard run scatter-gathers every request across three single-replica shards on loopback; the pipelined rows drive the event core directly (raw connections, correlation-id matching, no retries) — one deep window and one thousand single-slot connections; the ingest rows stream $INGEST_COUNT IngestReview records through the WAL append path with tower refresh disabled, so their delta is the cost of the per-record fsync durability promise vs one fsync per 64 records",
   "single_shard": $one,
   "three_shard": $three,
   "pipelined_1x64": $pipe_deep,
-  "pipelined_1000x1": $pipe_wide
+  "pipelined_1000x1": $pipe_wide,
+  "ingest_fsync_per_record": $ingest_strict,
+  "ingest_fsync_batched": $ingest_batched
 }
 EOF
 echo "wrote BENCH_serve.json:"

@@ -252,4 +252,83 @@ if ! echo "$stats" | grep -q '"cross_shard_rejects":0[,}]'; then
   exit 1
 fi
 
+echo "==> durable ingest smoke (ingest, SIGKILL, replay, compaction, fail-closed corruption)"
+# The exactly-once drill from the command line: 12 reviews are acked, the
+# server is SIGKILLed with no chance to flush anything beyond the WAL, and
+# a restarted server must know every acked seq id. The `ingest` verb
+# derives each review deterministically from its seq, so re-running the
+# identical command IS the client retry — zero lost records shows up as
+# dup=12 (a lost ack would re-ingest fresh), zero duplicates shows up in
+# the folded count compaction reports.
+"$SERVE" demo "$SMOKE/imodel" >/dev/null 2>&1
+
+"$SERVE" serve "$SMOKE/imodel" --addr 127.0.0.1:0 --ingest \
+  </dev/null >"$SMOKE/ingest1.log" 2>&1 &
+ING_PID=$!
+SRV_PID+=("$ING_PID")
+ING_ADDR="$(wait_addr "$SMOKE/ingest1.log")"
+"$SERVE" ingest "$ING_ADDR" --count 12 --users 2 --items 2 --timeout-ms 2000 \
+  >"$SMOKE/ingest1.out"
+if ! grep -q "ingested total=12 new=12 dup=0 failed=0" "$SMOKE/ingest1.out"; then
+  echo "    FAIL: first ingest pass did not ack 12 fresh records" >&2
+  sed 's/^/    /' "$SMOKE/ingest1.out" >&2
+  exit 1
+fi
+kill -9 "$ING_PID"
+
+"$SERVE" serve "$SMOKE/imodel" --addr 127.0.0.1:0 --ingest \
+  </dev/null >"$SMOKE/ingest2.log" 2>&1 &
+ING_PID=$!
+SRV_PID+=("$ING_PID")
+ING_ADDR="$(wait_addr "$SMOKE/ingest2.log")"
+"$SERVE" ingest "$ING_ADDR" --count 12 --users 2 --items 2 --timeout-ms 2000 \
+  >"$SMOKE/ingest2.out"
+if ! grep -q "ingested total=12 new=0 dup=12 failed=0" "$SMOKE/ingest2.out"; then
+  echo "    FAIL: post-SIGKILL resend must dedup all 12 acked records (lost or duplicated ingest)" >&2
+  sed 's/^/    /' "$SMOKE/ingest2.out" >&2
+  exit 1
+fi
+echo "    SIGKILL + replay: 12/12 acked records deduplicated on resend"
+
+# Compaction folds exactly the 12 WAL records — not 24 — into a new
+# artifact generation: the replayed duplicates were never applied twice.
+"$SERVE" compact "$ING_ADDR" --timeout-ms 5000 >"$SMOKE/compact.out"
+sed 's/^/    /' "$SMOKE/compact.out"
+if ! grep -q "compacted folded=12 generation=2" "$SMOKE/compact.out"; then
+  echo "    FAIL: compaction must fold exactly the 12 acked records into generation 2" >&2
+  exit 1
+fi
+
+# WAL-corruption fail-closed check: land 3 more records so a WAL segment
+# is live again, SIGKILL, flip one byte inside the first record's payload
+# (offset 10 sits mid-JSON, past the length/CRC header), and the restart
+# must refuse to serve rather than replay records it cannot trust.
+"$SERVE" ingest "$ING_ADDR" --count 3 --seq-start 100 --users 2 --items 2 \
+  --timeout-ms 2000 >"$SMOKE/ingest3.out"
+if ! grep -q "ingested total=3 new=3 dup=0 failed=0" "$SMOKE/ingest3.out"; then
+  echo "    FAIL: post-compaction ingest did not ack 3 fresh records" >&2
+  sed 's/^/    /' "$SMOKE/ingest3.out" >&2
+  exit 1
+fi
+kill -9 "$ING_PID"
+seg="$(ls "$SMOKE/imodel/wal"/seg-*.log 2>/dev/null | head -n 1)"
+if [ -z "$seg" ] || [ ! -s "$seg" ]; then
+  echo "    FAIL: expected a non-empty WAL segment under $SMOKE/imodel/wal" >&2
+  exit 1
+fi
+orig="$(dd if="$seg" bs=1 skip=10 count=1 2>/dev/null | od -An -tu1 | tr -d ' ')"
+printf "$(printf '\\x%02x' $(( (orig + 1) % 256 )))" \
+  | dd of="$seg" bs=1 seek=10 count=1 conv=notrunc 2>/dev/null
+set +e
+timeout 30 "$SERVE" serve "$SMOKE/imodel" --addr 127.0.0.1:0 --ingest \
+  </dev/null >"$SMOKE/ingest-corrupt.log" 2>&1
+corrupt_status=$?
+set -e
+if [ "$corrupt_status" -eq 0 ]; then
+  echo "    FAIL: a corrupt mid-WAL record must refuse to serve (fail closed)" >&2
+  sed 's/^/    /' "$SMOKE/ingest-corrupt.log" >&2
+  exit 1
+fi
+echo "    corrupt WAL record: startup refused (exit $corrupt_status) — fail closed"
+
 echo "==> CI gate passed"
