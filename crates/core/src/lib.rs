@@ -15,6 +15,7 @@
 
 #![warn(missing_docs)]
 
+pub mod adversarial;
 pub mod checkpoint;
 mod config;
 pub mod coverage;
@@ -25,6 +26,10 @@ pub mod parallel;
 mod recommend;
 mod tower;
 
+pub use adversarial::{
+    evaluate_under_attack, fake_detection_ap, fit_on_poisoned, run_robustness_sweep, AttackCell,
+    AttackEvalConfig, RobustnessReport,
+};
 pub use checkpoint::{CheckpointConfig, FitOutcome};
 pub use config::{EncoderMode, LossVariant, Pooling, RrreConfig, Sampling};
 pub use encoder::ReviewEncoder;

@@ -5,11 +5,13 @@
 //! structure those datasets contribute to the paper's experiments — see
 //! DESIGN.md §1 for the substitution argument. Entry point: [`generate`].
 
+mod attack;
 mod behavior;
 mod config;
 mod fraud;
 mod textgen;
 
+pub use attack::{AttackCampaign, AttackFamily, AttackReview, PoisonedDataset};
 pub use behavior::{LatentWorld, LATENT_DIM};
 pub use config::SynthConfig;
 pub use textgen::{Domain, FraudDirection};

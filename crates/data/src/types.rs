@@ -64,7 +64,7 @@ impl Label {
 /// One labelled review — the paper's tuple `t^ui = {u, i, r_ui, l_ui, w_ui}`
 /// plus the publication timestamp used by the time-based sampling strategy
 /// and the behavioural baselines.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Review {
     /// Authoring user.
     pub user: UserId,

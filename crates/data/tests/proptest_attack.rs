@@ -1,0 +1,87 @@
+//! Property-based tests of the attack-campaign generator: the determinism
+//! and isolation invariants the robustness grid's byte-for-byte CI diff
+//! rests on. A campaign must be a pure function of `(family, strength,
+//! seed, base)` — bit-identical when regenerated in a fresh process — and
+//! campaigns with different seeds must never mint colliding review uids.
+
+use proptest::prelude::*;
+use rrre_data::synth::{generate, AttackCampaign, AttackFamily, SynthConfig};
+use rrre_data::Label;
+use std::collections::HashSet;
+
+fn any_family() -> impl Strategy<Value = AttackFamily> {
+    (0usize..AttackFamily::ALL.len()).prop_map(|i| AttackFamily::ALL[i])
+}
+
+fn any_campaign() -> impl Strategy<Value = (AttackFamily, f64, u64)> {
+    (any_family(), 0.05f64..0.6, 0u64..1_000_000)
+}
+
+fn small_base() -> rrre_data::Dataset {
+    generate(&SynthConfig::yelp_chi().scaled(0.03))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Same seed ⇒ bit-identical poisoned corpus, including when the two
+    /// copies are built from independently regenerated base datasets (the
+    /// cross-process scenario: nothing is shared but the config).
+    #[test]
+    fn same_seed_is_bit_identical((family, strength, seed) in any_campaign()) {
+        let campaign = AttackCampaign::new(family, strength, seed);
+        let a = campaign.poison(&small_base());
+        let b = campaign.poison(&small_base());
+        prop_assert_eq!(a.dataset.reviews.len(), b.dataset.reviews.len());
+        prop_assert_eq!(&a.dataset.reviews, &b.dataset.reviews);
+        prop_assert_eq!(&a.injected, &b.injected);
+        prop_assert_eq!(a.sybil_users.clone(), b.sybil_users.clone());
+        // The streaming variant is deterministic too.
+        let s1 = campaign.stream(50, 20, 30);
+        let s2 = campaign.stream(50, 20, 30);
+        prop_assert_eq!(s1, s2);
+    }
+
+    /// Disjoint seeds ⇒ disjoint fake-review uid spaces (and uids are
+    /// unique within one campaign): two concurrently simulated campaigns
+    /// can be merged without id collisions.
+    #[test]
+    fn disjoint_seeds_never_collide(
+        (family, strength, seed_a) in any_campaign(),
+        seed_offset in 1u64..1_000_000,
+    ) {
+        let seed_b = seed_a.wrapping_add(seed_offset);
+        let base = small_base();
+        let a = AttackCampaign::new(family, strength, seed_a).generate(&base);
+        let b = AttackCampaign::new(family, strength, seed_b).generate(&base);
+        let uids_a: HashSet<u64> = a.iter().map(|r| r.uid).collect();
+        let uids_b: HashSet<u64> = b.iter().map(|r| r.uid).collect();
+        prop_assert_eq!(uids_a.len(), a.len(), "uid collision within campaign a");
+        prop_assert_eq!(uids_b.len(), b.len(), "uid collision within campaign b");
+        prop_assert!(uids_a.is_disjoint(&uids_b), "uid collision across seeds");
+    }
+
+    /// Injection bookkeeping: every injected index is ground-truth fake,
+    /// base review indices are stable, and the sybil user range sits
+    /// entirely beyond the base user space.
+    #[test]
+    fn poison_appends_and_labels_consistently((family, strength, seed) in any_campaign()) {
+        let base = small_base();
+        let p = AttackCampaign::new(family, strength, seed).poison(&base);
+        prop_assert_eq!(p.dataset.reviews.len(), base.len() + p.n_injected());
+        for (i, r) in base.reviews.iter().enumerate() {
+            prop_assert_eq!(r, &p.dataset.reviews[i], "base review {} moved", i);
+        }
+        for &i in &p.injected {
+            prop_assert!(i >= base.len());
+            prop_assert_eq!(p.dataset.reviews[i].label, Label::Fake);
+            prop_assert!(p.dataset.reviews[i].user.index() >= base.n_users);
+        }
+        // The training view masks exactly the injected labels, nothing else.
+        let view = p.training_view();
+        for (i, r) in view.reviews.iter().enumerate() {
+            let expect = if p.injected.contains(&i) { Label::Benign } else { p.dataset.reviews[i].label };
+            prop_assert_eq!(r.label, expect);
+        }
+    }
+}

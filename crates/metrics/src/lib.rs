@@ -10,6 +10,7 @@
 pub mod calibration;
 pub mod classify;
 pub mod curves;
+pub mod poisoning;
 pub mod ranking;
 pub mod rmse;
 pub mod stats;
@@ -17,6 +18,7 @@ pub mod stats;
 pub use calibration::{brier_score, calibration_bins, expected_calibration_error, CalibrationBin};
 pub use classify::Confusion;
 pub use curves::{auc_from_curve, pr_curve, roc_curve, PrPoint, RocPoint};
+pub use poisoning::{GridRow, PoisoningDelta, RobustnessGrid};
 pub use ranking::{auc, average_precision, dcg_at_k, ndcg_at_k, precision_at_k};
 pub use rmse::{brmse, mae, rmse};
 pub use stats::{mean_std, paired_t_test, MeanStd, PairedTTest};

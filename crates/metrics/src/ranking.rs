@@ -104,9 +104,12 @@ pub fn ndcg_at_k(scores: &[f32], labels: &[bool], k: usize) -> f64 {
 }
 
 /// Precision@k of a score-induced ranking.
+///
+/// Returns `0.0` for `k == 0` or an empty input (defined instead of the
+/// 0/0 NaN the truncation would otherwise produce).
 pub fn precision_at_k(scores: &[f32], labels: &[bool], k: usize) -> f64 {
     assert_eq!(scores.len(), labels.len(), "precision_at_k: length mismatch");
-    if k == 0 {
+    if k == 0 || scores.is_empty() {
         return 0.0;
     }
     let order = ranked_indices(scores);

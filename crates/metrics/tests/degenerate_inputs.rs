@@ -1,0 +1,127 @@
+//! Degenerate-input contracts for the ranking metrics and curves: one-class
+//! label sets, single examples, and empty inputs must produce *defined*
+//! finite values — never NaN, never a panic. The adversarial-robustness
+//! harness feeds these metrics machine-generated subsets (e.g. "the injected
+//! reviews of a zero-strength campaign"), so the degenerate cases are
+//! reachable in production sweeps, not just in tests.
+
+use rrre_metrics::{
+    auc, auc_from_curve, average_precision, brmse, ndcg_at_k, pr_curve, precision_at_k, rmse,
+    roc_curve,
+};
+
+#[test]
+fn auc_on_one_class_sets_is_defined() {
+    // All positive, all negative, and empty: AUC is undefined statistically;
+    // the contract is a neutral 0.5, not NaN.
+    assert_eq!(auc(&[0.9, 0.8, 0.1], &[true, true, true]), 0.5);
+    assert_eq!(auc(&[0.9, 0.8, 0.1], &[false, false, false]), 0.5);
+    assert_eq!(auc(&[], &[]), 0.5);
+}
+
+#[test]
+fn auc_on_single_examples_is_defined() {
+    assert_eq!(auc(&[0.7], &[true]), 0.5);
+    assert_eq!(auc(&[0.7], &[false]), 0.5);
+    // Smallest informative set: one of each class, correctly ordered.
+    assert_eq!(auc(&[0.9, 0.1], &[true, false]), 1.0);
+    assert_eq!(auc(&[0.1, 0.9], &[true, false]), 0.0);
+    // Tied scores: the midrank correction yields exactly 0.5.
+    assert_eq!(auc(&[0.5, 0.5], &[true, false]), 0.5);
+}
+
+#[test]
+fn average_precision_on_one_class_sets_is_defined() {
+    // No positives → 0.0 by contract (nothing to retrieve).
+    assert_eq!(average_precision(&[0.9, 0.1], &[false, false]), 0.0);
+    assert_eq!(average_precision(&[], &[]), 0.0);
+    // All positives → every prefix has precision 1.
+    assert_eq!(average_precision(&[0.9, 0.5, 0.1], &[true, true, true]), 1.0);
+}
+
+#[test]
+fn average_precision_on_single_examples_is_defined() {
+    assert_eq!(average_precision(&[0.3], &[true]), 1.0);
+    assert_eq!(average_precision(&[0.3], &[false]), 0.0);
+}
+
+#[test]
+fn ndcg_handles_one_class_and_tiny_sets() {
+    let all_pos = ndcg_at_k(&[0.9, 0.1], &[true, true], 2);
+    assert!((all_pos - 1.0).abs() < 1e-12);
+    // No positives: DCG is 0, the paper's IDCG convention is positive → 0.
+    assert_eq!(ndcg_at_k(&[0.9, 0.1], &[false, false], 2), 0.0);
+    assert_eq!(ndcg_at_k(&[0.4], &[true], 1), 1.0);
+    assert_eq!(ndcg_at_k(&[0.4], &[false], 1), 0.0);
+    assert_eq!(ndcg_at_k(&[], &[], 0), 0.0);
+}
+
+#[test]
+fn precision_at_k_handles_edges() {
+    assert_eq!(precision_at_k(&[0.9], &[true], 1), 1.0);
+    assert_eq!(precision_at_k(&[0.9], &[false], 5), 0.0);
+    assert_eq!(precision_at_k(&[], &[], 3), 0.0);
+    assert_eq!(precision_at_k(&[0.9], &[true], 0), 0.0);
+}
+
+#[test]
+fn roc_curve_on_one_class_sets_is_two_finite_endpoints() {
+    for labels in [vec![true, true], vec![false, false]] {
+        let pts = roc_curve(&[0.8, 0.2], &labels);
+        assert_eq!(pts.len(), 2, "degenerate ROC is the (0,0)→(1,1) chord");
+        assert_eq!((pts[0].fpr, pts[0].tpr), (0.0, 0.0));
+        assert_eq!((pts[1].fpr, pts[1].tpr), (1.0, 1.0));
+        for p in &pts {
+            assert!(p.fpr.is_finite() && p.tpr.is_finite());
+        }
+        // The chord integrates to the neutral 0.5, matching `auc`.
+        assert_eq!(auc_from_curve(&pts), 0.5);
+    }
+}
+
+#[test]
+fn roc_curve_on_single_example_is_defined() {
+    let pts = roc_curve(&[0.8], &[true]);
+    assert_eq!(pts.len(), 2);
+    assert!(pts.iter().all(|p| p.fpr.is_finite() && p.tpr.is_finite()));
+}
+
+#[test]
+fn pr_curve_without_positives_is_empty_not_nan() {
+    assert!(pr_curve(&[0.9, 0.1], &[false, false]).is_empty());
+    assert!(pr_curve(&[], &[]).is_empty());
+}
+
+#[test]
+fn pr_curve_on_single_positive_is_one_finite_point() {
+    let pts = pr_curve(&[0.9], &[true]);
+    assert_eq!(pts.len(), 1);
+    assert_eq!((pts[0].recall, pts[0].precision), (1.0, 1.0));
+}
+
+#[test]
+fn rmse_family_handles_empty_and_zero_weight() {
+    assert_eq!(rmse(&[], &[]), 0.0);
+    // brmse with every weight zero (e.g. an all-fake subset) is 0, not NaN.
+    assert_eq!(brmse(&[3.0, 4.0], &[1.0, 5.0], &[0.0, 0.0]), 0.0);
+    let v = brmse(&[3.0], &[4.0], &[1.0]);
+    assert!((v - 1.0).abs() < 1e-6 && v.is_finite());
+}
+
+#[test]
+fn nothing_degenerate_produces_nan() {
+    let cases: [(&[f32], &[bool]); 5] = [
+        (&[], &[]),
+        (&[0.5], &[true]),
+        (&[0.5], &[false]),
+        (&[0.1, 0.2], &[true, true]),
+        (&[0.1, 0.2], &[false, false]),
+    ];
+    for (scores, labels) in cases {
+        assert!(!auc(scores, labels).is_nan());
+        assert!(!average_precision(scores, labels).is_nan());
+        assert!(!ndcg_at_k(scores, labels, scores.len()).is_nan());
+        assert!(!precision_at_k(scores, labels, 1).is_nan());
+        assert!(!auc_from_curve(&roc_curve(scores, labels)).is_nan());
+    }
+}

@@ -7,13 +7,14 @@
 //! rrre-serve query <addr> <json-line>        send one request, resiliently
 //! rrre-serve oneshot <dir> <json-line>       answer one request in-process, no server
 //! rrre-serve burst --replicas a,b,c [...]    drive a request burst through the client
+//! rrre-serve attack-eval [--out FILE] [...]  robustness grid under fraud campaigns
 //! ```
 
 use rrre_client::{
     Client, ClientConfig, ClientError, IngestSequencer, Pipelined, PipelinedClient, ShardedClient,
 };
-use rrre_core::{CheckpointConfig, EpochStats, Rrre, RrreConfig};
-use rrre_data::synth::{generate, SynthConfig};
+use rrre_core::{run_robustness_sweep, AttackEvalConfig, CheckpointConfig, EpochStats, Rrre, RrreConfig};
+use rrre_data::synth::{generate, AttackCampaign, AttackFamily, SynthConfig};
 use rrre_data::{CorpusConfig, Dataset, EncodedCorpus};
 use rrre_serve::protocol::{decode_request, encode_response};
 use rrre_serve::wal::FsyncPolicy;
@@ -92,7 +93,7 @@ USAGE:
 
   rrre-serve ingest (<addr> | --replicas a,b,c | --shard-map FILE)
                     --count N [--seq-start S] [--users N] [--items N]
-                    [CLIENT FLAGS]
+                    [--campaign FAMILY] [--attack-seed N] [CLIENT FLAGS]
       Stream N reviews through the resilient client with the ingest
       sequencer: review k carries seq S+k (default S=0) and a payload
       derived deterministically from its seq, so re-running the same
@@ -100,6 +101,28 @@ USAGE:
       duplicates without re-applying (exactly-once drills). Prints one
       `seq=K duplicate=BOOL` line per ack and a machine-readable summary.
       Exits nonzero if any review failed to ack.
+      --campaign FAMILY (template|ramp|burst|mimicry) replaces the bland
+      seq-derived payloads with a seeded fraud campaign confined to the
+      --users/--items id space (sybils squat the tail of the user range) —
+      the ingest-under-attack drill for the serving tier's cold-start
+      prior and incremental refresh. --attack-seed N (default 0xA77AC4)
+      pins the campaign; payloads stay a pure function of the flags, so
+      replays still dedup.
+
+  rrre-serve attack-eval [--out FILE] [--scale F] [--families a,b,c]
+                         [--strengths x,y,z] [--epochs N] [--threads N]
+                         [--seed N]
+      Train-on-poisoned / evaluate-on-clean robustness sweep: for every
+      attack family × strength cell, inject a seeded fraud campaign into
+      the synthetic YelpChi-like base (default --scale 0.05), re-train the
+      model on the label-poisoned corpus, and evaluate on the clean
+      held-out test set. Emits the Table-IV-style CSV grid (reliability-AP
+      degradation and rating-RMSE poisoning per cell) to stdout and, with
+      --out, to FILE. Families default to all four
+      (template,ramp,burst,mimicry), strengths to 0.1,0.25,0.5, --seed
+      (default 0xA77AC4) pins the campaigns. The sweep is bit-identical
+      per seed at every --threads count; CI diffs the emitted grid against
+      the committed results/adversarial_grid.csv.
 
   rrre-serve compact (<addr> | --replicas a,b,c | --shard-map FILE)
                      [CLIENT FLAGS]
@@ -214,6 +237,7 @@ fn main() -> ExitCode {
         "serve" => cmd_serve(args),
         "shardmap" => cmd_shardmap(args),
         "ingest" => cmd_ingest(args),
+        "attack-eval" => cmd_attack_eval(args),
         "compact" => cmd_compact(args),
         "query" => cmd_query(args),
         "oneshot" => cmd_oneshot(args),
@@ -696,6 +720,75 @@ fn routed_fleet(
     Ok((fleet, args))
 }
 
+/// The train-on-poisoned / evaluate-on-clean robustness sweep. Emits the
+/// Table-IV-style grid CSV; every byte is a pure function of the flags.
+fn cmd_attack_eval(mut args: Vec<String>) -> ExitCode {
+    let out = take_flag(&mut args, "--out");
+    let scale: f64 = parse_flag(take_flag(&mut args, "--scale"), "--scale", 0.05);
+    let epochs: usize = parse_flag(take_flag(&mut args, "--epochs"), "--epochs", 8);
+    let threads: usize =
+        parse_flag(take_flag(&mut args, "--threads"), "--threads", RrreConfig::env_threads().unwrap_or(1));
+    let seed: u64 = parse_flag(take_flag(&mut args, "--seed"), "--seed", 0xA77AC4);
+    let families_arg =
+        take_flag(&mut args, "--families").unwrap_or_else(|| "template,ramp,burst,mimicry".into());
+    let strengths_arg = take_flag(&mut args, "--strengths").unwrap_or_else(|| "0.1,0.25,0.5".into());
+    if !args.is_empty() {
+        return fail(&format!("attack-eval got unrecognised arguments: {args:?}"));
+    }
+    let mut families = Vec::new();
+    for name in families_arg.split(',').filter(|s| !s.is_empty()) {
+        match AttackFamily::parse(name) {
+            Some(f) => families.push(f),
+            None => return die(format!("unknown attack family `{name}`")),
+        }
+    }
+    let mut strengths = Vec::new();
+    for s in strengths_arg.split(',').filter(|s| !s.is_empty()) {
+        match s.parse::<f64>() {
+            Ok(v) if v >= 0.0 => strengths.push(v),
+            _ => return die(format!("bad attack strength `{s}`")),
+        }
+    }
+    if families.is_empty() || strengths.is_empty() {
+        return die("attack-eval needs at least one family and one strength");
+    }
+
+    let mut cfg = AttackEvalConfig::small();
+    cfg.base = SynthConfig::yelp_chi().scaled(scale);
+    cfg.model.epochs = epochs;
+    cfg.model.threads = threads.max(1);
+    cfg.campaign_seed = seed;
+    cfg.families = families;
+    cfg.strengths = strengths;
+
+    let started = Instant::now();
+    let report = run_robustness_sweep(&cfg, |family, strength| {
+        eprintln!("attack-eval: finished {family} @ strength {strength}");
+    });
+    let grid = report.grid();
+    let csv = grid.to_csv();
+    print!("{csv}");
+    if let Some(path) = out {
+        if let Err(e) = std::fs::write(&path, &csv) {
+            return die(format!("cannot write {path}: {e}"));
+        }
+        eprintln!("attack-eval: wrote {path}");
+    }
+    eprintln!(
+        "attack-eval: base={} reviews, clean ap={:.4} rmse={:.4}, {} cells in {:.1}s, monotone families: {}",
+        report.base.len(),
+        report.clean_eval.ap_benign,
+        report.clean_eval.rmse,
+        grid.rows().len(),
+        started.elapsed().as_secs_f64(),
+        {
+            let m = grid.monotone_degradation_families();
+            if m.is_empty() { "none".to_string() } else { m.join(",") }
+        },
+    );
+    ExitCode::SUCCESS
+}
+
 fn cmd_ingest(args: Vec<String>) -> ExitCode {
     let (fleet, mut args) = match routed_fleet("ingest", args) {
         Ok(pair) => pair,
@@ -709,6 +802,9 @@ fn cmd_ingest(args: Vec<String>) -> ExitCode {
     let seq_start: u64 = parse_flag(take_flag(&mut args, "--seq-start"), "--seq-start", 0);
     let users: u64 = parse_flag(take_flag(&mut args, "--users"), "--users", 2);
     let items: u64 = parse_flag(take_flag(&mut args, "--items"), "--items", 2);
+    let campaign_arg = take_flag(&mut args, "--campaign");
+    let attack_seed: u64 =
+        parse_flag(take_flag(&mut args, "--attack-seed"), "--attack-seed", 0xA77AC4);
     if users == 0 || items == 0 {
         fleet.shutdown();
         return fail("ingest needs --users and --items ≥ 1");
@@ -717,21 +813,45 @@ fn cmd_ingest(args: Vec<String>) -> ExitCode {
         fleet.shutdown();
         return fail(&format!("ingest got unrecognised arguments: {args:?}"));
     }
+    // Campaign mode: the payload stream comes from a seeded fraud campaign
+    // confined to the --users/--items id space instead of the bland
+    // seq-derived reviews — still a pure function of the flags, so replays
+    // dedup the same way.
+    let campaign_stream = match campaign_arg {
+        None => None,
+        Some(name) => match AttackFamily::parse(&name) {
+            Some(family) => {
+                let campaign = AttackCampaign::new(family, 0.0, attack_seed);
+                Some(campaign.stream(users as usize, items as usize, count as usize))
+            }
+            None => {
+                fleet.shutdown();
+                return die(format!("unknown attack family `{name}`"));
+            }
+        },
+    };
 
-    // Every field below is a pure function of the seq, so re-running the
-    // same command line replays byte-identical reviews — the durable unit
-    // the server's dedup needs for exactly-once drills.
+    // Every field below is a pure function of the seq (or of the seeded
+    // campaign), so re-running the same command line replays byte-identical
+    // reviews — the durable unit the server's dedup needs for exactly-once
+    // drills.
     let sequencer = IngestSequencer::starting_at(seq_start);
     let (mut fresh, mut dup, mut failed) = (0u64, 0u64, 0u64);
-    for _ in 0..count {
+    for k in 0..count {
         let seq = sequencer.next_seq();
-        let req = sequencer.review(
-            (seq % users) as u32,
-            (seq % items) as u32,
-            1.0 + (seq % 5) as f32,
-            format!("review {seq}"),
-            seq as i64,
-        );
+        let req = match &campaign_stream {
+            Some(stream) => {
+                let r = &stream[k as usize];
+                sequencer.review(r.user.0, r.item.0, r.rating, r.text.clone(), r.timestamp)
+            }
+            None => sequencer.review(
+                (seq % users) as u32,
+                (seq % items) as u32,
+                1.0 + (seq % 5) as f32,
+                format!("review {seq}"),
+                seq as i64,
+            ),
+        };
         match fleet.request(req) {
             Ok(resp) if resp.ok => match resp.ingest {
                 Some(ack) => {

@@ -511,6 +511,84 @@ fn seeded_kill_loop_applies_every_acked_review_exactly_once() {
     engine.shutdown();
 }
 
+/// The ingest-under-attack drill: a seeded burst campaign arrives through
+/// the ordinary `IngestReview` stream. The durability contract must not
+/// care that the traffic is hostile — every acked fake applies exactly
+/// once, resends dedup, a restart replays bit-identically — and the
+/// cold-start prior must pin the reliability served for the attack's
+/// thin-history pairs to the calibrated base rate, so a fresh burst cannot
+/// talk the serving tier into extra trust.
+#[test]
+fn burst_campaign_through_ingest_dedups_and_cold_start_bounds_its_reliability() {
+    use rrre_data::synth::{AttackCampaign, AttackFamily};
+
+    let (dir, fx) = saved_fixture("ingest-attack");
+    let (n_users, n_items) = (fx.dataset.n_users, fx.dataset.n_items);
+    let base = fx.dataset.len();
+
+    let campaign = AttackCampaign::new(AttackFamily::Burst, 0.0, 0xB1A5);
+    let burst = campaign.stream(n_users, n_items, 8);
+    assert_eq!(burst.len(), 8);
+    let ingest = |engine: &Engine, seq: u64, expect_dup: bool| {
+        let r = &burst[seq as usize];
+        let resp = engine.submit(Request::ingest_review(
+            seq,
+            r.user.0,
+            r.item.0,
+            r.rating,
+            r.text.clone(),
+            r.timestamp,
+        ));
+        assert!(resp.ok, "burst seq {seq} failed: {:?}", resp.error);
+        let ack = resp.ingest.expect("ok IngestReview carries an ingest ack");
+        assert_eq!(ack.duplicate, expect_dup, "burst seq {seq}");
+    };
+
+    let engine = open(dir.path(), ingest_cfg());
+    for seq in 0..burst.len() as u64 {
+        ingest(&engine, seq, false);
+    }
+    assert_eq!(served_reviews(&engine), base + burst.len(), "each fake folds in once");
+    // The attacker's client retries the whole burst (lost acks): every
+    // resend must dedup without growing the dataset or forcing a refresh.
+    let refreshes_before = engine.stats().refreshes;
+    for seq in 0..burst.len() as u64 {
+        ingest(&engine, seq, true);
+    }
+    assert_eq!(served_reviews(&engine), base + burst.len(), "resends must not re-apply");
+    assert_eq!(engine.stats().refreshes, refreshes_before, "duplicates must not refresh");
+    let before_crash = probe(&engine);
+    drop(engine); // crash with the burst only in the WAL
+
+    let engine = open(dir.path(), ingest_cfg());
+    assert_eq!(served_reviews(&engine), base + burst.len(), "replay holds the burst once");
+    assert_eq!(probe(&engine), before_crash, "replayed towers are bit-identical");
+    engine.shutdown();
+
+    // Cold-start gate over the attack's own pairs: with the evidence
+    // threshold above the sybils' thin histories, every pair the campaign
+    // touched answers exactly the calibrated base-rate reliability. The
+    // engine recalibrates the prior against the dataset it serves — the
+    // base plus the replayed burst — so the drill reads the rate back from
+    // the serving generation.
+    let engine = open(
+        dir.path(),
+        IngestConfig { cold_start_min: usize::MAX / 2, ..ingest_cfg() },
+    );
+    let prior = (1.0 - engine.generation().artifact.dataset.fake_fraction()) as f32;
+    for r in &burst {
+        let resp = engine.submit(Request::predict(r.user.0, r.item.0));
+        assert!(resp.ok, "predict on attack pair failed: {:?}", resp.error);
+        let pred = resp.prediction.expect("ok predict carries a prediction");
+        assert_eq!(
+            pred.reliability, prior,
+            "attack pair ({},{}) must be pinned to the prior",
+            r.user.0, r.item.0
+        );
+    }
+    engine.shutdown();
+}
+
 /// How many reviews the on-disk artifact (manifest) already folds, beyond
 /// the training base — the kill-loop uses it to predict a compaction's
 /// fold count.

@@ -9,7 +9,7 @@
 //! methods rather than inventing a new ad-hoc setup.
 
 use rrre_core::{EpochStats, Rrre, RrreConfig};
-use rrre_data::synth::{generate, SynthConfig};
+use rrre_data::synth::{generate, AttackCampaign, AttackFamily, PoisonedDataset, SynthConfig};
 use rrre_data::{CorpusConfig, Dataset, EncodedCorpus};
 use rrre_text::word2vec::Word2VecConfig;
 use std::path::{Path, PathBuf};
@@ -116,6 +116,15 @@ impl FixtureSpec {
         let corpus = EncodedCorpus::build(&ds, &self.corpus_config());
         (ds, corpus)
     }
+
+    /// A seeded attack campaign against this spec's dataset. The campaign
+    /// seed derives from the master seed, so a campaign fixture is exactly
+    /// as pinned (and as reproducible across processes) as the data it
+    /// poisons; its text domain matches the synthetic preset's.
+    pub fn campaign(&self, family: AttackFamily, strength: f64) -> AttackCampaign {
+        AttackCampaign::new(family, strength, self.seed ^ 0xA77AC4)
+            .with_domain(self.synth_config().domain)
+    }
 }
 
 /// Builds the spec's corpus pipeline over a *custom* dataset — for tests
@@ -146,6 +155,51 @@ impl Fixture {
     pub fn min_count(&self) -> u64 {
         self.spec.min_count
     }
+}
+
+/// A campaign-poisoned fixture: a clean [`Fixture`] plus the poisoned
+/// dataset and a corpus extended with the injected documents under the
+/// clean fixture's *frozen* vocabulary — the same pinned encoding the
+/// robustness sweep and the streaming-ingest path use, so tests exercise
+/// the deployment-shaped corpus, not a retrained one.
+pub struct PoisonedFixture {
+    /// The clean trained fixture the campaign attacked.
+    pub clean: Fixture,
+    /// The campaign's label-poisoned dataset and injection bookkeeping.
+    pub poisoned: PoisonedDataset,
+    /// The clean corpus with every injected text appended as a document.
+    pub corpus: EncodedCorpus,
+}
+
+impl PoisonedFixture {
+    /// Training indices of the poisoned fit: the clean train set plus
+    /// every injected review.
+    pub fn poisoned_train(&self) -> Vec<usize> {
+        let mut train = self.clean.train.clone();
+        train.extend_from_slice(&self.poisoned.injected);
+        train
+    }
+}
+
+/// Builds the standard small fixture and runs `family` at `strength`
+/// against it ([`FixtureSpec::campaign`] seeds the campaign).
+pub fn poisoned_fixture(family: AttackFamily, strength: f64) -> PoisonedFixture {
+    poisoned_fixture_with(FixtureSpec::small(), family, strength)
+}
+
+/// Builds a campaign-poisoned fixture from an explicit spec.
+pub fn poisoned_fixture_with(
+    spec: FixtureSpec,
+    family: AttackFamily,
+    strength: f64,
+) -> PoisonedFixture {
+    let clean = trained_fixture_with(spec);
+    let poisoned = spec.campaign(family, strength).poison(&clean.dataset);
+    let mut corpus = clean.corpus.clone();
+    for &i in &poisoned.injected {
+        corpus.append_doc(&poisoned.dataset.reviews[i].text);
+    }
+    PoisonedFixture { clean, poisoned, corpus }
 }
 
 /// Trains the standard small fixture ([`FixtureSpec::small`]).
@@ -233,6 +287,20 @@ mod tests {
         let rb = &b.dataset.reviews[0];
         let pb = b.model.predict(&b.corpus, rb.user, rb.item);
         assert!(pa.rating != pb.rating || pa.reliability != pb.reliability);
+    }
+
+    #[test]
+    fn poisoned_fixture_is_pinned_and_bookkept() {
+        let spec = FixtureSpec::micro().with_epochs(1);
+        let a = poisoned_fixture_with(spec, AttackFamily::Burst, 0.2);
+        let b = poisoned_fixture_with(spec, AttackFamily::Burst, 0.2);
+        assert!(a.poisoned.n_injected() > 0);
+        assert_eq!(a.poisoned.injected, b.poisoned.injected);
+        assert_eq!(a.poisoned.dataset.reviews, b.poisoned.dataset.reviews);
+        // Corpus extension: one appended doc per injected review, and the
+        // clean prefix is untouched.
+        assert_eq!(a.corpus.docs.len(), a.clean.corpus.docs.len() + a.poisoned.n_injected());
+        assert_eq!(a.poisoned_train().len(), a.clean.train.len() + a.poisoned.n_injected());
     }
 
     #[test]

@@ -44,7 +44,10 @@ pub mod sync;
 pub mod topology;
 
 pub use chaos::{ChaosConfig, ChaosProxy, ChaosStats, Fault};
-pub use fixtures::{corpus_for, trained_fixture, trained_fixture_with, Fixture, FixtureSpec, TempDir};
+pub use fixtures::{
+    corpus_for, poisoned_fixture, poisoned_fixture_with, trained_fixture, trained_fixture_with,
+    Fixture, FixtureSpec, PoisonedFixture, TempDir,
+};
 pub use golden::{check_golden, compare, GoldenTolerance, GoldenTrace};
 pub use parity::{assert_model_parity, assert_serve_parity, deterministic_pairs};
 pub use topology::ShardedDeployment;

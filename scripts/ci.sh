@@ -233,7 +233,7 @@ if grep -q " degraded=0 " "$SMOKE/sburst.log"; then
   exit 1
 fi
 for shard in 0 2; do
-  if grep "^shard $shard " "$SMOKE/sburst.log" | grep -vq "failures=0"; then
+  if grep "^shard $shard replica " "$SMOKE/sburst.log" | grep -vq "failures=0"; then
     echo "    FAIL: unaffected shard $shard saw request failures" >&2
     exit 1
   fi
@@ -330,5 +330,44 @@ if [ "$corrupt_status" -eq 0 ]; then
   exit 1
 fi
 echo "    corrupt WAL record: startup refused (exit $corrupt_status) — fail closed"
+
+echo "==> adversarial robustness grid (regenerate + byte-diff vs committed artifact)"
+# The committed Table-IV-style grid must regenerate bit-identically from
+# its fixed seeds: any drift means the sweep is no longer a pure function
+# of its config (or someone forgot to re-commit the artifact).
+"$SERVE" attack-eval --out "$SMOKE/adversarial_grid.csv" \
+  >/dev/null 2>"$SMOKE/attack_eval.err"
+if ! cmp -s "$SMOKE/adversarial_grid.csv" results/adversarial_grid.csv; then
+  echo "    FAIL: regenerated grid differs from committed results/adversarial_grid.csv" >&2
+  diff results/adversarial_grid.csv "$SMOKE/adversarial_grid.csv" | head -n 20 >&2
+  exit 1
+fi
+echo "    results/adversarial_grid.csv reproduced byte-for-byte"
+
+# Schema gate over a quick 2-family x 2-strength sweep: the header must
+# match the committed artifact's and every cell must emit exactly one
+# complete row — column drift or missing cells fail the gate.
+"$SERVE" attack-eval --families template,mimicry --strengths 0.1,0.3 \
+  --out "$SMOKE/attack_quick.csv" >/dev/null 2>&1
+header="$(head -n 1 results/adversarial_grid.csv)"
+quick_header="$(head -n 1 "$SMOKE/attack_quick.csv")"
+if [ "$quick_header" != "$header" ]; then
+  echo "    FAIL: grid schema drift" >&2
+  echo "      committed: $header" >&2
+  echo "      sweep:     $quick_header" >&2
+  exit 1
+fi
+quick_rows="$(tail -n +2 "$SMOKE/attack_quick.csv" | wc -l)"
+if [ "$quick_rows" -ne 4 ]; then
+  echo "    FAIL: 2x2 sweep emitted $quick_rows rows, expected 4" >&2
+  exit 1
+fi
+n_cols="$(echo "$header" | tr ',' '\n' | wc -l)"
+bad_rows="$(tail -n +2 "$SMOKE/attack_quick.csv" | awk -F',' -v n="$n_cols" 'NF != n' | wc -l)"
+if [ "$bad_rows" -ne 0 ]; then
+  echo "    FAIL: $bad_rows sweep rows have the wrong column count" >&2
+  exit 1
+fi
+echo "    2x2 quick sweep: header + shape match the committed schema"
 
 echo "==> CI gate passed"

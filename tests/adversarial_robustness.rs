@@ -1,0 +1,85 @@
+//! The adversarial-robustness oracle: the end-to-end contract behind the
+//! committed `results/adversarial_grid.csv` artifact.
+//!
+//! Three guarantees, end to end across `rrre-data` (campaign generator),
+//! `rrre-core` (poisoned fit + sweep) and `rrre-metrics` (grid assembly):
+//!
+//! * the sweep is a pure function of its config — two runs emit identical
+//!   CSV bytes;
+//! * the grid has the committed schema — header and one row per
+//!   family × strength cell, every numeric field finite;
+//! * the committed default sweep shows the paper-style dose response: at
+//!   least one attack family's reliability-AP degradation grows
+//!   monotonically with attack strength, and the committed artifact is
+//!   exactly what the default config regenerates.
+
+use rrre::core::{run_robustness_sweep, AttackEvalConfig};
+use rrre::data::synth::AttackFamily;
+use rrre::metrics::RobustnessGrid;
+
+/// A two-cell sweep that keeps the determinism/schema oracles fast.
+fn quick_cfg() -> AttackEvalConfig {
+    AttackEvalConfig {
+        families: vec![AttackFamily::Burst, AttackFamily::Mimicry],
+        strengths: vec![0.1, 0.4],
+        ..AttackEvalConfig::small()
+    }
+}
+
+#[test]
+fn sweep_csv_is_bit_identical_across_runs() {
+    let cfg = quick_cfg();
+    let a = run_robustness_sweep(&cfg, |_, _| {}).grid().to_csv();
+    let b = run_robustness_sweep(&cfg, |_, _| {}).grid().to_csv();
+    assert_eq!(a, b, "the robustness sweep must be a pure function of its config");
+}
+
+#[test]
+fn grid_has_the_committed_schema_and_finite_cells() {
+    let cfg = quick_cfg();
+    let report = run_robustness_sweep(&cfg, |_, _| {});
+    let grid = report.grid();
+    let csv = grid.to_csv();
+    let mut lines = csv.lines();
+    assert_eq!(lines.next(), Some(RobustnessGrid::CSV_HEADER));
+    let rows: Vec<&str> = lines.collect();
+    assert_eq!(rows.len(), cfg.families.len() * cfg.strengths.len());
+    let n_cols = RobustnessGrid::CSV_HEADER.split(',').count();
+    for row in rows {
+        let cols: Vec<&str> = row.split(',').collect();
+        assert_eq!(cols.len(), n_cols, "row `{row}` drifts from the schema");
+        assert!(AttackFamily::parse(cols[0]).is_some(), "unknown family `{}`", cols[0]);
+        for v in &cols[1..] {
+            let x: f64 = v.parse().expect("numeric cell");
+            assert!(x.is_finite(), "non-finite cell `{v}` in `{row}`");
+        }
+    }
+    // Cell bookkeeping: injected counts scale with strength within a family.
+    for pair in report.cells.chunks(2) {
+        assert!(pair[0].n_injected < pair[1].n_injected);
+    }
+}
+
+#[test]
+fn default_sweep_reproduces_the_committed_artifact_with_a_monotone_family() {
+    let cfg = AttackEvalConfig::small();
+    let grid = run_robustness_sweep(&cfg, |_, _| {}).grid();
+
+    let monotone = grid.monotone_degradation_families();
+    assert!(
+        !monotone.is_empty(),
+        "at least one family must show monotone AP degradation with strength; grid:\n{}",
+        grid.to_csv()
+    );
+
+    let committed_path =
+        concat!(env!("CARGO_MANIFEST_DIR"), "/results/adversarial_grid.csv");
+    let committed = std::fs::read_to_string(committed_path)
+        .expect("results/adversarial_grid.csv must be committed");
+    assert_eq!(
+        grid.to_csv(),
+        committed,
+        "the default sweep must regenerate results/adversarial_grid.csv byte for byte \
+         (regenerate with `rrre-serve attack-eval --out results/adversarial_grid.csv`)"
+    );
+}
