@@ -15,6 +15,11 @@
 //!   only when the failure proves the request never reached a server
 //!   (connect failure, or a structured `Overloaded`/`Unavailable`
 //!   refusal);
+//! * **leader redirect** — a `NotLeader` refusal from a replicated shard
+//!   proves the request was never applied, so it is always retried; when
+//!   the refusal carries the current leader's address and that address is
+//!   one of this client's replicas, the next attempt is steered straight
+//!   at it instead of round-robining through followers;
 //! * **hedging** — when an idempotent attempt is slower than
 //!   [`ClientConfig::hedge_after`], a second copy of the request (same
 //!   correlation id) is fired at another replica and the first successful
@@ -308,6 +313,10 @@ impl Client {
         let mut backoff = DecorrelatedJitter::new(cfg.backoff_base, cfg.backoff_cap);
         let mut last_err: Option<ClientError> = None;
         let mut last_idx: Option<usize> = None;
+        // Follow-the-leader: a `NotLeader` refusal that names a replica we
+        // already know steers the next attempt straight at it instead of
+        // round-robining through followers that will refuse the same way.
+        let mut steer: Option<usize> = None;
         let budget = cfg.retries + 1;
         // Finer than this and the server would see a 0ms deadline, which
         // is expired by definition — not worth an attempt.
@@ -337,7 +346,8 @@ impl Client {
                 }
                 None => cfg.request_timeout,
             };
-            let Some(idx) = shared.pick(last_idx) else {
+            let picked = steer.take().or_else(|| shared.pick(last_idx));
+            let Some(idx) = picked else {
                 let mut e = ClientError::new(
                     ErrorClass::NoReplica,
                     "every replica is unavailable (breaker open or probed not-ready)",
@@ -358,6 +368,11 @@ impl Client {
                         // A structured shed proves the request was never
                         // executed: safe to resend whatever the op.
                         Some(ErrorKind::Overloaded) | Some(ErrorKind::Unavailable) => true,
+                        // A replica refusing leadership also proves
+                        // non-execution; the retry re-routes (steered at
+                        // the advertised leader when the hint names a
+                        // replica in this set, plain failover otherwise).
+                        Some(ErrorKind::NotLeader) => true,
                         // Executed-and-failed or expired-in-queue: only
                         // side-effect-free ops may go around again.
                         Some(ErrorKind::Internal) | Some(ErrorKind::DeadlineExceeded) => idempotent,
@@ -365,6 +380,12 @@ impl Client {
                     };
                     if resp.ok || !retryable {
                         return Ok(resp);
+                    }
+                    if resp.kind == Some(ErrorKind::NotLeader) {
+                        steer = resp
+                            .leader
+                            .as_deref()
+                            .and_then(|hint| shared.replicas.iter().position(|r| r.addr == hint));
                     }
                     let mut e = ClientError::new(
                         ErrorClass::Server(resp.kind.expect("retryable implies kind")),
@@ -881,6 +902,48 @@ mod tests {
         let resp = client.request(Request::predict(0, 0)).unwrap();
         assert!(resp.ok);
         assert_eq!(client.snapshot().retries, 1);
+    }
+
+    #[test]
+    fn not_leader_refusal_steers_the_retry_at_the_hinted_leader() {
+        // Two followers that refuse with a redirect hint, one leader. The
+        // first attempt lands on follower 0 (round-robin starts there); the
+        // retry must jump straight to the hinted leader, skipping follower 1
+        // entirely — plain failover would have tried it next.
+        let leader = mock_server(|req| Some(Response::ok(req.id)));
+        let hint = leader.clone();
+        let f0 = mock_server(move |req| Some(Response::not_leader(req.id, Some(hint.clone()))));
+        let hint = leader.clone();
+        let f1 = mock_server(move |req| Some(Response::not_leader(req.id, Some(hint.clone()))));
+        let client = Client::new(vec![f0, f1, leader], quick_cfg());
+        // IngestReview is the op NotLeader exists for; the refusal proves
+        // non-execution, so even a side-effecting op may retry through it.
+        let resp = client.request(Request::ingest_review(1, 0, 0, 5.0, "good", 0)).unwrap();
+        assert!(resp.ok);
+        let snap = client.snapshot();
+        assert_eq!(snap.replicas[0].attempts, 1, "first attempt hits follower 0");
+        assert_eq!(snap.replicas[1].attempts, 0, "redirect must skip the other follower");
+        assert_eq!(snap.replicas[2].attempts, 1, "retry goes straight to the leader");
+        assert_eq!(snap.retries, 1);
+    }
+
+    #[test]
+    fn hintless_not_leader_falls_back_to_plain_failover() {
+        let follower = mock_server(|req| Some(Response::not_leader(req.id, None)));
+        let leader = mock_server(|req| Some(Response::ok(req.id)));
+        let client = Client::new(vec![follower, leader], quick_cfg());
+        let resp = client.request(Request::ingest_review(1, 0, 0, 5.0, "good", 0)).unwrap();
+        assert!(resp.ok, "failover must still find the leader without a hint");
+        assert_eq!(client.snapshot().retries, 1);
+    }
+
+    #[test]
+    fn not_leader_everywhere_exhausts_the_budget_and_surfaces_the_kind() {
+        let addr = mock_server(|req| Some(Response::not_leader(req.id, None)));
+        let client = Client::new(vec![addr], quick_cfg());
+        let err = client.request(Request::ingest_review(1, 0, 0, 5.0, "good", 0)).unwrap_err();
+        assert_eq!(err.kind, ErrorClass::Server(ErrorKind::NotLeader));
+        assert_eq!(err.attempts, 3, "retries=2 means 3 attempts");
     }
 
     #[test]

@@ -1,0 +1,112 @@
+//! Ingest routing resilience: `IngestReview` through the sharded client
+//! must survive replica failure exactly like a query — the op is
+//! seq-deduplicated server-side, so the client is free to fail over — and
+//! must follow `NotLeader` redirects to a replicated shard's leader.
+
+use rrre_client::{ClientConfig, ShardedClient};
+use rrre_shard::ShardTopology;
+use rrre_wire::{encode_response, IngestDto, Request, Response, ShardSpec};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpListener;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A scripted protocol server (one thread per connection); returns its
+/// bound address. `None` from `respond` drops the connection mid-request.
+fn mock_server(respond: impl Fn(&Request) -> Option<Response> + Send + Sync + 'static) -> String {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let respond = Arc::new(respond);
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(stream) = stream else { break };
+            let respond = Arc::clone(&respond);
+            std::thread::spawn(move || {
+                let mut writer = stream.try_clone().unwrap();
+                let reader = BufReader::new(stream);
+                for line in reader.lines() {
+                    let Ok(line) = line else { break };
+                    let req = rrre_wire::decode_request(&line).unwrap();
+                    match respond(&req) {
+                        Some(resp) => {
+                            let out = encode_response(&resp);
+                            if writer.write_all(out.as_bytes()).is_err()
+                                || writer.write_all(b"\n").is_err()
+                            {
+                                break;
+                            }
+                        }
+                        None => break,
+                    }
+                }
+            });
+        }
+    });
+    addr
+}
+
+/// An address with nothing listening behind it.
+fn dead_addr() -> String {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    listener.local_addr().unwrap().to_string()
+}
+
+fn ack(req: &Request) -> Option<Response> {
+    let mut resp = Response::ok(req.id);
+    resp.ingest = Some(IngestDto { seq: req.seq.unwrap_or(0), duplicate: false });
+    Some(resp)
+}
+
+fn quick_cfg() -> ClientConfig {
+    ClientConfig {
+        connect_timeout: Duration::from_millis(200),
+        request_timeout: Duration::from_millis(500),
+        backoff_base: Duration::from_millis(1),
+        backoff_cap: Duration::from_millis(5),
+        retries: 2,
+        ..ClientConfig::default()
+    }
+}
+
+fn one_shard(replicas: Vec<String>) -> ShardTopology {
+    ShardTopology { spec: ShardSpec::single(), replicas: vec![replicas] }
+}
+
+#[test]
+fn sharded_ingest_fails_over_a_dead_first_replica() {
+    // The shard's first replica is down; the batch must land on the
+    // second, exactly as a Predict would, with zero caller-visible
+    // failures.
+    let live = mock_server(ack);
+    let topo = one_shard(vec![dead_addr(), live]);
+    let client = ShardedClient::new(topo, quick_cfg()).unwrap();
+    for seq in 1..=5u64 {
+        let resp = client
+            .request(Request::ingest_review(seq, 0, 0, 4.0, "failover batch", seq as i64))
+            .unwrap_or_else(|e| panic!("seq {seq} must fail over, not fail: {e}"));
+        assert!(resp.ok, "seq {seq} refused: {:?}", resp.error);
+        assert_eq!(resp.ingest.as_ref().map(|i| i.seq), Some(seq));
+    }
+    let snap = client.snapshot();
+    assert!(snap.shards[0].replicas[1].attempts >= 5, "live replica must carry the batch");
+    assert!(
+        snap.shards[0].replicas[0].failures >= 1,
+        "the dead replica should have been tried and recorded as failing"
+    );
+}
+
+#[test]
+fn sharded_ingest_follows_the_leader_redirect() {
+    // A replicated shard where replica 0 is a follower: its NotLeader
+    // refusal names the leader, and the retry must land there.
+    let leader = mock_server(ack);
+    let hint = leader.clone();
+    let follower = mock_server(move |req| Some(Response::not_leader(req.id, Some(hint.clone()))));
+    let topo = one_shard(vec![follower, leader]);
+    let client = ShardedClient::new(topo, quick_cfg()).unwrap();
+    let resp = client.request(Request::ingest_review(9, 0, 0, 4.0, "redirected", 9)).unwrap();
+    assert!(resp.ok, "redirected ingest refused: {:?}", resp.error);
+    assert_eq!(resp.ingest.as_ref().map(|i| i.seq), Some(9));
+    let snap = client.snapshot();
+    assert_eq!(snap.shards[0].replicas[1].attempts, 1, "one steered attempt at the leader");
+}

@@ -18,7 +18,10 @@ use rrre_data::synth::{generate, AttackCampaign, AttackFamily, SynthConfig};
 use rrre_data::{CorpusConfig, Dataset, EncodedCorpus};
 use rrre_serve::protocol::{decode_request, encode_response};
 use rrre_serve::wal::FsyncPolicy;
-use rrre_serve::{Engine, EngineConfig, IngestConfig, ModelArtifact, Server, ServerConfig};
+use rrre_serve::{
+    AckLevel, Engine, EngineConfig, IngestConfig, ModelArtifact, ReplRole, ReplicationConfig,
+    Server, ServerConfig,
+};
 use rrre_shard::ShardTopology;
 use rrre_text::word2vec::Word2VecConfig;
 use rrre_wire::{Request, Response, ShardSpec};
@@ -59,6 +62,9 @@ USAGE:
                          [--write-buf-kb N] [--ingest] [--segment-kb N]
                          [--fsync-batch N] [--refresh-every N]
                          [--cold-start-min N]
+                         [--followers a,b | --replicate-from ADDR]
+                         [--ack leader|quorum] [--epoch N]
+                         [--quorum-timeout-ms N]
       Load the artifact in <dir> and serve newline-delimited JSON over TCP
       (default --addr 127.0.0.1:7878). One epoll event loop multiplexes
       every connection; requests pipeline per connection up to
@@ -80,6 +86,18 @@ USAGE:
       durable). --segment-kb sets WAL rotation (default 4096).
       --cold-start-min N answers thin pairs (either side under N reviews)
       with a calibrated reliability prior instead of the head score.
+      Replication (needs --ingest): --followers a,b starts this replica as
+      the shard's ingest leader, shipping its WAL to the listed follower
+      addresses; --replicate-from ADDR starts it as a follower of ADDR
+      (refuses client ingest with NotLeader, applies Replicate shipments,
+      pulls catch-up ranges after restart). --ack quorum (the default when
+      replicating) releases each ingest ack only once a majority of the
+      replica set holds the record durably; --ack leader keeps single-copy
+      acks. --epoch N (default 1) sets the leader's starting term — a
+      higher persisted term from a previous incarnation always wins — and
+      --quorum-timeout-ms (default 5000) bounds how long an ack may wait
+      for quorum before refusing Unavailable (retry-safe: the record stays
+      durable on the leader and the retry dedups).
       Stdin verbs: `quit` stops the server gracefully, `reload` hot-swaps
       the artifact from <dir>, `compact` folds the WAL now, `stats` prints
       the counters, `health` prints liveness/readiness. On stdin EOF
@@ -128,6 +146,12 @@ USAGE:
                      [CLIENT FLAGS]
       Fold the WAL into a new artifact generation on every shard
       (broadcast) and print what was folded.
+
+  rrre-serve promote <addr> --epoch N [--peers a,b] [CLIENT FLAGS]
+      Install the replica at <addr> as its shard's ingest leader under
+      term N (which must exceed its current term), shipping to the
+      --peers follower addresses. The new term fences the old leader:
+      its Replicate/IngestReview traffic is refused with StaleEpoch.
 
   rrre-serve query <addr> <json-line> [CLIENT FLAGS]
   rrre-serve query --replicas a,b,c <json-line> [CLIENT FLAGS]
@@ -239,6 +263,7 @@ fn main() -> ExitCode {
         "ingest" => cmd_ingest(args),
         "attack-eval" => cmd_attack_eval(args),
         "compact" => cmd_compact(args),
+        "promote" => cmd_promote(args),
         "query" => cmd_query(args),
         "oneshot" => cmd_oneshot(args),
         "burst" => cmd_burst(args),
@@ -408,6 +433,46 @@ fn cmd_serve(mut args: Vec<String>) -> ExitCode {
         "--cold-start-min",
         ingest_cfg.cold_start_min,
     );
+    let followers = take_flag(&mut args, "--followers").map(|s| {
+        s.split(',').map(|x| x.trim().to_string()).filter(|x| !x.is_empty()).collect::<Vec<_>>()
+    });
+    let replicate_from = take_flag(&mut args, "--replicate-from");
+    let ack_flag = take_flag(&mut args, "--ack");
+    let epoch: u64 = parse_flag(take_flag(&mut args, "--epoch"), "--epoch", 1);
+    let quorum_timeout_ms: u64 =
+        parse_flag(take_flag(&mut args, "--quorum-timeout-ms"), "--quorum-timeout-ms", 5000);
+    if followers.is_some() && replicate_from.is_some() {
+        return fail("--followers and --replicate-from are mutually exclusive");
+    }
+    let repl_cfg = match (followers, replicate_from) {
+        (None, None) => {
+            if ack_flag.is_some() {
+                return fail("--ack needs replication (--followers or --replicate-from)");
+            }
+            None
+        }
+        (followers, leader) => {
+            if !ingest_on {
+                return fail("replication (--followers/--replicate-from) needs --ingest");
+            }
+            let ack = match ack_flag.as_deref() {
+                None | Some("quorum") => AckLevel::Quorum,
+                Some("leader") => AckLevel::Leader,
+                Some(other) => return fail(&format!("--ack got `{other}`, want leader|quorum")),
+            };
+            let role = match followers {
+                Some(followers) => ReplRole::Leader { followers, epoch },
+                None => ReplRole::Follower { leader },
+            };
+            Some(ReplicationConfig {
+                role,
+                ack,
+                quorum_timeout: Duration::from_millis(quorum_timeout_ms),
+                self_addr: Some(addr.clone()),
+                ..ReplicationConfig::default()
+            })
+        }
+    };
     let [dir] = args.as_slice() else {
         return fail("serve needs exactly one <dir>");
     };
@@ -428,7 +493,12 @@ fn cmd_serve(mut args: Vec<String>) -> ExitCode {
         }
     }
     eprintln!("loading artifact from {dir}...");
-    let engine = if ingest_on {
+    let engine = if let Some(repl) = repl_cfg {
+        match Engine::open_replicated(dir, cfg, ingest_cfg, repl) {
+            Ok(e) => Arc::new(e),
+            Err(e) => return die(format!("failed to open artifact `{dir}` replicated: {e}")),
+        }
+    } else if ingest_on {
         match Engine::open_with_ingest(dir, cfg, ingest_cfg) {
             Ok(e) => Arc::new(e),
             Err(e) => return die(format!("failed to open artifact `{dir}` for ingest: {e}")),
@@ -462,6 +532,11 @@ fn cmd_serve(mut args: Vec<String>) -> ExitCode {
                  refresh_every={} fsync={:?}",
                 dir, s.wal_bytes, s.wal_recoveries, ingest_cfg.refresh_every, ingest_cfg.fsync
             );
+        }
+        if let Some(repl) = engine.replication() {
+            let (epoch, count, _) = repl.stats();
+            let role = if repl.is_leader() { "leader" } else { "follower" };
+            eprintln!("replication enabled: role={role} epoch={epoch} replicated_seq={count}");
         }
     }
     let mut server = match Server::start_with(Arc::clone(&engine), addr.as_str(), server_cfg) {
@@ -509,7 +584,8 @@ fn cmd_serve(mut args: Vec<String>) -> ExitCode {
                     "generation={} requests={} errors={} shed={} reloads={} \
                      reload_failures={} worker_panics={} breaker_open={} \
                      cache_hit_rate={:.3} shard={shard} cross_shard_rejects={} \
-                     scatter_fanout={}",
+                     scatter_fanout={} epoch={} replicated_seq={} replication_lag={} \
+                     stale_epoch_rejections={}",
                     s.generation,
                     s.requests,
                     s.errors,
@@ -520,7 +596,11 @@ fn cmd_serve(mut args: Vec<String>) -> ExitCode {
                     s.breaker_open,
                     s.cache_hit_rate,
                     s.cross_shard_rejects,
-                    s.scatter_fanout
+                    s.scatter_fanout,
+                    s.epoch,
+                    s.replicated_seq,
+                    s.replication_lag,
+                    s.stale_epoch_rejections
                 );
             }
             Ok(_) => continue,
@@ -910,6 +990,34 @@ fn cmd_compact(args: Vec<String>) -> ExitCode {
         }
         Ok(resp) => die(format!("compact refused: {:?}: {:?}", resp.kind, resp.error)),
         Err(e) => die(format!("compact failed: {e}")),
+    }
+}
+
+fn cmd_promote(mut args: Vec<String>) -> ExitCode {
+    let Some(epoch_arg) = take_flag(&mut args, "--epoch") else {
+        return fail("promote needs --epoch N");
+    };
+    let epoch: u64 = parse_flag(Some(epoch_arg), "--epoch", 0);
+    let peers: Vec<String> = take_flag(&mut args, "--peers").map_or_else(Vec::new, |s| {
+        s.split(',').map(|x| x.trim().to_string()).filter(|x| !x.is_empty()).collect()
+    });
+    let (fleet, args) = match routed_fleet("promote", args) {
+        Ok(pair) => pair,
+        Err(code) => return code,
+    };
+    if !args.is_empty() {
+        fleet.shutdown();
+        return fail(&format!("promote got unrecognised arguments: {args:?}"));
+    }
+    let outcome = fleet.request(Request::promote(epoch, peers));
+    fleet.shutdown();
+    match outcome {
+        Ok(resp) if resp.ok => {
+            println!("promoted epoch={}", resp.epoch.unwrap_or(epoch));
+            ExitCode::SUCCESS
+        }
+        Ok(resp) => die(format!("promote refused: {:?}: {:?}", resp.kind, resp.error)),
+        Err(e) => die(format!("promote failed: {e}")),
     }
 }
 

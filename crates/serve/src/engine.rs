@@ -33,7 +33,8 @@
 use crate::artifact::{ModelArtifact, MANIFEST_FILE};
 use crate::batch::{BatchConfig, BatchQueue, Completion, Job, QueuePermit};
 use crate::cache::{CacheAxis, TowerCache};
-use crate::protocol::{ErrorKind, HealthDto, Op, Request, Response};
+use crate::protocol::{ErrorKind, HealthDto, Op, ReplRecordDto, Request, Response};
+use crate::replication::{self, AckLevel, QuorumError, Replication, ReplicationConfig};
 use crate::stats::{EngineStats, FrontendStats, StatsSnapshot};
 use crate::wal::{self, FsyncPolicy, IngestLedger, SeqSet, WalRecord, WalWriter};
 use rrre_core::{rank_candidates, ColdStartPrior, Prediction, EXPLANATION_RELIABILITY_THRESHOLD};
@@ -211,6 +212,10 @@ struct Shared {
     /// keeps answering (in-flight and pipelined requests finish) but
     /// reports not-ready so health-aware clients route elsewhere.
     draining: AtomicBool,
+    /// `Some` when this engine is one replica of a replicated shard
+    /// ([`Engine::open_replicated`]): leader-term fencing, the replication
+    /// log, shippers and quorum acks all hang off this.
+    repl: Option<Arc<Replication>>,
 }
 
 impl Shared {
@@ -252,7 +257,7 @@ impl Engine {
     /// Panics if the artifact's model has no frozen cache (loads via
     /// [`ModelArtifact::load`] always do) or `cfg.workers == 0`.
     pub fn new(artifact: ModelArtifact, cfg: EngineConfig) -> Self {
-        Self::build(artifact, cfg, None)
+        Self::build(artifact, cfg, None, None)
     }
 
     /// Opens an artifact directory for *durable streaming ingest*: rolls
@@ -277,6 +282,24 @@ impl Engine {
         Self::with_ingest(artifact, cfg, ingest)
     }
 
+    /// [`Engine::open_with_ingest`] as one replica of a replicated shard:
+    /// the WAL is shipped between replicas, ingest acks honour
+    /// [`ReplicationConfig`]'s ack level, and leader terms fence stale
+    /// traffic. The replication log is seeded from the same replay set the
+    /// towers are, so positions line up across replicas that started from
+    /// the same artifact.
+    pub fn open_replicated(
+        dir: impl AsRef<Path>,
+        cfg: EngineConfig,
+        ingest: IngestConfig,
+        repl: ReplicationConfig,
+    ) -> io::Result<Self> {
+        let dir = dir.as_ref();
+        wal::recover_staging(dir, MANIFEST_FILE)?;
+        let artifact = ModelArtifact::load(dir)?;
+        Self::with_ingest_impl(artifact, cfg, ingest, Some(repl))
+    }
+
     /// [`Engine::new`] plus the durable ingest path (WAL, refresh,
     /// compaction) rooted at `artifact.source_dir`. Prefer
     /// [`Engine::open_with_ingest`] when opening from disk — it also
@@ -286,6 +309,15 @@ impl Engine {
         artifact: ModelArtifact,
         cfg: EngineConfig,
         ingest: IngestConfig,
+    ) -> io::Result<Self> {
+        Self::with_ingest_impl(artifact, cfg, ingest, None)
+    }
+
+    fn with_ingest_impl(
+        artifact: ModelArtifact,
+        cfg: EngineConfig,
+        ingest: IngestConfig,
+        repl_cfg: Option<ReplicationConfig>,
     ) -> io::Result<Self> {
         let ledger = wal::load_ledger(&artifact.source_dir)?;
         let wal_dir = artifact.source_dir.join(WAL_DIR);
@@ -302,6 +334,18 @@ impl Engine {
                 unfolded.push(rec);
             }
         }
+        let repl = match repl_cfg {
+            Some(rc) => {
+                let repl = Arc::new(Replication::open(&artifact.source_dir, rc)?);
+                // Seed the replication log with the replayed-but-unfolded
+                // records; everything the ledger already folded sits below
+                // the log base and is no longer fetchable (a follower that
+                // far behind needs an artifact resync, not shipping).
+                repl.seed(unfolded.clone(), ledger.applied.len());
+                Some(repl)
+            }
+            None => None,
+        };
         let writer = WalWriter::open(&wal_dir, ingest.segment_bytes, ingest.fsync)?;
         let state = IngestState {
             cfg: ingest,
@@ -315,7 +359,7 @@ impl Engine {
             }),
             maintenance: Mutex::new(()),
         };
-        let engine = Self::build(artifact, cfg, Some(state));
+        let engine = Self::build(artifact, cfg, Some(state), repl.clone());
         engine.shared.stats.wal_bytes.store(recovery.bytes, Ordering::Relaxed);
         engine.shared.stats.wal_recoveries.store(recovery.truncated_tails, Ordering::Relaxed);
         // Replayed-but-unfolded records go straight back into the towers:
@@ -323,10 +367,29 @@ impl Engine {
         // again before the first post-restart request is served.
         do_refresh(&engine.shared)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        if let Some(repl) = repl {
+            if repl.is_leader() {
+                repl.spawn_shippers();
+            }
+            // The catch-up thread runs on every replicated engine but only
+            // acts while the replica is a follower with a known leader; it
+            // exits with `Replication::stop`.
+            let shared = Arc::clone(&engine.shared);
+            let handle = std::thread::Builder::new()
+                .name("rrre-repl-catchup".into())
+                .spawn(move || catchup_loop(&shared))
+                .expect("failed to spawn replication catch-up thread");
+            engine.workers.lock().unwrap_or_else(|e| e.into_inner()).push(handle);
+        }
         Ok(engine)
     }
 
-    fn build(artifact: ModelArtifact, cfg: EngineConfig, ingest: Option<IngestState>) -> Self {
+    fn build(
+        artifact: ModelArtifact,
+        cfg: EngineConfig,
+        ingest: Option<IngestState>,
+        repl: Option<Arc<Replication>>,
+    ) -> Self {
         assert!(cfg.workers >= 1, "Engine: need at least one worker");
         assert!(cfg.queue_cap >= 1, "Engine: queue_cap must be ≥ 1");
         assert!(cfg.breaker_threshold >= 1, "Engine: breaker_threshold must be ≥ 1");
@@ -365,6 +428,7 @@ impl Engine {
             ingest,
             breaker: Mutex::new(Vec::new()),
             draining: AtomicBool::new(false),
+            repl,
         });
         let (tx, queue) = BatchQueue::new(BatchConfig {
             max_batch: cfg.max_batch,
@@ -542,6 +606,12 @@ impl Engine {
         self.shared.ingest.is_some()
     }
 
+    /// The replication state, when this engine was opened via
+    /// [`Engine::open_replicated`].
+    pub fn replication(&self) -> Option<Arc<Replication>> {
+        self.shared.repl.clone()
+    }
+
     /// Synchronously folds every accepted-but-unapplied WAL record into
     /// the serving towers: a frozen-encoder incremental refresh that
     /// re-encodes only the new reviews and republishes under the *same*
@@ -564,6 +634,11 @@ impl Engine {
     /// Graceful shutdown: stop accepting, let queued jobs finish, join the
     /// workers. Idempotent; `Drop` calls it too.
     pub fn shutdown(&self) {
+        // Replication threads (shippers, catch-up) park on condvars and
+        // sleeps; stop them first so the join below cannot hang.
+        if let Some(repl) = self.shared.repl.as_deref() {
+            repl.stop();
+        }
         drop(self.tx.lock().unwrap_or_else(|e| e.into_inner()).take());
         let workers =
             std::mem::take(&mut *self.workers.lock().unwrap_or_else(|e| e.into_inner()));
@@ -867,6 +942,14 @@ fn do_compact(shared: &Shared) -> Result<(u64, u64), String> {
 }
 
 fn snapshot(shared: &Shared) -> StatsSnapshot {
+    // The replication gauges live on the replication state; fold them into
+    // the atomic block here so one snapshot call reads everything.
+    if let Some(repl) = shared.repl.as_deref() {
+        let (epoch, count, lag) = repl.stats();
+        shared.stats.epoch.store(epoch, Ordering::Relaxed);
+        shared.stats.replicated_seq.store(count, Ordering::Relaxed);
+        shared.stats.replication_lag.store(lag, Ordering::Relaxed);
+    }
     let generation = shared.generation();
     shared.stats.snapshot(
         &generation.user_cache,
@@ -877,6 +960,114 @@ fn snapshot(shared: &Shared) -> StatsSnapshot {
         shared.cfg.shard_id,
         &shared.frontend,
     )
+}
+
+/// Applies a contiguous run of replicated records starting at log position
+/// `from` — the shared core of the `Replicate` push path and follower
+/// catch-up. Re-delivery is idempotent twice over: positions at or below
+/// the local count are skipped wholesale, and a skipped-position record
+/// whose seq is nonetheless already in the dedup set is a *divergence*
+/// (same position, different history) that fails closed rather than
+/// guessing. Returns the new durable count.
+fn apply_replicated(shared: &Shared, from: u64, records: &[ReplRecordDto]) -> Result<u64, String> {
+    let state = shared.ingest.as_ref().ok_or("ingest is not enabled on this engine")?;
+    let repl = shared.repl.as_deref().ok_or("replication is not enabled on this engine")?;
+    let (new_count, pending) = {
+        // Lock order: ingest `inner` → `repl` inner, same as the leader's
+        // append path, so WAL order and log order can never disagree.
+        let mut inner = state.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut rinner = repl.lock();
+        let count = rinner.count();
+        if from > count {
+            // A gap: the leader is shipping ahead of us. Don't apply —
+            // reporting our (unchanged) count makes the leader rewind.
+            return Ok(count);
+        }
+        let skip = (count - from) as usize;
+        for dto in records.iter().skip(skip) {
+            if !dto.verify() {
+                return Err(format!("replicated record seq {} failed its CRC in transit", dto.seq));
+            }
+            if inner.accepted.contains(dto.seq) {
+                // This position is new but the seq is not: the replicas'
+                // histories disagree. Applying would double-count and
+                // silently fork the shard — refuse instead.
+                return Err(format!(
+                    "replication divergence: seq {} already applied at an earlier position; \
+                     this replica needs a resync",
+                    dto.seq
+                ));
+            }
+            let rec = WalRecord {
+                seq: dto.seq,
+                user: dto.user,
+                item: dto.item,
+                rating: dto.rating,
+                ts: dto.ts,
+                text: dto.text.clone(),
+            };
+            let bytes = inner.wal.append(&rec).map_err(|e| format!("wal append failed: {e}"))?;
+            shared.stats.wal_bytes.fetch_add(bytes, Ordering::Relaxed);
+            inner.accepted.insert(dto.seq);
+            inner.unfolded.push(rec.clone());
+            rinner.log.push(rec);
+        }
+        (rinner.count(), inner.unfolded.len() - inner.refreshed)
+    };
+    repl.notify();
+    if state.cfg.refresh_every > 0 && pending >= state.cfg.refresh_every {
+        // Same contract as client ingest: durability is decided, a refresh
+        // failure must not retract it.
+        if let Err(e) = do_refresh(shared) {
+            eprintln!("rrre-serve: deferred replication refresh failed: {e}");
+        }
+    }
+    Ok(new_count)
+}
+
+/// Follower catch-up: pulls missing log positions from the last known
+/// leader with `FetchWal` until level, then idles. Runs on every
+/// replicated engine but no-ops while this replica is the leader. The push
+/// path self-heals ongoing gaps; this loop exists for restart recovery,
+/// when a follower may be arbitrarily far behind before the leader's
+/// shipper even learns its address.
+fn catchup_loop(shared: &Arc<Shared>) {
+    let Some(repl) = shared.repl.clone() else { return };
+    let mut conn = None;
+    let idle = Duration::from_millis(200);
+    loop {
+        if repl.stopping() {
+            return;
+        }
+        let (is_follower, hint, my_count) = {
+            let inner = repl.lock();
+            (!inner.leader, inner.leader_hint.clone(), inner.count())
+        };
+        let Some(addr) = hint.filter(|_| is_follower) else {
+            std::thread::sleep(idle);
+            continue;
+        };
+        let req = Request::fetch_wal(my_count, 16);
+        match replication::exchange_on(&mut conn, &addr, &req, Duration::from_secs(2)) {
+            Ok(resp) if resp.ok => {
+                let records = resp.records.unwrap_or_default();
+                if records.is_empty() {
+                    std::thread::sleep(idle);
+                    continue;
+                }
+                if let Err(e) = apply_replicated(shared, my_count, &records) {
+                    eprintln!("rrre-serve: replication catch-up apply failed: {e}");
+                    std::thread::sleep(idle);
+                }
+                // Applied a batch: loop straight back for the next range.
+            }
+            _ => {
+                // Structured refusal (e.g. the leader compacted below our
+                // position) or transport failure: back off and retry.
+                std::thread::sleep(idle);
+            }
+        }
+    }
 }
 
 /// Outer supervision shell: respawns the worker loop if it ever panics
@@ -972,6 +1163,22 @@ fn require(field: Option<u32>, name: &str, bound: usize) -> Result<u32, String> 
 
 fn bad_request(id: Option<u64>, message: impl Into<String>) -> Response {
     Response::error_kind(id, ErrorKind::BadRequest, message)
+}
+
+/// Blocks an ingest ack on quorum durability of `target`, mapping each
+/// failure to its structured refusal. A timeout is `Unavailable` — the
+/// honest retryable: the record *is* durable here, and the retry's
+/// duplicate path re-proves quorum.
+fn await_quorum(id: Option<u64>, repl: &Replication, target: u64) -> Result<(), Response> {
+    match repl.quorum_wait(target) {
+        Ok(()) => Ok(()),
+        Err(QuorumError::Deposed(hint)) => Err(Response::not_leader(id, hint)),
+        Err(QuorumError::Timeout) => Err(Response::unavailable(
+            id,
+            "replication quorum not reached before the timeout; the record is durable on the \
+             leader — retry with the same seq",
+        )),
+    }
 }
 
 /// Ownership gate for shard-scoped engines: `Err` carries the structured
@@ -1166,6 +1373,22 @@ fn process(shared: &Shared, generation: &Generation, job: &Job) -> Response {
                     "IngestReview needs an ingest-enabled engine (open_with_ingest)",
                 );
             };
+            // Replication fencing before any validation: a stale-term
+            // client is refused outright, and only the acting leader ever
+            // accepts a write (a follower redirects, a deposed leader
+            // must never ack something the new term's quorum lacks).
+            if let Some(repl) = shared.repl.as_deref() {
+                let current = repl.current_epoch();
+                if let Some(epoch) = req.epoch {
+                    if epoch < current {
+                        shared.stats.stale_epoch_rejections.fetch_add(1, Ordering::Relaxed);
+                        return Response::stale_epoch(req.id, epoch, current);
+                    }
+                }
+                if !repl.is_leader() {
+                    return Response::not_leader(req.id, repl.leader_hint());
+                }
+            }
             let Some(seq) = req.seq else {
                 return bad_request(req.id, "missing required field `seq`");
             };
@@ -1199,8 +1422,23 @@ fn process(shared: &Shared, generation: &Generation, job: &Job) -> Response {
             if inner.accepted.contains(seq) {
                 // Exactly-once: this seq was durably accepted before (the
                 // ack may have been lost to a crash or timeout). Ack again
-                // without re-applying anything.
+                // without re-applying anything — but at quorum ack level,
+                // re-prove quorum durability of everything up to the
+                // current count first: the original attempt may have timed
+                // out precisely because followers were behind.
                 shared.stats.ingest_duplicates.fetch_add(1, Ordering::Relaxed);
+                let quorum_target =
+                    shared.repl.as_deref().map(|repl| repl.lock().count());
+                drop(inner);
+                if let (Some(repl), Some(target)) =
+                    (shared.repl.as_deref(), quorum_target)
+                {
+                    if repl.ack == AckLevel::Quorum {
+                        if let Err(resp) = await_quorum(req.id, repl, target) {
+                            return resp;
+                        }
+                    }
+                }
                 let mut resp = Response::ok(req.id);
                 resp.ingest = Some(crate::protocol::IngestDto { seq, duplicate: true });
                 resp
@@ -1219,15 +1457,36 @@ fn process(shared: &Shared, generation: &Generation, job: &Job) -> Response {
                         shared.stats.wal_bytes.fetch_add(bytes, Ordering::Relaxed);
                         shared.stats.ingested.fetch_add(1, Ordering::Relaxed);
                         inner.accepted.insert(seq);
+                        // Push onto the replication log while still holding
+                        // the ingest lock (lock order `inner` → repl), so
+                        // log positions follow WAL append order exactly.
+                        let quorum_target = shared.repl.as_deref().map(|repl| {
+                            let mut rinner = repl.lock();
+                            rinner.log.push(rec.clone());
+                            rinner.count()
+                        });
                         inner.unfolded.push(rec);
                         let pending = inner.unfolded.len() - inner.refreshed;
                         drop(inner);
+                        if let Some(repl) = shared.repl.as_deref() {
+                            // Wake the shippers for the fresh position.
+                            repl.notify();
+                        }
                         if state.cfg.refresh_every > 0 && pending >= state.cfg.refresh_every {
                             // Durability is already decided; a refresh
                             // failure must not retract the ack. The records
                             // stay pending for the next refresh/compaction.
                             if let Err(e) = do_refresh(shared) {
                                 eprintln!("rrre-serve: deferred ingest refresh failed: {e}");
+                            }
+                        }
+                        if let (Some(repl), Some(target)) =
+                            (shared.repl.as_deref(), quorum_target)
+                        {
+                            if repl.ack == AckLevel::Quorum {
+                                if let Err(resp) = await_quorum(req.id, repl, target) {
+                                    return resp;
+                                }
                             }
                         }
                         let mut resp = Response::ok(req.id);
@@ -1256,6 +1515,130 @@ fn process(shared: &Shared, generation: &Generation, job: &Job) -> Response {
             }
             Err(e) => return Response::internal(req.id, e),
         },
+        Op::Replicate => {
+            let Some(repl) = shared.repl.as_deref() else {
+                return bad_request(
+                    req.id,
+                    "Replicate needs a replication-enabled engine (open_replicated)",
+                );
+            };
+            let Some(epoch) = req.epoch else {
+                return bad_request(req.id, "missing required field `epoch`");
+            };
+            let current = repl.current_epoch();
+            if epoch < current {
+                shared.stats.stale_epoch_rejections.fetch_add(1, Ordering::Relaxed);
+                return Response::stale_epoch(req.id, epoch, current);
+            }
+            // peers[0] is the shipping leader's advertised address — the
+            // redirect hint this follower hands to misrouted clients.
+            let hint = req.peers.as_ref().and_then(|p| p.first().cloned());
+            if epoch > current {
+                // A higher term on the wire deposes any local leadership
+                // and is persisted before a single record is applied.
+                if let Err(e) = repl.adopt_epoch(epoch, hint) {
+                    return Response::internal(
+                        req.id,
+                        format!("failed to persist adopted epoch {epoch}: {e}"),
+                    );
+                }
+            } else {
+                if repl.is_leader() {
+                    // Two leaders sharing a term is a protocol violation,
+                    // not something to paper over.
+                    return Response::internal(
+                        req.id,
+                        format!("Replicate at epoch {epoch} reached the acting leader of that term"),
+                    );
+                }
+                if let Some(hint) = hint {
+                    repl.lock().leader_hint = Some(hint);
+                }
+            }
+            let Some(from) = req.from else {
+                return bad_request(req.id, "missing required field `from`");
+            };
+            let records = req.records.as_deref().unwrap_or(&[]);
+            match apply_replicated(shared, from, records) {
+                Ok(count) => {
+                    let mut resp = Response::ok(req.id);
+                    resp.replicated = Some(count);
+                    resp.epoch = Some(repl.current_epoch());
+                    return resp;
+                }
+                Err(e) => return Response::internal(req.id, e),
+            }
+        }
+        Op::FetchWal => {
+            let Some(repl) = shared.repl.as_deref() else {
+                return bad_request(
+                    req.id,
+                    "FetchWal needs a replication-enabled engine (open_replicated)",
+                );
+            };
+            let Some(from) = req.from else {
+                return bad_request(req.id, "missing required field `from`");
+            };
+            let limit = req.limit.unwrap_or(16).clamp(1, 16) as usize;
+            let rinner = repl.lock();
+            if from < rinner.base {
+                return bad_request(
+                    req.id,
+                    format!(
+                        "position {from} was compacted below the log base {}; a full artifact \
+                         resync is required",
+                        rinner.base
+                    ),
+                );
+            }
+            let start = (from - rinner.base) as usize;
+            let records: Vec<ReplRecordDto> = rinner
+                .log
+                .get(start..)
+                .unwrap_or(&[])
+                .iter()
+                .take(limit)
+                .map(|r| ReplRecordDto::sealed(r.seq, r.user, r.item, r.rating, r.ts, r.text.clone()))
+                .collect();
+            let (count, epoch) = (rinner.count(), rinner.epoch);
+            drop(rinner);
+            let mut resp = Response::ok(req.id);
+            resp.records = Some(records);
+            resp.replicated = Some(count);
+            resp.epoch = Some(epoch);
+            return resp;
+        }
+        Op::Promote => {
+            let Some(repl) = shared.repl.clone() else {
+                return bad_request(
+                    req.id,
+                    "Promote needs a replication-enabled engine (open_replicated)",
+                );
+            };
+            let Some(epoch) = req.epoch else {
+                return bad_request(req.id, "missing required field `epoch`");
+            };
+            let current = repl.current_epoch();
+            // The term must strictly advance — except that re-promoting
+            // the *acting* leader at its own term just refreshes the peer
+            // set (a follower came back at a new address). A same-term
+            // promote on anything else is a split-brain attempt.
+            let peer_refresh = epoch == current && repl.is_leader();
+            if epoch < current || (epoch == current && !peer_refresh) {
+                shared.stats.stale_epoch_rejections.fetch_add(1, Ordering::Relaxed);
+                return Response::stale_epoch(req.id, epoch, current);
+            }
+            let peers = req.peers.clone().unwrap_or_default();
+            if let Err(e) = repl.promote(epoch, peers) {
+                return Response::internal(
+                    req.id,
+                    format!("failed to persist promotion to epoch {epoch}: {e}"),
+                );
+            }
+            let mut resp = Response::ok(req.id);
+            resp.epoch = Some(epoch);
+            return resp;
+        }
         Op::Crash => {
             if !shared.cfg.fault_injection {
                 return bad_request(

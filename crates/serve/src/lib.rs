@@ -43,6 +43,7 @@ pub mod engine;
 mod event_loop;
 pub mod frame;
 pub mod protocol;
+pub mod replication;
 pub mod server;
 pub mod stats;
 pub mod sys;
@@ -55,6 +56,7 @@ pub use cache::{CacheAxis, TowerCache};
 pub use engine::{Engine, EngineConfig, Generation, IngestConfig, WAL_DIR};
 pub use frame::{FrameDecoder, FrameError, FrameEvent};
 pub use protocol::{ErrorKind, HealthDto, Op, Request, Response};
+pub use replication::{AckLevel, QuorumError, ReplRole, Replication, ReplicationConfig};
 pub use server::{Server, ServerConfig};
 pub use stats::{EngineStats, FrontendStats, StatsSnapshot};
 pub use wal::{FsyncPolicy, IngestLedger, SeqSet, WalError, WalRecord, WalWriter};

@@ -1,0 +1,694 @@
+//! Intra-shard WAL replication: fenced leader terms, follower shipping and
+//! quorum acks.
+//!
+//! One replica per shard is the *ingest leader*; the rest are followers.
+//! The leader appends each accepted review to its own WAL (exactly as an
+//! unreplicated engine would), then ships it to every follower through the
+//! `Replicate` wire op — batched, CRC-checked per record, contiguous in
+//! *log position* (the dense count of records accepted since the last
+//! compaction base). Followers persist shipped records to their own WALs
+//! and apply them through the same `SeqSet` dedup the client-facing ingest
+//! path uses, so redelivery is idempotent at both the position and the
+//! sequence-id layer.
+//!
+//! **Ack levels.** At [`AckLevel::Leader`] an ingest ack means what it
+//! always meant: fsync'd on the replica that took the write. At
+//! [`AckLevel::Quorum`] the ack additionally waits until a majority of the
+//! replica set (leader included) holds the record durably — the worker
+//! parks on a condvar that every follower acknowledgment pokes. A write
+//! that cannot reach quorum before the timeout is refused `Unavailable`
+//! *without* retracting local durability: the client retries with the same
+//! seq and the duplicate path waits again.
+//!
+//! **Fencing.** Every replica persists a replication *epoch* (leader term)
+//! in its artifact directory. `Promote` installs a strictly higher epoch
+//! and turns the receiving replica into the leader; `Replicate` carries
+//! the shipping leader's epoch, and a follower whose persisted epoch is
+//! higher refuses with a structured `StaleEpoch`. A partitioned old leader
+//! learns it has been fenced from that refusal, marks itself *deposed*,
+//! and from then on refuses `IngestReview` with `NotLeader` — it can never
+//! ack a write the new term's quorum does not have.
+//!
+//! **Catch-up.** A follower that restarts (or missed shipments) replays
+//! its own WAL, then pulls missing positions from the leader with
+//! `FetchWal` until it draws level; the push path self-heals the same way
+//! because a follower acks every `Replicate` with its durable count and
+//! the leader rewinds its shipping cursor to whatever the follower reports.
+//!
+//! The shipping transport is a deliberately minimal blocking NDJSON client
+//! over `std::net::TcpStream` — one request in flight per follower, the
+//! same framing the public protocol uses, no new dependencies.
+
+use crate::protocol::{ErrorKind, ReplRecordDto, Request, Response};
+use crate::wal::WalRecord;
+use std::collections::HashMap;
+use std::fs::{self, File};
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// File inside the artifact directory persisting the replication epoch.
+/// Written atomically (tmp + rename + fsync) before any action under the
+/// new term, so a crashed-and-restarted replica can never un-fence itself.
+pub const EPOCH_FILE: &str = "repl_epoch";
+
+/// How many records one `Replicate` batch may carry.
+const BATCH_MAX: usize = 16;
+/// Soft byte budget for one encoded `Replicate` line — kept well under the
+/// wire layer's `MAX_LINE_BYTES` so a batch is never refused for size.
+const BATCH_BYTE_BUDGET: usize = 8 * 1024;
+/// Per-record encoding overhead assumed against the byte budget.
+const RECORD_OVERHEAD: usize = 96;
+
+/// When an `IngestReview` ack is released to the client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AckLevel {
+    /// Ack after the leader's own fsync — single-copy durability, the
+    /// pre-replication behaviour.
+    Leader,
+    /// Ack only once a majority of the replica set holds the record
+    /// durably (leader plus `⌈(n+1)/2⌉ - 1` followers).
+    Quorum,
+}
+
+/// Which side of the replication protocol this replica starts on.
+#[derive(Debug, Clone)]
+pub enum ReplRole {
+    /// Ingest leader: accepts `IngestReview`, ships to `followers`.
+    /// `epoch` is the requested starting term; a higher persisted term
+    /// from an earlier incarnation wins.
+    Leader {
+        /// Follower replica addresses to ship the WAL to.
+        followers: Vec<String>,
+        /// Requested starting epoch (≥ 1).
+        epoch: u64,
+    },
+    /// Follower: refuses client ingest with `NotLeader`, applies
+    /// `Replicate` shipments, pulls catch-up ranges from `leader`.
+    Follower {
+        /// Last known leader address (the `NotLeader` redirect hint and
+        /// the catch-up target); `None` when not yet known.
+        leader: Option<String>,
+    },
+}
+
+/// Replication knobs ([`crate::Engine::open_replicated`]).
+#[derive(Debug, Clone)]
+pub struct ReplicationConfig {
+    /// Starting role.
+    pub role: ReplRole,
+    /// Ack durability level for client ingest.
+    pub ack: AckLevel,
+    /// How long a quorum ack may wait before refusing `Unavailable`.
+    pub quorum_timeout: Duration,
+    /// This replica's own advertised address, shipped to followers so they
+    /// can hand out `NotLeader` redirects that point at the right place.
+    pub self_addr: Option<String>,
+    /// Sleep between reconnect attempts on a dead follower link.
+    pub reconnect_backoff: Duration,
+}
+
+impl Default for ReplicationConfig {
+    fn default() -> Self {
+        Self {
+            role: ReplRole::Follower { leader: None },
+            ack: AckLevel::Quorum,
+            quorum_timeout: Duration::from_secs(5),
+            self_addr: None,
+            reconnect_backoff: Duration::from_millis(50),
+        }
+    }
+}
+
+/// Why a quorum ack was not released.
+#[derive(Debug, PartialEq, Eq)]
+pub enum QuorumError {
+    /// This replica was fenced mid-wait (a follower refused its epoch);
+    /// the hint, when present, names the new leader.
+    Deposed(Option<String>),
+    /// The quorum did not form before the timeout. The record *is* locally
+    /// durable; a client retry with the same seq waits again.
+    Timeout,
+}
+
+/// Mutable replication state, all under one lock (see field docs for what
+/// moves together). Lock order where both are held: ingest `inner` →
+/// `ReplInner`; the shippers and quorum waiters take only `ReplInner`.
+pub(crate) struct ReplInner {
+    /// Persisted leader term this replica is fenced at.
+    pub(crate) epoch: u64,
+    /// Whether this replica is currently the ingest leader.
+    pub(crate) leader: bool,
+    /// A leader that learned it was fenced: refuses ingest with
+    /// `NotLeader` until promoted again.
+    pub(crate) deposed: bool,
+    /// Last known leader address (redirect hint, catch-up target).
+    pub(crate) leader_hint: Option<String>,
+    /// Follower addresses the current term ships to (leader only).
+    pub(crate) followers: Vec<String>,
+    /// Durable record count each follower has confirmed.
+    pub(crate) acked: HashMap<String, u64>,
+    /// The replication log: every record accepted since `base`, in WAL
+    /// append order. Position `base + i` holds `log[i]`.
+    pub(crate) log: Vec<WalRecord>,
+    /// Records folded into the artifact before this process opened — the
+    /// log's position offset. Positions below `base` are not fetchable.
+    pub(crate) base: u64,
+}
+
+impl ReplInner {
+    /// Total records this replica holds durably (the `replicated_seq`
+    /// watermark): folded base plus the live log.
+    pub(crate) fn count(&self) -> u64 {
+        self.base + self.log.len() as u64
+    }
+}
+
+/// Shared replication state attached to an ingest-enabled engine.
+pub struct Replication {
+    /// Ack level for client ingest.
+    pub ack: AckLevel,
+    quorum_timeout: Duration,
+    backoff: Duration,
+    self_addr: Option<String>,
+    dir: PathBuf,
+    inner: Mutex<ReplInner>,
+    /// Poked on: log appends (shippers wake), follower acks (quorum
+    /// waiters wake), deposal and shutdown (everyone wakes to exit).
+    cv: Condvar,
+    stop: AtomicBool,
+    shippers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Replication {
+    /// Builds the replication state for an artifact directory, loading (or
+    /// initialising) the persisted epoch. The log is empty until the
+    /// engine seeds it from WAL replay.
+    pub fn open(dir: &Path, cfg: ReplicationConfig) -> io::Result<Self> {
+        let persisted = load_epoch(dir)?;
+        let (epoch, leader, followers, leader_hint) = match cfg.role {
+            ReplRole::Leader { followers, epoch } => {
+                // A higher persisted term always wins: a replica that was
+                // fenced in a previous incarnation must not resurrect the
+                // old term just because its flags say "leader".
+                (persisted.max(epoch).max(1), true, followers, None)
+            }
+            ReplRole::Follower { leader } => (persisted, false, Vec::new(), leader),
+        };
+        if epoch != persisted {
+            persist_epoch(dir, epoch)?;
+        }
+        Ok(Self {
+            ack: cfg.ack,
+            quorum_timeout: cfg.quorum_timeout,
+            backoff: cfg.reconnect_backoff,
+            self_addr: cfg.self_addr,
+            dir: dir.to_path_buf(),
+            inner: Mutex::new(ReplInner {
+                epoch,
+                leader,
+                deposed: false,
+                leader_hint,
+                followers,
+                acked: HashMap::new(),
+                log: Vec::new(),
+                base: 0,
+            }),
+            cv: Condvar::new(),
+            stop: AtomicBool::new(false),
+            shippers: Mutex::new(Vec::new()),
+        })
+    }
+
+    pub(crate) fn lock(&self) -> MutexGuard<'_, ReplInner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Wakes every waiter (shippers, quorum waits) to re-check state.
+    pub(crate) fn notify(&self) {
+        self.cv.notify_all();
+    }
+
+    /// Seeds the log from WAL replay at engine open: `records` are the
+    /// replayed-but-unfolded records in append order, `base` the count the
+    /// ledger says compaction already folded.
+    pub(crate) fn seed(&self, records: Vec<WalRecord>, base: u64) {
+        let mut inner = self.lock();
+        inner.log = records;
+        inner.base = base;
+    }
+
+    /// Current persisted epoch.
+    pub fn current_epoch(&self) -> u64 {
+        self.lock().epoch
+    }
+
+    /// Whether this replica currently acts as ingest leader (promoted and
+    /// not fenced).
+    pub fn is_leader(&self) -> bool {
+        let inner = self.lock();
+        inner.leader && !inner.deposed
+    }
+
+    /// The `NotLeader` redirect hint.
+    pub fn leader_hint(&self) -> Option<String> {
+        self.lock().leader_hint.clone()
+    }
+
+    /// `(epoch, replicated_seq, replication_lag)` for the stats snapshot.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        let inner = self.lock();
+        let count = inner.count();
+        let lag = if inner.leader && !inner.followers.is_empty() {
+            let slowest =
+                inner.followers.iter().map(|f| inner.acked.get(f).copied().unwrap_or(0)).min();
+            count.saturating_sub(slowest.unwrap_or(count))
+        } else {
+            0
+        };
+        (inner.epoch, count, lag)
+    }
+
+    /// Majority size of the replica set (leader + followers).
+    fn quorum_size(followers: usize) -> usize {
+        (1 + followers) / 2 + 1
+    }
+
+    /// Blocks until `target` records are durable on a quorum of the
+    /// replica set, the replica is fenced, or the timeout lapses. The
+    /// leader's own copy always counts as one member.
+    pub fn quorum_wait(&self, target: u64) -> Result<(), QuorumError> {
+        let deadline = Instant::now() + self.quorum_timeout;
+        let mut inner = self.lock();
+        loop {
+            if inner.deposed || !inner.leader {
+                return Err(QuorumError::Deposed(inner.leader_hint.clone()));
+            }
+            let need = Self::quorum_size(inner.followers.len()) - 1;
+            let have = inner
+                .followers
+                .iter()
+                .filter(|f| inner.acked.get(*f).is_some_and(|&a| a >= target))
+                .count();
+            if have >= need {
+                return Ok(());
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(QuorumError::Timeout);
+            }
+            let (guard, _) = self
+                .cv
+                .wait_timeout(inner, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            inner = guard;
+        }
+    }
+
+    /// Adopts a strictly higher epoch observed on incoming traffic: fences
+    /// any local leadership and persists the new term. Caller must have
+    /// verified `epoch > current`.
+    pub(crate) fn adopt_epoch(&self, epoch: u64, leader_hint: Option<String>) -> io::Result<()> {
+        persist_epoch(&self.dir, epoch)?;
+        let mut inner = self.lock();
+        inner.epoch = epoch;
+        if inner.leader {
+            inner.deposed = true;
+        }
+        inner.leader = false;
+        if leader_hint.is_some() {
+            inner.leader_hint = leader_hint;
+        }
+        drop(inner);
+        self.notify();
+        Ok(())
+    }
+
+    /// Installs this replica as leader under `epoch` (strictly higher than
+    /// the current term, caller-verified), shipping to `peers`. Spawns a
+    /// fresh shipper per follower; shippers of the old term observe the
+    /// epoch change and exit on their own.
+    pub fn promote(self: &Arc<Self>, epoch: u64, peers: Vec<String>) -> io::Result<()> {
+        persist_epoch(&self.dir, epoch)?;
+        {
+            let mut inner = self.lock();
+            inner.epoch = epoch;
+            inner.leader = true;
+            inner.deposed = false;
+            inner.leader_hint = self.self_addr.clone();
+            inner.followers = peers;
+            inner.acked.clear();
+        }
+        self.notify();
+        self.spawn_shippers();
+        Ok(())
+    }
+
+    /// Spawns one shipper thread per follower of the *current* term.
+    pub(crate) fn spawn_shippers(self: &Arc<Self>) {
+        let (epoch, followers) = {
+            let inner = self.lock();
+            (inner.epoch, inner.followers.clone())
+        };
+        let mut handles = self.shippers.lock().unwrap_or_else(|e| e.into_inner());
+        // Old-term shippers exit on their own (they check the epoch); reap
+        // the already-finished ones so the vec stays bounded.
+        handles.retain(|h| !h.is_finished());
+        for addr in followers {
+            let repl = Arc::clone(self);
+            let handle = std::thread::Builder::new()
+                .name(format!("rrre-repl-ship-{addr}"))
+                .spawn(move || shipper_loop(&repl, &addr, epoch))
+                .expect("failed to spawn replication shipper");
+            handles.push(handle);
+        }
+    }
+
+    /// Stops every replication thread and joins them. Idempotent.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.notify();
+        let handles = std::mem::take(&mut *self.shippers.lock().unwrap_or_else(|e| e.into_inner()));
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+
+    /// Whether [`Replication::stop`] was called.
+    pub(crate) fn stopping(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+}
+
+/// One follower's shipping loop: waits for log growth past the follower's
+/// confirmed count, sends a contiguous CRC-stamped batch, and rewinds to
+/// whatever durable count the follower reports. Exits when the term
+/// changes, the leader is fenced, or the engine stops.
+fn shipper_loop(repl: &Arc<Replication>, addr: &str, my_epoch: u64) {
+    let mut conn: Option<LineConn> = None;
+    loop {
+        // Decide what to ship under the lock; never hold it across I/O.
+        let (epoch, from, batch) = {
+            let mut inner = repl.lock();
+            loop {
+                if repl.stopping() || inner.epoch != my_epoch || inner.deposed || !inner.leader {
+                    return;
+                }
+                let count = inner.count();
+                match inner.acked.get(addr).copied() {
+                    // Position unknown: probe with an empty batch so the
+                    // follower tells us its durable count.
+                    None => break (inner.epoch, count, Vec::new()),
+                    Some(a) if a < count => {
+                        if a < inner.base {
+                            // The follower is behind records this process
+                            // never saw (folded before open). It cannot be
+                            // caught up by shipping; it must pull a full
+                            // artifact resync out of band. Park until the
+                            // term changes rather than spinning.
+                            let (guard, _) = repl
+                                .cv
+                                .wait_timeout(inner, Duration::from_millis(500))
+                                .unwrap_or_else(|e| e.into_inner());
+                            inner = guard;
+                            continue;
+                        }
+                        let start = (a - inner.base) as usize;
+                        let mut bytes = 0usize;
+                        let mut batch = Vec::new();
+                        for rec in inner.log[start..].iter().take(BATCH_MAX) {
+                            bytes += rec.text.len() + RECORD_OVERHEAD;
+                            if !batch.is_empty() && bytes > BATCH_BYTE_BUDGET {
+                                break;
+                            }
+                            batch.push(ReplRecordDto::sealed(
+                                rec.seq,
+                                rec.user,
+                                rec.item,
+                                rec.rating,
+                                rec.ts,
+                                rec.text.clone(),
+                            ));
+                        }
+                        break (inner.epoch, a, batch);
+                    }
+                    // Fully caught up: wait for appends (or exit signals).
+                    Some(_) => {
+                        let (guard, _) = repl
+                            .cv
+                            .wait_timeout(inner, Duration::from_millis(200))
+                            .unwrap_or_else(|e| e.into_inner());
+                        inner = guard;
+                    }
+                }
+            }
+        };
+        let mut req = Request::replicate(epoch, from, batch);
+        // peers[0] carries the leader's advertised address so followers can
+        // hand out accurate NotLeader redirects.
+        if let Some(self_addr) = &repl.self_addr {
+            req.peers = Some(vec![self_addr.clone()]);
+        }
+        match exchange_on(&mut conn, addr, &req, Duration::from_secs(2)) {
+            Ok(resp) => {
+                if resp.kind == Some(ErrorKind::StaleEpoch) {
+                    // Fenced: a follower is already serving a higher term.
+                    // Depose ourselves so no further ingest is acked here.
+                    let mut inner = repl.lock();
+                    if inner.epoch == my_epoch {
+                        inner.deposed = true;
+                        if let Some(e) = resp.epoch {
+                            inner.epoch = inner.epoch.max(e);
+                            let _ = persist_epoch(&repl.dir, inner.epoch);
+                        }
+                    }
+                    drop(inner);
+                    repl.notify();
+                    return;
+                }
+                if let (true, Some(confirmed)) = (resp.ok, resp.replicated) {
+                    let mut inner = repl.lock();
+                    inner.acked.insert(addr.to_string(), confirmed);
+                    drop(inner);
+                    repl.notify();
+                } else {
+                    // Structured refusal we cannot act on — back off and
+                    // retry from the follower's next report.
+                    std::thread::sleep(repl.backoff);
+                }
+            }
+            Err(_) => {
+                conn = None;
+                std::thread::sleep(repl.backoff);
+            }
+        }
+    }
+}
+
+/// Loads the persisted epoch (absent file → 0, never been promoted).
+pub fn load_epoch(dir: &Path) -> io::Result<u64> {
+    match fs::read_to_string(dir.join(EPOCH_FILE)) {
+        Ok(text) => text.trim().parse::<u64>().map_err(|e| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("bad {EPOCH_FILE}: {e}"))
+        }),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(0),
+        Err(e) => Err(e),
+    }
+}
+
+/// Persists the epoch atomically (tmp + rename + fsync): after this
+/// returns, a restart can never come back up fenced at a lower term.
+pub fn persist_epoch(dir: &Path, epoch: u64) -> io::Result<()> {
+    let tmp = dir.join(format!("{EPOCH_FILE}.tmp"));
+    let mut f = File::create(&tmp)?;
+    f.write_all(epoch.to_string().as_bytes())?;
+    f.sync_data()?;
+    fs::rename(&tmp, dir.join(EPOCH_FILE))?;
+    Ok(())
+}
+
+/// A blocking single-request-in-flight NDJSON connection.
+pub(crate) struct LineConn {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl LineConn {
+    /// Connects with a bounded timeout.
+    pub(crate) fn connect(addr: &str, timeout: Duration) -> io::Result<Self> {
+        let sockaddr = addr
+            .parse()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, format!("bad addr {addr}: {e}")))?;
+        let stream = TcpStream::connect_timeout(&sockaddr, timeout)?;
+        stream.set_nodelay(true)?;
+        Ok(Self { stream, buf: Vec::new() })
+    }
+
+    /// Writes one request line and reads one response line.
+    pub(crate) fn exchange(&mut self, req: &Request, timeout: Duration) -> io::Result<Response> {
+        self.stream.set_read_timeout(Some(timeout))?;
+        self.stream.set_write_timeout(Some(timeout))?;
+        let mut line = serde_json::to_string(req).map_err(io::Error::other)?;
+        line.push('\n');
+        self.stream.write_all(line.as_bytes())?;
+        // Lockstep protocol: exactly one response is in flight, so reading
+        // up to the first newline consumes exactly our reply.
+        loop {
+            if let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
+                let line = self.buf.drain(..=pos).collect::<Vec<u8>>();
+                let text = std::str::from_utf8(&line[..line.len() - 1])
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+                return serde_json::from_str::<Response>(text)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad response: {e}")));
+            }
+            if self.buf.len() > 1 << 20 {
+                return Err(io::Error::new(io::ErrorKind::InvalidData, "response line exceeds 1 MiB"));
+            }
+            let mut chunk = [0u8; 4096];
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "connection closed mid-response"));
+            }
+            self.buf.extend_from_slice(&chunk[..n]);
+        }
+    }
+}
+
+/// Sends `req` over a cached connection to `addr`, dialling (or
+/// redialling) as needed. On any transport error the cache is cleared so
+/// the next call redials.
+pub(crate) fn exchange_on(
+    conn: &mut Option<LineConn>,
+    addr: &str,
+    req: &Request,
+    timeout: Duration,
+) -> io::Result<Response> {
+    if conn.is_none() {
+        *conn = Some(LineConn::connect(addr, timeout)?);
+    }
+    match conn.as_mut().expect("just set").exchange(req, timeout) {
+        Ok(resp) => Ok(resp),
+        Err(e) => {
+            *conn = None;
+            Err(e)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("rrre-repl-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn leader_cfg(followers: Vec<String>, epoch: u64) -> ReplicationConfig {
+        ReplicationConfig {
+            role: ReplRole::Leader { followers, epoch },
+            quorum_timeout: Duration::from_millis(200),
+            ..ReplicationConfig::default()
+        }
+    }
+
+    #[test]
+    fn epoch_persists_and_higher_term_wins_on_reopen() {
+        let dir = tmp("epoch");
+        assert_eq!(load_epoch(&dir).unwrap(), 0);
+        let repl = Replication::open(&dir, leader_cfg(vec![], 1)).unwrap();
+        assert_eq!(repl.current_epoch(), 1);
+        assert_eq!(load_epoch(&dir).unwrap(), 1);
+        persist_epoch(&dir, 7).unwrap();
+        // Reopening as leader with a stale requested epoch keeps the
+        // persisted (higher) term — a fenced replica can't self-unfence.
+        let repl = Replication::open(&dir, leader_cfg(vec![], 2)).unwrap();
+        assert_eq!(repl.current_epoch(), 7);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn quorum_wait_releases_on_follower_ack_and_times_out_without() {
+        let dir = tmp("quorum");
+        let repl = Arc::new(
+            Replication::open(&dir, leader_cfg(vec!["f1".into(), "f2".into()], 1)).unwrap(),
+        );
+        // 3-replica set: quorum is 2, so one follower ack releases.
+        assert_eq!(repl.quorum_wait(1), Err(QuorumError::Timeout));
+        {
+            let mut inner = repl.lock();
+            inner.acked.insert("f1".into(), 5);
+        }
+        repl.notify();
+        assert_eq!(repl.quorum_wait(5), Ok(()));
+        assert_eq!(repl.quorum_wait(6), Err(QuorumError::Timeout));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn deposed_leader_fails_quorum_waits_immediately() {
+        let dir = tmp("deposed");
+        let repl =
+            Arc::new(Replication::open(&dir, leader_cfg(vec!["f1".into()], 3)).unwrap());
+        repl.adopt_epoch(4, Some("10.0.0.9:4000".into())).unwrap();
+        assert!(!repl.is_leader());
+        match repl.quorum_wait(1) {
+            Err(QuorumError::Deposed(hint)) => assert_eq!(hint.as_deref(), Some("10.0.0.9:4000")),
+            other => panic!("expected deposed, got {other:?}"),
+        }
+        assert_eq!(load_epoch(&dir).unwrap(), 4);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn promote_installs_the_new_term_and_clears_deposal() {
+        let dir = tmp("promote");
+        let repl = Arc::new(
+            Replication::open(&dir, ReplicationConfig::default()).unwrap(),
+        );
+        assert!(!repl.is_leader());
+        repl.promote(2, vec![]).unwrap();
+        assert!(repl.is_leader());
+        assert_eq!(repl.current_epoch(), 2);
+        assert_eq!(load_epoch(&dir).unwrap(), 2);
+        // Quorum of a 1-replica set is the leader alone: waits release
+        // immediately.
+        assert_eq!(repl.quorum_wait(10), Ok(()));
+        repl.stop();
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stats_report_lag_to_the_slowest_follower() {
+        let dir = tmp("lag");
+        let repl = Arc::new(
+            Replication::open(&dir, leader_cfg(vec!["f1".into(), "f2".into()], 1)).unwrap(),
+        );
+        let recs = (0..4)
+            .map(|seq| WalRecord {
+                seq,
+                user: 0,
+                item: 0,
+                rating: 4.0,
+                ts: 0,
+                text: String::new(),
+            })
+            .collect();
+        repl.seed(recs, 10);
+        {
+            let mut inner = repl.lock();
+            inner.acked.insert("f1".into(), 14);
+            inner.acked.insert("f2".into(), 11);
+        }
+        let (epoch, count, lag) = repl.stats();
+        assert_eq!((epoch, count), (1, 14));
+        assert_eq!(lag, 3, "lag is to the slowest follower");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

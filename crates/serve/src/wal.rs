@@ -256,6 +256,24 @@ pub struct Recovery {
     pub bytes: u64,
 }
 
+/// Reads one little-endian `u32` header field at `at`, turning a
+/// short-by-construction slice into a structured corruption error instead
+/// of a panic. Callers bound-check `remaining` first, so hitting the error
+/// path means the framing arithmetic itself disagrees with the bytes — a
+/// shape worth reporting precisely, never unwrapping over.
+fn read_header_u32(bytes: &[u8], at: usize, segment: &str, what: &str) -> Result<u32, WalError> {
+    let field = at
+        .checked_add(4)
+        .and_then(|end| bytes.get(at..end))
+        .and_then(|s| <[u8; 4]>::try_from(s).ok())
+        .ok_or_else(|| WalError::Corrupt {
+            segment: segment.to_string(),
+            offset: at as u64,
+            detail: format!("record {what} extends past the segment end"),
+        })?;
+    Ok(u32::from_le_bytes(field))
+}
+
 /// Replays every segment, repairing a torn tail in place.
 ///
 /// Only the *final* segment may legitimately end mid-record (appends are
@@ -273,12 +291,28 @@ pub fn replay_and_repair(dir: &Path) -> Result<Recovery, WalError> {
         let mut offset = 0usize;
         while offset < bytes.len() {
             let remaining = bytes.len() - offset;
-            // An incomplete suffix: header or payload cut short.
+            // An incomplete suffix: header or payload cut short. A *complete*
+            // header advertising an impossible payload is handled separately
+            // below — the writer never produces such a record, so it is
+            // framing garbage, not a torn write.
             let torn = if remaining < RECORD_HEADER {
                 true
             } else {
-                let len = u32::from_le_bytes(bytes[offset..offset + 4].try_into().unwrap());
-                len > MAX_PAYLOAD || (len as usize) > remaining - RECORD_HEADER
+                let len = read_header_u32(&bytes, offset, &name, "length prefix")?;
+                if len > MAX_PAYLOAD {
+                    // Fail closed *before* attempting the allocation, in any
+                    // segment including the final one: truncating here would
+                    // silently discard whatever valid-looking bytes follow
+                    // the garbage header.
+                    return Err(WalError::Corrupt {
+                        segment: name,
+                        offset: offset as u64,
+                        detail: format!(
+                            "length prefix {len} exceeds the {MAX_PAYLOAD}-byte record cap"
+                        ),
+                    });
+                }
+                (len as usize) > remaining - RECORD_HEADER
             };
             if torn {
                 if pos != last {
@@ -294,8 +328,8 @@ pub fn replay_and_repair(dir: &Path) -> Result<Recovery, WalError> {
                 out.truncated_tails += 1;
                 break;
             }
-            let len = u32::from_le_bytes(bytes[offset..offset + 4].try_into().unwrap()) as usize;
-            let stored_crc = u32::from_le_bytes(bytes[offset + 4..offset + 8].try_into().unwrap());
+            let len = read_header_u32(&bytes, offset, &name, "length prefix")? as usize;
+            let stored_crc = read_header_u32(&bytes, offset + 4, &name, "crc field")?;
             let payload = &bytes[offset + RECORD_HEADER..offset + RECORD_HEADER + len];
             let actual_crc = crc32(payload);
             if actual_crc != stored_crc {
@@ -632,6 +666,55 @@ mod tests {
             }
             other => panic!("expected fail-closed corruption, got {other:?}"),
         }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn oversized_length_prefix_fails_closed_even_in_the_final_segment() {
+        let dir = tmp("hugelen");
+        let mut w = WalWriter::open(&dir, 1 << 20, FsyncPolicy::EveryRecord).unwrap();
+        w.append(&rec(0)).unwrap();
+        drop(w);
+        // A bytewise-complete header whose length prefix exceeds the record
+        // cap: framing garbage, not a torn write. Replay must refuse before
+        // attempting the (up to 4 GiB) allocation — and must NOT repair it
+        // away as a torn tail, even though this is the final segment.
+        let seg = dir.join(segment_name(0));
+        let good_len = fs::metadata(&seg).unwrap().len();
+        let mut garbage = (MAX_PAYLOAD + 1).to_le_bytes().to_vec();
+        garbage.extend_from_slice(&0xDEAD_BEEFu32.to_le_bytes());
+        let mut f = OpenOptions::new().append(true).open(&seg).unwrap();
+        f.write_all(&garbage).unwrap();
+        drop(f);
+        match replay_and_repair(&dir) {
+            Err(WalError::Corrupt { offset, detail, .. }) => {
+                assert_eq!(offset, good_len);
+                assert!(detail.contains("record cap"), "{detail}");
+            }
+            other => panic!("expected fail-closed corruption, got {other:?}"),
+        }
+        // Fail closed means no repair happened: the segment is untouched.
+        assert_eq!(fs::metadata(&seg).unwrap().len(), good_len + 8);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn short_trailing_header_is_still_a_torn_tail() {
+        let dir = tmp("shorthdr");
+        let mut w = WalWriter::open(&dir, 1 << 20, FsyncPolicy::EveryRecord).unwrap();
+        w.append(&rec(0)).unwrap();
+        drop(w);
+        // Fewer than RECORD_HEADER trailing bytes is exactly what a crash
+        // mid-header-write leaves behind: repaired, not refused.
+        let seg = dir.join(segment_name(0));
+        let good_len = fs::metadata(&seg).unwrap().len();
+        let mut f = OpenOptions::new().append(true).open(&seg).unwrap();
+        f.write_all(&[0x01, 0x02, 0x03]).unwrap();
+        drop(f);
+        let r = replay_and_repair(&dir).unwrap();
+        assert_eq!(r.records.len(), 1);
+        assert_eq!(r.truncated_tails, 1);
+        assert_eq!(fs::metadata(&seg).unwrap().len(), good_len);
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -1,0 +1,127 @@
+//! Property tests for WAL segment-rotation boundaries.
+//!
+//! `WalWriter::append` rotates *before* appending once the current
+//! segment has reached `segment_bytes`, so three boundary shapes exist
+//! and each must replay losslessly:
+//!
+//! 1. a record whose bytes land the segment **exactly on** the rotation
+//!    threshold (the next append opens a fresh segment);
+//! 2. a record that **spans** the threshold — it starts below
+//!    `segment_bytes` and ends past it, physically overflowing its
+//!    segment (rotation only happens on the *next* append);
+//! 3. a **final record ahead of a torn tail** — the crash-truncated
+//!    record after it is repaired away, every intact record survives,
+//!    and the repaired log accepts new appends.
+//!
+//! Record sizes, the boundary offsets and the tear length are all
+//! property-driven; the committed `.proptest-regressions` sibling pins
+//! known-nasty shapes to replay before novel cases.
+
+use proptest::prelude::*;
+use rrre_serve::wal::{replay_and_repair, WalRecord, WalWriter};
+use rrre_serve::FsyncPolicy;
+use rrre_testkit::TempDir;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static CASE: AtomicUsize = AtomicUsize::new(0);
+
+/// A record with a fixed-width seq (3 digits keeps the JSON length a
+/// pure function of the text length) and `text_len` bytes of text.
+fn record(seq: u64, text_len: usize) -> WalRecord {
+    assert!((100..1000).contains(&seq), "3-digit seqs keep encoded sizes predictable");
+    WalRecord { seq, user: 0, item: 0, rating: 3.5, ts: 777, text: "x".repeat(text_len) }
+}
+
+/// Encoded size of `record(seq, text_len)` on disk, measured by writing a
+/// probe record into a scratch WAL — the framing overhead is opaque to
+/// this test, the *measured* arithmetic is what the properties rely on.
+fn encoded_size(dir: &TempDir, text_len: usize) -> u64 {
+    let probe = dir.path().join("probe-wal");
+    let mut w = WalWriter::open(&probe, u64::MAX, FsyncPolicy::Batched { every: 1 << 20 })
+        .expect("probe WAL open");
+    let bytes = w.append(&record(555, text_len)).expect("probe append");
+    std::fs::remove_dir_all(&probe).ok();
+    bytes
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn rotation_boundary_shapes_replay_losslessly(
+        fill_len in 1usize..64,    // text length of the exactly-filling record
+        mid_len in 0usize..64,     // text length of the boundary-spanning record
+        tail_len in 0usize..64,    // text length of the final intact record
+        shave in 1u64..32,         // bytes torn off the crashed record
+    ) {
+        let dir = TempDir::new(&format!(
+            "wal-rotation-{}-{}", std::process::id(), CASE.fetch_add(1, Ordering::SeqCst)
+        ));
+        let overhead = encoded_size(&dir, 0);
+        let fill_size = overhead + fill_len as u64;
+
+        // Shape 1: segment_bytes is sized so record A fills segment 0 to
+        // the byte.
+        let wal_dir = dir.path().join("wal");
+        let mut w = WalWriter::open(&wal_dir, fill_size, FsyncPolicy::Batched { every: 1 << 20 })
+            .expect("WAL open");
+        let a = record(100, fill_len);
+        prop_assert_eq!(w.append(&a).expect("append A"), fill_size);
+        prop_assert_eq!(w.current_segment(), 0, "an exact fill must not rotate eagerly");
+
+        // Shape 2: record B rotates into segment 1 (threshold reached),
+        // then record C is appended when segment 1 sits one byte short of
+        // the threshold — C *spans* the rotation point, overflowing
+        // segment 1, and only D's append rotates.
+        let b = record(101, fill_len.saturating_sub(1));
+        w.append(&b).expect("append B");
+        prop_assert_eq!(w.current_segment(), 1, "the append after an exact fill rotates first");
+        let c = record(102, mid_len);
+        w.append(&c).expect("append C");
+        prop_assert_eq!(
+            w.current_segment(), 1,
+            "a record starting below the threshold stays in its segment, even overflowing it"
+        );
+        let d = record(103, mid_len);
+        w.append(&d).expect("append D");
+        prop_assert_eq!(w.current_segment(), 2, "the overflowed segment closes on the next append");
+
+        // Shape 3: final intact record E, then a record that crashes
+        // mid-write — shave bytes off the newest segment so its last
+        // record is bytewise incomplete.
+        let e = record(104, tail_len);
+        w.append(&e).expect("append E");
+        let torn = record(105, tail_len);
+        let torn_size = w.append(&torn).expect("append torn");
+        w.sync().expect("sync");
+        prop_assert!(shave < torn_size, "the tear must leave a partial record, not erase it");
+        let seg_path = {
+            let segs = rrre_serve::wal::list_segments(&wal_dir).expect("list segments");
+            segs.last().expect("segments exist").1.clone()
+        };
+        let len = std::fs::metadata(&seg_path).expect("segment metadata").len();
+        let file = std::fs::OpenOptions::new().write(true).open(&seg_path).expect("open segment");
+        file.set_len(len - shave).expect("shave tail");
+        drop(file);
+        drop(w);
+
+        // Replay: every intact record in order, exactly one repaired tear.
+        let recovery = replay_and_repair(&wal_dir).expect("replay must repair, not refuse");
+        let expect = vec![a, b, c, d, e.clone()];
+        prop_assert_eq!(&recovery.records, &expect, "intact records must survive the tear");
+        prop_assert_eq!(recovery.truncated_tails, 1, "exactly the torn record is repaired away");
+
+        // The repaired log keeps working: the retried record lands after
+        // the truncation point and the next replay sees everything.
+        let mut w = WalWriter::open(&wal_dir, fill_size, FsyncPolicy::Batched { every: 1 << 20 })
+            .expect("reopen after repair");
+        w.append(&torn).expect("retry the torn record");
+        w.sync().expect("sync retry");
+        drop(w);
+        let recovery = replay_and_repair(&wal_dir).expect("second replay");
+        let mut expect_retried = expect.clone();
+        expect_retried.push(torn);
+        prop_assert_eq!(recovery.records, expect_retried);
+        prop_assert_eq!(recovery.truncated_tails, 0, "a repaired log has no tear left");
+    }
+}

@@ -63,6 +63,10 @@ pub fn plan(map: &ShardMap, req: &Request) -> RoutePlan {
             None => RoutePlan::Any,
         },
         Op::Compact => RoutePlan::Broadcast,
+        // Replication traffic addresses one specific replica (a follower
+        // being shipped to, the leader being fetched from, the replica
+        // being promoted) — it is never scatter-gathered across shards.
+        Op::Replicate | Op::FetchWal | Op::Promote => RoutePlan::Any,
     }
 }
 
@@ -126,6 +130,12 @@ pub fn merge_stats(parts: &[StatsSnapshot]) -> StatsSnapshot {
         out.refreshes += p.refreshes;
         out.compactions += p.compactions;
         out.wal_recoveries += p.wal_recoveries;
+        // Terms are per-shard clocks: the max is "the newest term anywhere
+        // in the fleet". Watermarks and lags sum like the other gauges.
+        out.epoch = out.epoch.max(p.epoch);
+        out.replicated_seq += p.replicated_seq;
+        out.replication_lag += p.replication_lag;
+        out.stale_epoch_rejections += p.stale_epoch_rejections;
         out.degraded_responses += p.degraded_responses;
         out.open_conns += p.open_conns;
         out.pipelined_inflight += p.pipelined_inflight;

@@ -29,6 +29,11 @@
 //!   ([`topology::ShardedDeployment`]): one saved artifact served by
 //!   `shards × replicas` shard-scoped engines on loopback, with per-shard
 //!   and per-replica kill switches for degraded-answer drills.
+//! * [`replication`] — in-process replicated single-shard deployments
+//!   ([`replication::ReplicatedDeployment`]): one artifact cloned into a
+//!   private directory per replica, leader-shipped WAL replication
+//!   between them, with kill / restart / resync / promote levers for the
+//!   durable-failover oracle.
 //!
 //! The crate is a *dev-dependency* everywhere it is used; production crates
 //! never link it.
@@ -40,6 +45,7 @@ pub mod fault;
 pub mod fixtures;
 pub mod golden;
 pub mod parity;
+pub mod replication;
 pub mod sync;
 pub mod topology;
 
@@ -50,4 +56,5 @@ pub use fixtures::{
 };
 pub use golden::{check_golden, compare, GoldenTolerance, GoldenTrace};
 pub use parity::{assert_model_parity, assert_serve_parity, deterministic_pairs};
+pub use replication::ReplicatedDeployment;
 pub use topology::ShardedDeployment;

@@ -36,8 +36,10 @@ pub const MAX_LINE_BYTES: usize = 16 * 1024;
 /// The exhaustive set of accepted request fields. `decode_request` rejects
 /// anything else: a typo like `"deadine_ms"` must fail loudly instead of
 /// being silently dropped and serving with no deadline at all.
-const REQUEST_FIELDS: [&str; 10] =
-    ["id", "op", "user", "item", "k", "deadline_ms", "seq", "rating", "text", "ts"];
+const REQUEST_FIELDS: [&str; 15] = [
+    "id", "op", "user", "item", "k", "deadline_ms", "seq", "rating", "text", "ts", "epoch",
+    "from", "limit", "records", "peers",
+];
 
 /// Request discriminator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -74,6 +76,21 @@ pub enum Op {
     /// artifact generation (then truncate the folded segments). Not
     /// idempotent: each invocation may produce a new generation.
     Compact,
+    /// Leader→follower WAL shipping: a batch of ingest records at
+    /// contiguous leader-log positions starting at `from`, fenced by
+    /// `epoch`. Each record carries its own CRC. The follower applies the
+    /// non-overlapping suffix through its seq dedup and replies with its
+    /// post-apply log count in `replicated`, so a blind redelivery is
+    /// position-skipped and a gap makes the leader rewind — idempotent.
+    Replicate,
+    /// Follower→leader catch-up: fetch up to `limit` records starting at
+    /// leader-log position `from`. A pure read.
+    FetchWal,
+    /// Fence-and-promote: make the receiving replica the shard's ingest
+    /// leader under the (strictly higher) `epoch`, shipping to the `peers`
+    /// follower addresses. Not idempotent: a resend with the same epoch is
+    /// refused as stale.
+    Promote,
 }
 
 impl Op {
@@ -82,11 +99,13 @@ impl Op {
     /// Reads (`Predict`/`Recommend`/`Explain`/`Stats`/`Health`) and cache
     /// eviction (`Invalidate` — evicting twice converges to the same
     /// state) are idempotent, and so is `IngestReview` — its `seq` id
-    /// dedups replays server-side; `Reload` bumps the generation, `Crash`
-    /// burns a worker and `Compact` commits a new generation, so none of
-    /// those may be blindly resent.
+    /// dedups replays server-side. `Replicate` is position- and seq-deduped
+    /// by the follower and `FetchWal` is a pure read, so both resend
+    /// safely. `Reload` bumps the generation, `Crash` burns a worker,
+    /// `Compact` commits a new generation and `Promote` fences a new
+    /// leader term, so none of those may be blindly resent.
     pub fn is_idempotent(self) -> bool {
-        !matches!(self, Op::Reload | Op::Crash | Op::Compact)
+        !matches!(self, Op::Reload | Op::Crash | Op::Compact | Op::Promote)
     }
 }
 
@@ -115,6 +134,19 @@ pub struct Request {
     pub text: Option<String>,
     /// Publication timestamp of the ingested review (`IngestReview`).
     pub ts: Option<i64>,
+    /// Replication epoch (leader term) this request was issued under
+    /// (`Replicate`, `Promote`; optional fence on `IngestReview`). A
+    /// replica whose persisted epoch is higher refuses with `StaleEpoch`.
+    pub epoch: Option<u64>,
+    /// Leader-log position of the first record in the batch (`Replicate`)
+    /// or of the first record requested (`FetchWal`).
+    pub from: Option<u64>,
+    /// Maximum records to return (`FetchWal`).
+    pub limit: Option<u64>,
+    /// The shipped record batch (`Replicate`), contiguous from `from`.
+    pub records: Option<Vec<ReplRecordDto>>,
+    /// Follower addresses the promoted leader ships to (`Promote`).
+    pub peers: Option<Vec<String>>,
 }
 
 impl Request {
@@ -130,6 +162,11 @@ impl Request {
             rating: None,
             text: None,
             ts: None,
+            epoch: None,
+            from: None,
+            limit: None,
+            records: None,
+            peers: None,
         }
     }
 
@@ -193,6 +230,30 @@ impl Request {
     /// A `Compact` request.
     pub fn compact() -> Self {
         Self::bare(Op::Compact)
+    }
+
+    /// A `Replicate` request: ship `records` at contiguous leader-log
+    /// positions starting at `from`, fenced by `epoch`. An empty batch is
+    /// the position probe a freshly promoted leader uses to learn how far
+    /// along each follower is.
+    pub fn replicate(epoch: u64, from: u64, records: Vec<ReplRecordDto>) -> Self {
+        Self {
+            epoch: Some(epoch),
+            from: Some(from),
+            records: Some(records),
+            ..Self::bare(Op::Replicate)
+        }
+    }
+
+    /// A `FetchWal` catch-up request for log positions `[from, from+limit)`.
+    pub fn fetch_wal(from: u64, limit: u64) -> Self {
+        Self { from: Some(from), limit: Some(limit), ..Self::bare(Op::FetchWal) }
+    }
+
+    /// A `Promote` request: fence a new leader term `epoch` on the
+    /// receiving replica, shipping to `peers`.
+    pub fn promote(epoch: u64, peers: Vec<String>) -> Self {
+        Self { epoch: Some(epoch), peers: Some(peers), ..Self::bare(Op::Promote) }
     }
 
     /// Returns the request with a correlation id attached.
@@ -323,6 +384,73 @@ pub struct CompactionDto {
     pub generation: u64,
 }
 
+/// One shipped WAL record (`Replicate` batches, `FetchWal` replies). The
+/// same payload the leader's WAL frames on disk, plus a per-record CRC so
+/// a relaying hop or a buggy batcher cannot silently hand a follower a
+/// mangled review: the follower recomputes [`ReplRecordDto::checksum`]
+/// over the payload fields and refuses the batch on mismatch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplRecordDto {
+    /// Client-supplied idempotency sequence id.
+    pub seq: u64,
+    /// Dense user id.
+    pub user: u32,
+    /// Dense item id.
+    pub item: u32,
+    /// Star rating in `[1, 5]`.
+    pub rating: f32,
+    /// Review timestamp.
+    pub ts: i64,
+    /// Review text.
+    pub text: String,
+    /// CRC-32 over the payload fields (see [`ReplRecordDto::checksum`]).
+    pub crc: u32,
+}
+
+/// CRC-32 (IEEE 802.3, reflected polynomial), bitwise — the same function
+/// the serve WAL frames records with, duplicated here so the wire crate
+/// stays dependency-free.
+fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+impl ReplRecordDto {
+    /// The record's integrity checksum: CRC-32 over a fixed little-endian
+    /// concatenation of the payload fields (`seq ‖ user ‖ item ‖
+    /// rating-bits ‖ ts ‖ text`). Field order and widths are part of the
+    /// wire contract — both ends must compute the identical value.
+    pub fn checksum(&self) -> u32 {
+        let mut buf = Vec::with_capacity(28 + self.text.len());
+        buf.extend_from_slice(&self.seq.to_le_bytes());
+        buf.extend_from_slice(&self.user.to_le_bytes());
+        buf.extend_from_slice(&self.item.to_le_bytes());
+        buf.extend_from_slice(&self.rating.to_bits().to_le_bytes());
+        buf.extend_from_slice(&self.ts.to_le_bytes());
+        buf.extend_from_slice(self.text.as_bytes());
+        crc32(&buf)
+    }
+
+    /// Builds a record with its `crc` stamped.
+    pub fn sealed(seq: u64, user: u32, item: u32, rating: f32, ts: i64, text: String) -> Self {
+        let mut rec = Self { seq, user, item, rating, ts, text, crc: 0 };
+        rec.crc = rec.checksum();
+        rec
+    }
+
+    /// Whether the stamped `crc` matches the payload.
+    pub fn verify(&self) -> bool {
+        self.crc == self.checksum()
+    }
+}
+
 /// Machine-readable classification of a refused request, so clients can
 /// implement retry policy without parsing error strings: `Overloaded` and
 /// `Unavailable` are retryable after backoff, the rest are not.
@@ -347,6 +475,17 @@ pub enum ErrorKind {
     /// topology. Retrying the *same* replica set cannot succeed, so this
     /// is not in the retryable set; re-routing is the client's job.
     WrongShard,
+    /// The request carried a replication epoch older than the replica's
+    /// persisted one: the sender is a fenced-off stale leader (or a relay
+    /// of one). The response's `epoch` names the current term. Never
+    /// blindly retryable — the sender must stop acting as leader.
+    StaleEpoch,
+    /// An ingest-path request reached a replica that is not the shard's
+    /// current leader (a follower, or a leader that deposed itself after
+    /// being fenced). The response's `leader` field carries the last known
+    /// leader address when the replica has one; re-routing there is the
+    /// client's job.
+    NotLeader,
 }
 
 /// The parameters a consistent-hash shard map is derived from. This is the
@@ -474,6 +613,19 @@ pub struct Response {
     pub ingest: Option<IngestDto>,
     /// `Compact` payload.
     pub compaction: Option<CompactionDto>,
+    /// Replication epoch at the responding replica (`Promote` acks,
+    /// `StaleEpoch` refusals, replication-aware `Stats`).
+    pub epoch: Option<u64>,
+    /// Last known leader address, on `NotLeader` refusals — the
+    /// follow-the-leader redirect hint.
+    pub leader: Option<String>,
+    /// The responder's replication-log record count: on a `Replicate` ack,
+    /// how far the follower's durable log now extends (the leader rewinds
+    /// its shipping cursor to this on a gap); on `FetchWal`, the serving
+    /// log's total length (how far behind the fetcher still is).
+    pub replicated: Option<u64>,
+    /// `FetchWal` payload: the requested record range.
+    pub records: Option<Vec<ReplRecordDto>>,
 }
 
 impl Response {
@@ -497,6 +649,10 @@ impl Response {
             missing_shards: None,
             ingest: None,
             compaction: None,
+            epoch: None,
+            leader: None,
+            replicated: None,
+            records: None,
         }
     }
 
@@ -541,9 +697,39 @@ impl Response {
         resp
     }
 
+    /// The structured refusal for replication traffic carrying a fenced
+    /// (older) epoch: names the replica's current term so the stale sender
+    /// can see exactly how far behind its view is.
+    pub fn stale_epoch(id: Option<u64>, got: u64, current: u64) -> Self {
+        let mut resp = Self::error_kind(
+            id,
+            ErrorKind::StaleEpoch,
+            format!("epoch {got} is stale: this replica is fenced at epoch {current}"),
+        );
+        resp.epoch = Some(current);
+        resp
+    }
+
+    /// The structured refusal for ingest-path traffic at a replica that is
+    /// not the shard's current leader, carrying the redirect hint when the
+    /// replica knows one.
+    pub fn not_leader(id: Option<u64>, leader: Option<String>) -> Self {
+        let mut resp = Self::error_kind(
+            id,
+            ErrorKind::NotLeader,
+            match &leader {
+                Some(addr) => format!("not the ingest leader; current leader is {addr}"),
+                None => "not the ingest leader and no leader is known".to_string(),
+            },
+        );
+        resp.leader = leader;
+        resp
+    }
+
     /// Whether a client may safely resubmit after this error. Only the
     /// load-protection refusals qualify; `BadRequest` will fail again,
-    /// `Internal`/`DeadlineExceeded` need the caller's judgment.
+    /// `Internal`/`DeadlineExceeded` need the caller's judgment, and
+    /// `NotLeader`/`WrongShard` need re-routing, not resending.
     pub fn is_retryable_error(&self) -> bool {
         matches!(self.kind, Some(ErrorKind::Overloaded | ErrorKind::Unavailable))
     }
@@ -639,6 +825,18 @@ pub struct StatsSnapshot {
     /// startup. Mid-log corruption is *not* counted here — it fails the
     /// engine closed instead of being silently skipped.
     pub wal_recoveries: u64,
+    /// Replication epoch (leader term) this replica is fenced at (0 when
+    /// replication is not configured). Fleet merges take the max.
+    pub epoch: u64,
+    /// Records durably applied through the replication log on this replica
+    /// (leader appends plus follower-applied shipments).
+    pub replicated_seq: u64,
+    /// Leader only: log records not yet acked by the slowest live
+    /// follower (0 on followers and unreplicated engines).
+    pub replication_lag: u64,
+    /// Requests refused with `StaleEpoch` — fenced stale-leader traffic
+    /// this replica turned away.
+    pub stale_epoch_rejections: u64,
 }
 
 /// Encodes a response as one protocol line (no trailing newline).
@@ -785,10 +983,14 @@ mod tests {
             // Ingest is seq-deduped server-side, so a blind resend is safe —
             // that is the whole point of the client-supplied sequence id.
             Op::IngestReview,
+            // Replication shipping is position- and seq-deduped by the
+            // follower; catch-up fetches are pure reads.
+            Op::Replicate,
+            Op::FetchWal,
         ] {
             assert!(op.is_idempotent(), "{op:?} must be retryable");
         }
-        for op in [Op::Reload, Op::Crash, Op::Compact] {
+        for op in [Op::Reload, Op::Crash, Op::Compact, Op::Promote] {
             assert!(!op.is_idempotent(), "{op:?} must never be blindly retried");
         }
     }
@@ -818,6 +1020,82 @@ mod tests {
         resp.compaction = Some(CompactionDto { folded: 128, generation: 3 });
         let back: Response = serde_json::from_str(&encode_response(&resp)).unwrap();
         assert_eq!(back.compaction, Some(CompactionDto { folded: 128, generation: 3 }));
+    }
+
+    #[test]
+    fn replicate_request_roundtrips_and_crc_catches_mutation() {
+        let rec = ReplRecordDto::sealed(41, 3, 7, 4.5, 900, "fine grinder".into());
+        assert!(rec.verify());
+        let r = Request::replicate(2, 17, vec![rec.clone()]).with_id(5);
+        let line = serde_json::to_string(&r).unwrap();
+        assert!(!line.contains('\n'));
+        let back = decode_request(&line).unwrap();
+        assert_eq!(back.op, Op::Replicate);
+        assert_eq!((back.epoch, back.from, back.id), (Some(2), Some(17), Some(5)));
+        let shipped = &back.records.unwrap()[0];
+        assert_eq!(shipped, &rec);
+        assert!(shipped.verify());
+        // Any payload mutation after sealing fails verification.
+        let mut mangled = rec.clone();
+        mangled.rating = 1.0;
+        assert!(!mangled.verify());
+        let mut mangled = rec;
+        mangled.text.push('!');
+        assert!(!mangled.verify());
+    }
+
+    #[test]
+    fn fetch_wal_and_promote_roundtrip() {
+        let r = Request::fetch_wal(128, 16);
+        let back = decode_request(&serde_json::to_string(&r).unwrap()).unwrap();
+        assert_eq!(back.op, Op::FetchWal);
+        assert_eq!((back.from, back.limit), (Some(128), Some(16)));
+
+        let r = Request::promote(3, vec!["127.0.0.1:7001".into(), "127.0.0.1:7002".into()]);
+        let back = decode_request(&serde_json::to_string(&r).unwrap()).unwrap();
+        assert_eq!(back.op, Op::Promote);
+        assert_eq!(back.epoch, Some(3));
+        assert_eq!(back.peers.as_deref().map(|p| p.len()), Some(2));
+    }
+
+    #[test]
+    fn stale_epoch_carries_the_current_term_and_is_not_retryable() {
+        let resp = Response::stale_epoch(Some(4), 2, 5);
+        let back: Response = serde_json::from_str(&encode_response(&resp)).unwrap();
+        assert!(!back.ok);
+        assert_eq!(back.kind, Some(ErrorKind::StaleEpoch));
+        assert_eq!(back.epoch, Some(5));
+        // A fenced leader must stop, not retry into the new term's quorum.
+        assert!(!back.is_retryable_error());
+    }
+
+    #[test]
+    fn not_leader_carries_the_redirect_hint() {
+        let resp = Response::not_leader(Some(8), Some("127.0.0.1:9000".into()));
+        let back: Response = serde_json::from_str(&encode_response(&resp)).unwrap();
+        assert!(!back.ok);
+        assert_eq!(back.kind, Some(ErrorKind::NotLeader));
+        assert_eq!(back.leader.as_deref(), Some("127.0.0.1:9000"));
+        // Blind resend to the same replica cannot succeed; the redirect is
+        // the client's job (it is handled specially, not via this flag).
+        assert!(!back.is_retryable_error());
+
+        let hintless = Response::not_leader(None, None);
+        assert!(hintless.leader.is_none());
+        assert!(hintless.error.unwrap().contains("no leader is known"));
+    }
+
+    #[test]
+    fn replicate_ack_payload_roundtrips() {
+        let mut resp = Response::ok(Some(2));
+        resp.replicated = Some(640);
+        resp.epoch = Some(3);
+        let back: Response = serde_json::from_str(&encode_response(&resp)).unwrap();
+        assert_eq!(back.replicated, Some(640));
+        assert_eq!(back.epoch, Some(3));
+        let plain: Response = serde_json::from_str(&encode_response(&Response::ok(None))).unwrap();
+        assert_eq!(plain.replicated, None);
+        assert_eq!(plain.records, None);
     }
 
     #[test]

@@ -111,6 +111,46 @@ run_ingest() { # <fsync_batch: 0 = per-record, N>1 = batched> — throughput row
     "$INGEST_COUNT" "$label" "$elapsed_ms" "$(( INGEST_COUNT * 1000 / elapsed_ms ))"
 }
 
+run_ingest_repl() { # <ack: leader|quorum> — replicated ingest throughput row JSON
+  # The same durable append path behind a 3-replica fleet: the delta
+  # between the two rows is the cost of holding each ack until a quorum
+  # (leader + one follower) has the record fsynced, vs acking after the
+  # leader's local fsync and replicating in the background.
+  local ack="$1"
+  local base="$WORK/repl-$ack"
+  "$SERVE" demo "$base-0" >/dev/null 2>&1
+  cp -r "$base-0" "$base-1"
+  cp -r "$base-0" "$base-2"
+  local port=$(( (RANDOM % 5000) + 46000 ))
+  local l="127.0.0.1:$port" f1="127.0.0.1:$((port + 1))" f2="127.0.0.1:$((port + 2))"
+  local pids=()
+  "$SERVE" serve "$base-1" --addr "$f1" --ingest --refresh-every 0 \
+    --replicate-from "$l" </dev/null >"$base-f1.log" 2>&1 &
+  pids+=($!)
+  "$SERVE" serve "$base-2" --addr "$f2" --ingest --refresh-every 0 \
+    --replicate-from "$l" </dev/null >"$base-f2.log" 2>&1 &
+  pids+=($!)
+  wait_addr "$base-f1.log" >/dev/null
+  wait_addr "$base-f2.log" >/dev/null
+  "$SERVE" serve "$base-0" --addr "$l" --ingest --refresh-every 0 \
+    --followers "$f1,$f2" --ack "$ack" </dev/null >"$base-l.log" 2>&1 &
+  pids+=($!)
+  PIDS+=("${pids[@]}")
+  wait_addr "$base-l.log" >/dev/null
+  local t0 t1
+  t0="$(date +%s%N)"
+  "$SERVE" ingest "$l" --count "$INGEST_COUNT" --users 8 --items 2 \
+    --timeout-ms 10000 >"$base.out" || return 1
+  t1="$(date +%s%N)"
+  grep -q "ingested total=$INGEST_COUNT new=$INGEST_COUNT dup=0 failed=0" \
+    "$base.out" || return 1
+  local elapsed_ms=$(( (t1 - t0) / 1000000 ))
+  [ "$elapsed_ms" -gt 0 ] || elapsed_ms=1
+  kill "${pids[@]}" 2>/dev/null || true
+  printf '{"records":%s,"replicas":3,"ack":"%s","elapsed_ms":%s,"records_per_sec":%s}' \
+    "$INGEST_COUNT" "$ack" "$elapsed_ms" "$(( INGEST_COUNT * 1000 / elapsed_ms ))"
+}
+
 echo "==> 1-shard baseline" >&2
 one="$(run_config 1)"
 echo "==> 3-shard scatter-gather" >&2
@@ -123,18 +163,24 @@ echo "==> ingest throughput: fsync per record" >&2
 ingest_strict="$(run_ingest 0)" || { echo "FAIL: per-record ingest row" >&2; exit 1; }
 echo "==> ingest throughput: fsync batched (64)" >&2
 ingest_batched="$(run_ingest 64)" || { echo "FAIL: batched ingest row" >&2; exit 1; }
+echo "==> replicated ingest throughput: 3 replicas, --ack quorum" >&2
+ingest_quorum="$(run_ingest_repl quorum)" || { echo "FAIL: quorum-ack ingest row" >&2; exit 1; }
+echo "==> replicated ingest throughput: 3 replicas, --ack leader" >&2
+ingest_leader="$(run_ingest_repl leader)" || { echo "FAIL: leader-ack ingest row" >&2; exit 1; }
 
 cat > BENCH_serve.json <<EOF
 {
   "bench": "open-loop Recommend burst (k=$K) at $RATE req/s over the demo artifact (synthetic YelpChi, scale 0.05)",
   "command": "scripts/bench_serve.sh",
-  "note": "fixed arrival schedule; p50/p99 are client-observed end-to-end latencies in ms; the 3-shard run scatter-gathers every request across three single-replica shards on loopback; the pipelined rows drive the event core directly (raw connections, correlation-id matching, no retries) — one deep window and one thousand single-slot connections; the ingest rows stream $INGEST_COUNT IngestReview records through the WAL append path with tower refresh disabled, so their delta is the cost of the per-record fsync durability promise vs one fsync per 64 records",
+  "note": "fixed arrival schedule; p50/p99 are client-observed end-to-end latencies in ms; the 3-shard run scatter-gathers every request across three single-replica shards on loopback; the pipelined rows drive the event core directly (raw connections, correlation-id matching, no retries) — one deep window and one thousand single-slot connections; the ingest rows stream $INGEST_COUNT IngestReview records through the WAL append path with tower refresh disabled, so their delta is the cost of the per-record fsync durability promise vs one fsync per 64 records; the replicated rows push the same stream through a 3-replica fleet on loopback (per-record fsync everywhere), quorum-ack holding each ack for leader + one follower fsync vs leader-ack's local-fsync-then-background-replicate",
   "single_shard": $one,
   "three_shard": $three,
   "pipelined_1x64": $pipe_deep,
   "pipelined_1000x1": $pipe_wide,
   "ingest_fsync_per_record": $ingest_strict,
-  "ingest_fsync_batched": $ingest_batched
+  "ingest_fsync_batched": $ingest_batched,
+  "ingest_repl_quorum_ack": $ingest_quorum,
+  "ingest_repl_leader_ack": $ingest_leader
 }
 EOF
 echo "wrote BENCH_serve.json:"

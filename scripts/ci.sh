@@ -331,6 +331,116 @@ if [ "$corrupt_status" -eq 0 ]; then
 fi
 echo "    corrupt WAL record: startup refused (exit $corrupt_status) — fail closed"
 
+echo "==> kill-the-leader replication smoke (3 replicas, quorum acks, fenced promote)"
+# Three replicas of one artifact with intra-shard WAL replication: 12
+# reviews are acked at --ack quorum, the leader is SIGKILLed, a caught-up
+# follower is promoted to epoch 2, and the identical resend against the
+# new leader must come back dup=12 — a lost ack would re-ingest fresh.
+# Compacting both survivors must fold exactly those 12 records and leave
+# byte-identical artifacts (a duplicate application would change bytes).
+"$SERVE" demo "$SMOKE/rmodel0" >/dev/null 2>&1
+cp -r "$SMOKE/rmodel0" "$SMOKE/rmodel1"
+cp -r "$SMOKE/rmodel0" "$SMOKE/rmodel2"
+
+# Replication config needs every address up front (the leader lists its
+# followers; followers name the leader), so the fleet gets fixed ports.
+RBASE=$(( (RANDOM % 5000) + 41000 ))
+RL="127.0.0.1:$RBASE"
+RF1="127.0.0.1:$((RBASE + 1))"
+RF2="127.0.0.1:$((RBASE + 2))"
+
+# Followers boot first (the leader's shippers dial them), then the leader.
+"$SERVE" serve "$SMOKE/rmodel1" --addr "$RF1" --ingest --replicate-from "$RL" \
+  </dev/null >"$SMOKE/repl1.log" 2>&1 &
+RPL_PID1=$!
+"$SERVE" serve "$SMOKE/rmodel2" --addr "$RF2" --ingest --replicate-from "$RL" \
+  </dev/null >"$SMOKE/repl2.log" 2>&1 &
+RPL_PID2=$!
+SRV_PID+=("$RPL_PID1" "$RPL_PID2")
+wait_addr "$SMOKE/repl1.log" >/dev/null
+wait_addr "$SMOKE/repl2.log" >/dev/null
+"$SERVE" serve "$SMOKE/rmodel0" --addr "$RL" --ingest \
+  --followers "$RF1,$RF2" --ack quorum \
+  </dev/null >"$SMOKE/repl0.log" 2>&1 &
+RPL_PID0=$!
+SRV_PID+=("$RPL_PID0")
+wait_addr "$SMOKE/repl0.log" >/dev/null
+
+"$SERVE" ingest "$RL" --count 12 --users 2 --items 2 --timeout-ms 5000 \
+  >"$SMOKE/repl-ingest1.out"
+if ! grep -q "ingested total=12 new=12 dup=0 failed=0" "$SMOKE/repl-ingest1.out"; then
+  echo "    FAIL: quorum-ack ingest did not ack 12 fresh records" >&2
+  sed 's/^/    /' "$SMOKE/repl-ingest1.out" >&2
+  exit 1
+fi
+
+# Quorum only guarantees leader + one follower; wait until BOTH followers
+# report the full log so whichever one we promote is provably caught up.
+for faddr in "$RF1" "$RF2"; do
+  converged=0
+  for _ in $(seq 1 100); do
+    if "$SERVE" query "$faddr" '{"op":"Stats"}' --timeout-ms 2000 2>/dev/null \
+        | grep -q '"replicated_seq":12[,}]'; then
+      converged=1
+      break
+    fi
+    sleep 0.1
+  done
+  if [ "$converged" -ne 1 ]; then
+    echo "    FAIL: follower $faddr never converged to replicated_seq=12" >&2
+    exit 1
+  fi
+done
+
+kill -9 "$RPL_PID0"
+"$SERVE" promote "$RF1" --epoch 2 --peers "$RF2" --timeout-ms 5000 \
+  >"$SMOKE/repl-promote.out"
+if ! grep -q "promoted epoch=2" "$SMOKE/repl-promote.out"; then
+  echo "    FAIL: promote did not install epoch 2 on the survivor" >&2
+  sed 's/^/    /' "$SMOKE/repl-promote.out" >&2
+  exit 1
+fi
+
+# The identical resend IS the client retry after losing the leader: every
+# acked seq must dedup against the promoted survivor's log.
+"$SERVE" ingest "$RF1" --count 12 --users 2 --items 2 --timeout-ms 5000 \
+  >"$SMOKE/repl-ingest2.out"
+if ! grep -q "ingested total=12 new=0 dup=12 failed=0" "$SMOKE/repl-ingest2.out"; then
+  echo "    FAIL: resend after leader SIGKILL must dedup all 12 acked records" >&2
+  sed 's/^/    /' "$SMOKE/repl-ingest2.out" >&2
+  exit 1
+fi
+echo "    SIGKILL leader + promote: 12/12 acked records deduplicated on the new leader"
+
+for raddr in "$RF1" "$RF2"; do
+  "$SERVE" compact "$raddr" --timeout-ms 10000 >"$SMOKE/repl-compact-$raddr.out"
+  if ! grep -q "compacted folded=12 generation=2" "$SMOKE/repl-compact-$raddr.out"; then
+    echo "    FAIL: survivor $raddr must fold exactly the 12 acked records" >&2
+    sed 's/^/    /' "$SMOKE/repl-compact-$raddr.out" >&2
+    exit 1
+  fi
+done
+
+# Byte-identical survivors, excluding per-replica operational state (the
+# epoch file and the ledger's segment watermark) and the wal/ directory.
+compared=0
+for f in $(cd "$SMOKE/rmodel1" && find . -maxdepth 1 -type f | sort); do
+  case "$f" in
+    ./repl_epoch*|./ingest_ledger.json*) continue ;;
+  esac
+  if ! cmp -s "$SMOKE/rmodel1/$f" "$SMOKE/rmodel2/$f"; then
+    echo "    FAIL: post-compaction artifact file $f differs between survivors" >&2
+    exit 1
+  fi
+  compared=$((compared + 1))
+done
+if [ "$compared" -lt 3 ]; then
+  echo "    FAIL: only $compared artifact files compared — the fleet dirs look wrong" >&2
+  exit 1
+fi
+echo "    survivors byte-identical after compaction ($compared files compared)"
+kill "$RPL_PID1" "$RPL_PID2" 2>/dev/null || true
+
 echo "==> adversarial robustness grid (regenerate + byte-diff vs committed artifact)"
 # The committed Table-IV-style grid must regenerate bit-identically from
 # its fixed seeds: any drift means the sweep is no longer a pure function
