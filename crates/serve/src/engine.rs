@@ -921,6 +921,19 @@ fn do_compact(shared: &Shared) -> Result<(u64, u64), String> {
         inner.unfolded.drain(..snapshot.len());
         inner.refreshed = 0;
         inner.ledger = ledger;
+        // The folded prefix leaves the in-memory replication log too (lock
+        // order ingest `inner` → repl, matching the append paths; the log
+        // and `unfolded` grow in lockstep, so the drained prefixes match).
+        // `base` advances by the same amount, keeping every replica's
+        // absolute position — and the followers' acked watermarks — intact;
+        // positions below the new base are no longer fetchable, and
+        // shippers already park on a follower that far behind (it needs an
+        // artifact resync, not shipping).
+        if let Some(repl) = shared.repl.as_deref() {
+            let mut rinner = repl.lock();
+            rinner.log.drain(..snapshot.len());
+            rinner.base += snapshot.len() as u64;
+        }
     }
     // Folded segments are garbage: their records live in the artifact and
     // the ledger remembers their seq ids. Best-effort — leftovers replay
@@ -1031,25 +1044,55 @@ fn apply_replicated(shared: &Shared, from: u64, records: &[ReplRecordDto]) -> Re
 /// path self-heals ongoing gaps; this loop exists for restart recovery,
 /// when a follower may be arbitrarily far behind before the leader's
 /// shipper even learns its address.
+///
+/// Every fetch is epoch-fenced end to end: the request carries this
+/// replica's term, a stale serving replica (a deposed leader the hint
+/// still names) refuses rather than hand out records its fenced term never
+/// committed, and nothing from a response whose epoch is *below* ours is
+/// ever applied. A higher response term is adopted (persisted) before the
+/// records are — catch-up can move this replica's term forward, never let
+/// a fenced log leak in.
 fn catchup_loop(shared: &Arc<Shared>) {
     let Some(repl) = shared.repl.clone() else { return };
     let mut conn = None;
+    let mut link_failures = 0u64;
     let idle = Duration::from_millis(200);
     loop {
         if repl.stopping() {
             return;
         }
-        let (is_follower, hint, my_count) = {
+        let (is_follower, hint, my_count, my_epoch) = {
             let inner = repl.lock();
-            (!inner.leader, inner.leader_hint.clone(), inner.count())
+            (!inner.leader, inner.leader_hint.clone(), inner.count(), inner.epoch)
         };
         let Some(addr) = hint.filter(|_| is_follower) else {
             std::thread::sleep(idle);
             continue;
         };
-        let req = Request::fetch_wal(my_count, 16);
+        let req = Request::fetch_wal(my_epoch, my_count, 16);
         match replication::exchange_on(&mut conn, &addr, &req, Duration::from_secs(2)) {
             Ok(resp) if resp.ok => {
+                link_failures = 0;
+                match resp.epoch {
+                    Some(e) if e < my_epoch => {
+                        // A replica still serving a term below ours — its
+                        // log may contain fenced records. Never apply.
+                        std::thread::sleep(idle);
+                        continue;
+                    }
+                    Some(e) if e > my_epoch => {
+                        // The leader moved terms; persist the new one
+                        // before applying anything shipped under it.
+                        if let Err(err) = repl.adopt_epoch(e, Some(addr.clone())) {
+                            eprintln!(
+                                "rrre-serve: catch-up failed to persist adopted epoch {e}: {err}"
+                            );
+                            std::thread::sleep(idle);
+                            continue;
+                        }
+                    }
+                    _ => {}
+                }
                 let records = resp.records.unwrap_or_default();
                 if records.is_empty() {
                     std::thread::sleep(idle);
@@ -1061,9 +1104,28 @@ fn catchup_loop(shared: &Arc<Shared>) {
                 }
                 // Applied a batch: loop straight back for the next range.
             }
-            _ => {
-                // Structured refusal (e.g. the leader compacted below our
-                // position) or transport failure: back off and retry.
+            Ok(resp) => {
+                link_failures = 0;
+                // `StaleEpoch` with a higher term means *we* were behind
+                // (a new leader we had not heard of): adopt it so the next
+                // fetch passes the fence. A lower term means the hint
+                // still names a fenced replica — do nothing and wait for
+                // the real leader's traffic to refresh the hint. Other
+                // refusals (e.g. compacted below our position) just back
+                // off.
+                if resp.kind == Some(ErrorKind::StaleEpoch) {
+                    if let Some(e) = resp.epoch.filter(|&e| e > my_epoch) {
+                        if let Err(err) = repl.adopt_epoch(e, None) {
+                            eprintln!(
+                                "rrre-serve: catch-up failed to persist adopted epoch {e}: {err}"
+                            );
+                        }
+                    }
+                }
+                std::thread::sleep(idle);
+            }
+            Err(e) => {
+                replication::log_link_failure(&mut link_failures, "catch-up", &addr, &e);
                 std::thread::sleep(idle);
             }
         }
@@ -1576,6 +1638,37 @@ fn process(shared: &Shared, generation: &Generation, job: &Job) -> Response {
                     "FetchWal needs a replication-enabled engine (open_replicated)",
                 );
             };
+            // Fence the catch-up path in both directions. A requester
+            // carrying a *higher* term proves this replica was fenced — a
+            // deposed leader's log may hold records the new term never
+            // committed, and serving them would replicate that divergence
+            // into the follower. Adopt the higher term (persisting it, and
+            // deposing any local leadership) and refuse; the response
+            // carries the term we were fenced at so the caller can see how
+            // stale we were. A requester *behind* our term is refused the
+            // standard way, learning the current term from the response.
+            if let Some(req_epoch) = req.epoch {
+                let current = repl.current_epoch();
+                if req_epoch > current {
+                    shared.stats.stale_epoch_rejections.fetch_add(1, Ordering::Relaxed);
+                    if let Err(e) = repl.adopt_epoch(req_epoch, None) {
+                        return Response::internal(
+                            req.id,
+                            format!("failed to persist adopted epoch {req_epoch}: {e}"),
+                        );
+                    }
+                    let mut resp = Response::stale_epoch(req.id, current, req_epoch);
+                    // Override the constructor's "current term" stamp: the
+                    // stale party here is *us*, and the requester must see
+                    // the term this log was last written under.
+                    resp.epoch = Some(current);
+                    return resp;
+                }
+                if req_epoch < current {
+                    shared.stats.stale_epoch_rejections.fetch_add(1, Ordering::Relaxed);
+                    return Response::stale_epoch(req.id, req_epoch, current);
+                }
+            }
             let Some(from) = req.from else {
                 return bad_request(req.id, "missing required field `from`");
             };

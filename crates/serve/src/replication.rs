@@ -44,7 +44,7 @@ use crate::wal::WalRecord;
 use std::collections::HashMap;
 use std::fs::{self, File};
 use std::io::{self, Read, Write};
-use std::net::TcpStream;
+use std::net::{TcpStream, ToSocketAddrs};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
@@ -155,9 +155,14 @@ pub(crate) struct ReplInner {
     /// The replication log: every record accepted since `base`, in WAL
     /// append order. Position `base + i` holds `log[i]`.
     pub(crate) log: Vec<WalRecord>,
-    /// Records folded into the artifact before this process opened — the
-    /// log's position offset. Positions below `base` are not fetchable.
+    /// Records folded into the artifact (before this process opened, or by
+    /// a compaction since) — the log's position offset. Positions below
+    /// `base` are not fetchable.
     pub(crate) base: u64,
+    /// Shipper generation: bumped by every promotion (same-term peer
+    /// refreshes included), and checked by `shipper_loop` so superseded
+    /// shippers exit instead of running duplicates against the new set.
+    pub(crate) ship_gen: u64,
 }
 
 impl ReplInner {
@@ -217,6 +222,7 @@ impl Replication {
                 acked: HashMap::new(),
                 log: Vec::new(),
                 base: 0,
+                ship_gen: 0,
             }),
             cv: Condvar::new(),
             stop: AtomicBool::new(false),
@@ -329,9 +335,11 @@ impl Replication {
     }
 
     /// Installs this replica as leader under `epoch` (strictly higher than
-    /// the current term, caller-verified), shipping to `peers`. Spawns a
-    /// fresh shipper per follower; shippers of the old term observe the
-    /// epoch change and exit on their own.
+    /// the current term — or the same term as a peer-set refresh on the
+    /// acting leader, caller-verified), shipping to `peers`. Spawns a
+    /// fresh shipper per follower; shippers of any earlier promotion
+    /// observe the generation bump and exit on their own, so a same-term
+    /// refresh replaces its shippers instead of duplicating them.
     pub fn promote(self: &Arc<Self>, epoch: u64, peers: Vec<String>) -> io::Result<()> {
         persist_epoch(&self.dir, epoch)?;
         {
@@ -342,27 +350,29 @@ impl Replication {
             inner.leader_hint = self.self_addr.clone();
             inner.followers = peers;
             inner.acked.clear();
+            inner.ship_gen += 1;
         }
         self.notify();
         self.spawn_shippers();
         Ok(())
     }
 
-    /// Spawns one shipper thread per follower of the *current* term.
+    /// Spawns one shipper thread per follower of the *current* promotion.
     pub(crate) fn spawn_shippers(self: &Arc<Self>) {
-        let (epoch, followers) = {
+        let (epoch, gen, followers) = {
             let inner = self.lock();
-            (inner.epoch, inner.followers.clone())
+            (inner.epoch, inner.ship_gen, inner.followers.clone())
         };
         let mut handles = self.shippers.lock().unwrap_or_else(|e| e.into_inner());
-        // Old-term shippers exit on their own (they check the epoch); reap
-        // the already-finished ones so the vec stays bounded.
+        // Superseded shippers exit on their own (they check the epoch and
+        // generation); reap the already-finished ones so the vec stays
+        // bounded.
         handles.retain(|h| !h.is_finished());
         for addr in followers {
             let repl = Arc::clone(self);
             let handle = std::thread::Builder::new()
                 .name(format!("rrre-repl-ship-{addr}"))
-                .spawn(move || shipper_loop(&repl, &addr, epoch))
+                .spawn(move || shipper_loop(&repl, &addr, epoch, gen))
                 .expect("failed to spawn replication shipper");
             handles.push(handle);
         }
@@ -387,15 +397,22 @@ impl Replication {
 /// One follower's shipping loop: waits for log growth past the follower's
 /// confirmed count, sends a contiguous CRC-stamped batch, and rewinds to
 /// whatever durable count the follower reports. Exits when the term
-/// changes, the leader is fenced, or the engine stops.
-fn shipper_loop(repl: &Arc<Replication>, addr: &str, my_epoch: u64) {
+/// changes, a newer promotion supersedes this shipper's generation, the
+/// leader is fenced, or the engine stops.
+fn shipper_loop(repl: &Arc<Replication>, addr: &str, my_epoch: u64, my_gen: u64) {
     let mut conn: Option<LineConn> = None;
+    let mut link_failures = 0u64;
     loop {
         // Decide what to ship under the lock; never hold it across I/O.
         let (epoch, from, batch) = {
             let mut inner = repl.lock();
             loop {
-                if repl.stopping() || inner.epoch != my_epoch || inner.deposed || !inner.leader {
+                if repl.stopping()
+                    || inner.epoch != my_epoch
+                    || inner.ship_gen != my_gen
+                    || inner.deposed
+                    || !inner.leader
+                {
                     return;
                 }
                 let count = inner.count();
@@ -470,6 +487,7 @@ fn shipper_loop(repl: &Arc<Replication>, addr: &str, my_epoch: u64) {
                     repl.notify();
                     return;
                 }
+                link_failures = 0;
                 if let (true, Some(confirmed)) = (resp.ok, resp.replicated) {
                     let mut inner = repl.lock();
                     inner.acked.insert(addr.to_string(), confirmed);
@@ -481,11 +499,26 @@ fn shipper_loop(repl: &Arc<Replication>, addr: &str, my_epoch: u64) {
                     std::thread::sleep(repl.backoff);
                 }
             }
-            Err(_) => {
+            Err(e) => {
+                log_link_failure(&mut link_failures, "shipper", addr, &e);
                 conn = None;
                 std::thread::sleep(repl.backoff);
             }
         }
+    }
+}
+
+/// Logs a repeatedly-failing replica link on the first consecutive failure
+/// and every 100th thereafter — a dead or misconfigured follower address is
+/// visible in the logs without flooding them at the retry cadence.
+pub(crate) fn log_link_failure(failures: &mut u64, who: &str, addr: &str, err: &io::Error) {
+    *failures += 1;
+    if *failures == 1 || *failures % 100 == 0 {
+        eprintln!(
+            "rrre-serve: replication {who} link to {addr} failing \
+             ({} consecutive attempts): {err}",
+            *failures
+        );
     }
 }
 
@@ -500,14 +533,18 @@ pub fn load_epoch(dir: &Path) -> io::Result<u64> {
     }
 }
 
-/// Persists the epoch atomically (tmp + rename + fsync): after this
-/// returns, a restart can never come back up fenced at a lower term.
+/// Persists the epoch atomically (tmp + rename + fsync, then a directory
+/// fsync so the rename itself is on the platter): after this returns, a
+/// restart can never come back up fenced at a lower term.
 pub fn persist_epoch(dir: &Path, epoch: u64) -> io::Result<()> {
     let tmp = dir.join(format!("{EPOCH_FILE}.tmp"));
     let mut f = File::create(&tmp)?;
     f.write_all(epoch.to_string().as_bytes())?;
     f.sync_data()?;
     fs::rename(&tmp, dir.join(EPOCH_FILE))?;
+    // The rename lives in the directory, not the file: without this fsync
+    // a power loss may roll the directory entry back to the old epoch.
+    File::open(dir)?.sync_all()?;
     Ok(())
 }
 
@@ -518,11 +555,20 @@ pub(crate) struct LineConn {
 }
 
 impl LineConn {
-    /// Connects with a bounded timeout.
+    /// Connects with a bounded timeout. Addresses resolve through
+    /// `ToSocketAddrs`, so hostnames (`replica-2:7001`) work, not just
+    /// socket-address literals.
     pub(crate) fn connect(addr: &str, timeout: Duration) -> io::Result<Self> {
         let sockaddr = addr
-            .parse()
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, format!("bad addr {addr}: {e}")))?;
+            .to_socket_addrs()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, format!("bad addr {addr}: {e}")))?
+            .next()
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("addr {addr} resolved to no socket address"),
+                )
+            })?;
         let stream = TcpStream::connect_timeout(&sockaddr, timeout)?;
         stream.set_nodelay(true)?;
         Ok(Self { stream, buf: Vec::new() })
@@ -662,6 +708,59 @@ mod tests {
         assert_eq!(repl.quorum_wait(10), Ok(()));
         repl.stop();
         fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn same_term_peer_refresh_replaces_rather_than_duplicates_shippers() {
+        let dir = tmp("peer-refresh");
+        let repl = Arc::new(
+            Replication::open(&dir, leader_cfg(vec!["127.0.0.1:1".into()], 1)).unwrap(),
+        );
+        repl.spawn_shippers();
+        // Each refresh bumps the shipper generation; superseded shippers
+        // observe the bump and exit instead of running duplicates.
+        for _ in 0..3 {
+            repl.promote(1, vec!["127.0.0.1:1".into()]).unwrap();
+        }
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let live = repl
+                .shippers
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .iter()
+                .filter(|h| !h.is_finished())
+                .count();
+            if live <= 1 {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "{live} shipper threads still live after same-term refreshes"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        repl.stop();
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn line_conn_accepts_hostnames_not_just_socket_literals() {
+        // `replica-2:7001`-style addresses must *resolve*, not be refused
+        // as unparseable before the dial. The connection itself may still
+        // fail (nothing listens on the reserved-then-released port) — the
+        // regression under test is `InvalidInput` on every hostname.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let port = listener.local_addr().unwrap().port();
+        drop(listener);
+        if let Err(err) = LineConn::connect(&format!("localhost:{port}"), Duration::from_millis(500))
+        {
+            assert_ne!(
+                err.kind(),
+                io::ErrorKind::InvalidInput,
+                "hostname was rejected instead of resolved: {err}"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,164 @@
+//! Epoch fencing on the replication *catch-up* path, and replication-log
+//! hygiene across compaction.
+//!
+//! The push path (`Replicate`) was fenced from the start; these drills pin
+//! the pull path (`FetchWal`) to the same contract:
+//!
+//! * a requester carrying a **stale** term is refused `StaleEpoch` and
+//!   learns the current term from the response;
+//! * a requester carrying a **higher** term proves the serving replica was
+//!   fenced — it must refuse (its log may hold records the new term never
+//!   committed), adopt the higher term, and depose any local leadership,
+//!   so a follower whose `leader_hint` still names a partitioned old
+//!   leader can never pull that leader's uncommitted records;
+//! * compaction drains the folded prefix out of the in-memory replication
+//!   log and advances its base (bounded memory), while absolute positions
+//!   — and therefore follower ack watermarks — stay intact.
+
+use rrre_serve::{
+    AckLevel, Engine, EngineConfig, ErrorKind, IngestConfig, ModelArtifact, ReplRole,
+    ReplicationConfig, Request,
+};
+use rrre_testkit::{trained_fixture, TempDir};
+use std::path::Path;
+
+fn saved_fixture(tag: &str) -> TempDir {
+    let fx = trained_fixture();
+    let dir = TempDir::new(tag);
+    ModelArtifact::save(dir.path(), &fx.dataset, &fx.corpus, &fx.model, fx.min_count()).unwrap();
+    dir
+}
+
+/// A standalone leader at `epoch` with no followers: quorum of one, so
+/// every ingest acks immediately and the drills stay single-process.
+fn open_leader(dir: &Path, epoch: u64) -> Engine {
+    Engine::open_replicated(
+        dir,
+        EngineConfig { workers: 2, ..EngineConfig::default() },
+        IngestConfig::default(),
+        ReplicationConfig {
+            role: ReplRole::Leader { followers: vec![], epoch },
+            ack: AckLevel::Quorum,
+            ..ReplicationConfig::default()
+        },
+    )
+    .expect("replicated open must succeed on an undamaged directory")
+}
+
+fn ingest(engine: &Engine, seq: u64) {
+    let resp =
+        engine.submit(Request::ingest_review(seq, 0, 0, 4.0, format!("review {seq}"), seq as i64));
+    assert!(resp.ok, "ingest of seq {seq} refused: {:?}", resp.error);
+}
+
+#[test]
+fn fetch_wal_refuses_a_stale_requester_with_the_current_term() {
+    let dir = saved_fixture("fetchwal-stale-req");
+    let engine = open_leader(dir.path(), 3);
+    ingest(&engine, 1);
+
+    let resp = engine.submit(Request::fetch_wal(1, 0, 16));
+    assert!(!resp.ok);
+    assert_eq!(resp.kind, Some(ErrorKind::StaleEpoch));
+    // The refusal teaches the stale follower the term to adopt and retry.
+    assert_eq!(resp.epoch, Some(3));
+
+    // At the current term the same range serves.
+    let resp = engine.submit(Request::fetch_wal(3, 0, 16));
+    assert!(resp.ok, "current-term fetch refused: {:?}", resp.error);
+    assert_eq!(resp.records.as_ref().map(Vec::len), Some(1));
+}
+
+#[test]
+fn fetch_wal_from_a_fenced_replica_refuses_and_self_deposes() {
+    let dir = saved_fixture("fetchwal-fenced-server");
+    let engine = open_leader(dir.path(), 1);
+    ingest(&engine, 1);
+
+    // A follower of term 5 (a new leader this deposed one never heard of)
+    // pulls catch-up from the old leader. The old leader's log may hold
+    // records term 5 never committed — it must refuse, not serve.
+    let resp = engine.submit(Request::fetch_wal(5, 0, 16));
+    assert!(!resp.ok, "a fenced replica must not serve its log");
+    assert_eq!(resp.kind, Some(ErrorKind::StaleEpoch));
+    assert!(resp.records.is_none(), "no records may leak past the fence");
+    // The response names the term the refusing log was last written under
+    // (ours, the lower one) — nothing here is worth adopting.
+    assert_eq!(resp.epoch, Some(1));
+
+    // Learning of the higher term fenced us: leadership is gone and the
+    // term is persisted, so ingest now redirects instead of acking writes
+    // the new term's quorum would never see.
+    let repl = engine.replication().expect("replicated engine has replication state");
+    assert_eq!(repl.current_epoch(), 5);
+    assert!(!repl.is_leader());
+    let resp = engine.submit(Request::ingest_review(2, 0, 0, 4.0, "fenced", 2));
+    assert!(!resp.ok);
+    assert_eq!(resp.kind, Some(ErrorKind::NotLeader));
+
+    // The adopted term survives a restart (it was persisted before the
+    // refusal went out).
+    drop(engine);
+    let reopened = open_leader(dir.path(), 1);
+    assert_eq!(
+        reopened.replication().unwrap().current_epoch(),
+        5,
+        "a fenced replica must not resurrect its old term on reopen"
+    );
+}
+
+#[test]
+fn compaction_trims_the_replication_log_and_keeps_positions_absolute() {
+    let dir = saved_fixture("compact-trims-log");
+    let engine = open_leader(dir.path(), 1);
+    for seq in 1..=4 {
+        ingest(&engine, seq);
+    }
+    assert_eq!(engine.stats().replicated_seq, 4);
+
+    let (folded, _) = engine.compact_now().expect("compaction must succeed");
+    assert_eq!(folded, 4);
+    // The watermark is an absolute position: folding must not rewind it.
+    assert_eq!(engine.stats().replicated_seq, 4);
+
+    // Folded positions left the in-memory log: fetching below the new base
+    // is a structured refusal (that follower needs an artifact resync)...
+    let resp = engine.submit(Request::fetch_wal(1, 0, 16));
+    assert!(!resp.ok);
+    assert_eq!(resp.kind, Some(ErrorKind::BadRequest));
+    assert!(
+        resp.error.as_deref().unwrap_or_default().contains("resync"),
+        "refusal should point at a resync: {:?}",
+        resp.error
+    );
+
+    // ...while the live tail still serves: a new record lands at the next
+    // absolute position and is fetchable from there.
+    ingest(&engine, 5);
+    let resp = engine.submit(Request::fetch_wal(1, 4, 16));
+    assert!(resp.ok, "post-compaction tail fetch refused: {:?}", resp.error);
+    let records = resp.records.expect("tail fetch returns records");
+    assert_eq!(records.len(), 1);
+    assert_eq!(records[0].seq, 5);
+    assert_eq!(resp.replicated, Some(5));
+
+    // Repeated compactions keep draining (bounded memory, not one-shot).
+    let (folded, _) = engine.compact_now().expect("second compaction must succeed");
+    assert_eq!(folded, 1);
+    let resp = engine.submit(Request::fetch_wal(1, 4, 16));
+    assert!(!resp.ok, "position 4 was folded by the second compaction");
+    assert_eq!(resp.kind, Some(ErrorKind::BadRequest));
+}
+
+#[test]
+fn fetch_wal_without_an_epoch_still_serves_for_compatibility() {
+    // Requests from peers that predate the fence carry no epoch; they are
+    // served (the push path still fences them the moment they apply).
+    let dir = saved_fixture("fetchwal-epochless");
+    let engine = open_leader(dir.path(), 2);
+    ingest(&engine, 1);
+    let req = Request { epoch: None, ..Request::fetch_wal(2, 0, 16) };
+    let resp = engine.submit(req);
+    assert!(resp.ok, "epochless fetch refused: {:?}", resp.error);
+    assert_eq!(resp.records.map(|r| r.len()), Some(1));
+}

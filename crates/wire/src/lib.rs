@@ -245,9 +245,16 @@ impl Request {
         }
     }
 
-    /// A `FetchWal` catch-up request for log positions `[from, from+limit)`.
-    pub fn fetch_wal(from: u64, limit: u64) -> Self {
-        Self { from: Some(from), limit: Some(limit), ..Self::bare(Op::FetchWal) }
+    /// A `FetchWal` catch-up request for log positions `[from, from+limit)`,
+    /// fenced by the requester's `epoch`: a replica serving a lower term
+    /// refuses rather than hand out records a fenced leader never committed.
+    pub fn fetch_wal(epoch: u64, from: u64, limit: u64) -> Self {
+        Self {
+            epoch: Some(epoch),
+            from: Some(from),
+            limit: Some(limit),
+            ..Self::bare(Op::FetchWal)
+        }
     }
 
     /// A `Promote` request: fence a new leader term `epoch` on the
@@ -1046,9 +1053,10 @@ mod tests {
 
     #[test]
     fn fetch_wal_and_promote_roundtrip() {
-        let r = Request::fetch_wal(128, 16);
+        let r = Request::fetch_wal(5, 128, 16);
         let back = decode_request(&serde_json::to_string(&r).unwrap()).unwrap();
         assert_eq!(back.op, Op::FetchWal);
+        assert_eq!(back.epoch, Some(5));
         assert_eq!((back.from, back.limit), (Some(128), Some(16)));
 
         let r = Request::promote(3, vec!["127.0.0.1:7001".into(), "127.0.0.1:7002".into()]);
